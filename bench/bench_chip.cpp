@@ -1,0 +1,77 @@
+/// Extension bench: chip-level pipelined inference (the PipeLayer-style
+/// whole-network view of ref [1]).  Allocates ResNet-18 onto chips of
+/// growing array counts and reports the pipeline interval (bottleneck
+/// stage) and resident-weight array demand per mapping algorithm.
+///
+/// Expected shape: VW-SDK's per-layer cycle advantage carries through to
+/// the chip level -- equal or better pipeline interval at every chip
+/// size -- at a modest extra resident-array demand (its channel tiles use
+/// more, smaller tiles than im2col's dense columns).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "nn/model_zoo.h"
+#include "sim/chip_allocator.h"
+
+int main() {
+  using namespace vwsdk;
+  bench::banner("Chip-level pipeline -- ResNet-18, 512x512 arrays");
+  bench::Checker checker;
+
+  const Network net = resnet18_paper();
+  const NetworkMappingResult vw =
+      optimize_network(*make_mapper("vw-sdk"), net, {512, 512});
+  const NetworkMappingResult base =
+      optimize_network(*make_mapper("im2col"), net, {512, 512});
+
+  std::cout << "resident array demand: im2col "
+            << resident_array_demand(base) << ", vw-sdk "
+            << resident_array_demand(vw) << "\n\n";
+
+  TextTable table({"chip arrays", "im2col interval", "vw-sdk interval",
+                   "interval speedup"});
+  bool vw_never_worse = true;
+  Cycles vw_at_256 = 0;
+  for (const Dim arrays : {24, 32, 48, 64, 96, 128, 256}) {
+    const ChipAllocation vw_chip = allocate_chip(vw, arrays);
+    const ChipAllocation base_chip = allocate_chip(base, arrays);
+    if (!vw_chip.feasible || !base_chip.feasible) {
+      table.add_row({std::to_string(arrays),
+                     base_chip.feasible ? std::to_string(
+                                              base_chip.bottleneck())
+                                        : "infeasible",
+                     vw_chip.feasible
+                         ? std::to_string(vw_chip.bottleneck())
+                         : "infeasible",
+                     "-"});
+      continue;
+    }
+    vw_never_worse =
+        vw_never_worse && vw_chip.bottleneck() <= base_chip.bottleneck();
+    if (arrays == 256) {
+      vw_at_256 = vw_chip.bottleneck();
+    }
+    table.add_row(
+        {std::to_string(arrays), std::to_string(base_chip.bottleneck()),
+         std::to_string(vw_chip.bottleneck()),
+         format_fixed(static_cast<double>(base_chip.bottleneck()) /
+                          static_cast<double>(vw_chip.bottleneck()),
+                      2)});
+  }
+  std::cout << table;
+
+  checker.expect_eq("vw-sdk resident demand (tiles of Table I mappings)",
+                    23, resident_array_demand(vw));
+  checker.expect_eq("im2col resident demand", 20,
+                    resident_array_demand(base));
+  checker.expect_true("vw-sdk interval <= im2col interval at every size",
+                      vw_never_worse);
+  checker.expect_true("256 arrays push the interval below 200 cycles",
+                      vw_at_256 > 0 && vw_at_256 < 200);
+
+  std::cout << "\nallocation detail at 64 arrays:\n"
+            << allocate_chip(vw, 64).to_string();
+  return checker.finish("bench_chip");
+}

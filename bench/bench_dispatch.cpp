@@ -1,0 +1,70 @@
+/// Extension bench (DESIGN.md §6): multi-array scaling.  A PIM chip has
+/// dozens of crossbar tiles; this bench dispatches ResNet-18's VW-SDK
+/// mappings over 1..64 arrays and reports the makespan under (a) static
+/// tile ownership (weights live on one array) and (b) replicated weights.
+///
+/// Expected shape: static ownership saturates at AR*AC arrays per layer
+/// (e.g. the im2col-fallback conv5 has 9 tiles and stops at 9x);
+/// replication keeps scaling until the parallel-window count runs out.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/network_optimizer.h"
+#include "nn/model_zoo.h"
+#include "sim/dispatch.h"
+
+int main() {
+  using namespace vwsdk;
+  bench::banner("Multi-array dispatch -- ResNet-18, VW-SDK, 512x512");
+  bench::Checker checker;
+  const ArrayGeometry geometry{512, 512};
+  const Network net = resnet18_paper();
+  const auto mapper = make_mapper("vw-sdk");
+
+  TextTable table({"arrays", "makespan (owned)", "speedup",
+                   "makespan (replicated)", "speedup "});
+  Cycles serial_total = 0;
+  Cycles owned_at_8 = 0;
+  Cycles replicated_at_8 = 0;
+  for (const Dim arrays : {1, 2, 4, 8, 16, 32, 64}) {
+    Cycles owned_total = 0;
+    Cycles replicated_total = 0;
+    for (const ConvLayerDesc& layer : net.layers()) {
+      const MappingDecision decision =
+          mapper->map(ConvShape::from_layer(layer), geometry);
+      owned_total += dispatch_layer(decision, arrays).makespan;
+      replicated_total +=
+          dispatch_layer(decision, arrays, /*allow_replication=*/true)
+              .makespan;
+    }
+    if (arrays == 1) {
+      serial_total = owned_total;
+    }
+    if (arrays == 8) {
+      owned_at_8 = owned_total;
+      replicated_at_8 = replicated_total;
+    }
+    table.add_row(
+        {std::to_string(arrays), std::to_string(owned_total),
+         format_fixed(static_cast<double>(serial_total) /
+                          static_cast<double>(owned_total),
+                      2),
+         std::to_string(replicated_total),
+         format_fixed(static_cast<double>(serial_total) /
+                          static_cast<double>(replicated_total),
+                      2)});
+  }
+  std::cout << table;
+
+  checker.expect_eq("serial total is the Table-I VW-SDK total", 4294,
+                    serial_total);
+  checker.expect_true("replication at 8 arrays beats static ownership",
+                      replicated_at_8 < owned_at_8);
+  checker.expect_true("replicated speedup at 8 arrays is near-linear",
+                      static_cast<double>(serial_total) /
+                              static_cast<double>(replicated_at_8) >
+                          7.5);
+  return checker.finish("bench_dispatch");
+}

@@ -1,0 +1,68 @@
+/// Reproduces Fig. 4: the number of input/output channels each mapping
+/// method can compute in ONE cycle on contemporary PIM arrays, against the
+/// actual channel sizes of VGG-13's conv layers.
+///
+/// im2col maps a K x K x IC column per output channel: one cycle computes
+/// at most floor(rows / K^2) input channels and `cols` output channels.
+/// SDK with its 4x4 parallel window (K=3) needs 16 rows per channel and 4
+/// columns per output channel.  The figure's point: neither method maps
+/// the deeper VGG-13 layers (up to 512 channels) in one cycle on any
+/// contemporary array.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "mapping/cost_model.h"
+#include "nn/model_zoo.h"
+
+int main() {
+  using namespace vwsdk;
+  bench::banner(
+      "Fig. 4 -- computable channel size per cycle (K=3) vs array size");
+  bench::Checker checker;
+
+  const std::vector<std::pair<std::string, ArrayGeometry>> arrays = {
+      {"128x128 [5]", {128, 128}},
+      {"256x256 [5]", {256, 256}},
+      {"512x512 [2]", {512, 512}},
+      {"512x256 [8]", {512, 256}},
+  };
+
+  TextTable table({"array", "im2col IC", "im2col OC", "SDK(4x4) IC",
+                   "SDK(4x4) OC"});
+  for (const auto& [label, geometry] : arrays) {
+    const Count im2col_ic = geometry.rows / 9;
+    const Count im2col_oc = geometry.cols;
+    const Count sdk_ic = geometry.rows / 16;
+    const Count sdk_oc = geometry.cols / 4;
+    table.add_row({label, std::to_string(im2col_ic),
+                   std::to_string(im2col_oc), std::to_string(sdk_ic),
+                   std::to_string(sdk_oc)});
+  }
+  std::cout << table;
+
+  std::cout << "\nActual VGG-13 channel sizes (conv2..conv8, the triangles "
+               "of Fig. 4):\n";
+  TextTable layers({"layer", "IC", "OC"});
+  const Network net = vgg13_paper();
+  for (Count i = 1; i <= 7; ++i) {
+    const ConvLayerDesc& layer = net.layer(i);
+    layers.add_row({layer.name, std::to_string(layer.in_channels),
+                    std::to_string(layer.out_channels)});
+  }
+  std::cout << layers;
+
+  // Exact spot values readable off the figure's dashed lines.
+  checker.expect_eq("im2col IC on 512 rows", 56, 512 / 9);
+  checker.expect_eq("im2col IC on 256 rows", 28, 256 / 9);
+  checker.expect_eq("im2col IC on 128 rows", 14, 128 / 9);
+  checker.expect_eq("SDK IC on 512 rows", 32, 512 / 16);
+  checker.expect_eq("SDK OC on 512 cols", 128, 512 / 4);
+  checker.expect_eq("SDK OC on 256 cols", 64, 256 / 4);
+  // The figure's argument: even the largest array cannot hold conv5+'s
+  // 256-512 channels in one im2col cycle.
+  checker.expect_true("no array maps VGG-13 conv5's 128/256 channels at once",
+                      512 / 9 < 128);
+  return checker.finish("bench_fig4");
+}

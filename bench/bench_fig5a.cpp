@@ -1,0 +1,60 @@
+/// Reproduces Fig. 5(a): the paper's worked example of how the window
+/// shape changes the cycle count.  Configuration (from the caption and the
+/// row/column annotations in the figure): PIM array 512x256, kernel 3x3,
+/// IC = 42, OC = 96, and an IFM with 4 kernel windows (I = 4):
+///
+///   im2col (3x3):        4 parallel windows, AR 1 (378 rows), AC 1 (96
+///                        cols)  -> 4 cycles
+///   4x3 rectangular:     2 parallel windows, AR 1 (504 rows), AC 1 (192
+///                        cols)  -> 2 cycles
+///   4x4 square:          1 parallel window,  AR 2 (672 rows), AC 2 (384
+///                        cols)  -> 4 cycles
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "mapping/cost_model.h"
+
+int main() {
+  using namespace vwsdk;
+  bench::banner("Fig. 5(a) -- worked example: window shape vs cycles");
+  bench::Checker checker;
+
+  const ConvShape example = ConvShape::square(4, 3, 42, 96);
+  const ArrayGeometry geometry{512, 256};
+
+  const CycleCost im2col = im2col_cost(example, geometry);
+  const CycleCost rect = vw_cost(example, geometry, {4, 3});
+  const CycleCost square = vw_cost(example, geometry, {4, 4});
+
+  TextTable table({"mapping", "rows used", "cols used", "#PW", "AR", "AC",
+                   "cycles"});
+  const auto add = [&table](const std::string& name, Count rows, Count cols,
+                            const CycleCost& cost) {
+    table.add_row({name, std::to_string(rows), std::to_string(cols),
+                   std::to_string(cost.n_parallel_windows),
+                   std::to_string(cost.ar_cycles),
+                   std::to_string(cost.ac_cycles),
+                   std::to_string(cost.total)});
+  };
+  add("im2col 3x3", 9 * 42, 96, im2col);
+  add("rect 4x3", 12 * 42, 2 * 96, rect);
+  add("square 4x4", 16 * 42, 4 * 96, square);
+  std::cout << table;
+
+  // The figure's annotated row/column demands.
+  checker.expect_eq("im2col rows (figure: 378)", 378, 9 * 42);
+  checker.expect_eq("4x3 rows (figure: 504)", 504, 12 * 42);
+  checker.expect_eq("4x4 rows (figure: 672)", 672, 16 * 42);
+  checker.expect_eq("im2col cols (figure: 96)", 96, 96);
+  checker.expect_eq("4x3 cols (figure: 192)", 192, 2 * 96);
+  checker.expect_eq("4x4 cols (figure: 384)", 384, 4 * 96);
+  // The figure's cycle counts.
+  checker.expect_eq("im2col cycles", 4, im2col.total);
+  checker.expect_eq("4x3 cycles", 2, rect.total);
+  checker.expect_eq("4x4 cycles", 4, square.total);
+  checker.expect_eq("4x4 AR cycles", 2, square.ar_cycles);
+  checker.expect_eq("4x4 AC cycles", 2, square.ac_cycles);
+  return checker.finish("bench_fig5a");
+}

@@ -1,0 +1,55 @@
+/// Reproduces Fig. 8(a): per-layer speedup (normalized to im2col) of the
+/// SDK baseline and VW-SDK on a 512x512 array, for VGG-13 and ResNet-18.
+///
+/// Checked values follow from the Table-I cycle counts; the headline
+/// shapes are: SDK's speedup collapses to 1.0 from the layer where entire
+/// channels stop fitting (VGG-13 conv4, ResNet-18 conv3) while VW-SDK
+/// keeps a >1 speedup until the im2col-fallback regime (VGG-13 conv7+,
+/// ResNet-18 conv5).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/network_optimizer.h"
+#include "core/report.h"
+#include "nn/model_zoo.h"
+
+int main() {
+  using namespace vwsdk;
+  bench::banner("Fig. 8(a) -- per-layer speedup vs im2col, 512x512 array");
+  bench::Checker checker;
+  const ArrayGeometry geometry{512, 512};
+
+  for (const Network& net : {vgg13_paper(), resnet18_paper()}) {
+    std::cout << net.name() << ":\n";
+    const NetworkComparison cmp =
+        compare_mappers({"im2col", "sdk", "vw-sdk"}, net, geometry);
+    std::cout << render_layer_speedups(cmp);
+
+    // Spot-check the per-layer speedups implied by Table I.
+    if (net.name() == "VGG-13") {
+      checker.expect_near("VGG-13 conv1 VW speedup (49284/6216)", 7.93,
+                          cmp.layer_speedup(0, 2, 0), 0.01);
+      checker.expect_near("VGG-13 conv4 SDK speedup collapses to 1", 1.0,
+                          cmp.layer_speedup(0, 1, 3), 1e-9);
+      checker.expect_near("VGG-13 conv4 VW speedup (36300/12100)", 3.0,
+                          cmp.layer_speedup(0, 2, 3), 1e-9);
+      checker.expect_near("VGG-13 conv7 both fall back to im2col", 1.0,
+                          cmp.layer_speedup(0, 2, 6), 1e-9);
+      checker.expect_near("VGG-13 total VW speedup", 3.16,
+                          cmp.speedup(0, 2), 0.005);
+    } else {
+      checker.expect_near("ResNet-18 conv1 VW speedup (11236/1431)", 7.85,
+                          cmp.layer_speedup(0, 2, 0), 0.01);
+      checker.expect_near("ResNet-18 conv3 SDK speedup collapses to 1", 1.0,
+                          cmp.layer_speedup(0, 1, 2), 1e-9);
+      checker.expect_near("ResNet-18 conv3 VW speedup (2028/676)", 3.0,
+                          cmp.layer_speedup(0, 2, 2), 1e-9);
+      checker.expect_near("ResNet-18 conv5 both fall back to im2col", 1.0,
+                          cmp.layer_speedup(0, 2, 4), 1e-9);
+      checker.expect_near("ResNet-18 total VW speedup", 4.67,
+                          cmp.speedup(0, 2), 0.005);
+    }
+  }
+  return checker.finish("bench_fig8a");
+}

@@ -1,0 +1,67 @@
+/// Reproduces Fig. 8(b): whole-network speedup (normalized to im2col) of
+/// SDK and VW-SDK across the five PIM array sizes the paper evaluates:
+/// 128x128, 128x256, 256x256, 512x256, 512x512.
+///
+/// Shape to reproduce: both algorithms' speedups grow with the array, and
+/// VW-SDK dominates SDK at every size; the 512x512 points are exactly the
+/// Table-I totals (VGG-13: 2.12x SDK / 3.16x VW; ResNet-18: 2.77x / 4.67x).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/network_optimizer.h"
+#include "nn/model_zoo.h"
+
+int main() {
+  using namespace vwsdk;
+  bench::banner("Fig. 8(b) -- total speedup vs PIM array size");
+  bench::Checker checker;
+
+  for (const Network& net : {vgg13_paper(), resnet18_paper()}) {
+    std::cout << net.name() << ":\n";
+    TextTable table({"array", "im2col cycles", "SDK cycles", "VW cycles",
+                     "SDK speedup", "VW speedup"});
+    double last_vw = 0.0;
+    bool vw_monotone = true;
+    bool vw_dominates = true;
+    double vw_512 = 0.0;
+    double sdk_512 = 0.0;
+    for (const ArrayGeometry& geometry : paper_geometries()) {
+      const NetworkComparison cmp =
+          compare_mappers({"im2col", "sdk", "vw-sdk"}, net, geometry);
+      const double sdk = cmp.speedup(0, 1);
+      const double vw = cmp.speedup(0, 2);
+      table.add_row({geometry.to_string(),
+                     std::to_string(cmp.results[0].total_cycles()),
+                     std::to_string(cmp.results[1].total_cycles()),
+                     std::to_string(cmp.results[2].total_cycles()),
+                     format_fixed(sdk, 2), format_fixed(vw, 2)});
+      vw_monotone = vw_monotone && vw + 1e-9 >= last_vw;
+      vw_dominates = vw_dominates && vw + 1e-9 >= sdk && sdk + 1e-9 >= 1.0;
+      last_vw = vw;
+      if (geometry.rows == 512 && geometry.cols == 512) {
+        vw_512 = vw;
+        sdk_512 = sdk;
+      }
+    }
+    std::cout << table;
+
+    checker.expect_true(net.name() + ": VW speedup grows with array size",
+                        vw_monotone);
+    checker.expect_true(net.name() + ": VW >= SDK >= im2col at every size",
+                        vw_dominates);
+    if (net.name() == "VGG-13") {
+      checker.expect_near("VGG-13 VW speedup at 512x512", 3.16, vw_512,
+                          0.005);
+      checker.expect_near("VGG-13 SDK speedup at 512x512 (243736/114697)",
+                          2.13, sdk_512, 0.005);
+    } else {
+      checker.expect_near("ResNet-18 VW speedup at 512x512", 4.67, vw_512,
+                          0.005);
+      checker.expect_near("ResNet-18 SDK speedup at 512x512 (20041/7240)",
+                          2.77, sdk_512, 0.005);
+    }
+  }
+  return checker.finish("bench_fig8b");
+}

@@ -1,0 +1,114 @@
+/// Reproduces Fig. 9: PIM array utilization (Eq. (9)).
+///  (a) per-layer utilization of im2col / SDK / VW-SDK on VGG-13 layers
+///      1-6 with a 512x512 array;
+///  (b) utilization of VGG-13 layer4 and layer5 across array sizes.
+///
+/// Conventions: the paper's only precise utilization number -- "73.8% at
+/// Layer 5" for VW-SDK -- reproduces exactly under the steady-state
+/// weight-cell convention (see DESIGN.md §3.4); we print that convention
+/// as the headline plus the literal cycle-average Eq. (9) for reference.
+/// Claims checked: the 73.8% value; SDK == VW-SDK until layer 3; VW >= SDK
+/// >= im2col everywhere; larger arrays raise VW-SDK's utilization.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/network_optimizer.h"
+#include "core/report.h"
+#include "nn/model_zoo.h"
+
+int main() {
+  using namespace vwsdk;
+  bench::Checker checker;
+  const Network net = vgg13_paper();
+
+  bench::banner(
+      "Fig. 9(a) -- utilization on VGG-13 layers 1-6, 512x512 array");
+  const NetworkComparison cmp =
+      compare_mappers({"im2col", "sdk", "vw-sdk"}, net, {512, 512});
+  std::cout << "steady-state convention (paper-matching):\n"
+            << render_utilization(cmp, UtilizationConvention::kSteadyState, 6)
+            << "\nliteral Eq. (9) cycle-average (weight cells):\n"
+            << render_utilization(
+                   cmp, UtilizationConvention::kCycleAverageWeightCells, 6);
+
+  const auto util = [](const MappingDecision& decision,
+                       UtilizationConvention convention) {
+    return 100.0 * utilization(decision.shape, decision.geometry,
+                               decision.cost, convention);
+  };
+
+  const MappingDecision& vw_conv5 = cmp.results[2].layers[4].decision;
+  checker.expect_near("VW-SDK utilization at conv5 (paper: 73.8%)", 73.8,
+                      util(vw_conv5, UtilizationConvention::kSteadyState),
+                      0.05);
+  for (Count layer = 1; layer <= 2; ++layer) {
+    const auto i = static_cast<std::size_t>(layer);
+    checker.expect_near(
+        "SDK == VW-SDK utilization at layer " + std::to_string(layer + 1),
+        util(cmp.results[1].layers[i].decision,
+             UtilizationConvention::kSteadyState),
+        util(cmp.results[2].layers[i].decision,
+             UtilizationConvention::kSteadyState),
+        1e-9);
+  }
+  bool ordered = true;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double u_im2col = util(cmp.results[0].layers[i].decision,
+                                 UtilizationConvention::kSteadyState);
+    const double u_sdk = util(cmp.results[1].layers[i].decision,
+                              UtilizationConvention::kSteadyState);
+    const double u_vw = util(cmp.results[2].layers[i].decision,
+                             UtilizationConvention::kSteadyState);
+    ordered = ordered && u_vw + 1e-9 >= u_sdk && u_sdk + 1e-9 >= u_im2col;
+  }
+  checker.expect_true("VW >= SDK >= im2col on layers 1-6", ordered);
+
+  bench::banner("Fig. 9(b) -- layer4/layer5 utilization vs array size");
+  // The paper's claim is about the GAP: "with a larger PIM array, VW-SDK
+  // gains higher utilization than the conventional algorithms" -- small
+  // arrays are trivially easy for every algorithm to fill, so the
+  // absolute value falls with array size while VW-SDK's advantage grows.
+  for (const char* layer_name : {"conv4", "conv5"}) {
+    std::cout << layer_name << ":\n";
+    TextTable table({"array", "im2col %", "SDK %", "VW-SDK %",
+                     "VW advantage"});
+    const ConvShape shape =
+        ConvShape::from_layer(net.layer_by_name(layer_name));
+    const std::vector<ArrayGeometry> geometries = {
+        {128, 128}, {256, 256}, {512, 256}, {512, 512}};
+    double smallest_gap = 0.0;
+    double largest_gap = 0.0;
+    for (const ArrayGeometry& geometry : geometries) {
+      std::vector<std::string> row{geometry.to_string()};
+      double im2col_value = 0.0;
+      double vw_value = 0.0;
+      for (const char* mapper : {"im2col", "sdk", "vw-sdk"}) {
+        const MappingDecision decision =
+            make_mapper(mapper)->map(shape, geometry);
+        const double value =
+            util(decision, UtilizationConvention::kSteadyState);
+        row.push_back(format_fixed(value, 1));
+        if (std::string(mapper) == "im2col") {
+          im2col_value = value;
+        }
+        vw_value = value;
+      }
+      const double gap = vw_value - im2col_value;
+      row.push_back(format_fixed(gap, 1));
+      if (geometry.rows == 128) {
+        smallest_gap = gap;
+      }
+      if (geometry.rows == 512 && geometry.cols == 512) {
+        largest_gap = gap;
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << table;
+    checker.expect_true(
+        std::string(layer_name) +
+            ": VW-SDK's utilization advantage grows with the array",
+        largest_gap + 1e-9 >= smallest_gap);
+  }
+  return checker.finish("bench_fig9");
+}

@@ -1,0 +1,112 @@
+/// Engineering benchmark (google-benchmark): runtime of the mapping
+/// algorithms themselves.  Not a paper artifact -- the paper's metric is
+/// the mapped network's cycle count -- but a library that proposes to run
+/// inside compilation/deployment flows should document its own cost.
+/// Algorithm 1 is O(I_w * I_h) cost evaluations per layer; even VGG-13's
+/// 224x224 layer is a ~49k-candidate scan of closed-form arithmetic.
+
+#include <benchmark/benchmark.h>
+
+#include "core/network_optimizer.h"
+#include "nn/model_zoo.h"
+
+namespace {
+
+using namespace vwsdk;
+
+const ArrayGeometry kGeometry{512, 512};
+
+void BM_VwSdkSearch_SmallLayer(benchmark::State& state) {
+  const ConvShape shape = ConvShape::square(14, 3, 256, 256);
+  const auto mapper = make_mapper("vw-sdk");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper->map(shape, kGeometry).cost.total);
+  }
+}
+BENCHMARK(BM_VwSdkSearch_SmallLayer);
+
+void BM_VwSdkSearch_MediumLayer(benchmark::State& state) {
+  const ConvShape shape = ConvShape::square(56, 3, 128, 256);
+  const auto mapper = make_mapper("vw-sdk");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper->map(shape, kGeometry).cost.total);
+  }
+}
+BENCHMARK(BM_VwSdkSearch_MediumLayer);
+
+void BM_VwSdkSearch_LargestLayer(benchmark::State& state) {
+  const ConvShape shape = ConvShape::square(224, 3, 64, 64);
+  const auto mapper = make_mapper("vw-sdk");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper->map(shape, kGeometry).cost.total);
+  }
+}
+BENCHMARK(BM_VwSdkSearch_LargestLayer);
+
+void BM_VwSdkSearch_IfmScaling(benchmark::State& state) {
+  const Dim image = static_cast<Dim>(state.range(0));
+  const ConvShape shape = ConvShape::square(image, 3, 64, 64);
+  const auto mapper = make_mapper("vw-sdk");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper->map(shape, kGeometry).cost.total);
+  }
+  state.SetComplexityN(image);
+}
+BENCHMARK(BM_VwSdkSearch_IfmScaling)
+    ->RangeMultiplier(2)
+    ->Range(14, 224)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_SdkBaseline_WholeNetwork(benchmark::State& state) {
+  const Network net = vgg13_paper();
+  const auto mapper = make_mapper("sdk");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimize_network(*mapper, net, kGeometry).total_cycles());
+  }
+}
+BENCHMARK(BM_SdkBaseline_WholeNetwork);
+
+void BM_VwSdk_WholeVgg13(benchmark::State& state) {
+  const Network net = vgg13_paper();
+  const auto mapper = make_mapper("vw-sdk");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimize_network(*mapper, net, kGeometry).total_cycles());
+  }
+}
+BENCHMARK(BM_VwSdk_WholeVgg13);
+
+void BM_VwSdk_WholeResnet18(benchmark::State& state) {
+  const Network net = resnet18_paper();
+  const auto mapper = make_mapper("vw-sdk");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimize_network(*mapper, net, kGeometry).total_cycles());
+  }
+}
+BENCHMARK(BM_VwSdk_WholeResnet18);
+
+void BM_PrunedVwSdk_WholeVgg13(benchmark::State& state) {
+  // Exact same optima as BM_VwSdk_WholeVgg13 (property-tested); the
+  // interesting number is the runtime ratio between the two.
+  const Network net = vgg13_paper();
+  const auto mapper = make_mapper("vw-sdk-pruned");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimize_network(*mapper, net, kGeometry).total_cycles());
+  }
+}
+BENCHMARK(BM_PrunedVwSdk_WholeVgg13);
+
+void BM_CostModel_SingleEvaluation(benchmark::State& state) {
+  const ConvShape shape = ConvShape::square(56, 3, 128, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vw_cost(shape, kGeometry, {4, 3}).total);
+  }
+}
+BENCHMARK(BM_CostModel_SingleEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

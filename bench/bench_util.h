@@ -1,0 +1,68 @@
+#pragma once
+
+/// @file bench_util.h
+/// Shared scaffolding for the paper-reproduction benchmark binaries: a
+/// tiny expectation tracker so every bench prints paper-vs-computed values
+/// and exits non-zero when an exact published target is missed, making
+/// `for b in build/bench/*; do $b; done` a regression gate.
+
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace vwsdk::bench {
+
+/// Counts failed expectations; returned as the process exit code.
+class Checker {
+ public:
+  /// Exact integer target (paper-published value).
+  void expect_eq(const std::string& label, long long expected,
+                 long long actual) {
+    const bool ok = expected == actual;
+    std::cout << "  [" << (ok ? "OK" : "MISMATCH") << "] " << label
+              << ": paper=" << expected << " computed=" << actual << "\n";
+    failures_ += ok ? 0 : 1;
+  }
+
+  /// Approximate target (paper prints rounded ratios).
+  void expect_near(const std::string& label, double expected, double actual,
+                   double tolerance) {
+    const bool ok =
+        actual >= expected - tolerance && actual <= expected + tolerance;
+    std::cout << "  [" << (ok ? "OK" : "MISMATCH") << "] " << label
+              << ": paper=" << format_fixed(expected, 2)
+              << " computed=" << format_fixed(actual, 3) << "\n";
+    failures_ += ok ? 0 : 1;
+  }
+
+  /// Qualitative target (trend/shape claims).
+  void expect_true(const std::string& label, bool condition) {
+    std::cout << "  [" << (condition ? "OK" : "MISMATCH") << "] " << label
+              << "\n";
+    failures_ += condition ? 0 : 1;
+  }
+
+  int failures() const { return failures_; }
+
+  /// Print the verdict and return the exit code.
+  int finish(const std::string& bench_name) const {
+    if (failures_ == 0) {
+      std::cout << "\n" << bench_name << ": all reproduction checks passed\n";
+    } else {
+      std::cout << "\n" << bench_name << ": " << failures_
+                << " reproduction check(s) FAILED\n";
+    }
+    return failures_ == 0 ? 0 : 1;
+  }
+
+ private:
+  int failures_ = 0;
+};
+
+/// Section header in the bench output.
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace vwsdk::bench

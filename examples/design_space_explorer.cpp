@@ -1,0 +1,87 @@
+/// Design-space explorer: given a layer, sweep candidate array geometries
+/// and inspect the window search itself -- which windows were visited,
+/// which improved the incumbent, where the optimum sits (the tool a PIM
+/// architect would actually use when sizing an array).
+///
+///   ./examples/design_space_explorer --image 28 --ic 128 --oc 128
+///   ./examples/design_space_explorer --trace --array 512x256
+
+#include <iostream>
+
+#include "vwsdk.h"
+
+int main(int argc, char** argv) {
+  using namespace vwsdk;
+  ArgParser args("design_space_explorer",
+                 "sweep array geometries and trace the window search");
+  args.add_int_option("image", 28, "IFM width/height");
+  args.add_int_option("kernel", 3, "kernel width/height");
+  args.add_int_option("ic", 128, "input channels");
+  args.add_int_option("oc", 128, "output channels");
+  args.add_option("array", "512x512", "geometry for the trace section");
+  args.add_flag("trace", "print every incumbent improvement of the search");
+  if (!args.parse(argc, argv)) {
+    return 0;
+  }
+
+  try {
+    const ConvShape shape = ConvShape::square(
+        static_cast<Dim>(args.get_int("image")),
+        static_cast<Dim>(args.get_int("kernel")),
+        static_cast<Dim>(args.get_int("ic")),
+        static_cast<Dim>(args.get_int("oc")));
+
+    std::cout << "layer: " << shape.to_string() << "\n\n"
+              << "Array-geometry sweep (same cell budget, varying aspect):\n";
+    TextTable sweep({"array", "cells", "best window", "ICt", "OCt", "cycles",
+                     "speedup vs im2col", "steady util %"});
+    const VwSdkMapper vw;
+    for (const ArrayGeometry& geometry :
+         {ArrayGeometry{128, 128}, ArrayGeometry{256, 64},
+          ArrayGeometry{64, 256}, ArrayGeometry{256, 256},
+          ArrayGeometry{512, 128}, ArrayGeometry{128, 512},
+          ArrayGeometry{512, 512}, ArrayGeometry{1024, 256},
+          ArrayGeometry{256, 1024}}) {
+      const MappingDecision decision = vw.map(shape, geometry);
+      const Cycles base = im2col_cost(shape, geometry).total;
+      sweep.add_row(
+          {geometry.to_string(), std::to_string(geometry.cell_count()),
+           decision.cost.window.to_string(),
+           std::to_string(decision.cost.ic_t),
+           std::to_string(decision.cost.oc_t),
+           std::to_string(decision.cost.total),
+           format_fixed(static_cast<double>(base) /
+                            static_cast<double>(decision.cost.total),
+                        2),
+           format_fixed(
+               100.0 * utilization(shape, geometry, decision.cost,
+                                   UtilizationConvention::kSteadyState),
+               1)});
+    }
+    std::cout << sweep;
+
+    const ArrayGeometry geometry = parse_geometry(args.get("array"));
+    SearchTrace trace;
+    const MappingDecision decision =
+        vw.map_traced(shape, geometry, &trace);
+    std::cout << "\nSearch on " << geometry.to_string() << ": "
+              << trace.candidates_visited() << " candidates, "
+              << trace.feasible_count() << " feasible, "
+              << trace.improvement_count() << " improvements; optimum "
+              << decision.cost.to_string() << "\n";
+    if (args.get_flag("trace")) {
+      std::cout << trace.to_string();
+    }
+
+    // Oracle cross-check, the library's own safety net.
+    const ExhaustiveMapper oracle;
+    const MappingDecision reference = oracle.map(shape, geometry);
+    std::cout << "exhaustive oracle agrees: "
+              << (reference.cost.total == decision.cost.total ? "yes" : "NO")
+              << " (" << reference.cost.total << " cycles)\n";
+    return reference.cost.total == decision.cost.total ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,83 @@
+/// Network analysis: run the full optimizer over a model-zoo network on a
+/// chosen array (the workflow behind the paper's Table I / Fig. 8),
+/// optionally emitting CSV for replotting.
+///
+///   ./examples/network_analysis --model resnet18 --array 512x512
+///   ./examples/network_analysis --model vgg13 --csv
+
+#include <iostream>
+
+#include "vwsdk.h"
+
+int main(int argc, char** argv) {
+  using namespace vwsdk;
+  ArgParser args("network_analysis",
+                 "per-layer mapping analysis of a zoo network");
+  args.add_option("model", "resnet18",
+                  "model name (vgg13, resnet18, vgg16, alexnet, lenet5, "
+                  "stress)");
+  args.add_option("array", "512x512", "PIM array geometry, RxC");
+  args.add_flag("csv", "emit CSV instead of tables");
+  args.add_flag("sweep", "also sweep the paper's five array sizes");
+  if (!args.parse(argc, argv)) {
+    return 0;
+  }
+
+  try {
+    const Network net = model_by_name(args.get("model"));
+    const ArrayGeometry geometry = parse_geometry(args.get("array"));
+    const NetworkComparison cmp =
+        compare_mappers({"im2col", "smd", "sdk", "vw-sdk"}, net, geometry);
+
+    if (args.get_flag("csv")) {
+      CsvWriter csv(std::cout,
+                    {"layer", "algorithm", "mapping", "cycles", "speedup"});
+      for (const NetworkMappingResult& result : cmp.results) {
+        for (std::size_t i = 0; i < result.layers.size(); ++i) {
+          const LayerMapping& lm = result.layers[i];
+          const Cycles base = cmp.results[0].layer_cycles(
+              static_cast<Count>(i));
+          csv.write_row({lm.layer.name, result.algorithm,
+                         lm.decision.table_entry(),
+                         std::to_string(lm.decision.cost.total),
+                         format_fixed(static_cast<double>(base) /
+                                          static_cast<double>(
+                                              lm.decision.cost.total),
+                                      3)});
+        }
+      }
+      return 0;
+    }
+
+    std::cout << net.to_string() << "\narray " << geometry.to_string()
+              << "\n\n"
+              << "Table-I-style mapping table (SDK vs VW-SDK):\n"
+              << render_table1(cmp.results[2], cmp.results[3]) << "\n"
+              << "Per-layer speedups vs im2col:\n"
+              << render_layer_speedups(cmp) << "\n"
+              << "Utilization (steady-state convention):\n"
+              << render_utilization(cmp,
+                                    UtilizationConvention::kSteadyState);
+
+    if (args.get_flag("sweep")) {
+      std::cout << "\nArray-size sweep (Fig. 8(b) style):\n";
+      TextTable sweep({"array", "im2col", "smd", "sdk", "vw-sdk",
+                       "vw speedup"});
+      for (const ArrayGeometry& g : paper_geometries()) {
+        const NetworkComparison c =
+            compare_mappers({"im2col", "smd", "sdk", "vw-sdk"}, net, g);
+        sweep.add_row({g.to_string(),
+                       std::to_string(c.results[0].total_cycles()),
+                       std::to_string(c.results[1].total_cycles()),
+                       std::to_string(c.results[2].total_cycles()),
+                       std::to_string(c.results[3].total_cycles()),
+                       format_fixed(c.speedup(0, 3), 2)});
+      }
+      std::cout << sweep;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,65 @@
+/// Quickstart: map one convolutional layer onto a PIM array with every
+/// algorithm in the library and print what each one chose.
+///
+///   ./examples/quickstart
+///   ./examples/quickstart --image 28 --kernel 3 --ic 256 --oc 512 \
+///                         --array 256x256
+
+#include <iostream>
+
+#include "vwsdk.h"
+
+int main(int argc, char** argv) {
+  using namespace vwsdk;
+  ArgParser args("quickstart", "map one conv layer onto a PIM array");
+  args.add_int_option("image", 56, "IFM width/height");
+  args.add_int_option("kernel", 3, "kernel width/height");
+  args.add_int_option("ic", 128, "input channels");
+  args.add_int_option("oc", 256, "output channels");
+  args.add_option("array", "512x512", "PIM array geometry, RxC");
+  if (!args.parse(argc, argv)) {
+    return 0;
+  }
+
+  try {
+    const ConvShape shape = ConvShape::square(
+        static_cast<Dim>(args.get_int("image")),
+        static_cast<Dim>(args.get_int("kernel")),
+        static_cast<Dim>(args.get_int("ic")),
+        static_cast<Dim>(args.get_int("oc")));
+    const ArrayGeometry geometry = parse_geometry(args.get("array"));
+
+    std::cout << "layer: " << shape.to_string() << "\narray: "
+              << geometry.to_string() << "\n\n";
+
+    TextTable table({"algorithm", "mapping (PWxICtxOCt)", "#PW", "AR", "AC",
+                     "cycles", "speedup"});
+    const Cycles baseline =
+        make_mapper("im2col")->map(shape, geometry).cost.total;
+    for (const char* name : {"im2col", "smd", "sdk", "vw-sdk"}) {
+      const MappingDecision decision =
+          make_mapper(name)->map(shape, geometry);
+      table.add_row({decision.algorithm, decision.table_entry(),
+                     std::to_string(decision.cost.n_parallel_windows),
+                     std::to_string(decision.cost.ar_cycles),
+                     std::to_string(decision.cost.ac_cycles),
+                     std::to_string(decision.cost.total),
+                     format_fixed(static_cast<double>(baseline) /
+                                      static_cast<double>(decision.cost.total),
+                                  2)});
+    }
+    std::cout << table;
+
+    const MappingDecision best = make_mapper("vw-sdk")->map(shape, geometry);
+    std::cout << "\nVW-SDK chose a " << best.cost.window.to_string()
+              << " parallel window computing "
+              << windows_in_pw(shape, best.cost.window)
+              << " output position(s) per cycle with " << best.cost.ic_t
+              << " input / " << best.cost.oc_t
+              << " output channels per tile.\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,124 @@
+#include "common/cli.h"
+
+#include <iostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  VWSDK_REQUIRE(!options_.contains(name), cat("duplicate option --", name));
+  options_[name] = Option{help, default_value, default_value,
+                          /*is_flag=*/false, /*is_int=*/false};
+  declaration_order_.push_back(name);
+}
+
+void ArgParser::add_int_option(const std::string& name,
+                               long long default_value,
+                               const std::string& help) {
+  VWSDK_REQUIRE(!options_.contains(name), cat("duplicate option --", name));
+  const std::string text = std::to_string(default_value);
+  options_[name] =
+      Option{help, text, text, /*is_flag=*/false, /*is_int=*/true};
+  declaration_order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  VWSDK_REQUIRE(!options_.contains(name), cat("duplicate option --", name));
+  options_[name] =
+      Option{help, "false", "false", /*is_flag=*/true, /*is_int=*/false};
+  declaration_order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help();
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto it = options_.find(name);
+    VWSDK_REQUIRE(it != options_.end(), cat("unknown option --", name));
+    Option& option = it->second;
+    if (option.is_flag) {
+      VWSDK_REQUIRE(!inline_value.has_value(),
+                    cat("flag --", name, " does not take a value"));
+      option.value = "true";
+      continue;
+    }
+    std::string value;
+    if (inline_value.has_value()) {
+      value = *inline_value;
+    } else {
+      VWSDK_REQUIRE(i + 1 < argc, cat("option --", name, " needs a value"));
+      value = argv[++i];
+    }
+    if (option.is_int) {
+      (void)parse_count(value);  // validate now, fail early
+    }
+    option.value = value;
+  }
+  return true;
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw NotFound(cat("undeclared option --", name));
+  }
+  return it->second;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  return find(name).value;
+}
+
+long long ArgParser::get_int(const std::string& name) const {
+  const Option& option = find(name);
+  VWSDK_REQUIRE(option.is_int, cat("option --", name, " is not integral"));
+  return parse_count(option.value);
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const Option& option = find(name);
+  VWSDK_REQUIRE(option.is_flag, cat("option --", name, " is not a flag"));
+  return option.value == "true";
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\nOptions:\n";
+  for (const std::string& name : declaration_order_) {
+    const Option& option = options_.at(name);
+    os << "  --" << name;
+    if (!option.is_flag) {
+      os << " <value>";
+    }
+    os << "\n      " << option.help;
+    if (!option.is_flag) {
+      os << " (default: " << option.default_value << ")";
+    }
+    os << "\n";
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,70 @@
+#pragma once
+
+/// @file cli.h
+/// A small declarative command-line parser for the examples and benches.
+///
+/// Supports `--name value`, `--name=value`, boolean `--flag`, and `--help`
+/// generation.  Unknown options are errors; positional arguments are
+/// collected in order.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vwsdk {
+
+/// Declarative CLI option set with typed accessors.
+class ArgParser {
+ public:
+  /// @param program    argv[0]-style program name for the usage line.
+  /// @param description one-line description shown by --help.
+  ArgParser(std::string program, std::string description);
+
+  /// Declare a string option with a default value.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Declare an integer option with a default value.
+  void add_int_option(const std::string& name, long long default_value,
+                      const std::string& help);
+
+  /// Declare a boolean flag (default false; present => true).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv.  Returns false if --help was requested (help text is
+  /// written to stdout); throws InvalidArgument on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed accessors (throw NotFound for undeclared names).
+  std::string get(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Render the --help text.
+  std::string help() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;       // current (default or parsed) value
+    std::string default_value;
+    bool is_flag = false;
+    bool is_int = false;
+  };
+
+  const Option& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> declaration_order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vwsdk

@@ -1,0 +1,81 @@
+#include "common/csv.h"
+
+#include <ostream>
+
+#include "common/error.h"
+
+namespace vwsdk {
+
+CsvWriter::CsvWriter(std::ostream& os, const std::vector<std::string>& header)
+    : os_(os), columns_(header.size()) {
+  VWSDK_REQUIRE(columns_ > 0, "CSV header must have at least one column");
+  emit(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  VWSDK_REQUIRE(cells.size() == columns_,
+                "CSV row width must match header width");
+  emit(cells);
+  ++rows_written_;
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      os_ << ',';
+    }
+    os_ << csv_escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> csv_parse_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  VWSDK_REQUIRE(!in_quotes, "CSV line ends inside a quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file csv.h
+/// CSV output for benchmark sweeps (so results can be re-plotted outside
+/// the repo).  Minimal RFC-4180 quoting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vwsdk {
+
+/// Writes rows of cells to a std::ostream as CSV.  The writer does not own
+/// the stream; keep it alive for the writer's lifetime.
+class CsvWriter {
+ public:
+  /// Bind to an output stream and emit the header row immediately.
+  CsvWriter(std::ostream& os, const std::vector<std::string>& header);
+
+  /// Emit one data row; throws InvalidArgument on column-count mismatch.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Rows written (excluding the header).
+  Count rows_written() const { return rows_written_; }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::ostream& os_;
+  std::size_t columns_;
+  Count rows_written_ = 0;
+};
+
+/// Quote a single CSV field per RFC 4180 (only when needed).
+std::string csv_escape(const std::string& field);
+
+/// Parse one CSV line into fields (handles quoted fields with embedded
+/// commas and doubled quotes; no embedded newlines).
+std::vector<std::string> csv_parse_line(const std::string& line);
+
+}  // namespace vwsdk

@@ -1,0 +1,32 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace vwsdk::detail {
+
+namespace {
+
+std::string format_failure(const char* kind, const char* expr,
+                           const char* file, int line,
+                           const std::string& message) {
+  std::ostringstream os;
+  os << kind << ": " << message << " [failed check: `" << expr << "` at "
+     << file << ":" << line << "]";
+  return os.str();
+}
+
+}  // namespace
+
+void throw_invalid_argument(const char* expr, const char* file, int line,
+                            const std::string& message) {
+  throw InvalidArgument(
+      format_failure("invalid argument", expr, file, line, message));
+}
+
+void throw_internal_error(const char* expr, const char* file, int line,
+                          const std::string& message) {
+  throw InternalError(
+      format_failure("internal error", expr, file, line, message));
+}
+
+}  // namespace vwsdk::detail

@@ -1,0 +1,70 @@
+#pragma once
+
+/// @file error.h
+/// Exception hierarchy and contract-checking macros for the vwsdk library.
+///
+/// Policy (see DESIGN.md §7 and C++ Core Guidelines I.5/I.6, E.2):
+///  * Violations of a *public API precondition* throw `vwsdk::InvalidArgument`
+///    (callers can recover, e.g. a CLI rejecting bad flags).
+///  * Violations of an *internal invariant* indicate a library bug and throw
+///    `vwsdk::InternalError`; tests exercise these paths deliberately.
+///  * Both derive from `vwsdk::Error` so applications can catch one type.
+
+#include <stdexcept>
+#include <string>
+
+namespace vwsdk {
+
+/// Root of the vwsdk exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// An internal invariant of the library failed; indicates a bug in vwsdk
+/// itself (or memory corruption), not in the caller.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// A requested entity (model name, file, option) does not exist.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what_arg) : Error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file,
+                                         int line, const std::string& message);
+[[noreturn]] void throw_internal_error(const char* expr, const char* file,
+                                       int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace vwsdk
+
+/// Check a documented precondition of a public API; throws
+/// `vwsdk::InvalidArgument` with source location context on failure.
+#define VWSDK_REQUIRE(expr, message)                                        \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::vwsdk::detail::throw_invalid_argument(#expr, __FILE__, __LINE__,    \
+                                              (message));                   \
+    }                                                                       \
+  } while (false)
+
+/// Check an internal invariant; throws `vwsdk::InternalError` on failure.
+/// Always active (the costs here are negligible next to the algorithms).
+#define VWSDK_ASSERT(expr, message)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::vwsdk::detail::throw_internal_error(#expr, __FILE__, __LINE__,      \
+                                            (message));                     \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+namespace vwsdk {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return level_;
+}
+
+void Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  Sink sink;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (level < level_) {
+      return;
+    }
+    sink = sink_;
+  }
+  if (sink) {
+    sink(level, message);
+  } else {
+    std::clog << "[vwsdk:" << log_level_name(level) << "] " << message
+              << '\n';
+  }
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,83 @@
+#pragma once
+
+/// @file logging.h
+/// A tiny leveled logger.
+///
+/// The library itself never logs on hot paths; logging exists for the
+/// search-trace facilities, the examples, and the benchmark harness.  The
+/// default sink is std::clog; tests install a capturing sink.
+
+#include <functional>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace vwsdk {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Human-readable name of a level ("DEBUG", "INFO", ...).
+const char* log_level_name(LogLevel level);
+
+/// Process-wide logger configuration.  Thread-safe.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// The singleton instance (a deliberate, documented exception to the
+  /// "avoid singletons" guideline: log configuration is genuinely
+  /// process-global and mutable only in tests/CLIs).
+  static Logger& instance();
+
+  /// Drop messages below `level`.
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Replace the output sink (pass nullptr to restore the default
+  /// std::clog sink).
+  void set_sink(Sink sink);
+
+  /// Emit a message (already formatted) at `level`.
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+
+  mutable std::mutex mutex_;
+  LogLevel level_ = LogLevel::kInfo;
+  Sink sink_;  // empty -> default sink
+};
+
+namespace detail {
+
+template <typename... Parts>
+void log_parts(LogLevel level, const Parts&... parts) {
+  if (level < Logger::instance().level()) {
+    return;
+  }
+  std::ostringstream os;
+  (os << ... << parts);
+  Logger::instance().log(level, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Parts>
+void log_debug(const Parts&... parts) {
+  detail::log_parts(LogLevel::kDebug, parts...);
+}
+template <typename... Parts>
+void log_info(const Parts&... parts) {
+  detail::log_parts(LogLevel::kInfo, parts...);
+}
+template <typename... Parts>
+void log_warn(const Parts&... parts) {
+  detail::log_parts(LogLevel::kWarn, parts...);
+}
+template <typename... Parts>
+void log_error(const Parts&... parts) {
+  detail::log_parts(LogLevel::kError, parts...);
+}
+
+}  // namespace vwsdk

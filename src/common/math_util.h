@@ -1,0 +1,85 @@
+#pragma once
+
+/// @file math_util.h
+/// Small integer-math helpers used throughout the cost model.
+///
+/// The paper's equations are built almost entirely from ceiling divisions
+/// and floor divisions of positive integers (Eqs. (3)-(8)); centralizing
+/// them here keeps every call site overflow-checked and self-documenting.
+
+#include <limits>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace vwsdk {
+
+/// ⌈a / b⌉ for a ≥ 0, b > 0.  Matches the ⌈·⌉ of Eqs. (1), (5), (7).
+constexpr Count ceil_div(Count a, Count b) {
+  if (a < 0 || b <= 0) {
+    throw InvalidArgument("ceil_div requires a >= 0 and b > 0");
+  }
+  return (a + b - 1) / b;
+}
+
+/// ⌊a / b⌋ for a ≥ 0, b > 0.  Matches the ⌊·⌋ of Eqs. (4), (6).
+constexpr Count floor_div(Count a, Count b) {
+  if (a < 0 || b <= 0) {
+    throw InvalidArgument("floor_div requires a >= 0 and b > 0");
+  }
+  return a / b;
+}
+
+/// Overflow-checked multiplication of non-negative counts.  Cycle totals
+/// for full networks are products of window counts (up to ~5·10^4) and tile
+/// counts; they fit int64 comfortably, but a sweep with absurd parameters
+/// should fail loudly rather than wrap.
+constexpr Count checked_mul(Count a, Count b) {
+  if (a < 0 || b < 0) {
+    throw InvalidArgument("checked_mul requires non-negative operands");
+  }
+  if (a != 0 && b > std::numeric_limits<Count>::max() / a) {
+    throw InvalidArgument("checked_mul overflow");
+  }
+  return a * b;
+}
+
+/// Overflow-checked addition of non-negative counts.
+constexpr Count checked_add(Count a, Count b) {
+  if (a < 0 || b < 0) {
+    throw InvalidArgument("checked_add requires non-negative operands");
+  }
+  if (a > std::numeric_limits<Count>::max() - b) {
+    throw InvalidArgument("checked_add overflow");
+  }
+  return a + b;
+}
+
+/// True if `value` is a power of two (used for array-geometry sanity
+/// warnings; PIM arrays in the literature are 2^X x 2^Y).
+constexpr bool is_power_of_two(Count value) {
+  return value > 0 && (value & (value - 1)) == 0;
+}
+
+/// Integer log2 of a power of two.
+constexpr int log2_exact(Count value) {
+  if (!is_power_of_two(value)) {
+    throw InvalidArgument("log2_exact requires a power of two");
+  }
+  int log = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++log;
+  }
+  return log;
+}
+
+/// Clamp `value` into [lo, hi] (requires lo <= hi).
+constexpr Count clamp_count(Count value, Count lo, Count hi) {
+  if (lo > hi) {
+    throw InvalidArgument("clamp_count requires lo <= hi");
+  }
+  return value < lo ? lo : (value > hi ? hi : value);
+}
+
+}  // namespace vwsdk

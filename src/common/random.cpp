@@ -1,0 +1,24 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace vwsdk {
+
+double Rng::normal(double mean, double stddev) {
+  if (!(stddev >= 0.0)) {
+    throw InvalidArgument("Rng::normal requires stddev >= 0");
+  }
+  // Box-Muller without caching the second variate: reproducibility across
+  // call sites matters more here than saving one transcendental call.
+  double u1 = uniform_double();
+  while (u1 <= 0.0) {  // avoid log(0)
+    u1 = uniform_double();
+  }
+  const double u2 = uniform_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+}  // namespace vwsdk

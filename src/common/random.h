@@ -1,0 +1,109 @@
+#pragma once
+
+/// @file random.h
+/// Deterministic pseudo-random number generation for synthetic workloads.
+///
+/// The paper never uses real trained weights -- cycle counts and
+/// utilization depend only on layer dimensions.  Our functional simulator,
+/// however, executes mappings on real tensors to prove placement
+/// correctness.  Those tensors are generated here, seeded and fully
+/// deterministic so that every test and benchmark is reproducible bit for
+/// bit across runs and platforms.
+///
+/// Implementation: SplitMix64 for seeding, xoshiro256** for the stream
+/// (public-domain algorithms by Blackman & Vigna).  We avoid <random>'s
+/// distributions because their outputs are not portable across standard
+/// library implementations.
+
+#include <array>
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace vwsdk {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality, reproducible 64-bit PRNG.
+class Rng {
+ public:
+  /// Construct from a 64-bit seed (expanded via SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x5eed'5eed'5eed'5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) {
+      word = sm.next();
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) {
+      throw InvalidArgument("Rng::uniform_int requires lo <= hi");
+    }
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1ULL;
+    if (span == 0) {  // full 64-bit range
+      return static_cast<std::int64_t>(next_u64());
+    }
+    // Debiased modulo (rejection sampling on the top of the range).
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    std::uint64_t raw = next_u64();
+    while (raw >= limit) {
+      raw = next_u64();
+    }
+    return lo + static_cast<std::int64_t>(raw % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    // 53 top bits -> [0,1) with full double precision.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi) {
+    if (!(lo < hi)) {
+      throw InvalidArgument("Rng::uniform_double requires lo < hi");
+    }
+    return lo + (hi - lo) * uniform_double();
+  }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace vwsdk

@@ -1,0 +1,106 @@
+#include "common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <limits>
+
+#include "common/error.h"
+
+namespace vwsdk {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      return fields;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string trim(std::string_view text) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && is_space(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += separator;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+long long parse_count(std::string_view text) {
+  const std::string trimmed = trim(text);
+  VWSDK_REQUIRE(!trimmed.empty(), "parse_count: empty string");
+  long long value = 0;
+  for (const char c : trimmed) {
+    VWSDK_REQUIRE(c >= '0' && c <= '9',
+                  cat("parse_count: non-digit in \"", trimmed, "\""));
+    const long long digit = c - '0';
+    VWSDK_REQUIRE(
+        value <= (std::numeric_limits<long long>::max() - digit) / 10,
+        cat("parse_count: overflow in \"", trimmed, "\""));
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string with_thousands(long long value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) {
+    out.push_back('-');
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,48 @@
+#pragma once
+
+/// @file string_util.h
+/// Minimal string helpers (libstdc++ 12 lacks std::format, so small
+/// formatting utilities live here instead).
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vwsdk {
+
+/// Split `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string trim(std::string_view text);
+
+/// Join `parts` with `separator`.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view text);
+
+/// Parse a non-negative integer; throws vwsdk::InvalidArgument on garbage,
+/// sign, overflow, or trailing characters.
+long long parse_count(std::string_view text);
+
+/// Format a floating-point value with fixed precision (no locale).
+std::string format_fixed(double value, int precision);
+
+/// Format "1234567" as "1,234,567" for human-readable cycle totals.
+std::string with_thousands(long long value);
+
+/// Build a string from streamable parts:  cat("x=", 3, " y=", 4.5).
+template <typename... Parts>
+std::string cat(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace vwsdk

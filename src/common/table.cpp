@@ -1,0 +1,99 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vwsdk {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  VWSDK_REQUIRE(!headers_.empty(), "TextTable requires at least one column");
+  alignments_.assign(headers_.size(), Align::kRight);
+  alignments_.front() = Align::kLeft;
+}
+
+void TextTable::set_alignments(std::vector<Align> alignments) {
+  VWSDK_REQUIRE(alignments.size() == headers_.size(),
+                "alignment count must match column count");
+  alignments_ = std::move(alignments);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  VWSDK_REQUIRE(cells.size() == headers_.size(),
+                "row cell count must match column count");
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void TextTable::add_separator() {
+  rows_.push_back(Row{{}, /*separator=*/true});
+}
+
+std::string TextTable::render() const {
+  // Column widths: max over header and all cells.
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto rule = [&widths]() {
+    std::string line = "+";
+    for (const std::size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      line += ' ';
+      if (alignments_[c] == Align::kRight) {
+        line += std::string(pad, ' ');
+        line += cells[c];
+      } else {
+        line += cells[c];
+        line += std::string(pad, ' ');
+      }
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = rule();
+  out += render_row(headers_);
+  out += rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out += rule();
+    } else {
+      out += render_row(row.cells);
+    }
+  }
+  out += rule();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.render();
+}
+
+std::vector<std::string> row_cells(std::initializer_list<std::string> cells) {
+  return std::vector<std::string>(cells);
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,71 @@
+#pragma once
+
+/// @file table.h
+/// ASCII table rendering for the benchmark harness.
+///
+/// Every paper-reproduction benchmark prints its table/figure data in the
+/// same row/column layout the paper uses; TextTable gives them a uniform,
+/// aligned, monospace rendering.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vwsdk {
+
+/// Column alignment inside a TextTable.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, append rows, render.
+///
+/// Example output:
+/// ```
+/// +-------+----------+----------+
+/// | layer |      SDK |   VW-SDK |
+/// +-------+----------+----------+
+/// | 1     |     2809 |     1431 |
+/// +-------+----------+----------+
+/// ```
+class TextTable {
+ public:
+  /// Create a table with the given column headers.  Default alignment is
+  /// left for the first column and right for the rest (the common shape of
+  /// the paper's tables: a label column followed by numbers).
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Override alignment per column (size must match header count).
+  void set_alignments(std::vector<Align> alignments);
+
+  /// Append a row; throws InvalidArgument if the cell count differs from
+  /// the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line before the next row.
+  void add_separator();
+
+  /// Number of data rows added so far.
+  Count row_count() const { return static_cast<Count>(rows_.size()); }
+
+  /// Render into a string (with a trailing newline).
+  std::string render() const;
+
+  /// Stream rendering.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;  // empty => separator
+    bool separator = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+/// Convenience: convert mixed cell data to strings.
+std::vector<std::string> row_cells(std::initializer_list<std::string> cells);
+
+}  // namespace vwsdk

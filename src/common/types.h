@@ -1,0 +1,30 @@
+#pragma once
+
+/// @file types.h
+/// Fundamental integer vocabulary types shared across the vwsdk library.
+///
+/// Following the C++ Core Guidelines we use *signed* integers for all
+/// arithmetic quantities (ES.102, ES.106).  Dimensions of tensors, kernels
+/// and crossbar arrays are small and fit `std::int32_t`; cycle counts and
+/// cell counts can reach the billions for large sweeps and therefore use
+/// `std::int64_t`.
+
+#include <cstdint>
+
+namespace vwsdk {
+
+/// A spatial or channel dimension (image width, kernel height, channel
+/// count, crossbar row count, ...).  Always non-negative in valid objects;
+/// signedness is for safe arithmetic, not for encoding sentinel values.
+using Dim = std::int32_t;
+
+/// A (possibly very large) count of discrete items: computing cycles,
+/// windows, memory cells, byte sizes.
+using Count = std::int64_t;
+
+/// Number of PIM computing cycles.  The central cost unit of the paper:
+/// one cycle = one analog vector-matrix multiplication over one array
+/// programming (Eq. (1) of the paper).
+using Cycles = std::int64_t;
+
+}  // namespace vwsdk

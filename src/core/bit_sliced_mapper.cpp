@@ -1,0 +1,37 @@
+#include "core/bit_sliced_mapper.h"
+
+namespace vwsdk {
+
+BitSlicedVwSdkMapper::BitSlicedVwSdkMapper(BitSlicingConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+MappingDecision BitSlicedVwSdkMapper::map(
+    const ConvShape& shape, const ArrayGeometry& geometry) const {
+  shape.validate();
+  geometry.validate();
+
+  MappingDecision decision;
+  decision.algorithm = name();
+  decision.shape = shape;
+  decision.geometry = geometry;
+  decision.cost = im2col_cost_bitsliced(shape, geometry, config_);
+
+  for (Dim h = shape.kernel_h; h <= shape.padded_h(); h += shape.stride_h) {
+    for (Dim w = shape.kernel_w; w <= shape.padded_w();
+         w += shape.stride_w) {
+      if (w == shape.kernel_w && h == shape.kernel_h) {
+        continue;
+      }
+      const CycleCost candidate =
+          vw_cost_bitsliced(shape, geometry, {w, h}, config_);
+      if (candidate.feasible && decision.cost.total > candidate.total) {
+        decision.cost = candidate;
+      }
+    }
+  }
+  return decision;
+}
+
+}  // namespace vwsdk

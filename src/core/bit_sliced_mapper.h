@@ -1,0 +1,31 @@
+#pragma once
+
+/// @file bit_sliced_mapper.h
+/// Algorithm 1 under the bit-slicing extension: same scan, bit-slicing
+/// aware costs.  The optimizer's window choice *adapts* to the precision
+/// config -- with 1-bit cells each output channel costs 8x the columns,
+/// pushing the optimum toward windows with fewer positions (smaller N_WP).
+
+#include "core/mapping_decision.h"
+#include "mapping/bit_slicing.h"
+
+namespace vwsdk {
+
+/// VW-SDK search with bit-slicing costs.  With the default config this is
+/// exactly VwSdkMapper (tested).
+class BitSlicedVwSdkMapper final : public Mapper {
+ public:
+  BitSlicedVwSdkMapper() = default;
+  explicit BitSlicedVwSdkMapper(BitSlicingConfig config);
+
+  std::string name() const override { return "vw-sdk-bitsliced"; }
+  MappingDecision map(const ConvShape& shape,
+                      const ArrayGeometry& geometry) const override;
+
+  const BitSlicingConfig& config() const { return config_; }
+
+ private:
+  BitSlicingConfig config_{};
+};
+
+}  // namespace vwsdk

@@ -1,0 +1,28 @@
+#include "core/exhaustive_mapper.h"
+
+namespace vwsdk {
+
+MappingDecision ExhaustiveMapper::map(const ConvShape& shape,
+                                      const ArrayGeometry& geometry) const {
+  shape.validate();
+  geometry.validate();
+
+  MappingDecision decision;
+  decision.algorithm = name();
+  decision.shape = shape;
+  decision.geometry = geometry;
+  decision.cost = im2col_cost(shape, geometry);
+
+  for (Dim h = shape.kernel_h; h <= shape.padded_h(); h += shape.stride_h) {
+    for (Dim w = shape.kernel_w; w <= shape.padded_w();
+         w += shape.stride_w) {
+      const CycleCost candidate = vw_cost(shape, geometry, {w, h});
+      if (candidate.feasible && candidate.total < decision.cost.total) {
+        decision.cost = candidate;
+      }
+    }
+  }
+  return decision;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,29 @@
+#pragma once
+
+/// @file exhaustive_mapper.h
+/// Exhaustive oracle for the window search.
+///
+/// Evaluates *every* admissible window (including the kernel-sized one
+/// with channel-granular tiling) plus the element-granular im2col mapping,
+/// and returns the global minimum.  Because the element-granular im2col
+/// cost never exceeds the channel-granular kernel-window cost (a channel
+/// tile is a restricted row split), the optimum over this superset equals
+/// the optimum Algorithm 1 reports -- the property test
+/// `VwSdkMatchesExhaustiveOracle` relies on exactly that.
+///
+/// Intentionally the dumbest correct implementation: its value is being
+/// obviously right, not fast.
+
+#include "core/mapping_decision.h"
+
+namespace vwsdk {
+
+/// Brute-force oracle mapper (global minimum, im2col tie-break first).
+class ExhaustiveMapper final : public Mapper {
+ public:
+  std::string name() const override { return "exhaustive"; }
+  MappingDecision map(const ConvShape& shape,
+                      const ArrayGeometry& geometry) const override;
+};
+
+}  // namespace vwsdk

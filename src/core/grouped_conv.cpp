@@ -1,0 +1,46 @@
+#include "core/grouped_conv.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+ConvShape GroupedConvShape::group_shape() const {
+  validate();
+  ConvShape group = base;
+  group.in_channels = base.in_channels / groups;
+  group.out_channels = base.out_channels / groups;
+  return group;
+}
+
+void GroupedConvShape::validate() const {
+  base.validate();
+  VWSDK_REQUIRE(groups >= 1, "groups must be >= 1");
+  VWSDK_REQUIRE(base.in_channels % groups == 0,
+                cat("groups ", groups, " must divide IC ",
+                    base.in_channels));
+  VWSDK_REQUIRE(base.out_channels % groups == 0,
+                cat("groups ", groups, " must divide OC ",
+                    base.out_channels));
+}
+
+std::string GroupedDecision::to_string() const {
+  return cat(shape.base.to_string(), " g", shape.groups, ": ",
+             shape.groups, " x [", per_group.to_string(), "] = ",
+             total_cycles, " cycles");
+}
+
+GroupedDecision map_grouped(const Mapper& mapper,
+                            const GroupedConvShape& shape,
+                            const ArrayGeometry& geometry) {
+  shape.validate();
+  GroupedDecision decision;
+  decision.shape = shape;
+  decision.per_group = mapper.map(shape.group_shape(), geometry);
+  decision.total_cycles =
+      checked_mul(shape.groups, decision.per_group.cost.total);
+  return decision;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,53 @@
+#pragma once
+
+/// @file grouped_conv.h
+/// Grouped and depthwise convolution support (extension, DESIGN.md §6).
+///
+/// A grouped convolution with G groups splits the channels into G
+/// independent convolutions of IC/G -> OC/G channels over the same spatial
+/// extent.  On a PIM array the groups cannot share columns (their outputs
+/// mix otherwise), so each group is mapped independently and the layer
+/// costs the sum of the group costs.  Every group has identical
+/// dimensions, hence: layer cycles = G x cycles(sub-conv).
+///
+/// This covers the depthwise convolutions (G = IC, 1 channel per group) of
+/// MobileNet-class networks -- a regime the paper does not evaluate but
+/// its motivation (§III-A, small computable channel counts) makes
+/// interesting: depthwise layers have IC_t demand 1, so the parallel
+/// window can grow very large, and VW-SDK's advantage over im2col gets
+/// *bigger*, not smaller.
+
+#include "core/mapping_decision.h"
+
+namespace vwsdk {
+
+/// A grouped convolutional layer: `base` holds the FULL channel counts;
+/// `groups` must divide both.
+struct GroupedConvShape {
+  ConvShape base{};
+  Dim groups = 1;
+
+  /// The dimensions of one group's sub-convolution.
+  ConvShape group_shape() const;
+
+  /// Throws InvalidArgument unless groups >= 1 and divides IC and OC.
+  void validate() const;
+};
+
+/// A grouped layer's mapping: one (replicated) per-group decision and the
+/// layer-level totals.
+struct GroupedDecision {
+  GroupedConvShape shape{};
+  MappingDecision per_group{};  ///< mapping of one group's sub-conv
+  Cycles total_cycles = 0;      ///< groups x per-group cycles
+
+  std::string to_string() const;
+};
+
+/// Map a grouped convolution with any mapper (each group independently,
+/// all groups identical).
+GroupedDecision map_grouped(const Mapper& mapper,
+                            const GroupedConvShape& shape,
+                            const ArrayGeometry& geometry);
+
+}  // namespace vwsdk

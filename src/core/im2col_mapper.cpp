@@ -1,0 +1,15 @@
+#include "core/im2col_mapper.h"
+
+namespace vwsdk {
+
+MappingDecision Im2colMapper::map(const ConvShape& shape,
+                                  const ArrayGeometry& geometry) const {
+  MappingDecision decision;
+  decision.algorithm = name();
+  decision.shape = shape;
+  decision.geometry = geometry;
+  decision.cost = im2col_cost(shape, geometry);
+  return decision;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,19 @@
+#pragma once
+
+/// @file im2col_mapper.h
+/// The im2col baseline mapper (ref [4]; Fig. 2(a) of the paper): each
+/// 3-D kernel unrolls into one column, one kernel window per cycle.
+
+#include "core/mapping_decision.h"
+
+namespace vwsdk {
+
+/// Baseline mapper: always chooses the kernel-sized window.
+class Im2colMapper final : public Mapper {
+ public:
+  std::string name() const override { return "im2col"; }
+  MappingDecision map(const ConvShape& shape,
+                      const ArrayGeometry& geometry) const override;
+};
+
+}  // namespace vwsdk

@@ -1,0 +1,59 @@
+#include "core/mapping_decision.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "core/exhaustive_mapper.h"
+#include "core/im2col_mapper.h"
+#include "core/pruned_mapper.h"
+#include "core/sdk_mapper.h"
+#include "core/smd_mapper.h"
+#include "core/vwsdk_mapper.h"
+
+namespace vwsdk {
+
+bool MappingDecision::is_im2col_fallback() const {
+  return cost.window == kernel_window(shape);
+}
+
+std::string MappingDecision::table_entry() const {
+  if (is_im2col_fallback()) {
+    // The paper prints fallback rows with the layer's full channels
+    // (e.g. ResNet-18 conv5: "3x3x512x512").
+    return cat(shape.kernel_w, "x", shape.kernel_h, "x", shape.in_channels,
+               "x", shape.out_channels);
+  }
+  return cat(cost.window.w, "x", cost.window.h, "x", cost.ic_t, "x",
+             cost.oc_t);
+}
+
+std::string MappingDecision::to_string() const {
+  return cat(algorithm, ": ", table_entry(), " -> ", cost.total, " cycles (",
+             cost.to_string(), ")");
+}
+
+std::unique_ptr<Mapper> make_mapper(const std::string& name) {
+  const std::string key = to_lower(trim(name));
+  if (key == "im2col") {
+    return std::make_unique<Im2colMapper>();
+  }
+  if (key == "smd") {
+    return std::make_unique<SmdMapper>();
+  }
+  if (key == "sdk") {
+    return std::make_unique<SdkMapper>();
+  }
+  if (key == "vw-sdk" || key == "vwsdk") {
+    return std::make_unique<VwSdkMapper>();
+  }
+  if (key == "exhaustive") {
+    return std::make_unique<ExhaustiveMapper>();
+  }
+  if (key == "vw-sdk-pruned" || key == "pruned") {
+    return std::make_unique<PrunedVwSdkMapper>();
+  }
+  throw NotFound(cat("unknown mapper '", name,
+                     "'; known: im2col, smd, sdk, vw-sdk, vw-sdk-pruned, "
+                     "exhaustive"));
+}
+
+}  // namespace vwsdk

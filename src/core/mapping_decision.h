@@ -1,0 +1,53 @@
+#pragma once
+
+/// @file mapping_decision.h
+/// The result of running a mapping algorithm on one layer, and the common
+/// interface all mapping algorithms implement.
+
+#include <memory>
+#include <string>
+
+#include "mapping/cost_model.h"
+#include "pim/array_geometry.h"
+
+namespace vwsdk {
+
+/// A mapper's chosen mapping for one (layer, array) pair.
+struct MappingDecision {
+  std::string algorithm;    ///< producer name ("im2col", "sdk", "vw-sdk", ...)
+  ConvShape shape{};        ///< the layer
+  ArrayGeometry geometry{}; ///< the array
+  CycleCost cost{};         ///< full cycle breakdown of the chosen mapping
+
+  /// True if the chosen window is just the kernel (no SDK duplication) --
+  /// the "cannot form a parallel window larger than the kernel" regime the
+  /// paper discusses for SDK beyond layer 3.
+  bool is_im2col_fallback() const;
+
+  /// Table-I-style cell: "PW_w x PW_h x IC_t x OC_t".  Matches the paper's
+  /// printing convention: fallback rows print the full K x K x IC x OC.
+  std::string table_entry() const;
+
+  /// One-line description.
+  std::string to_string() const;
+};
+
+/// Interface of a mapping algorithm.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Short stable identifier ("im2col", "smd", "sdk", "vw-sdk", ...).
+  virtual std::string name() const = 0;
+
+  /// Choose a mapping for `shape` on `geometry`.
+  virtual MappingDecision map(const ConvShape& shape,
+                              const ArrayGeometry& geometry) const = 0;
+};
+
+/// Construct any registered mapper by name; throws NotFound.
+/// Known names: "im2col", "smd", "sdk", "vw-sdk", "vw-sdk-pruned",
+/// "exhaustive".
+std::unique_ptr<Mapper> make_mapper(const std::string& name);
+
+}  // namespace vwsdk

@@ -1,0 +1,82 @@
+#include "core/network_optimizer.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+Cycles NetworkMappingResult::total_cycles() const {
+  Cycles total = 0;
+  for (const LayerMapping& lm : layers) {
+    total = checked_add(total, lm.decision.cost.total);
+  }
+  return total;
+}
+
+Cycles NetworkMappingResult::layer_cycles(Count index) const {
+  VWSDK_REQUIRE(index >= 0 && index < static_cast<Count>(layers.size()),
+                cat("layer index ", index, " out of range"));
+  return layers[static_cast<std::size_t>(index)].decision.cost.total;
+}
+
+NetworkMappingResult optimize_network(const Mapper& mapper,
+                                      const Network& network,
+                                      const ArrayGeometry& geometry) {
+  VWSDK_REQUIRE(!network.empty(), "cannot optimize an empty network");
+  geometry.validate();
+  NetworkMappingResult result;
+  result.network_name = network.name();
+  result.algorithm = mapper.name();
+  result.geometry = geometry;
+  result.layers.reserve(network.layers().size());
+  for (const ConvLayerDesc& layer : network.layers()) {
+    LayerMapping lm;
+    lm.layer = layer;
+    lm.decision = mapper.map(ConvShape::from_layer(layer), geometry);
+    result.layers.push_back(std::move(lm));
+  }
+  return result;
+}
+
+double NetworkComparison::speedup(Count baseline, Count target) const {
+  VWSDK_REQUIRE(baseline >= 0 &&
+                    baseline < static_cast<Count>(results.size()) &&
+                    target >= 0 && target < static_cast<Count>(results.size()),
+                "comparison index out of range");
+  const Cycles base =
+      results[static_cast<std::size_t>(baseline)].total_cycles();
+  const Cycles tgt = results[static_cast<std::size_t>(target)].total_cycles();
+  VWSDK_REQUIRE(tgt > 0, "target cycles must be positive");
+  return static_cast<double>(base) / static_cast<double>(tgt);
+}
+
+double NetworkComparison::layer_speedup(Count baseline, Count target,
+                                        Count layer_index) const {
+  VWSDK_REQUIRE(baseline >= 0 &&
+                    baseline < static_cast<Count>(results.size()) &&
+                    target >= 0 && target < static_cast<Count>(results.size()),
+                "comparison index out of range");
+  const Cycles base = results[static_cast<std::size_t>(baseline)].layer_cycles(
+      layer_index);
+  const Cycles tgt =
+      results[static_cast<std::size_t>(target)].layer_cycles(layer_index);
+  VWSDK_REQUIRE(tgt > 0, "target cycles must be positive");
+  return static_cast<double>(base) / static_cast<double>(tgt);
+}
+
+NetworkComparison compare_mappers(const std::vector<std::string>& mapper_names,
+                                  const Network& network,
+                                  const ArrayGeometry& geometry) {
+  VWSDK_REQUIRE(!mapper_names.empty(), "need at least one mapper");
+  NetworkComparison comparison;
+  comparison.results.reserve(mapper_names.size());
+  for (const std::string& name : mapper_names) {
+    const auto mapper = make_mapper(name);
+    comparison.results.push_back(
+        optimize_network(*mapper, network, geometry));
+  }
+  return comparison;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file network_optimizer.h
+/// Runs a mapping algorithm over every layer of a network and aggregates
+/// the results; also compares several algorithms on the same network (the
+/// computation behind Table I and Fig. 8).
+
+#include <string>
+#include <vector>
+
+#include "core/mapping_decision.h"
+#include "nn/network.h"
+
+namespace vwsdk {
+
+/// One layer's mapping inside a network-level result.
+struct LayerMapping {
+  ConvLayerDesc layer{};
+  MappingDecision decision{};
+};
+
+/// A mapping algorithm's result over a whole network.
+struct NetworkMappingResult {
+  std::string network_name;
+  std::string algorithm;
+  ArrayGeometry geometry{};
+  std::vector<LayerMapping> layers;
+
+  /// Sum of per-layer computing cycles (the paper's "Total cycles").
+  Cycles total_cycles() const;
+
+  /// Cycles of layer `index`.
+  Cycles layer_cycles(Count index) const;
+};
+
+/// Map every layer of `network` with `mapper` on `geometry`.
+NetworkMappingResult optimize_network(const Mapper& mapper,
+                                      const Network& network,
+                                      const ArrayGeometry& geometry);
+
+/// Results of several mappers on the same network/array, with speedups.
+struct NetworkComparison {
+  std::vector<NetworkMappingResult> results;  ///< one per mapper, in order
+
+  /// Speedup of algorithm `target` relative to `baseline` (total cycles
+  /// ratio); indices into `results`.
+  double speedup(Count baseline, Count target) const;
+
+  /// Per-layer speedup of `target` vs `baseline` for layer `layer_index`.
+  double layer_speedup(Count baseline, Count target,
+                       Count layer_index) const;
+};
+
+/// Run each mapper in `mapper_names` (see make_mapper) over the network.
+NetworkComparison compare_mappers(const std::vector<std::string>& mapper_names,
+                                  const Network& network,
+                                  const ArrayGeometry& geometry);
+
+}  // namespace vwsdk

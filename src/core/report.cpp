@@ -1,0 +1,93 @@
+#include "core/report.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+TextTable render_table1(const NetworkMappingResult& first,
+                        const NetworkMappingResult& second) {
+  VWSDK_REQUIRE(first.layers.size() == second.layers.size(),
+                "results cover different layer counts");
+  TextTable table({"#", "Image (IxI)", "Kernel (KxKxICxOC)",
+                   cat(first.algorithm, " (PWxICxOC)"),
+                   cat(second.algorithm, " (PWxICtxOCt)")});
+  for (std::size_t i = 0; i < first.layers.size(); ++i) {
+    const ConvLayerDesc& layer = first.layers[i].layer;
+    VWSDK_REQUIRE(layer == second.layers[i].layer,
+                  "results cover different layers");
+    table.add_row({std::to_string(i + 1),
+                   cat(layer.ifm_w, "x", layer.ifm_h),
+                   cat(layer.kernel_w, "x", layer.kernel_h, "x",
+                       layer.in_channels, "x", layer.out_channels),
+                   first.layers[i].decision.table_entry(),
+                   second.layers[i].decision.table_entry()});
+  }
+  table.add_separator();
+  table.add_row({"Total cycles", "", "", std::to_string(first.total_cycles()),
+                 std::to_string(second.total_cycles())});
+  return table;
+}
+
+TextTable render_layer_speedups(const NetworkComparison& comparison) {
+  VWSDK_REQUIRE(!comparison.results.empty(), "empty comparison");
+  const NetworkMappingResult& baseline = comparison.results.front();
+
+  std::vector<std::string> headers{"layer"};
+  for (const NetworkMappingResult& result : comparison.results) {
+    headers.push_back(cat(result.algorithm, " speedup"));
+  }
+  TextTable table(headers);
+
+  for (std::size_t li = 0; li < baseline.layers.size(); ++li) {
+    std::vector<std::string> row{baseline.layers[li].layer.name};
+    for (std::size_t mi = 0; mi < comparison.results.size(); ++mi) {
+      row.push_back(format_fixed(
+          comparison.layer_speedup(0, static_cast<Count>(mi),
+                                   static_cast<Count>(li)),
+          2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.add_separator();
+  std::vector<std::string> total_row{"total"};
+  for (std::size_t mi = 0; mi < comparison.results.size(); ++mi) {
+    total_row.push_back(
+        format_fixed(comparison.speedup(0, static_cast<Count>(mi)), 2));
+  }
+  table.add_row(std::move(total_row));
+  return table;
+}
+
+TextTable render_utilization(const NetworkComparison& comparison,
+                             UtilizationConvention convention,
+                             Count max_layers) {
+  VWSDK_REQUIRE(!comparison.results.empty(), "empty comparison");
+  const NetworkMappingResult& baseline = comparison.results.front();
+  const Count layer_count =
+      (max_layers < 0)
+          ? static_cast<Count>(baseline.layers.size())
+          : std::min<Count>(max_layers,
+                            static_cast<Count>(baseline.layers.size()));
+
+  std::vector<std::string> headers{"layer"};
+  for (const NetworkMappingResult& result : comparison.results) {
+    headers.push_back(cat(result.algorithm, " util %"));
+  }
+  TextTable table(headers);
+
+  for (Count li = 0; li < layer_count; ++li) {
+    const auto index = static_cast<std::size_t>(li);
+    std::vector<std::string> row{baseline.layers[index].layer.name};
+    for (const NetworkMappingResult& result : comparison.results) {
+      const MappingDecision& decision = result.layers[index].decision;
+      const double util = utilization(decision.shape, decision.geometry,
+                                      decision.cost, convention);
+      row.push_back(format_fixed(100.0 * util, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace vwsdk

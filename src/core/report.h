@@ -1,0 +1,33 @@
+#pragma once
+
+/// @file report.h
+/// Rendering of network-level mapping results in the paper's formats:
+/// the Table-I layout, per-layer speedup tables (Fig. 8(a)), and
+/// utilization tables (Fig. 9).
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/network_optimizer.h"
+#include "mapping/utilization.h"
+
+namespace vwsdk {
+
+/// Render a Table-I-style table from two results over the same network
+/// (conventionally SDK and VW-SDK).  Columns: layer #, image, kernel, one
+/// mapping column per result, and a final total-cycles row per result.
+TextTable render_table1(const NetworkMappingResult& first,
+                        const NetworkMappingResult& second);
+
+/// Render per-layer speedups of every result vs. the first (baseline)
+/// result -- the data behind Fig. 8(a).
+TextTable render_layer_speedups(const NetworkComparison& comparison);
+
+/// Render per-layer utilization (in %) of every result under the given
+/// convention -- the data behind Fig. 9(a).
+TextTable render_utilization(const NetworkComparison& comparison,
+                             UtilizationConvention convention,
+                             Count max_layers = -1);
+
+}  // namespace vwsdk

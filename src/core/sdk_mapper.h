@@ -1,0 +1,45 @@
+#pragma once
+
+/// @file sdk_mapper.h
+/// The square-window SDK baseline algorithm (ref [2]), reconstructed.
+///
+/// The VW-SDK paper compares against "the existing SDK-based algorithm",
+/// which duplicates *entire channels* of the kernel "in the unit of square
+/// number" to form square parallel windows, and which "cannot form the
+/// parallel window larger than the kernel [when] the entire channels
+/// cannot be unrolled in the given PIM array" (§V-B).
+///
+/// Reconstruction (validated against every SDK row of Table I and both
+/// published SDK totals, 114697 and 7240 -- see DESIGN.md §3.2): scan the
+/// duplication factor γ = 1, 2, 3, ... giving the square window
+/// PW = K + γ - 1, and keep the largest γ such that
+///   (i)   all duplicated kernels fit the columns at once:
+///         OC * γ² <= cols,
+///   (ii)  forming the window does not increase the AR cycles over
+///         im2col's: ceil(PW²*IC / rows) <= ceil(K²*IC / rows),
+///   (iii) the window fits the (padded) IFM.
+/// γ = 1 degenerates to im2col.  Under (i)+(ii) the cycle count is
+/// monotonically non-increasing in γ, so "largest valid γ" is also the
+/// cycle-minimal valid choice.
+///
+/// The mapper requires a square kernel (the baseline is defined for
+/// square kernels only); non-square kernels fall back to im2col.
+
+#include "core/mapping_decision.h"
+
+namespace vwsdk {
+
+/// The reconstructed SDK-based baseline algorithm of ref [2].
+class SdkMapper final : public Mapper {
+ public:
+  std::string name() const override { return "sdk"; }
+  MappingDecision map(const ConvShape& shape,
+                      const ArrayGeometry& geometry) const override;
+
+  /// The chosen duplication factor γ (1 = im2col fallback); exposed for
+  /// tests and the ablation bench.
+  static Dim chosen_gamma(const ConvShape& shape,
+                          const ArrayGeometry& geometry);
+};
+
+}  // namespace vwsdk

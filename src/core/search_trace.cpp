@@ -1,0 +1,47 @@
+#include "core/search_trace.h"
+
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+Count SearchTrace::feasible_count() const {
+  Count count = 0;
+  for (const SearchStep& step : steps_) {
+    count += step.feasible ? 1 : 0;
+  }
+  return count;
+}
+
+Count SearchTrace::improvement_count() const {
+  Count count = 0;
+  for (const SearchStep& step : steps_) {
+    count += step.improved ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<SearchStep> SearchTrace::improvements() const {
+  std::vector<SearchStep> out;
+  for (const SearchStep& step : steps_) {
+    if (step.improved) {
+      out.push_back(step);
+    }
+  }
+  return out;
+}
+
+std::string SearchTrace::to_string() const {
+  std::string out =
+      cat("search: ", candidates_visited(), " candidates, ",
+          feasible_count(), " feasible, ", improvement_count(),
+          " improvements\n");
+  for (const SearchStep& step : steps_) {
+    if (step.improved) {
+      out += cat("  improved at pw=", step.window.to_string(), " -> ",
+                 step.cycles, " cycles\n");
+    }
+  }
+  return out;
+}
+
+}  // namespace vwsdk

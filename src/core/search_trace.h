@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file search_trace.h
+/// Optional instrumentation of the VW-SDK window search: every candidate
+/// visited, in order, with its cost and whether it improved the incumbent.
+/// Used by the design-space-explorer example and by tests that pin down
+/// Algorithm 1's scan order and tie-breaking.
+
+#include <string>
+#include <vector>
+
+#include "mapping/cost_model.h"
+
+namespace vwsdk {
+
+/// One visited candidate window.
+struct SearchStep {
+  ParallelWindow window{};
+  bool feasible = false;
+  Cycles cycles = 0;     ///< valid when feasible
+  bool improved = false; ///< strictly better than the incumbent when visited
+};
+
+/// Recording of one search run.
+class SearchTrace {
+ public:
+  void record(const SearchStep& step) { steps_.push_back(step); }
+
+  const std::vector<SearchStep>& steps() const { return steps_; }
+
+  Count candidates_visited() const {
+    return static_cast<Count>(steps_.size());
+  }
+  Count feasible_count() const;
+  Count improvement_count() const;
+
+  /// The sequence of incumbent-improving steps, in order.
+  std::vector<SearchStep> improvements() const;
+
+  /// Multi-line rendering (one line per improvement, plus a summary).
+  std::string to_string() const;
+
+ private:
+  std::vector<SearchStep> steps_;
+};
+
+}  // namespace vwsdk

@@ -1,0 +1,126 @@
+#include "core/serialize.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+namespace {
+
+const std::vector<std::string> kResultHeader = {
+    "network", "algorithm", "array", "layer", "image", "kernel",
+    "ic",      "oc",        "window", "ic_t", "oc_t",  "n_pw",
+    "ar",      "ac",        "cycles"};
+
+std::vector<std::string> layer_row(const NetworkMappingResult& result,
+                                   const LayerMapping& lm) {
+  const ConvLayerDesc& layer = lm.layer;
+  const CycleCost& cost = lm.decision.cost;
+  return {result.network_name,
+          result.algorithm,
+          result.geometry.to_string(),
+          layer.name,
+          cat(layer.ifm_w, "x", layer.ifm_h),
+          cat(layer.kernel_w, "x", layer.kernel_h),
+          std::to_string(layer.in_channels),
+          std::to_string(layer.out_channels),
+          cost.window.to_string(),
+          std::to_string(cost.ic_t),
+          std::to_string(cost.oc_t),
+          std::to_string(cost.n_parallel_windows),
+          std::to_string(cost.ar_cycles),
+          std::to_string(cost.ac_cycles),
+          std::to_string(cost.total)};
+}
+
+/// Minimal JSON string escaping (we only emit identifiers and numbers,
+/// but algorithm names flow through user code).
+std::string json_string(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_result_csv(std::ostream& os, const NetworkMappingResult& result) {
+  CsvWriter csv(os, kResultHeader);
+  for (const LayerMapping& lm : result.layers) {
+    csv.write_row(layer_row(result, lm));
+  }
+}
+
+void write_comparison_csv(std::ostream& os,
+                          const NetworkComparison& comparison) {
+  VWSDK_REQUIRE(!comparison.results.empty(), "empty comparison");
+  std::vector<std::string> header = kResultHeader;
+  header.emplace_back("speedup_vs_baseline");
+  CsvWriter csv(os, header);
+  const NetworkMappingResult& baseline = comparison.results.front();
+  for (const NetworkMappingResult& result : comparison.results) {
+    VWSDK_REQUIRE(result.layers.size() == baseline.layers.size(),
+                  "comparison results cover different layer counts");
+    for (std::size_t i = 0; i < result.layers.size(); ++i) {
+      std::vector<std::string> row = layer_row(result, result.layers[i]);
+      const double speedup =
+          static_cast<double>(baseline.layers[i].decision.cost.total) /
+          static_cast<double>(result.layers[i].decision.cost.total);
+      row.push_back(format_fixed(speedup, 4));
+      csv.write_row(row);
+    }
+  }
+}
+
+std::string to_json(const MappingDecision& decision) {
+  const CycleCost& cost = decision.cost;
+  std::ostringstream os;
+  os << "{\"algorithm\":" << json_string(decision.algorithm)
+     << ",\"array\":" << json_string(decision.geometry.to_string())
+     << ",\"layer\":" << json_string(decision.shape.to_string())
+     << ",\"window\":" << json_string(cost.window.to_string())
+     << ",\"ic_t\":" << cost.ic_t << ",\"oc_t\":" << cost.oc_t
+     << ",\"n_parallel_windows\":" << cost.n_parallel_windows
+     << ",\"ar\":" << cost.ar_cycles << ",\"ac\":" << cost.ac_cycles
+     << ",\"cycles\":" << cost.total
+     << ",\"im2col_fallback\":"
+     << (decision.is_im2col_fallback() ? "true" : "false") << "}";
+  return os.str();
+}
+
+std::string to_json(const NetworkMappingResult& result) {
+  std::ostringstream os;
+  os << "{\"network\":" << json_string(result.network_name)
+     << ",\"algorithm\":" << json_string(result.algorithm)
+     << ",\"array\":" << json_string(result.geometry.to_string())
+     << ",\"layers\":[";
+  for (std::size_t i = 0; i < result.layers.size(); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    os << "{\"name\":" << json_string(result.layers[i].layer.name)
+       << ",\"decision\":" << to_json(result.layers[i].decision) << "}";
+  }
+  os << "],\"total_cycles\":" << result.total_cycles() << "}";
+  return os.str();
+}
+
+}  // namespace vwsdk

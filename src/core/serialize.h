@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file serialize.h
+/// Machine-readable export of mapping results: CSV for spreadsheets and
+/// replotting, a minimal JSON emitter for tooling.  (Import is limited to
+/// the CSV parser in common/csv.h; the library itself never needs to read
+/// results back.)
+
+#include <iosfwd>
+#include <string>
+
+#include "core/network_optimizer.h"
+
+namespace vwsdk {
+
+/// One CSV row per layer:
+/// network,algorithm,array,layer,image,kernel,ic,oc,window,ic_t,oc_t,
+/// n_pw,ar,ac,cycles
+void write_result_csv(std::ostream& os, const NetworkMappingResult& result);
+
+/// All algorithms side by side, one CSV row per (layer, algorithm), with
+/// a speedup column relative to the comparison's first result.
+void write_comparison_csv(std::ostream& os,
+                          const NetworkComparison& comparison);
+
+/// Compact JSON object for one decision, e.g.
+/// {"algorithm":"vw-sdk","window":"4x3","ic_t":42,"oc_t":256,
+///  "n_parallel_windows":1458,"ar":4,"ac":1,"cycles":5832}.
+std::string to_json(const MappingDecision& decision);
+
+/// JSON array of per-layer decisions plus the total, for one result.
+std::string to_json(const NetworkMappingResult& result);
+
+}  // namespace vwsdk

@@ -1,0 +1,15 @@
+#include "core/smd_mapper.h"
+
+namespace vwsdk {
+
+MappingDecision SmdMapper::map(const ConvShape& shape,
+                               const ArrayGeometry& geometry) const {
+  MappingDecision decision;
+  decision.algorithm = name();
+  decision.shape = shape;
+  decision.geometry = geometry;
+  decision.cost = smd_cost(shape, geometry);
+  return decision;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,21 @@
+#pragma once
+
+/// @file smd_mapper.h
+/// Sub-matrix duplication mapper (ref [6]; Fig. 2(b) of the paper):
+/// duplicate the whole im2col matrix block-diagonally to compute several
+/// independent windows per cycle.  Degenerates to im2col when even two
+/// copies do not fit.
+
+#include "core/mapping_decision.h"
+
+namespace vwsdk {
+
+/// Baseline mapper implementing sub-matrix duplication.
+class SmdMapper final : public Mapper {
+ public:
+  std::string name() const override { return "smd"; }
+  MappingDecision map(const ConvShape& shape,
+                      const ArrayGeometry& geometry) const override;
+};
+
+}  // namespace vwsdk

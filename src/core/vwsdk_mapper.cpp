@@ -1,0 +1,47 @@
+#include "core/vwsdk_mapper.h"
+
+namespace vwsdk {
+
+MappingDecision VwSdkMapper::map(const ConvShape& shape,
+                                 const ArrayGeometry& geometry) const {
+  return map_traced(shape, geometry, nullptr);
+}
+
+MappingDecision VwSdkMapper::map_traced(const ConvShape& shape,
+                                        const ArrayGeometry& geometry,
+                                        SearchTrace* trace) const {
+  shape.validate();
+  geometry.validate();
+
+  MappingDecision decision;
+  decision.algorithm = name();
+  decision.shape = shape;
+  decision.geometry = geometry;
+  // Step 1 of Algorithm 1: initialize with im2col.
+  decision.cost = im2col_cost(shape, geometry);
+
+  // Steps 2-16: scan PW_h outer, PW_w inner, skipping the kernel window.
+  for (Dim h = shape.kernel_h; h <= shape.padded_h(); h += shape.stride_h) {
+    for (Dim w = shape.kernel_w; w <= shape.padded_w();
+         w += shape.stride_w) {
+      if (w == shape.kernel_w && h == shape.kernel_h) {
+        continue;  // the im2col initialization covers the kernel window
+      }
+      const ParallelWindow pw{w, h};
+      const CycleCost candidate = vw_cost(shape, geometry, pw);
+      const bool improved =
+          candidate.feasible && decision.cost.total > candidate.total;
+      if (trace != nullptr) {
+        trace->record(SearchStep{pw, candidate.feasible,
+                                 candidate.feasible ? candidate.total : 0,
+                                 improved});
+      }
+      if (improved) {
+        decision.cost = candidate;  // strict '>' keeps the first minimum
+      }
+    }
+  }
+  return decision;
+}
+
+}  // namespace vwsdk

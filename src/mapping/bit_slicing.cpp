@@ -1,0 +1,101 @@
+#include "mapping/bit_slicing.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace vwsdk {
+
+Dim BitSlicingConfig::slices() const {
+  validate();
+  return static_cast<Dim>(ceil_div(weight_bits, cell_bits));
+}
+
+Dim BitSlicingConfig::input_steps() const {
+  validate();
+  return static_cast<Dim>(ceil_div(input_bits, dac_bits));
+}
+
+void BitSlicingConfig::validate() const {
+  VWSDK_REQUIRE(weight_bits >= 1 && weight_bits <= 32,
+                "weight_bits must be in [1, 32]");
+  VWSDK_REQUIRE(cell_bits >= 1 && cell_bits <= 32,
+                "cell_bits must be in [1, 32]");
+  VWSDK_REQUIRE(input_bits >= 1 && input_bits <= 32,
+                "input_bits must be in [1, 32]");
+  VWSDK_REQUIRE(dac_bits >= 1 && dac_bits <= 32,
+                "dac_bits must be in [1, 32]");
+}
+
+Dim tiled_oc_bitsliced(const ConvShape& shape, const ArrayGeometry& geometry,
+                       const ParallelWindow& pw,
+                       const BitSlicingConfig& config) {
+  geometry.validate();
+  const Count per_oc_cols =
+      checked_mul(windows_in_pw(shape, pw), config.slices());
+  const Count tile = floor_div(geometry.cols, per_oc_cols);
+  return static_cast<Dim>(
+      clamp_count(tile, 0, static_cast<Count>(shape.out_channels)));
+}
+
+CycleCost vw_cost_bitsliced(const ConvShape& shape,
+                            const ArrayGeometry& geometry,
+                            const ParallelWindow& pw,
+                            const BitSlicingConfig& config) {
+  shape.validate();
+  geometry.validate();
+  config.validate();
+
+  CycleCost cost;
+  cost.window = pw;
+  cost.split = RowSplit::kChannelGranular;
+  cost.total = std::numeric_limits<Cycles>::max();
+  if (!window_admissible(shape, pw)) {
+    return cost;
+  }
+  const Dim ic_t = tiled_ic(shape, geometry, pw);
+  const Dim oc_t = tiled_oc_bitsliced(shape, geometry, pw, config);
+  if (ic_t == 0 || oc_t == 0) {
+    return cost;
+  }
+  cost.feasible = true;
+  cost.ic_t = ic_t;
+  cost.oc_t = oc_t;
+  cost.n_parallel_windows = num_parallel_windows(shape, pw);
+  cost.ar_cycles = ceil_div(shape.in_channels, ic_t);
+  cost.ac_cycles = ceil_div(shape.out_channels, oc_t);
+  cost.total = checked_mul(
+      checked_mul(cost.n_parallel_windows,
+                  checked_mul(cost.ar_cycles, cost.ac_cycles)),
+      config.input_steps());
+  return cost;
+}
+
+CycleCost im2col_cost_bitsliced(const ConvShape& shape,
+                                const ArrayGeometry& geometry,
+                                const BitSlicingConfig& config) {
+  shape.validate();
+  geometry.validate();
+  config.validate();
+
+  CycleCost cost = im2col_cost(shape, geometry);
+  // Each output channel occupies `slices` adjacent columns.
+  cost.oc_t = static_cast<Dim>(clamp_count(
+      floor_div(geometry.cols, config.slices()), 0,
+      static_cast<Count>(shape.out_channels)));
+  if (cost.oc_t == 0) {
+    cost.feasible = false;
+    cost.total = std::numeric_limits<Cycles>::max();
+    return cost;
+  }
+  cost.ac_cycles = ceil_div(
+      checked_mul(shape.out_channels, config.slices()), geometry.cols);
+  cost.total = checked_mul(
+      checked_mul(cost.n_parallel_windows,
+                  checked_mul(cost.ar_cycles, cost.ac_cycles)),
+      config.input_steps());
+  return cost;
+}
+
+}  // namespace vwsdk

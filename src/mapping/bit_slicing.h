@@ -1,0 +1,61 @@
+#pragma once
+
+/// @file bit_slicing.h
+/// Bit-slicing / bit-serial extension of the cost model (DESIGN.md §6).
+///
+/// The paper abstracts one weight into one cell and one input into one
+/// analog row voltage.  Real crossbars store `cell_bits` per device and
+/// feed inputs through `dac_bits`-wide DACs, so a W-bit weight needs
+/// ceil(W / cell_bits) cells in *adjacent columns* (slice columns share
+/// the rows) and an A-bit activation needs ceil(A / dac_bits) sequential
+/// input steps:
+///
+///   columns per (output channel, window) :  slices = ceil(weight_bits /
+///                                           cell_bits)
+///   cycles multiplier                    :  steps  = ceil(input_bits /
+///                                           dac_bits)
+///
+/// The slice columns shrink OC_t (Eq. (6) becomes
+/// floor(cols / (N_WP * slices))) and the bit-serial steps multiply every
+/// computing cycle.  With the default config (slices = 1, steps = 1) every
+/// function below reduces exactly to the paper's cost model -- tested.
+
+#include "mapping/cost_model.h"
+
+namespace vwsdk {
+
+/// Device/converter precision configuration.
+struct BitSlicingConfig {
+  int weight_bits = 8;  ///< bits per weight value
+  int cell_bits = 8;    ///< bits storable in one memory cell
+  int input_bits = 8;   ///< bits per activation
+  int dac_bits = 8;     ///< bits one DAC drives per step
+
+  /// Cells (adjacent columns) per weight: ceil(weight_bits / cell_bits).
+  Dim slices() const;
+
+  /// Sequential input steps per cycle: ceil(input_bits / dac_bits).
+  Dim input_steps() const;
+
+  /// Throws InvalidArgument unless all fields are in [1, 32].
+  void validate() const;
+};
+
+/// Eq. (6) under bit slicing: floor(cols / (N_WP * slices)), clamped.
+Dim tiled_oc_bitsliced(const ConvShape& shape, const ArrayGeometry& geometry,
+                       const ParallelWindow& pw,
+                       const BitSlicingConfig& config);
+
+/// VW-SDK window cost under bit slicing (Eq. (8) with the slice-aware
+/// OC_t and the bit-serial cycle multiplier).
+CycleCost vw_cost_bitsliced(const ConvShape& shape,
+                            const ArrayGeometry& geometry,
+                            const ParallelWindow& pw,
+                            const BitSlicingConfig& config);
+
+/// im2col cost under bit slicing.
+CycleCost im2col_cost_bitsliced(const ConvShape& shape,
+                                const ArrayGeometry& geometry,
+                                const BitSlicingConfig& config);
+
+}  // namespace vwsdk

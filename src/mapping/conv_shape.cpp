@@ -1,0 +1,76 @@
+#include "mapping/conv_shape.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+ConvShape ConvShape::from_layer(const ConvLayerDesc& layer) {
+  layer.validate();
+  ConvShape shape;
+  shape.ifm_w = layer.ifm_w;
+  shape.ifm_h = layer.ifm_h;
+  shape.kernel_w = layer.kernel_w;
+  shape.kernel_h = layer.kernel_h;
+  shape.in_channels = layer.in_channels;
+  shape.out_channels = layer.out_channels;
+  shape.stride_w = layer.config.stride_w;
+  shape.stride_h = layer.config.stride_h;
+  shape.pad_w = layer.config.pad_w;
+  shape.pad_h = layer.config.pad_h;
+  return shape;
+}
+
+ConvShape ConvShape::square(Dim image, Dim kernel, Dim in_channels,
+                            Dim out_channels) {
+  ConvShape shape;
+  shape.ifm_w = image;
+  shape.ifm_h = image;
+  shape.kernel_w = kernel;
+  shape.kernel_h = kernel;
+  shape.in_channels = in_channels;
+  shape.out_channels = out_channels;
+  shape.validate();
+  return shape;
+}
+
+void ConvShape::validate() const {
+  VWSDK_REQUIRE(ifm_w > 0 && ifm_h > 0, "ConvShape: IFM extents must be > 0");
+  VWSDK_REQUIRE(kernel_w > 0 && kernel_h > 0,
+                "ConvShape: kernel extents must be > 0");
+  VWSDK_REQUIRE(in_channels > 0 && out_channels > 0,
+                "ConvShape: channel counts must be > 0");
+  VWSDK_REQUIRE(stride_w > 0 && stride_h > 0,
+                "ConvShape: strides must be > 0");
+  VWSDK_REQUIRE(pad_w >= 0 && pad_h >= 0, "ConvShape: padding must be >= 0");
+  VWSDK_REQUIRE(padded_w() >= kernel_w && padded_h() >= kernel_h,
+                cat("ConvShape: kernel ", kernel_w, "x", kernel_h,
+                    " larger than padded input ", padded_w(), "x",
+                    padded_h()));
+}
+
+Count ConvShape::windows_w() const {
+  return floor_div(padded_w() - kernel_w, stride_w) + 1;
+}
+
+Count ConvShape::windows_h() const {
+  return floor_div(padded_h() - kernel_h, stride_h) + 1;
+}
+
+Count ConvShape::num_windows() const {
+  return checked_mul(windows_w(), windows_h());
+}
+
+Count ConvShape::kernel_volume() const {
+  return checked_mul(checked_mul(kernel_w, kernel_h), in_channels);
+}
+
+std::string ConvShape::to_string() const {
+  return cat(ifm_w, "x", ifm_h, " k", kernel_w, "x", kernel_h, " ic",
+             in_channels, " oc", out_channels, " s", stride_w,
+             (stride_w == stride_h ? "" : cat("/", stride_h)), " p", pad_w,
+             (pad_w == pad_h ? "" : cat("/", pad_h)));
+}
+
+}  // namespace vwsdk

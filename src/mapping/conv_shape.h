@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file conv_shape.h
+/// The cost model's view of a convolutional layer.
+///
+/// ConvShape carries exactly the quantities the paper's equations consume:
+/// IFM extent I, kernel extent K, channel counts IC/OC -- plus the
+/// stride/padding extension (DESIGN.md §6; the paper fixes stride 1, pad 0,
+/// under which every formula below reduces to the published one).
+
+#include <string>
+
+#include "common/types.h"
+#include "nn/layer.h"
+
+namespace vwsdk {
+
+/// Dimensional parameters of one convolution for mapping-cost purposes.
+struct ConvShape {
+  Dim ifm_w = 0;        ///< I_w
+  Dim ifm_h = 0;        ///< I_h
+  Dim kernel_w = 0;     ///< K_w
+  Dim kernel_h = 0;     ///< K_h
+  Dim in_channels = 0;  ///< IC
+  Dim out_channels = 0; ///< OC
+  Dim stride_w = 1;
+  Dim stride_h = 1;
+  Dim pad_w = 0;
+  Dim pad_h = 0;
+
+  /// Adopt the dimensions of a layer descriptor.
+  static ConvShape from_layer(const ConvLayerDesc& layer);
+
+  /// Convenience constructor for the paper's square stride-1 pad-0 case.
+  static ConvShape square(Dim image, Dim kernel, Dim in_channels,
+                          Dim out_channels);
+
+  /// Throws InvalidArgument unless all extents are consistent.
+  void validate() const;
+
+  /// Padded input extents (I + 2*pad).
+  Dim padded_w() const { return ifm_w + 2 * pad_w; }
+  Dim padded_h() const { return ifm_h + 2 * pad_h; }
+
+  /// Kernel-window (= output) count along each axis and in total.
+  Count windows_w() const;
+  Count windows_h() const;
+  Count num_windows() const;
+
+  /// K_w * K_h * IC: rows an im2col column occupies.
+  Count kernel_volume() const;
+
+  bool operator==(const ConvShape&) const = default;
+
+  /// "224x224 k3x3 ic64 oc128 s1 p0"
+  std::string to_string() const;
+};
+
+}  // namespace vwsdk

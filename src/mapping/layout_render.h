@@ -1,0 +1,24 @@
+#pragma once
+
+/// @file layout_render.h
+/// ASCII rendering of mapping plans -- the textual analogue of the paper's
+/// Fig. 2.  Used by examples and debugging; small arrays render cell by
+/// cell, large ones render a summary.
+
+#include <string>
+
+#include "mapping/mapping_plan.h"
+
+namespace vwsdk {
+
+/// Render one tile as a character grid: '#' = programmed cell,
+/// '.' = unused cell.  If the array exceeds `max_rows` x `max_cols`
+/// characters, only the top-left corner is drawn with an ellipsis note.
+std::string render_tile(const MappingPlan& plan, Dim ar, Dim ac,
+                        Dim max_rows = 64, Dim max_cols = 96);
+
+/// One-paragraph summary of a plan: kind, window, tiles, cycle breakdown,
+/// base grid, programmed cells.
+std::string describe_plan(const MappingPlan& plan);
+
+}  // namespace vwsdk

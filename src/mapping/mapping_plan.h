@@ -1,0 +1,104 @@
+#pragma once
+
+/// @file mapping_plan.h
+/// Physical placement of a convolution onto crossbar arrays.
+///
+/// A MappingPlan makes the analytic cost model *executable*: it spells out,
+/// for every AR x AC array programming ("tile"), exactly which weight goes
+/// into which cell, what each array row means (which input element relative
+/// to the parallel-window base), and what each array column produces (which
+/// output channel at which window position).  The functional executor
+/// (src/sim/executor.h) runs plans on real tensors; the validator
+/// (plan_validate.h) checks their structural invariants.
+///
+/// Coordinate conventions:
+///  * window offsets (dy, dx) are in *padded* input pixels relative to the
+///    parallel-window base;
+///  * window positions (win_py, win_px) are in kernel-window units inside
+///    the parallel window (column `win` computes output at base_window +
+///    win);
+///  * `dup` identifies the SMD duplicate block (always 0 for im2col / SDK /
+///    VW-SDK plans).
+
+#include <vector>
+
+#include "mapping/cost_model.h"
+#include "pim/array_geometry.h"
+
+namespace vwsdk {
+
+/// What one array row carries on its wordline.
+struct RowBinding {
+  Dim row = 0;     ///< array row index
+  Dim ic = 0;      ///< absolute input channel
+  Dim dy = 0;      ///< vertical offset inside the parallel window
+  Dim dx = 0;      ///< horizontal offset inside the parallel window
+  Dim dup = 0;     ///< SMD duplicate block (0 otherwise)
+};
+
+/// What one array column produces on its bitline.
+struct ColBinding {
+  Dim col = 0;     ///< array column index
+  Dim oc = 0;      ///< absolute output channel
+  Dim win_px = 0;  ///< kernel-window x-index inside the parallel window
+  Dim win_py = 0;  ///< kernel-window y-index inside the parallel window
+  Dim dup = 0;     ///< SMD duplicate block (0 otherwise)
+};
+
+/// One programmed cell: the weight W[oc][ic][ky][kx] at (row, col).
+struct CellAssignment {
+  Dim row = 0;
+  Dim col = 0;
+  Dim oc = 0;
+  Dim ic = 0;
+  Dim ky = 0;
+  Dim kx = 0;
+};
+
+/// One array programming: the (ar_index, ac_index) tile of the mapping.
+struct ArrayTile {
+  Dim ar_index = 0;
+  Dim ac_index = 0;
+  std::vector<RowBinding> rows;
+  std::vector<ColBinding> cols;
+  std::vector<CellAssignment> cells;
+};
+
+/// Flavor of plan layout.
+enum class PlanKind {
+  kWindowed,      ///< VW-SDK: channel-granular parallel-window tiles
+  kWindowedSplit, ///< SDK entire-channel windows: window rows split at
+                  ///< element granularity, columns split at column
+                  ///< granularity (Eq. (1) semantics)
+  kIm2colDense,   ///< im2col: flattened column split at element granularity
+  kSmd            ///< sub-matrix duplication: block-diagonal im2col copies
+};
+
+/// A complete physical mapping of one conv layer onto one array geometry.
+struct MappingPlan {
+  ConvShape shape{};
+  ArrayGeometry geometry{};
+  CycleCost cost{};         ///< the analytic cost this plan realizes
+  PlanKind kind = PlanKind::kWindowed;
+
+  /// Parallel-window base positions in padded input pixels, per axis.
+  /// The full base grid is the cross product base_y x base_x.  For SMD the
+  /// grid is replaced by chunks of `cost.smd_duplicates` windows.
+  std::vector<Dim> base_x;
+  std::vector<Dim> base_y;
+
+  /// All AR x AC tiles, ar-major (tile(ar, ac) = tiles[ar * AC + ac]).
+  std::vector<ArrayTile> tiles;
+
+  /// Bounds-checked tile accessor.
+  const ArrayTile& tile(Dim ar, Dim ac) const;
+
+  /// Total computing cycles this plan executes:
+  /// base-grid positions (or SMD chunks) x tiles.
+  Cycles total_cycles() const;
+
+  /// Total programmed cells across all tiles.
+  Count programmed_cells() const;
+};
+
+}  // namespace vwsdk

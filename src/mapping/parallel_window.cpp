@@ -1,0 +1,64 @@
+#include "mapping/parallel_window.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+std::string ParallelWindow::to_string() const { return cat(w, "x", h); }
+
+ParallelWindow kernel_window(const ConvShape& shape) {
+  return ParallelWindow{shape.kernel_w, shape.kernel_h};
+}
+
+bool window_admissible(const ConvShape& shape, const ParallelWindow& pw) {
+  if (pw.w < shape.kernel_w || pw.h < shape.kernel_h) {
+    return false;
+  }
+  if (pw.w > shape.padded_w() || pw.h > shape.padded_h()) {
+    return false;
+  }
+  // The kernel shifts inside the window must land on stride positions;
+  // with stride 1 (the paper's case) this is always true.
+  if ((pw.w - shape.kernel_w) % shape.stride_w != 0 ||
+      (pw.h - shape.kernel_h) % shape.stride_h != 0) {
+    return false;
+  }
+  return true;
+}
+
+Count windows_in_pw_w(const ConvShape& shape, const ParallelWindow& pw) {
+  VWSDK_REQUIRE(window_admissible(shape, pw),
+                cat("window ", pw.to_string(), " not admissible for shape ",
+                    shape.to_string()));
+  return floor_div(pw.w - shape.kernel_w, shape.stride_w) + 1;
+}
+
+Count windows_in_pw_h(const ConvShape& shape, const ParallelWindow& pw) {
+  VWSDK_REQUIRE(window_admissible(shape, pw),
+                cat("window ", pw.to_string(), " not admissible for shape ",
+                    shape.to_string()));
+  return floor_div(pw.h - shape.kernel_h, shape.stride_h) + 1;
+}
+
+Count windows_in_pw(const ConvShape& shape, const ParallelWindow& pw) {
+  return checked_mul(windows_in_pw_w(shape, pw), windows_in_pw_h(shape, pw));
+}
+
+Count num_parallel_windows_w(const ConvShape& shape,
+                             const ParallelWindow& pw) {
+  return ceil_div(shape.windows_w(), windows_in_pw_w(shape, pw));
+}
+
+Count num_parallel_windows_h(const ConvShape& shape,
+                             const ParallelWindow& pw) {
+  return ceil_div(shape.windows_h(), windows_in_pw_h(shape, pw));
+}
+
+Count num_parallel_windows(const ConvShape& shape, const ParallelWindow& pw) {
+  return checked_mul(num_parallel_windows_w(shape, pw),
+                     num_parallel_windows_h(shape, pw));
+}
+
+}  // namespace vwsdk

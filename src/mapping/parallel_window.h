@@ -1,0 +1,58 @@
+#pragma once
+
+/// @file parallel_window.h
+/// The parallel window: the paper's central object.
+///
+/// A parallel window of size PW_w x PW_h is a patch of the input feature
+/// map shared by several shifted copies of the kernel.  One crossbar cycle
+/// over a parallel window produces N_WP = (PW_w-K_w+1)(PW_h-K_h+1) output
+/// elements per mapped output channel (stride 1; the stride-s extension
+/// divides the shifts by s).
+
+#include <string>
+
+#include "common/types.h"
+#include "mapping/conv_shape.h"
+
+namespace vwsdk {
+
+/// A candidate parallel-window shape.  Width/height are in input pixels
+/// and must each be >= the kernel extent and <= the (padded) IFM extent to
+/// be admissible for a given shape.
+struct ParallelWindow {
+  Dim w = 0;  ///< PW_w
+  Dim h = 0;  ///< PW_h
+
+  bool operator==(const ParallelWindow&) const = default;
+
+  /// Pixels covered: PW_w * PW_h (the row cost of one channel, Eq. (4)).
+  Count area() const { return static_cast<Count>(w) * h; }
+
+  /// "4x3" (width x height, the paper's Table I order).
+  std::string to_string() const;
+};
+
+/// The kernel-sized window (im2col's degenerate parallel window).
+ParallelWindow kernel_window(const ConvShape& shape);
+
+/// True if `pw` is admissible for `shape`: covers the kernel, fits the
+/// padded IFM, and its kernel shifts are stride-aligned.
+bool window_admissible(const ConvShape& shape, const ParallelWindow& pw);
+
+/// Kernel windows contained in the parallel window along each axis:
+/// floor((PW-K)/stride)+1.  Requires admissibility.
+Count windows_in_pw_w(const ConvShape& shape, const ParallelWindow& pw);
+Count windows_in_pw_h(const ConvShape& shape, const ParallelWindow& pw);
+
+/// N_WP: total kernel windows computed per parallel-window cycle.
+Count windows_in_pw(const ConvShape& shape, const ParallelWindow& pw);
+
+/// Number of parallel windows needed to cover the IFM (Eq. (3)):
+/// ceil(windows / windows-per-PW) along each axis.  For stride 1 this
+/// equals the paper's literal form (⌈(I-PW)/(PW-K+1)⌉+1); the identity is
+/// unit-tested.
+Count num_parallel_windows_w(const ConvShape& shape, const ParallelWindow& pw);
+Count num_parallel_windows_h(const ConvShape& shape, const ParallelWindow& pw);
+Count num_parallel_windows(const ConvShape& shape, const ParallelWindow& pw);
+
+}  // namespace vwsdk

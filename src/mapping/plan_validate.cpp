@@ -1,0 +1,237 @@
+#include "mapping/plan_validate.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+namespace {
+
+void check_tile(const MappingPlan& plan, const ArrayTile& tile,
+                std::vector<std::string>& issues) {
+  const auto tile_id = cat("tile(", tile.ar_index, ",", tile.ac_index, ")");
+  const ArrayGeometry& g = plan.geometry;
+  const ConvShape& s = plan.shape;
+
+  std::map<Dim, const RowBinding*> rows;
+  for (const RowBinding& rb : tile.rows) {
+    if (rb.row < 0 || rb.row >= g.rows) {
+      issues.push_back(cat(tile_id, ": row ", rb.row, " outside array"));
+      continue;
+    }
+    if (!rows.emplace(rb.row, &rb).second) {
+      issues.push_back(cat(tile_id, ": duplicate row binding ", rb.row));
+    }
+  }
+  std::map<Dim, const ColBinding*> cols;
+  for (const ColBinding& cb : tile.cols) {
+    if (cb.col < 0 || cb.col >= g.cols) {
+      issues.push_back(cat(tile_id, ": col ", cb.col, " outside array"));
+      continue;
+    }
+    if (!cols.emplace(cb.col, &cb).second) {
+      issues.push_back(cat(tile_id, ": duplicate col binding ", cb.col));
+    }
+  }
+
+  std::set<std::pair<Dim, Dim>> occupied;
+  for (const CellAssignment& cell : tile.cells) {
+    if (!occupied.emplace(cell.row, cell.col).second) {
+      issues.push_back(cat(tile_id, ": cell (", cell.row, ",", cell.col,
+                           ") assigned twice"));
+    }
+    if (cell.ky < 0 || cell.ky >= s.kernel_h || cell.kx < 0 ||
+        cell.kx >= s.kernel_w) {
+      issues.push_back(cat(tile_id, ": kernel coord (", cell.ky, ",",
+                           cell.kx, ") out of range"));
+      continue;
+    }
+    const auto row_it = rows.find(cell.row);
+    const auto col_it = cols.find(cell.col);
+    if (row_it == rows.end()) {
+      issues.push_back(cat(tile_id, ": cell row ", cell.row, " unbound"));
+      continue;
+    }
+    if (col_it == cols.end()) {
+      issues.push_back(cat(tile_id, ": cell col ", cell.col, " unbound"));
+      continue;
+    }
+    const RowBinding& rb = *row_it->second;
+    const ColBinding& cb = *col_it->second;
+    if (rb.ic != cell.ic) {
+      issues.push_back(cat(tile_id, ": cell ic ", cell.ic,
+                           " != row binding ic ", rb.ic));
+    }
+    if (cb.oc != cell.oc) {
+      issues.push_back(cat(tile_id, ": cell oc ", cell.oc,
+                           " != col binding oc ", cb.oc));
+    }
+    if (rb.dup != cb.dup) {
+      issues.push_back(cat(tile_id, ": cell crosses SMD duplicates ",
+                           rb.dup, " and ", cb.dup));
+    }
+    if (rb.dy != cb.win_py * s.stride_h + cell.ky ||
+        rb.dx != cb.win_px * s.stride_w + cell.kx) {
+      issues.push_back(
+          cat(tile_id, ": cell (", cell.row, ",", cell.col,
+              ") geometry broken: row offset (", rb.dy, ",", rb.dx,
+              ") vs window (", cb.win_py, ",", cb.win_px, ") + kernel (",
+              cell.ky, ",", cell.kx, ")"));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_plan(const MappingPlan& plan) {
+  std::vector<std::string> issues;
+  const ConvShape& s = plan.shape;
+
+  if (plan.tiles.empty()) {
+    issues.emplace_back("plan has no tiles");
+    return issues;
+  }
+  if (static_cast<Count>(plan.tiles.size()) !=
+      plan.cost.ar_cycles * plan.cost.ac_cycles) {
+    issues.push_back(cat("tile count ", plan.tiles.size(),
+                         " != AR*AC = ", plan.cost.ar_cycles, "*",
+                         plan.cost.ac_cycles));
+  }
+
+  for (const ArrayTile& tile : plan.tiles) {
+    check_tile(plan, tile, issues);
+  }
+
+  // Global channel coverage: every input row entity exactly once across
+  // AR tiles; every output column entity exactly once across AC tiles.
+  // The row/column entities depend on the plan flavor:
+  //  * kWindowed:      whole input channels / whole output channels;
+  //  * kWindowedSplit: flat window elements (ic, dy, dx) / flat columns
+  //                    (oc, window);
+  //  * kIm2colDense:   flat kernel elements (ic, ky, kx) / output channels.
+  std::map<Count, std::set<Dim>> row_entity_to_ar;
+  std::map<Count, std::set<Dim>> col_entity_to_ac;
+  const ParallelWindow& window = plan.cost.window;
+  const Count n_wp_cols = (plan.kind == PlanKind::kWindowedSplit)
+                              ? windows_in_pw(s, window)
+                              : 1;
+  for (const ArrayTile& tile : plan.tiles) {
+    for (const RowBinding& rb : tile.rows) {
+      Count entity = 0;
+      if (plan.kind == PlanKind::kWindowed) {
+        entity = rb.ic;
+      } else if (plan.kind == PlanKind::kWindowedSplit) {
+        entity = (static_cast<Count>(rb.ic) * window.h + rb.dy) * window.w +
+                 rb.dx;
+      } else {
+        entity =
+            (static_cast<Count>(rb.ic) * s.kernel_h + rb.dy) * s.kernel_w +
+            rb.dx;
+      }
+      row_entity_to_ar[entity].insert(tile.ar_index);
+    }
+    for (const ColBinding& cb : tile.cols) {
+      Count entity = static_cast<Count>(cb.oc);
+      if (plan.kind == PlanKind::kWindowedSplit) {
+        entity = entity * n_wp_cols +
+                 (static_cast<Count>(cb.win_py) *
+                      windows_in_pw_w(s, window) +
+                  cb.win_px);
+      }
+      col_entity_to_ac[entity].insert(tile.ac_index);
+    }
+  }
+  const Count row_entities =
+      (plan.kind == PlanKind::kWindowed)
+          ? static_cast<Count>(s.in_channels)
+          : (plan.kind == PlanKind::kWindowedSplit)
+                ? checked_mul(window.area(), s.in_channels)
+                : s.kernel_volume();
+  for (Count entity = 0; entity < row_entities; ++entity) {
+    const auto it = row_entity_to_ar.find(entity);
+    if (it == row_entity_to_ar.end()) {
+      issues.push_back(cat("input row entity ", entity, " not mapped"));
+    } else if (it->second.size() != 1) {
+      issues.push_back(cat("input row entity ", entity, " mapped in ",
+                           it->second.size(), " AR tiles"));
+    }
+  }
+  const Count col_entities =
+      checked_mul(static_cast<Count>(s.out_channels), n_wp_cols);
+  for (Count entity = 0; entity < col_entities; ++entity) {
+    const auto it = col_entity_to_ac.find(entity);
+    if (it == col_entity_to_ac.end()) {
+      issues.push_back(cat("output column entity ", entity, " not mapped"));
+    } else if (it->second.size() != 1) {
+      issues.push_back(cat("output column entity ", entity, " mapped in ",
+                           it->second.size(), " AC tiles"));
+    }
+  }
+
+  // Window coverage by the base grid (SMD covers windows by construction).
+  if (plan.kind != PlanKind::kSmd) {
+    const ParallelWindow& pw = plan.cost.window;
+    const Count wip_w = windows_in_pw_w(s, pw);
+    const Count wip_h = windows_in_pw_h(s, pw);
+    std::vector<char> covered_x(static_cast<std::size_t>(s.windows_w()), 0);
+    for (const Dim bx : plan.base_x) {
+      if (bx % s.stride_w != 0) {
+        issues.push_back(cat("base x ", bx, " not stride-aligned"));
+        continue;
+      }
+      const Count first = bx / s.stride_w;
+      for (Count k = 0; k < wip_w; ++k) {
+        if (first + k >= s.windows_w()) {
+          issues.push_back(cat("base x ", bx, " overruns the window grid"));
+          break;
+        }
+        covered_x[static_cast<std::size_t>(first + k)] = 1;
+      }
+    }
+    std::vector<char> covered_y(static_cast<std::size_t>(s.windows_h()), 0);
+    for (const Dim by : plan.base_y) {
+      if (by % s.stride_h != 0) {
+        issues.push_back(cat("base y ", by, " not stride-aligned"));
+        continue;
+      }
+      const Count first = by / s.stride_h;
+      for (Count k = 0; k < wip_h; ++k) {
+        if (first + k >= s.windows_h()) {
+          issues.push_back(cat("base y ", by, " overruns the window grid"));
+          break;
+        }
+        covered_y[static_cast<std::size_t>(first + k)] = 1;
+      }
+    }
+    if (std::count(covered_x.begin(), covered_x.end(), 1) !=
+        static_cast<std::ptrdiff_t>(covered_x.size())) {
+      issues.emplace_back("window grid not fully covered along x");
+    }
+    if (std::count(covered_y.begin(), covered_y.end(), 1) !=
+        static_cast<std::ptrdiff_t>(covered_y.size())) {
+      issues.emplace_back("window grid not fully covered along y");
+    }
+  }
+
+  // Realized cycles must equal the analytic cost.
+  if (plan.total_cycles() != plan.cost.total) {
+    issues.push_back(cat("plan cycles ", plan.total_cycles(),
+                         " != analytic cycles ", plan.cost.total));
+  }
+  return issues;
+}
+
+void expect_valid(const MappingPlan& plan) {
+  const std::vector<std::string> issues = validate_plan(plan);
+  if (!issues.empty()) {
+    throw InternalError(cat("invalid mapping plan (", issues.size(),
+                            " issues): ", join(issues, "; ")));
+  }
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file plan_validate.h
+/// Structural invariant checking for MappingPlans.
+///
+/// A valid plan satisfies, per tile:
+///  * all rows/columns lie inside the array geometry;
+///  * row / column binding indices are unique;
+///  * no cell is assigned twice (collision = two weights in one device);
+///  * every cell is consistent with its row and column bindings: the
+///    row's window offset equals the column's window position times the
+///    stride plus the cell's kernel coordinate, the channels match, and
+///    SMD duplicate indices agree;
+///  * kernel coordinates are within the kernel extent;
+/// and globally:
+///  * each input channel appears in exactly one AR tile band (windowed
+///    plans) or each flattened kernel element in exactly one AR tile
+///    (im2col plans);
+///  * each output channel appears in exactly one AC tile band;
+///  * the parallel-window base grid covers every kernel window of the
+///    layer at least once;
+///  * the realized cycle count equals the analytic cost.
+
+#include <string>
+#include <vector>
+
+#include "mapping/mapping_plan.h"
+
+namespace vwsdk {
+
+/// Run all checks; returns a list of human-readable violations (empty if
+/// the plan is valid).
+std::vector<std::string> validate_plan(const MappingPlan& plan);
+
+/// Throws InternalError listing all violations if the plan is invalid.
+void expect_valid(const MappingPlan& plan);
+
+}  // namespace vwsdk

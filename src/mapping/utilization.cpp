@@ -1,0 +1,128 @@
+#include "mapping/utilization.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace vwsdk {
+
+namespace {
+
+/// Steady-state utilization fraction (weight cells of one full tile over
+/// the cells of the arrays the tile occupies).
+double steady_state_fraction(const ConvShape& shape,
+                             const ArrayGeometry& geometry,
+                             const CycleCost& cost) {
+  const double total_cells = static_cast<double>(geometry.cell_count());
+  const Count kernel_area = checked_mul(shape.kernel_w, shape.kernel_h);
+  if (cost.split == RowSplit::kElementGranular) {
+    if (cost.smd_duplicates > 1) {
+      // Block-diagonal: D blocks of (K^2*IC x OC) true weights, one array.
+      const Count used = checked_mul(
+          cost.smd_duplicates,
+          checked_mul(shape.kernel_volume(), shape.out_channels));
+      return static_cast<double>(used) / total_cells;
+    }
+    // Dense im2col column: every occupied cell is a weight.  A full tile
+    // occupies min(rows, K^2*IC) rows and min(cols, OC) columns.
+    const Count rows_used =
+        std::min<Count>(geometry.rows, shape.kernel_volume());
+    const Count cols_used =
+        std::min<Count>(geometry.cols, shape.out_channels);
+    return static_cast<double>(checked_mul(rows_used, cols_used)) /
+           total_cells;
+  }
+  // Windowed tile: IC_t channels of true kernel weights, duplicated for
+  // each of the N_WP windows, over OC_t output channels.  SDK-style
+  // entire-channel tiles may exceed one array (window.area*IC_t > rows,
+  // or N_WP*OC_t > cols); physically the tile is then split over
+  // `row_split * col_split` arrays, each holding its share -- without
+  // this factor SDK's conv2/conv3 utilization would double-count, and
+  // the paper's "SDK equals VW-SDK until layer 3" would not hold.
+  const Count n_wp = windows_in_pw(shape, cost.window);
+  const Count used = checked_mul(checked_mul(kernel_area, cost.ic_t),
+                                 checked_mul(n_wp, cost.oc_t));
+  const Count row_split =
+      ceil_div(checked_mul(cost.window.area(), cost.ic_t), geometry.rows);
+  const Count col_split =
+      ceil_div(checked_mul(n_wp, cost.oc_t), geometry.cols);
+  return static_cast<double>(used) /
+         (static_cast<double>(checked_mul(row_split, col_split)) *
+          total_cells);
+}
+
+}  // namespace
+
+double utilization(const ConvShape& shape, const ArrayGeometry& geometry,
+                   const CycleCost& cost, UtilizationConvention convention) {
+  shape.validate();
+  geometry.validate();
+  VWSDK_REQUIRE(cost.feasible, "utilization of an infeasible mapping");
+  const double total_cells = static_cast<double>(geometry.cell_count());
+  const Count programmings = checked_mul(cost.ar_cycles, cost.ac_cycles);
+
+  switch (convention) {
+    case UtilizationConvention::kSteadyState: {
+      return steady_state_fraction(shape, geometry, cost);
+    }
+    case UtilizationConvention::kCycleAverageWeightCells: {
+      // Sum of weight cells across all programmings is exactly one copy of
+      // every weight per window duplicate: K^2 * IC * N_WP * OC
+      // (N_WP = 1 for im2col; SMD programs D copies in one programming).
+      const Count n_wp = (cost.split == RowSplit::kElementGranular)
+                             ? cost.smd_duplicates
+                             : windows_in_pw(shape, cost.window);
+      const Count used = checked_mul(
+          checked_mul(checked_mul(shape.kernel_w, shape.kernel_h),
+                      shape.in_channels),
+          checked_mul(n_wp, shape.out_channels));
+      return static_cast<double>(used) /
+             (static_cast<double>(programmings) * total_cells);
+    }
+    case UtilizationConvention::kCycleAverageFootprint: {
+      if (cost.split == RowSplit::kElementGranular) {
+        // Dense columns: footprint rows == weight rows.  For SMD the
+        // bounding box covers D*K^2*IC rows x D*OC cols.
+        const Count rows_used = std::min<Count>(
+            geometry.rows, shape.kernel_volume() * cost.smd_duplicates);
+        const Count cols_used = std::min<Count>(
+            geometry.cols,
+            checked_mul(shape.out_channels, cost.smd_duplicates));
+        if (cost.smd_duplicates > 1) {
+          return static_cast<double>(checked_mul(rows_used, cols_used)) /
+                 total_cells;
+        }
+        // Across AR element tiles the footprints sum to K^2*IC rows; each
+        // AC tile reads min(cols, OC - j*cols) columns summing to OC.
+        const Count used =
+            checked_mul(shape.kernel_volume(), shape.out_channels);
+        return static_cast<double>(used) /
+               (static_cast<double>(programmings) * total_cells);
+      }
+      // Windowed: footprint of AR tile i is PW_area * c_i rows; summed
+      // over tiles that is PW_area * IC rows; columns sum to N_WP * OC.
+      const Count n_wp = windows_in_pw(shape, cost.window);
+      const Count used =
+          checked_mul(checked_mul(cost.window.area(), shape.in_channels),
+                      checked_mul(n_wp, shape.out_channels));
+      return static_cast<double>(used) /
+             (static_cast<double>(programmings) * total_cells);
+    }
+  }
+  throw InternalError("unreachable utilization convention");
+}
+
+const char* utilization_convention_name(UtilizationConvention convention) {
+  switch (convention) {
+    case UtilizationConvention::kSteadyState:
+      return "steady-state";
+    case UtilizationConvention::kCycleAverageWeightCells:
+      return "cycle-average(weights)";
+    case UtilizationConvention::kCycleAverageFootprint:
+      return "cycle-average(footprint)";
+  }
+  return "?";
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,49 @@
+#pragma once
+
+/// @file utilization.h
+/// Array-utilization model (Eq. (9) of the paper).
+///
+/// Eq. (9) defines utilization as the average over computing cycles of
+/// used-cells / total-cells, but the paper does not pin down two details:
+/// whether the *last, partial* channel tile is averaged in, and whether a
+/// "used" cell means a cell holding a true weight or any cell inside the
+/// mapped window footprint.  We therefore implement three documented
+/// conventions (see DESIGN.md §3.4):
+///
+///  * `kSteadyState` -- utilization of one full (non-remainder) tile,
+///    counting true weight cells only:
+///        K_w*K_h*IC_t * N_WP*OC_t / (rows*cols).
+///    This convention reproduces the paper's one precise number exactly:
+///    VGG-13 layer 5 with a 4x3 window on 512x512 gives
+///    9*42*2*256 / 512^2 = 73.83%  (the paper reports "73.8%").
+///
+///  * `kCycleAverageWeightCells` -- literal Eq. (9) over all AR*AC array
+///    programmings, counting true weight cells (structural zeros in the
+///    shifted-kernel columns are *not* used):
+///        K_w*K_h*IC * N_WP*OC / (AR*AC * rows*cols).
+///
+///  * `kCycleAverageFootprint` -- literal Eq. (9) counting the bounding
+///    footprint (used rows x used columns), i.e. including the structural
+///    zeros that the SDK layout interleaves between kernel elements.
+
+#include "mapping/cost_model.h"
+
+namespace vwsdk {
+
+/// Which accounting convention to apply to Eq. (9).
+enum class UtilizationConvention {
+  kSteadyState,
+  kCycleAverageWeightCells,
+  kCycleAverageFootprint,
+};
+
+/// Compute utilization in [0, 1] for a mapping described by `cost`
+/// (as returned by im2col_cost / sdk_cost / vw_cost / smd_cost).
+/// Throws InvalidArgument if `cost` is infeasible.
+double utilization(const ConvShape& shape, const ArrayGeometry& geometry,
+                   const CycleCost& cost, UtilizationConvention convention);
+
+/// Human-readable name of a convention.
+const char* utilization_convention_name(UtilizationConvention convention);
+
+}  // namespace vwsdk

@@ -1,0 +1,124 @@
+#include "nn/model_zoo.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+Network vgg13_paper() {
+  // Table I of the paper, rows 1-10: (image, kernel, IC, OC).
+  Network net("VGG-13");
+  net.add_layer(make_conv_layer("conv1", 224, 3, 3, 64));
+  net.add_layer(make_conv_layer("conv2", 224, 3, 64, 64));
+  net.add_layer(make_conv_layer("conv3", 112, 3, 64, 128));
+  net.add_layer(make_conv_layer("conv4", 112, 3, 128, 128));
+  net.add_layer(make_conv_layer("conv5", 56, 3, 128, 256));
+  net.add_layer(make_conv_layer("conv6", 56, 3, 256, 256));
+  net.add_layer(make_conv_layer("conv7", 28, 3, 256, 512));
+  net.add_layer(make_conv_layer("conv8", 28, 3, 512, 512));
+  net.add_layer(make_conv_layer("conv9", 14, 3, 512, 512));
+  net.add_layer(make_conv_layer("conv10", 14, 3, 512, 512));
+  return net;
+}
+
+Network resnet18_paper() {
+  // Table I of the paper, ResNet-18 rows 1-5.  The paper lists conv1 with
+  // a 112x112 IFM and a 7x7 kernel and ignores stride; we reproduce its
+  // convention verbatim (see DESIGN.md §3).
+  Network net("ResNet-18");
+  net.add_layer(make_conv_layer("conv1", 112, 7, 3, 64));
+  net.add_layer(make_conv_layer("conv2", 56, 3, 64, 64));
+  net.add_layer(make_conv_layer("conv3", 28, 3, 128, 128));
+  net.add_layer(make_conv_layer("conv4", 14, 3, 256, 256));
+  net.add_layer(make_conv_layer("conv5", 7, 3, 512, 512));
+  return net;
+}
+
+Network vgg16() {
+  // Distinct conv shapes of VGG-16 (config D), same convention as Table I.
+  Network net("VGG-16");
+  net.add_layer(make_conv_layer("conv1", 224, 3, 3, 64));
+  net.add_layer(make_conv_layer("conv2", 224, 3, 64, 64));
+  net.add_layer(make_conv_layer("conv3", 112, 3, 64, 128));
+  net.add_layer(make_conv_layer("conv4", 112, 3, 128, 128));
+  net.add_layer(make_conv_layer("conv5", 56, 3, 128, 256));
+  net.add_layer(make_conv_layer("conv6", 56, 3, 256, 256));
+  net.add_layer(make_conv_layer("conv7", 56, 3, 256, 256));
+  net.add_layer(make_conv_layer("conv8", 28, 3, 256, 512));
+  net.add_layer(make_conv_layer("conv9", 28, 3, 512, 512));
+  net.add_layer(make_conv_layer("conv10", 28, 3, 512, 512));
+  net.add_layer(make_conv_layer("conv11", 14, 3, 512, 512));
+  net.add_layer(make_conv_layer("conv12", 14, 3, 512, 512));
+  net.add_layer(make_conv_layer("conv13", 14, 3, 512, 512));
+  return net;
+}
+
+Network alexnet() {
+  Network net("AlexNet");
+  net.add_layer(make_conv_layer("conv1", 227, 11, 3, 96));
+  net.add_layer(make_conv_layer("conv2", 27, 5, 96, 256));
+  net.add_layer(make_conv_layer("conv3", 13, 3, 256, 384));
+  net.add_layer(make_conv_layer("conv4", 13, 3, 384, 384));
+  net.add_layer(make_conv_layer("conv5", 13, 3, 384, 256));
+  return net;
+}
+
+Network lenet5() {
+  Network net("LeNet-5");
+  net.add_layer(make_conv_layer("conv1", 32, 5, 1, 6));
+  net.add_layer(make_conv_layer("conv2", 14, 5, 6, 16));
+  return net;
+}
+
+Network stress_mix() {
+  Network net("stress-mix");
+  // Tiny channels, huge image: window search space is wide open.
+  net.add_layer(make_conv_layer("wide_open", 64, 3, 2, 8));
+  // Row-limited: IC so large even im2col needs many AR cycles.
+  net.add_layer(make_conv_layer("row_limited", 14, 3, 1024, 64));
+  // Column-limited: OC exceeds typical column counts.
+  net.add_layer(make_conv_layer("col_limited", 14, 3, 16, 2048));
+  // im2col-fallback regime: big channels, small image.
+  net.add_layer(make_conv_layer("fallback", 7, 3, 512, 512));
+  // Non-square kernel (extension beyond the paper).
+  ConvLayerDesc rect;
+  rect.name = "rect_kernel";
+  rect.ifm_w = 32;
+  rect.ifm_h = 24;
+  rect.kernel_w = 5;
+  rect.kernel_h = 3;
+  rect.in_channels = 12;
+  rect.out_channels = 24;
+  net.add_layer(rect);
+  return net;
+}
+
+Network model_by_name(const std::string& name) {
+  const std::string key = to_lower(trim(name));
+  if (key == "vgg13" || key == "vgg-13") {
+    return vgg13_paper();
+  }
+  if (key == "resnet18" || key == "resnet-18") {
+    return resnet18_paper();
+  }
+  if (key == "vgg16" || key == "vgg-16") {
+    return vgg16();
+  }
+  if (key == "alexnet") {
+    return alexnet();
+  }
+  if (key == "lenet5" || key == "lenet-5") {
+    return lenet5();
+  }
+  if (key == "stress" || key == "stress-mix") {
+    return stress_mix();
+  }
+  throw NotFound(cat("unknown model '", name,
+                     "'; available: ", join(model_names(), ", ")));
+}
+
+std::vector<std::string> model_names() {
+  return {"vgg13", "resnet18", "vgg16", "alexnet", "lenet5", "stress"};
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,51 @@
+#pragma once
+
+/// @file model_zoo.h
+/// Predefined networks.
+///
+/// `vgg13_paper()` and `resnet18_paper()` encode *exactly* the layer
+/// dimensions of Table I of the VW-SDK paper (including its conventions:
+/// stride/padding ignored, each distinct layer shape listed once, ResNet-18
+/// conv1 given as a 112x112 input with a 7x7 kernel).  These two drive all
+/// paper-reproduction benchmarks.
+///
+/// The additional models (VGG-16, AlexNet, LeNet-5, MobileNet-ish) are
+/// extensions for wider evaluation; their dimensions follow the original
+/// publications with the same "distinct conv shapes" convention.
+
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace vwsdk {
+
+/// VGG-13, the 10 conv-layer shapes of Table I.
+Network vgg13_paper();
+
+/// ResNet-18, the 5 conv-layer shapes of Table I.
+Network resnet18_paper();
+
+/// VGG-16 conv shapes (extension; Simonyan & Zisserman 2014, config D).
+Network vgg16();
+
+/// AlexNet conv shapes (extension; Krizhevsky et al. 2012, single tower).
+Network alexnet();
+
+/// LeNet-5 conv shapes (extension; LeCun et al. 1998).
+Network lenet5();
+
+/// A small synthetic network whose layers are deliberately sized to
+/// exercise every cost-model regime on a 512x512 array: row-limited,
+/// column-limited, tiny-channel, im2col-fallback.  Used by tests/examples.
+Network stress_mix();
+
+/// Look up any zoo model by case-insensitive name
+/// ("vgg13", "resnet18", "vgg16", "alexnet", "lenet5", "stress").
+/// Throws NotFound for unknown names.
+Network model_by_name(const std::string& name);
+
+/// Names accepted by model_by_name().
+std::vector<std::string> model_names();
+
+}  // namespace vwsdk

@@ -1,0 +1,52 @@
+#include "nn/network.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+void Network::add_layer(ConvLayerDesc layer) {
+  layer.validate();
+  for (const ConvLayerDesc& existing : layers_) {
+    VWSDK_REQUIRE(existing.name != layer.name,
+                  cat("duplicate layer name '", layer.name, "' in network '",
+                      name_, "'"));
+  }
+  layers_.push_back(std::move(layer));
+}
+
+const ConvLayerDesc& Network::layer(Count index) const {
+  VWSDK_REQUIRE(index >= 0 && index < layer_count(),
+                cat("layer index ", index, " out of range for network '",
+                    name_, "' with ", layer_count(), " layers"));
+  return layers_[static_cast<std::size_t>(index)];
+}
+
+const ConvLayerDesc& Network::layer_by_name(
+    const std::string& layer_name) const {
+  for (const ConvLayerDesc& layer : layers_) {
+    if (layer.name == layer_name) {
+      return layer;
+    }
+  }
+  throw NotFound(cat("no layer '", layer_name, "' in network '", name_, "'"));
+}
+
+Count Network::total_weights() const {
+  Count total = 0;
+  for (const ConvLayerDesc& layer : layers_) {
+    total = checked_add(total, layer.weight_count());
+  }
+  return total;
+}
+
+std::string Network::to_string() const {
+  std::string out = cat("network ", name_, " (", layer_count(), " layers)\n");
+  for (const ConvLayerDesc& layer : layers_) {
+    out += cat("  ", layer.to_string(), "\n");
+  }
+  return out;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,60 @@
+#include "nn/network_builder.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+NetworkBuilder::NetworkBuilder(std::string name, Dim input_size,
+                               Dim input_channels)
+    : net_(std::move(name)), size_(input_size), channels_(input_channels) {
+  VWSDK_REQUIRE(input_size > 0, "input size must be positive");
+  VWSDK_REQUIRE(input_channels > 0, "input channels must be positive");
+}
+
+NetworkBuilder& NetworkBuilder::conv(Dim kernel, Dim out_channels,
+                                     Padding padding, Dim stride) {
+  VWSDK_REQUIRE(!built_, "NetworkBuilder already finalized");
+  VWSDK_REQUIRE(kernel > 0 && out_channels > 0 && stride > 0,
+                "conv: extents must be positive");
+  VWSDK_REQUIRE(kernel <= size_,
+                cat("conv: kernel ", kernel, " exceeds current feature map ",
+                    size_));
+  if (padding == Padding::kSame) {
+    VWSDK_REQUIRE(kernel % 2 == 1, "kSame padding requires an odd kernel");
+  }
+
+  ++conv_index_;
+  ConvLayerDesc layer =
+      make_conv_layer(cat("conv", conv_index_), size_, kernel, channels_,
+                      out_channels);
+  const Dim pad = (padding == Padding::kSame) ? (kernel - 1) / 2 : 0;
+  layer.config.stride_w = stride;
+  layer.config.stride_h = stride;
+  layer.config.pad_w = pad;
+  layer.config.pad_h = pad;
+  net_.add_layer(layer);
+
+  size_ = conv_output_extent(size_, kernel, stride, pad);
+  channels_ = out_channels;
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::max_pool(Dim window, Dim stride) {
+  VWSDK_REQUIRE(!built_, "NetworkBuilder already finalized");
+  VWSDK_REQUIRE(window > 0 && stride > 0, "max_pool: extents must be positive");
+  VWSDK_REQUIRE(window <= size_,
+                cat("max_pool: window ", window,
+                    " exceeds current feature map ", size_));
+  size_ = (size_ - window) / stride + 1;
+  return *this;
+}
+
+Network NetworkBuilder::build() {
+  VWSDK_REQUIRE(!built_, "NetworkBuilder already finalized");
+  VWSDK_REQUIRE(!net_.empty(), "cannot build an empty network");
+  built_ = true;
+  return std::move(net_);
+}
+
+}  // namespace vwsdk

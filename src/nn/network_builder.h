@@ -1,0 +1,61 @@
+#pragma once
+
+/// @file network_builder.h
+/// Fluent construction of conv networks with automatic feature-map size
+/// propagation (an extension for users defining their own models; the
+/// paper's models are hard-coded in model_zoo.h).
+
+#include <string>
+
+#include "nn/network.h"
+
+namespace vwsdk {
+
+/// Padding convention for NetworkBuilder::conv.
+enum class Padding {
+  kValid,  ///< no padding; output shrinks by kernel-1
+  kSame    ///< zero padding preserving the spatial size (odd kernels only)
+};
+
+/// Builds a Network layer by layer, tracking the current feature-map
+/// extent and channel count.
+///
+/// ```
+/// Network net = NetworkBuilder("tiny", 32, 3)
+///                   .conv(3, 16, Padding::kSame)
+///                   .max_pool(2, 2)
+///                   .conv(3, 32, Padding::kSame)
+///                   .build();
+/// ```
+class NetworkBuilder {
+ public:
+  /// Start from a square input of `input_size` x `input_size` with
+  /// `input_channels` channels.
+  NetworkBuilder(std::string name, Dim input_size, Dim input_channels);
+
+  /// Append a square-kernel convolution.  The layer descriptor records the
+  /// *current* IFM extent; `padding`/`stride` determine the next layer's
+  /// extent.  Returns *this for chaining.
+  NetworkBuilder& conv(Dim kernel, Dim out_channels,
+                       Padding padding = Padding::kValid, Dim stride = 1);
+
+  /// Append a pooling stage (affects the tracked extent only; pooling maps
+  /// to peripheral digital logic, not to the crossbar).
+  NetworkBuilder& max_pool(Dim window, Dim stride);
+
+  /// Current tracked feature-map extent / channels (for inspection).
+  Dim current_size() const { return size_; }
+  Dim current_channels() const { return channels_; }
+
+  /// Finalize.  The builder may not be reused afterwards.
+  Network build();
+
+ private:
+  Network net_;
+  Dim size_;
+  Dim channels_;
+  int conv_index_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace vwsdk

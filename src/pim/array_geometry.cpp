@@ -1,0 +1,33 @@
+#include "pim/array_geometry.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+void ArrayGeometry::validate() const {
+  VWSDK_REQUIRE(rows > 0 && cols > 0,
+                cat("array geometry must be positive, got ", rows, "x", cols));
+}
+
+std::string ArrayGeometry::to_string() const {
+  return cat(rows, "x", cols);
+}
+
+ArrayGeometry parse_geometry(const std::string& text) {
+  const std::string lowered = to_lower(trim(text));
+  const auto pos = lowered.find('x');
+  VWSDK_REQUIRE(pos != std::string::npos,
+                cat("geometry '", text, "' is not of the form RxC"));
+  ArrayGeometry geometry;
+  geometry.rows = static_cast<Dim>(parse_count(lowered.substr(0, pos)));
+  geometry.cols = static_cast<Dim>(parse_count(lowered.substr(pos + 1)));
+  geometry.validate();
+  return geometry;
+}
+
+std::vector<ArrayGeometry> paper_geometries() {
+  return {{128, 128}, {128, 256}, {256, 256}, {512, 256}, {512, 512}};
+}
+
+}  // namespace vwsdk

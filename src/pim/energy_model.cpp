@@ -1,0 +1,63 @@
+#include "pim/energy_model.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+void EnergyParams::validate() const {
+  VWSDK_REQUIRE(dac_pj_per_row >= 0.0 && adc_pj_per_col >= 0.0 &&
+                    cell_pj_per_mac >= 0.0 && cycle_ns >= 0.0,
+                "energy parameters must be non-negative");
+}
+
+void EnergyReport::accumulate(const EnergyReport& other) {
+  cycles = checked_add(cycles, other.cycles);
+  row_activations = checked_add(row_activations, other.row_activations);
+  col_reads = checked_add(col_reads, other.col_reads);
+  cell_macs = checked_add(cell_macs, other.cell_macs);
+}
+
+double EnergyReport::energy_pj(const EnergyParams& params) const {
+  params.validate();
+  return static_cast<double>(row_activations) * params.dac_pj_per_row +
+         static_cast<double>(col_reads) * params.adc_pj_per_col +
+         static_cast<double>(cell_macs) * params.cell_pj_per_mac;
+}
+
+double EnergyReport::full_array_energy_pj(const EnergyParams& params,
+                                          Count rows, Count cols) const {
+  params.validate();
+  VWSDK_REQUIRE(rows > 0 && cols > 0,
+                "full-array accounting needs a positive geometry");
+  return static_cast<double>(cycles) *
+             (static_cast<double>(rows) * params.dac_pj_per_row +
+              static_cast<double>(cols) * params.adc_pj_per_col) +
+         static_cast<double>(cell_macs) * params.cell_pj_per_mac;
+}
+
+double EnergyReport::conversion_fraction(const EnergyParams& params) const {
+  const double total = energy_pj(params);
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  const double conversions =
+      static_cast<double>(row_activations) * params.dac_pj_per_row +
+      static_cast<double>(col_reads) * params.adc_pj_per_col;
+  return conversions / total;
+}
+
+double EnergyReport::latency_ns(const EnergyParams& params) const {
+  params.validate();
+  return static_cast<double>(cycles) * params.cycle_ns;
+}
+
+std::string EnergyReport::to_string(const EnergyParams& params) const {
+  return cat("cycles=", cycles, " energy=", format_fixed(energy_pj(params), 1),
+             "pJ latency=", format_fixed(latency_ns(params), 1),
+             "ns conversion_share=",
+             format_fixed(100.0 * conversion_fraction(params), 1), "%");
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,25 @@
+#include "pim/noise.h"
+
+#include "common/error.h"
+
+namespace vwsdk {
+
+NoiseModel::NoiseModel(NoiseConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  VWSDK_REQUIRE(config.additive_sigma >= 0.0 &&
+                    config.multiplicative_sigma >= 0.0,
+                "noise sigmas must be non-negative");
+}
+
+double NoiseModel::apply(double value) {
+  double out = value;
+  if (config_.multiplicative_sigma > 0.0) {
+    out *= 1.0 + rng_.normal(0.0, config_.multiplicative_sigma);
+  }
+  if (config_.additive_sigma > 0.0) {
+    out += rng_.normal(0.0, config_.additive_sigma);
+  }
+  return out;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,42 @@
+#pragma once
+
+/// @file noise.h
+/// Device-variation model for programmed crossbar cells.
+///
+/// RRAM conductances suffer programming variation; the standard behavioural
+/// model is multiplicative/additive Gaussian perturbation of the stored
+/// weight.  The paper does not evaluate noise (its metric is cycle count),
+/// so this is an extension used by the robustness example and property
+/// tests (error must grow monotonically-ish with sigma and vanish at 0).
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace vwsdk {
+
+/// Gaussian perturbation applied at programming time.
+struct NoiseConfig {
+  double additive_sigma = 0.0;        ///< N(0, sigma) added to each cell
+  double multiplicative_sigma = 0.0;  ///< cell *= (1 + N(0, sigma))
+
+  bool enabled() const {
+    return additive_sigma > 0.0 || multiplicative_sigma > 0.0;
+  }
+};
+
+/// Applies NoiseConfig to cell values using a deterministic Rng.
+class NoiseModel {
+ public:
+  NoiseModel(NoiseConfig config, std::uint64_t seed);
+
+  /// Perturb one programmed value.
+  double apply(double value);
+
+  const NoiseConfig& config() const { return config_; }
+
+ private:
+  NoiseConfig config_;
+  Rng rng_;
+};
+
+}  // namespace vwsdk

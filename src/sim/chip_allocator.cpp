@@ -1,0 +1,114 @@
+#include "sim/chip_allocator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+Cycles ChipAllocation::bottleneck() const {
+  Cycles worst = 0;
+  for (const LayerAllocation& layer : layers) {
+    worst = std::max(worst, layer.makespan);
+  }
+  return worst;
+}
+
+Cycles ChipAllocation::fill_latency() const {
+  Cycles total = 0;
+  for (const LayerAllocation& layer : layers) {
+    total = checked_add(total, layer.makespan);
+  }
+  return total;
+}
+
+Dim ChipAllocation::arrays_used() const {
+  Dim used = 0;
+  for (const LayerAllocation& layer : layers) {
+    used += layer.arrays;
+  }
+  return used;
+}
+
+std::string ChipAllocation::to_string() const {
+  if (!feasible) {
+    return cat("chip of ", total_arrays,
+               " arrays: INFEASIBLE (resident weights need more arrays)");
+  }
+  std::string out = cat("chip of ", total_arrays, " arrays, ",
+                        arrays_used(), " used; pipeline interval ",
+                        bottleneck(), " cycles, fill latency ",
+                        fill_latency(), ":\n");
+  for (const LayerAllocation& layer : layers) {
+    out += cat("  ", layer.layer_name, ": ", layer.arrays, " arrays (",
+               layer.tiles, " tiles), makespan ", layer.makespan, "\n");
+  }
+  return out;
+}
+
+Count resident_array_demand(const NetworkMappingResult& result) {
+  Count demand = 0;
+  for (const LayerMapping& lm : result.layers) {
+    demand = checked_add(
+        demand, checked_mul(lm.decision.cost.ar_cycles,
+                            lm.decision.cost.ac_cycles));
+  }
+  return demand;
+}
+
+ChipAllocation allocate_chip(const NetworkMappingResult& result,
+                             Dim total_arrays) {
+  VWSDK_REQUIRE(total_arrays >= 1, "chip needs at least one array");
+  VWSDK_REQUIRE(!result.layers.empty(), "cannot allocate an empty network");
+
+  ChipAllocation allocation;
+  allocation.total_arrays = total_arrays;
+
+  const Count demand = resident_array_demand(result);
+  if (demand > total_arrays) {
+    allocation.feasible = false;
+    return allocation;
+  }
+  allocation.feasible = true;
+
+  // Mandatory tiles first.
+  for (const LayerMapping& lm : result.layers) {
+    LayerAllocation layer;
+    layer.layer_name = lm.layer.name;
+    layer.tiles = checked_mul(lm.decision.cost.ar_cycles,
+                              lm.decision.cost.ac_cycles);
+    layer.arrays = static_cast<Dim>(layer.tiles);
+    layer.makespan =
+        dispatch_layer(lm.decision, layer.arrays, /*allow_replication=*/true)
+            .makespan;
+    allocation.layers.push_back(std::move(layer));
+  }
+
+  // Greedy water-filling: every spare array goes to the bottleneck stage.
+  Dim spare = total_arrays - static_cast<Dim>(demand);
+  while (spare > 0) {
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < allocation.layers.size(); ++i) {
+      if (allocation.layers[i].makespan >
+          allocation.layers[worst].makespan) {
+        worst = i;
+      }
+    }
+    LayerAllocation& layer = allocation.layers[worst];
+    const Cycles before = layer.makespan;
+    layer.arrays += 1;
+    layer.makespan = dispatch_layer(result.layers[worst].decision,
+                                    layer.arrays,
+                                    /*allow_replication=*/true)
+                         .makespan;
+    --spare;
+    if (layer.makespan == before && layer.makespan <= 1) {
+      break;  // bottleneck can no longer improve; stop burning arrays
+    }
+  }
+  return allocation;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,63 @@
+#pragma once
+
+/// @file chip_allocator.h
+/// Chip-level pipeline allocation (extension; the whole-network view of
+/// PIM inference that ref [1] (PipeLayer) motivates in the paper's intro).
+///
+/// A PIM chip holds `total_arrays` crossbars.  Pipelined inference keeps
+/// EVERY layer's weights resident: layer L needs at least its AR*AC tiles
+/// worth of arrays (one array per tile -- an array is one programming).
+/// Remaining arrays are distributed to shorten the slowest stage, because
+/// a pipeline's throughput is set by its bottleneck:
+///
+///     pipeline interval = max over layers of layer makespan
+///     throughput        = 1 / interval   (inferences per interval)
+///
+/// Allocation: give each layer its mandatory tiles, then greedily hand
+/// each spare array to the current bottleneck stage (exact for this
+/// monotone makespan model).  Replicated-weights dispatch is used for
+/// counts beyond a layer's tile count (see sim/dispatch.h).
+
+#include <string>
+#include <vector>
+
+#include "core/network_optimizer.h"
+#include "sim/dispatch.h"
+
+namespace vwsdk {
+
+/// One layer's share of the chip.
+struct LayerAllocation {
+  std::string layer_name;
+  Count tiles = 0;      ///< AR*AC: arrays required to keep weights resident
+  Dim arrays = 0;       ///< arrays allocated (>= tiles when feasible)
+  Cycles makespan = 0;  ///< stage latency with this allocation
+};
+
+/// A whole network pinned onto one chip.
+struct ChipAllocation {
+  Dim total_arrays = 0;
+  bool feasible = false;  ///< false if Σ tiles > total_arrays (weights
+                          ///< would need reprogramming every inference)
+  std::vector<LayerAllocation> layers;
+
+  /// Pipeline interval: the slowest stage's makespan (0 if infeasible).
+  Cycles bottleneck() const;
+
+  /// Sum of stage makespans: the latency of one inference flowing through.
+  Cycles fill_latency() const;
+
+  /// Arrays actually used.
+  Dim arrays_used() const;
+
+  std::string to_string() const;
+};
+
+/// Minimum arrays for resident weights: Σ over layers of AR*AC tiles.
+Count resident_array_demand(const NetworkMappingResult& result);
+
+/// Allocate `total_arrays` arrays across the network's layers.
+ChipAllocation allocate_chip(const NetworkMappingResult& result,
+                             Dim total_arrays);
+
+}  // namespace vwsdk

@@ -1,0 +1,83 @@
+#include "sim/dispatch.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+double DispatchResult::speedup() const {
+  VWSDK_REQUIRE(makespan > 0, "dispatch produced an empty schedule");
+  return static_cast<double>(serial_cycles) / static_cast<double>(makespan);
+}
+
+double DispatchResult::balance() const {
+  Cycles busy_min = std::numeric_limits<Cycles>::max();
+  Cycles busy_max = 0;
+  for (const Cycles busy : per_array_busy) {
+    if (busy == 0) {
+      continue;  // idle arrays do not count against balance
+    }
+    busy_min = std::min(busy_min, busy);
+    busy_max = std::max(busy_max, busy);
+  }
+  if (busy_max == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(busy_min) / static_cast<double>(busy_max);
+}
+
+std::string DispatchResult::to_string() const {
+  return cat("dispatch over ", array_count, " arrays",
+             replicated ? " (replicated)" : "", ": makespan ", makespan,
+             " of ", serial_cycles, " serial cycles, speedup ",
+             format_fixed(speedup(), 2), ", balance ",
+             format_fixed(balance(), 2));
+}
+
+DispatchResult dispatch_layer(const MappingDecision& decision,
+                              Dim array_count, bool allow_replication) {
+  VWSDK_REQUIRE(array_count >= 1, "need at least one array");
+  VWSDK_REQUIRE(decision.cost.feasible, "cannot dispatch infeasible mapping");
+
+  DispatchResult result;
+  result.array_count = array_count;
+  result.serial_cycles = decision.cost.total;
+  result.replicated = allow_replication;
+  result.per_array_busy.assign(static_cast<std::size_t>(array_count), 0);
+
+  const Count tiles =
+      checked_mul(decision.cost.ar_cycles, decision.cost.ac_cycles);
+  const Cycles per_tile_work =
+      decision.cost.total / tiles;  // N_PW (or window chunks for SMD)
+
+  if (allow_replication) {
+    // Work is freely divisible: split all tile-jobs evenly.
+    const Cycles total = decision.cost.total;
+    const Cycles share = ceil_div(total, array_count);
+    Cycles remaining = total;
+    for (Cycles& busy : result.per_array_busy) {
+      busy = std::min(share, remaining);
+      remaining -= busy;
+      if (remaining <= 0) {
+        break;
+      }
+    }
+    result.makespan = share;
+    return result;
+  }
+
+  // Static ownership: tile i lives on array i mod P.
+  for (Count tile = 0; tile < tiles; ++tile) {
+    result.per_array_busy[static_cast<std::size_t>(tile % array_count)] +=
+        per_tile_work;
+  }
+  result.makespan =
+      *std::max_element(result.per_array_busy.begin(),
+                        result.per_array_busy.end());
+  return result;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file dispatch.h
+/// Multi-array dispatch model (extension, DESIGN.md §6): a PIM chip has
+/// many crossbar arrays; the AR x AC tiles of one layer's mapping are
+/// *statically assigned* to arrays (weights are programmed once), and
+/// every parallel-window step sends one job per tile to its owning array.
+///
+/// With T = AR*AC tiles on P arrays, an array owning k tiles is busy
+/// k * N_PW cycles; the layer's makespan is max over arrays.  Balanced
+/// assignment gives makespan = ceil(T / P) * N_PW.  If weight replication
+/// is allowed (the same tile programmed on several arrays), the window
+/// grid itself can also be split, giving ceil(T * N_PW / P).
+
+#include <string>
+#include <vector>
+
+#include "core/mapping_decision.h"
+
+namespace vwsdk {
+
+/// Outcome of dispatching one layer's mapping onto a pool of arrays.
+struct DispatchResult {
+  Dim array_count = 0;
+  Cycles serial_cycles = 0;   ///< single-array total (= cost.total)
+  Cycles makespan = 0;        ///< parallel completion time
+  std::vector<Cycles> per_array_busy;  ///< busy cycles per array
+  bool replicated = false;    ///< weight replication allowed?
+
+  /// Parallel speedup: serial / makespan.
+  double speedup() const;
+
+  /// Load balance: min busy / max busy over non-idle arrays (1 = perfect).
+  double balance() const;
+
+  std::string to_string() const;
+};
+
+/// Statically assign the mapping's tiles round-robin over `array_count`
+/// arrays.  With `allow_replication` the window grid is also partitioned,
+/// so arrays can share one tile's work at the cost of programming the
+/// tile's weights multiple times.
+DispatchResult dispatch_layer(const MappingDecision& decision,
+                              Dim array_count,
+                              bool allow_replication = false);
+
+}  // namespace vwsdk

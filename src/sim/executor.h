@@ -1,0 +1,51 @@
+#pragma once
+
+/// @file executor.h
+/// Functional execution of a MappingPlan on crossbar arrays.
+///
+/// The executor programs one Crossbar per (AR, AC) tile, then walks the
+/// cycle schedule: each cycle drives the rows with the input-feature-map
+/// values the plan's row bindings name, performs the analog MVM, applies
+/// the ADC model, and scatters the column read-outs into the output
+/// feature map (accumulating partial sums across AR tiles).
+///
+/// This is the strongest form of evidence a mapping can get in software:
+/// if the plan (placement, schedule, tiling) is wrong in any way, the
+/// produced OFM will not match the reference convolution.
+
+#include "mapping/mapping_plan.h"
+#include "pim/adc.h"
+#include "pim/energy_model.h"
+#include "pim/noise.h"
+#include "tensor/tensor.h"
+
+namespace vwsdk {
+
+/// Knobs of a functional execution.
+struct ExecutionOptions {
+  ConverterModel adc{};             ///< ideal by default
+  NoiseConfig noise{};              ///< no device variation by default
+  std::uint64_t noise_seed = 1;     ///< seed for the noise model
+  bool validate_plan = true;        ///< run plan_validate first
+  bool check_overlap_consistency = true;  ///< recomputed outputs must agree
+};
+
+/// What an execution produced and what it cost.
+struct ExecutionResult {
+  Tensord ofm;                ///< (1, OC, OH, OW)
+  Cycles cycles = 0;          ///< computing cycles executed
+  EnergyReport activity{};    ///< rows driven / cols read / cell MACs
+  Count arrays_used = 0;      ///< tiles (distinct array programmings)
+  Count programmed_cells = 0; ///< total cells programmed across tiles
+  double min_tile_utilization = 0.0;  ///< min over tiles of programmed frac
+  double mean_tile_utilization = 0.0; ///< mean over tiles
+};
+
+/// Execute `plan` on the given input and weights.
+/// @param ifm     (1, IC, I_h, I_w), matching plan.shape.
+/// @param weights (OC, IC, K_h, K_w), matching plan.shape.
+ExecutionResult execute_plan(const MappingPlan& plan, const Tensord& ifm,
+                             const Tensord& weights,
+                             const ExecutionOptions& options = {});
+
+}  // namespace vwsdk

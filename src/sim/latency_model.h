@@ -1,0 +1,41 @@
+#pragma once
+
+/// @file latency_model.h
+/// Analytic latency/energy estimation for a mapping decision -- the bridge
+/// from cycle counts (the paper's metric) to time and energy (the paper's
+/// motivation), without running the functional simulator.
+
+#include "core/mapping_decision.h"
+#include "pim/energy_model.h"
+
+namespace vwsdk {
+
+/// Analytic per-execution activity of a mapping: for every scheduled cycle
+/// it accumulates the bound rows, bound columns, and programmed cells of
+/// the tile being computed.  Matches ExecutionResult::activity exactly
+/// (tested), but costs O(tiles) instead of O(MACs).
+EnergyReport analytic_activity(const ConvShape& shape,
+                               const ArrayGeometry& geometry,
+                               const CycleCost& cost);
+
+/// Latency and energy of one layer's inference under a mapping.
+struct LatencyEstimate {
+  Cycles cycles = 0;
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;  ///< per-active-row/column accounting
+  double energy_full_array_pj = 0.0;  ///< all converters fire every cycle
+  double conversion_fraction = 0.0;  ///< share of energy in AD/DA conversion
+
+  std::string to_string() const;
+};
+
+/// Estimate a layer.  `parallel_arrays` models a chip with several arrays
+/// operating concurrently: the AR x AC tiles of each parallel window are
+/// dispatched round-robin, dividing latency by min(parallel_arrays,
+/// tiles-per-window) while total energy is unchanged (extension, DESIGN.md
+/// §6).
+LatencyEstimate estimate_layer(const MappingDecision& decision,
+                               const EnergyParams& params,
+                               Dim parallel_arrays = 1);
+
+}  // namespace vwsdk

@@ -1,0 +1,87 @@
+#include "sim/pipeline.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "mapping/plan_builder.h"
+#include "tensor/pooling.h"
+#include "tensor/tensor_ops.h"
+
+namespace vwsdk {
+
+std::string PipelineResult::summary() const {
+  std::string out = cat("pipeline: ", stages.size(), " stages, ",
+                        total_cycles, " cycles, ",
+                        all_verified ? "all stages verified" : "FAILURES",
+                        "\n");
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    out += cat("  stage ", i + 1, " [", stages[i].decision.algorithm, " ",
+               stages[i].decision.table_entry(), "] ",
+               stages[i].verification.summary, "\n");
+  }
+  return out;
+}
+
+PipelineResult run_pipeline(const std::vector<StageSpec>& stages,
+                            const Tensord& input, const Mapper& mapper,
+                            const ArrayGeometry& geometry,
+                            const ExecutionOptions& options,
+                            std::uint64_t weight_seed) {
+  VWSDK_REQUIRE(!stages.empty(), "pipeline needs at least one stage");
+
+  PipelineResult result;
+  result.output = input;
+  result.all_verified = true;
+
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageSpec& spec = stages[i];
+    spec.conv.validate();
+    const Shape4 expected{1, spec.conv.in_channels, spec.conv.ifm_h,
+                          spec.conv.ifm_w};
+    VWSDK_REQUIRE(result.output.shape() == expected,
+                  cat("stage ", i + 1, " expects input ",
+                      expected.to_string(), " but got ",
+                      result.output.shape().to_string()));
+
+    // Deterministic integer weights for this stage.
+    Rng rng(weight_seed + i);
+    Tensord weights =
+        Tensord::weights(spec.conv.out_channels, spec.conv.in_channels,
+                         spec.conv.kernel_h, spec.conv.kernel_w);
+    fill_random_int(weights, rng, 3);
+
+    const ConvShape shape = ConvShape::from_layer(spec.conv);
+    StageResult stage;
+    stage.decision = mapper.map(shape, geometry);
+    const MappingPlan plan =
+        build_plan_for_cost(shape, geometry, stage.decision.cost);
+    stage.verification =
+        verify_mapping(plan, result.output, weights, options);
+    result.all_verified =
+        result.all_verified && stage.verification.exact_match &&
+        stage.verification.cycles_match;
+    result.total_cycles =
+        result.total_cycles + stage.verification.executed_cycles;
+
+    // Re-execute post-ops on the verified OFM (the verifier already ran
+    // the plan; run once more to obtain the tensor -- clarity over speed).
+    const ExecutionResult executed =
+        execute_plan(plan, result.output, weights, options);
+    result.activity.accumulate(executed.activity);
+    Tensord feature_map = executed.ofm;
+    if (spec.relu) {
+      feature_map = relu(feature_map);
+    }
+    if (spec.pool_window > 0) {
+      VWSDK_REQUIRE(spec.pool_stride > 0,
+                    cat("stage ", i + 1, ": pooling needs a stride"));
+      feature_map =
+          max_pool2d(feature_map, spec.pool_window, spec.pool_stride);
+    }
+    stage.output_shape = feature_map.shape();
+    result.stages.push_back(std::move(stage));
+    result.output = std::move(feature_map);
+  }
+  return result;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file pipeline.h
+/// Whole-network functional simulation on the PIM substrate.
+///
+/// Chains conv stages (each mapped by a chosen algorithm, built into a
+/// plan, and executed on crossbars) with ReLU and pooling in the digital
+/// periphery -- a miniature end-to-end PIM inference.  Used by the
+/// functional-verification example and integration tests; the paper's
+/// full-size networks are evaluated analytically (their functional
+/// execution is exact but needlessly slow at billions of MACs).
+
+#include <string>
+#include <vector>
+
+#include "core/mapping_decision.h"
+#include "sim/executor.h"
+#include "sim/verifier.h"
+
+namespace vwsdk {
+
+/// One pipeline stage: a convolution plus optional digital post-ops.
+struct StageSpec {
+  ConvLayerDesc conv{};
+  bool relu = true;
+  Dim pool_window = 0;  ///< 0 = no pooling
+  Dim pool_stride = 0;
+};
+
+/// Per-stage outcome inside a pipeline run.
+struct StageResult {
+  MappingDecision decision{};
+  VerificationReport verification{};
+  Shape4 output_shape{};
+};
+
+/// Whole-run outcome.
+struct PipelineResult {
+  Tensord output;             ///< final feature map
+  Cycles total_cycles = 0;    ///< Σ of conv cycles over stages
+  EnergyReport activity{};    ///< Σ of crossbar activity over stages
+  bool all_verified = false;  ///< every stage matched its reference conv
+  std::vector<StageResult> stages;
+
+  std::string summary() const;
+};
+
+/// Run `stages` starting from `input`.  Weights for stage i are generated
+/// deterministically from `weight_seed` + i (integer-valued).  Each
+/// stage's conv descriptor must match the incoming tensor's shape
+/// (validated).  Every stage is verified against the reference conv
+/// before its post-ops are applied.
+PipelineResult run_pipeline(const std::vector<StageSpec>& stages,
+                            const Tensord& input, const Mapper& mapper,
+                            const ArrayGeometry& geometry,
+                            const ExecutionOptions& options = {},
+                            std::uint64_t weight_seed = 42);
+
+}  // namespace vwsdk

@@ -1,0 +1,42 @@
+#include "sim/reuse.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "sim/latency_model.h"
+
+namespace vwsdk {
+
+std::string ReuseReport::to_string() const {
+  return cat(row_drives, " fetches over ", input_elements,
+             " input elements (", format_fixed(fetches_per_element, 2),
+             " fetches/element)");
+}
+
+ReuseReport input_reuse(const MappingDecision& decision) {
+  VWSDK_REQUIRE(decision.cost.feasible,
+                "input_reuse of an infeasible mapping");
+  const ConvShape& shape = decision.shape;
+  ReuseReport report;
+  report.input_elements = checked_mul(
+      static_cast<Count>(shape.in_channels),
+      checked_mul(shape.ifm_h, shape.ifm_w));
+  report.row_drives =
+      analytic_activity(shape, decision.geometry, decision.cost)
+          .row_activations;
+  report.fetches_per_element =
+      static_cast<double>(report.row_drives) /
+      static_cast<double>(report.input_elements);
+  return report;
+}
+
+double fetch_reduction(const MappingDecision& baseline,
+                       const MappingDecision& candidate) {
+  const ReuseReport base = input_reuse(baseline);
+  const ReuseReport cand = input_reuse(candidate);
+  VWSDK_REQUIRE(cand.row_drives > 0, "candidate performs no fetches");
+  return static_cast<double>(base.row_drives) /
+         static_cast<double>(cand.row_drives);
+}
+
+}  // namespace vwsdk

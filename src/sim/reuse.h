@@ -1,0 +1,42 @@
+#pragma once
+
+/// @file reuse.h
+/// Input-reuse metrics (the paper's §I motivation for SDK-style mappings:
+/// "reuses the input feature maps with a unit of a parallel window").
+///
+/// Every computing cycle drives each bound row with one input element
+/// fetched from the feature-map buffer; the total number of row drives is
+/// therefore the layer's input-fetch traffic.  A mapping that computes
+/// more outputs per fetched window amortizes fetches better:
+///
+///   fetches_per_element = total row drives / distinct input elements.
+///
+/// im2col re-fetches every interior element ~K_w*K_h times (once per
+/// covering window) per AC pass; SDK/VW-SDK parallel windows fetch a
+/// window once and convolve it with many shifted kernels.
+
+#include <string>
+
+#include "core/mapping_decision.h"
+
+namespace vwsdk {
+
+/// Input-traffic accounting for one mapping.
+struct ReuseReport {
+  Count input_elements = 0;   ///< distinct IFM values (IC * I_h * I_w)
+  Count row_drives = 0;       ///< total input fetches across all cycles
+  double fetches_per_element = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Analytic input-traffic report for a mapping decision.
+ReuseReport input_reuse(const MappingDecision& decision);
+
+/// Convenience: ratio of `baseline`'s fetches to `candidate`'s -- how much
+/// input traffic the candidate saves (>1 means the candidate fetches
+/// less).
+double fetch_reduction(const MappingDecision& baseline,
+                       const MappingDecision& candidate);
+
+}  // namespace vwsdk

@@ -1,0 +1,51 @@
+#include "sim/schedule.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace vwsdk {
+
+Cycles schedule_cycle_count(const MappingPlan& plan) {
+  return plan.total_cycles();
+}
+
+std::vector<CycleDescriptor> build_schedule(const MappingPlan& plan) {
+  std::vector<CycleDescriptor> schedule;
+  schedule.reserve(static_cast<std::size_t>(plan.total_cycles()));
+  Count index = 0;
+
+  if (plan.kind == PlanKind::kSmd) {
+    const Count chunks =
+        ceil_div(plan.shape.num_windows(), plan.cost.smd_duplicates);
+    for (Count chunk = 0; chunk < chunks; ++chunk) {
+      for (const ArrayTile& tile : plan.tiles) {
+        CycleDescriptor cycle;
+        cycle.index = index++;
+        cycle.ar = tile.ar_index;
+        cycle.ac = tile.ac_index;
+        cycle.first_window = chunk * plan.cost.smd_duplicates;
+        schedule.push_back(cycle);
+      }
+    }
+    return schedule;
+  }
+
+  for (const Dim by : plan.base_y) {
+    for (const Dim bx : plan.base_x) {
+      for (const ArrayTile& tile : plan.tiles) {
+        CycleDescriptor cycle;
+        cycle.index = index++;
+        cycle.ar = tile.ar_index;
+        cycle.ac = tile.ac_index;
+        cycle.base_x = bx;
+        cycle.base_y = by;
+        schedule.push_back(cycle);
+      }
+    }
+  }
+  VWSDK_ASSERT(static_cast<Cycles>(schedule.size()) == plan.total_cycles(),
+               "schedule length disagrees with plan cycles");
+  return schedule;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file schedule.h
+/// Enumeration of the computing cycles a MappingPlan executes.
+///
+/// A cycle is one (parallel-window base, AR tile, AC tile) triple -- or,
+/// for SMD plans, one (window chunk, tile) pair.  The executor walks this
+/// schedule; tests inspect it to pin the cycle count to the analytic model
+/// without running any arithmetic.
+
+#include <vector>
+
+#include "mapping/mapping_plan.h"
+
+namespace vwsdk {
+
+/// One computing cycle of a plan.
+struct CycleDescriptor {
+  Count index = 0;       ///< position in the schedule
+  Dim ar = 0;            ///< AR tile index
+  Dim ac = 0;            ///< AC tile index
+  Dim base_x = 0;        ///< parallel-window base (padded pixels); SMD: 0
+  Dim base_y = 0;        ///< parallel-window base (padded pixels); SMD: 0
+  Count first_window = 0;  ///< SMD only: first window index of the chunk
+};
+
+/// Number of cycles the plan schedules (equals plan.total_cycles()).
+Cycles schedule_cycle_count(const MappingPlan& plan);
+
+/// Materialize the full schedule, base-grid row-major (y outer, x inner),
+/// then AR, then AC -- partial sums of one output group are produced in
+/// consecutive cycles.  Intended for small plans (tests, examples); the
+/// executor streams the same order without materializing.
+std::vector<CycleDescriptor> build_schedule(const MappingPlan& plan);
+
+}  // namespace vwsdk

@@ -1,0 +1,51 @@
+#include "sim/verifier.h"
+
+#include "common/string_util.h"
+#include "tensor/conv_ref.h"
+#include "tensor/tensor_ops.h"
+
+namespace vwsdk {
+
+VerificationReport verify_mapping(const MappingPlan& plan, const Tensord& ifm,
+                                  const Tensord& weights,
+                                  const ExecutionOptions& options) {
+  const ExecutionResult executed = execute_plan(plan, ifm, weights, options);
+
+  ConvConfig config;
+  config.stride_w = plan.shape.stride_w;
+  config.stride_h = plan.shape.stride_h;
+  config.pad_w = plan.shape.pad_w;
+  config.pad_h = plan.shape.pad_h;
+  const Tensord reference = conv2d_direct(ifm, weights, config);
+
+  VerificationReport report;
+  report.executed_cycles = executed.cycles;
+  report.analytic_cycles = plan.cost.total;
+  report.cycles_match = report.executed_cycles == report.analytic_cycles;
+  report.programmed_cells = executed.programmed_cells;
+  report.max_abs_error = max_abs_diff(executed.ofm, reference);
+  report.exact_match = exactly_equal(executed.ofm, reference);
+  report.summary =
+      cat("mapping ", plan.cost.to_string(), ": ",
+          report.exact_match ? "EXACT match" : "mismatch",
+          " (max_abs_err=", report.max_abs_error, "), cycles ",
+          report.executed_cycles, "/", report.analytic_cycles,
+          report.cycles_match ? " (match)" : " (MISMATCH)");
+  return report;
+}
+
+VerificationReport verify_mapping_random(const MappingPlan& plan,
+                                         std::uint64_t seed, int magnitude,
+                                         const ExecutionOptions& options) {
+  Rng rng(seed);
+  Tensord ifm = Tensord::feature_map(plan.shape.in_channels,
+                                     plan.shape.ifm_h, plan.shape.ifm_w);
+  Tensord weights =
+      Tensord::weights(plan.shape.out_channels, plan.shape.in_channels,
+                       plan.shape.kernel_h, plan.shape.kernel_w);
+  fill_random_int(ifm, rng, magnitude);
+  fill_random_int(weights, rng, magnitude);
+  return verify_mapping(plan, ifm, weights, options);
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,39 @@
+#pragma once
+
+/// @file verifier.h
+/// End-to-end verification of a mapping: execute the plan on the crossbar
+/// simulator and compare with the reference direct convolution.
+
+#include <string>
+
+#include "mapping/mapping_plan.h"
+#include "sim/executor.h"
+
+namespace vwsdk {
+
+/// Outcome of one verification run.
+struct VerificationReport {
+  bool exact_match = false;    ///< OFM identical to reference (bitwise)
+  double max_abs_error = 0.0;  ///< worst element error vs reference
+  Cycles executed_cycles = 0;  ///< cycles the simulator ran
+  Cycles analytic_cycles = 0;  ///< cycles Eq. (8)/(1) predicts
+  bool cycles_match = false;   ///< the two agree
+  Count programmed_cells = 0;
+  std::string summary;         ///< one-line human-readable result
+};
+
+/// Execute `plan` on (ifm, weights) and compare with conv2d_direct.
+/// With ideal ADC and no noise and integer-valued tensors the match is
+/// exact; with quantization/noise only max_abs_error is meaningful.
+VerificationReport verify_mapping(const MappingPlan& plan, const Tensord& ifm,
+                                  const Tensord& weights,
+                                  const ExecutionOptions& options = {});
+
+/// Convenience: deterministic integer tensors (seeded), then
+/// verify_mapping.  `magnitude` bounds the integer values.
+VerificationReport verify_mapping_random(const MappingPlan& plan,
+                                         std::uint64_t seed,
+                                         int magnitude = 4,
+                                         const ExecutionOptions& options = {});
+
+}  // namespace vwsdk

@@ -1,0 +1,60 @@
+#include "tensor/conv_ref.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+Dim conv_output_extent(Dim input, Dim kernel, Dim stride, Dim pad) {
+  VWSDK_REQUIRE(input > 0 && kernel > 0 && stride > 0 && pad >= 0,
+                "conv_output_extent: bad extents");
+  const Dim padded = input + 2 * pad;
+  VWSDK_REQUIRE(padded >= kernel,
+                cat("kernel ", kernel, " larger than padded input ", padded));
+  return (padded - kernel) / stride + 1;
+}
+
+Tensord conv2d_direct(const Tensord& ifm, const Tensord& weights,
+                      const ConvConfig& config) {
+  const Shape4& in = ifm.shape();
+  const Shape4& w = weights.shape();
+  VWSDK_REQUIRE(in.d0 == 1, "conv2d_direct expects batch 1");
+  VWSDK_REQUIRE(in.d1 == w.d1, cat("IC mismatch: ifm has ", in.d1,
+                                   " channels, weights expect ", w.d1));
+  const Dim ic = in.d1;
+  const Dim ih = in.d2;
+  const Dim iw = in.d3;
+  const Dim oc = w.d0;
+  const Dim kh = w.d2;
+  const Dim kw = w.d3;
+  const Dim oh = conv_output_extent(ih, kh, config.stride_h, config.pad_h);
+  const Dim ow = conv_output_extent(iw, kw, config.stride_w, config.pad_w);
+
+  Tensord ofm = Tensord::feature_map(oc, oh, ow);
+  for (Dim o = 0; o < oc; ++o) {
+    for (Dim oy = 0; oy < oh; ++oy) {
+      for (Dim ox = 0; ox < ow; ++ox) {
+        double acc = 0.0;
+        for (Dim c = 0; c < ic; ++c) {
+          for (Dim ky = 0; ky < kh; ++ky) {
+            const Dim y = oy * config.stride_h + ky - config.pad_h;
+            if (y < 0 || y >= ih) {
+              continue;  // zero padding
+            }
+            for (Dim kx = 0; kx < kw; ++kx) {
+              const Dim x = ox * config.stride_w + kx - config.pad_w;
+              if (x < 0 || x >= iw) {
+                continue;
+              }
+              acc += ifm.at(c, y, x) * weights.at(o, c, ky, kx);
+            }
+          }
+        }
+        ofm.at(o, oy, ox) = acc;
+      }
+    }
+  }
+  return ofm;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,40 @@
+#pragma once
+
+/// @file conv_ref.h
+/// Reference 2-D convolution (cross-correlation, the deep-learning
+/// convention) used as ground truth for every mapped execution.
+
+#include "common/types.h"
+#include "tensor/tensor.h"
+
+namespace vwsdk {
+
+/// Stride / zero-padding configuration of a convolution.
+/// The paper evaluates stride 1 / pad 0 exclusively; the simulator supports
+/// the general case as a documented extension (DESIGN.md §6).
+struct ConvConfig {
+  Dim stride_w = 1;
+  Dim stride_h = 1;
+  Dim pad_w = 0;
+  Dim pad_h = 0;
+
+  bool operator==(const ConvConfig&) const = default;
+};
+
+/// Output spatial size of a convolution along one axis:
+/// floor((input + 2*pad - kernel) / stride) + 1.
+Dim conv_output_extent(Dim input, Dim kernel, Dim stride, Dim pad);
+
+/// Direct (naive, obviously-correct) convolution.
+///
+/// @param ifm     feature map, shape (1, IC, H, W).
+/// @param weights kernel bank, shape (OC, IC, KH, KW).
+/// @param config  stride / padding.
+/// @return        feature map, shape (1, OC, OH, OW).
+///
+/// Throws InvalidArgument if channel counts disagree or the kernel does not
+/// fit the (padded) input.
+Tensord conv2d_direct(const Tensord& ifm, const Tensord& weights,
+                      const ConvConfig& config = {});
+
+}  // namespace vwsdk

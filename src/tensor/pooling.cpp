@@ -1,0 +1,77 @@
+#include "tensor/pooling.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace vwsdk {
+
+namespace {
+
+/// Shared geometry checks + iteration for pooling.
+template <typename Reducer>
+Tensord pool2d(const Tensord& ifm, Dim window, Dim stride, Reducer reduce,
+               double init) {
+  const Shape4& in = ifm.shape();
+  VWSDK_REQUIRE(in.d0 == 1, "pooling expects batch 1");
+  VWSDK_REQUIRE(window > 0 && stride > 0, "pooling window/stride must be > 0");
+  VWSDK_REQUIRE(in.d2 >= window && in.d3 >= window,
+                "pooling window larger than input");
+  const Dim oh = (in.d2 - window) / stride + 1;
+  const Dim ow = (in.d3 - window) / stride + 1;
+  Tensord out = Tensord::feature_map(in.d1, oh, ow);
+  for (Dim c = 0; c < in.d1; ++c) {
+    for (Dim oy = 0; oy < oh; ++oy) {
+      for (Dim ox = 0; ox < ow; ++ox) {
+        double acc = init;
+        for (Dim wy = 0; wy < window; ++wy) {
+          for (Dim wx = 0; wx < window; ++wx) {
+            acc = reduce(acc, ifm.at(c, oy * stride + wy, ox * stride + wx));
+          }
+        }
+        out.at(c, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensord max_pool2d(const Tensord& ifm, Dim window, Dim stride) {
+  Tensord out = pool2d(
+      ifm, window, stride,
+      [](double acc, double v) { return std::max(acc, v); },
+      -std::numeric_limits<double>::infinity());
+  return out;
+}
+
+Tensord avg_pool2d(const Tensord& ifm, Dim window, Dim stride) {
+  Tensord sums = pool2d(
+      ifm, window, stride, [](double acc, double v) { return acc + v; }, 0.0);
+  const double denom = static_cast<double>(window) * window;
+  for (double& v : sums.data()) {
+    v /= denom;
+  }
+  return sums;
+}
+
+Tensord relu(const Tensord& ifm) {
+  Tensord out = ifm;
+  for (double& v : out.data()) {
+    v = std::max(v, 0.0);
+  }
+  return out;
+}
+
+Tensord add(const Tensord& a, const Tensord& b) {
+  VWSDK_REQUIRE(a.shape() == b.shape(), "add requires matching shapes");
+  Tensord out = a;
+  for (std::size_t i = 0; i < out.data().size(); ++i) {
+    out.data()[i] += b.data()[i];
+  }
+  return out;
+}
+
+}  // namespace vwsdk

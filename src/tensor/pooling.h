@@ -1,0 +1,29 @@
+#pragma once
+
+/// @file pooling.h
+/// Pooling and activation primitives for whole-network pipeline simulation.
+///
+/// The paper's networks (VGG-13, ResNet-18) interleave convolutions with
+/// 2x2 max pooling / strided downsampling and ReLU; the pipeline simulator
+/// (src/sim/pipeline.h) uses these to produce the inter-layer feature-map
+/// sizes listed in Table I.
+
+#include "tensor/tensor.h"
+
+namespace vwsdk {
+
+/// Max pooling with a square window and equal stride (the VGG pattern:
+/// window 2, stride 2).  Input (1, C, H, W) -> (1, C, H/stride, W/stride)
+/// using floor semantics; requires H, W >= window.
+Tensord max_pool2d(const Tensord& ifm, Dim window, Dim stride);
+
+/// Average pooling, same geometry rules as max_pool2d.
+Tensord avg_pool2d(const Tensord& ifm, Dim window, Dim stride);
+
+/// Element-wise ReLU (returns a new tensor).
+Tensord relu(const Tensord& ifm);
+
+/// Element-wise sum of two same-shape tensors (residual connections).
+Tensord add(const Tensord& a, const Tensord& b);
+
+}  // namespace vwsdk

@@ -1,0 +1,9 @@
+#include "tensor/tensor.h"
+
+namespace vwsdk {
+
+std::ostream& operator<<(std::ostream& os, const Shape4& shape) {
+  return os << shape.to_string();
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,97 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("prog", "test program");
+  parser.add_option("model", "vgg13", "model name");
+  parser.add_int_option("rows", 512, "array rows");
+  parser.add_flag("verbose", "chatty output");
+  return parser;
+}
+
+bool parse(ArgParser& parser, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsApply) {
+  ArgParser parser = make_parser();
+  EXPECT_TRUE(parse(parser, {}));
+  EXPECT_EQ(parser.get("model"), "vgg13");
+  EXPECT_EQ(parser.get_int("rows"), 512);
+  EXPECT_FALSE(parser.get_flag("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  ArgParser parser = make_parser();
+  EXPECT_TRUE(parse(parser, {"--model", "resnet18", "--rows", "256"}));
+  EXPECT_EQ(parser.get("model"), "resnet18");
+  EXPECT_EQ(parser.get_int("rows"), 256);
+}
+
+TEST(Cli, EqualsSyntax) {
+  ArgParser parser = make_parser();
+  EXPECT_TRUE(parse(parser, {"--model=alexnet", "--rows=128"}));
+  EXPECT_EQ(parser.get("model"), "alexnet");
+  EXPECT_EQ(parser.get_int("rows"), 128);
+}
+
+TEST(Cli, FlagsAndPositionals) {
+  ArgParser parser = make_parser();
+  EXPECT_TRUE(parse(parser, {"--verbose", "pos1", "pos2"}));
+  EXPECT_TRUE(parser.get_flag("verbose"));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "pos1");
+}
+
+TEST(Cli, HelpReturnsFalseAndPrints) {
+  ArgParser parser = make_parser();
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(parse(parser, {"--help"}));
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("--model"), std::string::npos);
+  EXPECT_NE(out.find("default: vgg13"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW(parse(parser, {"--nope"}), InvalidArgument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW(parse(parser, {"--model"}), InvalidArgument);
+}
+
+TEST(Cli, BadIntegerRejectedAtParseTime) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW(parse(parser, {"--rows", "abc"}), InvalidArgument);
+}
+
+TEST(Cli, FlagWithValueRejected) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW(parse(parser, {"--verbose=yes"}), InvalidArgument);
+}
+
+TEST(Cli, TypedAccessorsEnforceKinds) {
+  ArgParser parser = make_parser();
+  EXPECT_TRUE(parse(parser, {}));
+  EXPECT_THROW(parser.get_int("model"), InvalidArgument);
+  EXPECT_THROW(parser.get_flag("rows"), InvalidArgument);
+  EXPECT_THROW(parser.get("missing"), NotFound);
+}
+
+TEST(Cli, DuplicateDeclarationRejected) {
+  ArgParser parser("p", "d");
+  parser.add_flag("x", "first");
+  EXPECT_THROW(parser.add_flag("x", "again"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vwsdk

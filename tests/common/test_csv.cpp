@@ -1,0 +1,69 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(Csv, WriterEmitsHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter writer(os, {"layer", "cycles"});
+  writer.write_row({"conv1", "2809"});
+  EXPECT_EQ(os.str(), "layer,cycles\nconv1,2809\n");
+  EXPECT_EQ(writer.rows_written(), 1);
+}
+
+TEST(Csv, WriterRejectsWidthMismatch) {
+  std::ostringstream os;
+  CsvWriter writer(os, {"a", "b"});
+  EXPECT_THROW(writer.write_row({"x"}), InvalidArgument);
+}
+
+TEST(Csv, WriterRejectsEmptyHeader) {
+  std::ostringstream os;
+  EXPECT_THROW(CsvWriter(os, {}), InvalidArgument);
+}
+
+TEST(Csv, EscapeQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(csv_escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, ParseSimpleLine) {
+  const auto fields = csv_parse_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(Csv, ParseQuotedFields) {
+  const auto fields = csv_parse_line("\"has,comma\",\"q\"\"q\",tail");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "has,comma");
+  EXPECT_EQ(fields[1], "q\"q");
+  EXPECT_EQ(fields[2], "tail");
+}
+
+TEST(Csv, ParseRejectsUnterminatedQuote) {
+  EXPECT_THROW(csv_parse_line("\"open"), InvalidArgument);
+}
+
+TEST(Csv, RoundTrip) {
+  const std::vector<std::string> original{"a,b", "c\"d", "plain", ""};
+  std::string line;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (i != 0) {
+      line += ',';
+    }
+    line += csv_escape(original[i]);
+  }
+  EXPECT_EQ(csv_parse_line(line), original);
+}
+
+}  // namespace
+}  // namespace vwsdk

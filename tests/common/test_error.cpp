@@ -1,0 +1,37 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace vwsdk {
+namespace {
+
+TEST(Error, RequireThrowsInvalidArgumentWithContext) {
+  try {
+    VWSDK_REQUIRE(1 == 2, "the message");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertThrowsInternalError) {
+  EXPECT_THROW(VWSDK_ASSERT(false, "broken invariant"), InternalError);
+}
+
+TEST(Error, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW(VWSDK_REQUIRE(true, "never"));
+  EXPECT_NO_THROW(VWSDK_ASSERT(true, "never"));
+}
+
+TEST(Error, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw InternalError("x"), Error);
+  EXPECT_THROW(throw NotFound("x"), Error);
+  EXPECT_THROW(throw NotFound("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vwsdk

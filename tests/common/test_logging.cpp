@@ -1,0 +1,72 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vwsdk {
+namespace {
+
+/// RAII guard restoring logger defaults after each test.
+class LoggerGuard {
+ public:
+  LoggerGuard() = default;
+  ~LoggerGuard() {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::kInfo);
+  }
+};
+
+struct Captured {
+  LogLevel level;
+  std::string message;
+};
+
+std::vector<Captured>* capture_into() {
+  static std::vector<Captured> sink_storage;
+  sink_storage.clear();
+  Logger::instance().set_sink([](LogLevel level, const std::string& msg) {
+    sink_storage.push_back({level, msg});
+  });
+  return &sink_storage;
+}
+
+TEST(Logging, SinkReceivesFormattedMessage) {
+  LoggerGuard guard;
+  auto* captured = capture_into();
+  log_info("cycles=", 4294, " speedup=", 1.69);
+  ASSERT_EQ(captured->size(), 1u);
+  EXPECT_EQ((*captured)[0].message, "cycles=4294 speedup=1.69");
+  EXPECT_EQ((*captured)[0].level, LogLevel::kInfo);
+}
+
+TEST(Logging, LevelFiltersBelowThreshold) {
+  LoggerGuard guard;
+  auto* captured = capture_into();
+  Logger::instance().set_level(LogLevel::kWarn);
+  log_debug("dropped");
+  log_info("dropped");
+  log_warn("kept");
+  log_error("kept too");
+  ASSERT_EQ(captured->size(), 2u);
+  EXPECT_EQ((*captured)[0].level, LogLevel::kWarn);
+  EXPECT_EQ((*captured)[1].level, LogLevel::kError);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(Logging, ResettingSinkRestoresDefault) {
+  LoggerGuard guard;
+  capture_into();
+  Logger::instance().set_sink(nullptr);
+  // Must not crash writing to the default sink.
+  log_info("to clog");
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,85 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(MathUtil, CeilDivExactAndInexact) {
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(1, 512), 1);
+  // The paper's ResNet-18 conv5 AR cycles: ceil(9*512 / 512) = 9.
+  EXPECT_EQ(ceil_div(9 * 512, 512), 9);
+}
+
+TEST(MathUtil, CeilDivRejectsBadInput) {
+  EXPECT_THROW(ceil_div(-1, 5), InvalidArgument);
+  EXPECT_THROW(ceil_div(5, 0), InvalidArgument);
+  EXPECT_THROW(ceil_div(5, -2), InvalidArgument);
+}
+
+TEST(MathUtil, FloorDiv) {
+  EXPECT_EQ(floor_div(0, 3), 0);
+  EXPECT_EQ(floor_div(11, 5), 2);
+  // Eq. (4) example: floor(512 / 12) = 42 tiled input channels.
+  EXPECT_EQ(floor_div(512, 12), 42);
+  EXPECT_THROW(floor_div(-1, 3), InvalidArgument);
+  EXPECT_THROW(floor_div(3, 0), InvalidArgument);
+}
+
+TEST(MathUtil, CheckedMulHappyPath) {
+  EXPECT_EQ(checked_mul(0, 1'000'000), 0);
+  EXPECT_EQ(checked_mul(49284, 2), 98568);
+}
+
+TEST(MathUtil, CheckedMulOverflowThrows) {
+  const Count big = std::numeric_limits<Count>::max() / 2 + 1;
+  EXPECT_THROW(checked_mul(big, 2), InvalidArgument);
+  EXPECT_THROW(checked_mul(-1, 2), InvalidArgument);
+}
+
+TEST(MathUtil, CheckedAdd) {
+  EXPECT_EQ(checked_add(114697, 77102), 191799);
+  EXPECT_THROW(checked_add(std::numeric_limits<Count>::max(), 1),
+               InvalidArgument);
+  EXPECT_THROW(checked_add(-3, 1), InvalidArgument);
+}
+
+TEST(MathUtil, PowersOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(512));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(96));
+  EXPECT_FALSE(is_power_of_two(-4));
+  EXPECT_EQ(log2_exact(512), 9);
+  EXPECT_THROW(log2_exact(96), InvalidArgument);
+}
+
+TEST(MathUtil, ClampCount) {
+  EXPECT_EQ(clamp_count(5, 0, 10), 5);
+  EXPECT_EQ(clamp_count(-5, 0, 10), 0);
+  EXPECT_EQ(clamp_count(15, 0, 10), 10);
+  EXPECT_THROW(clamp_count(1, 10, 0), InvalidArgument);
+}
+
+// Property sweep: ceil_div(a, b) == floor((a + b - 1) / b) and bounds.
+class CeilDivProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CeilDivProperty, MatchesDefinition) {
+  const Count b = GetParam();
+  for (Count a = 0; a <= 100; ++a) {
+    const Count q = ceil_div(a, b);
+    EXPECT_GE(q * b, a);
+    EXPECT_LT((q - 1) * b, a) << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, CeilDivProperty,
+                         ::testing::Values(1, 2, 3, 7, 9, 12, 16, 64, 512));
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,115 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    differing += (a.next_u64() != b.next_u64()) ? 1 : 0;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.uniform_int(-4, 4);
+    EXPECT_GE(v, -4);
+    EXPECT_LE(v, 4);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::array<int, 9> histogram{};
+  for (int i = 0; i < 9'000; ++i) {
+    histogram[static_cast<std::size_t>(rng.uniform_int(0, 8))]++;
+  }
+  for (const int count : histogram) {
+    // Expectation is 1000 each; a factor-2 band is a loose sanity check.
+    EXPECT_GT(count, 500);
+    EXPECT_LT(count, 2000);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(42, 42), 42);
+  }
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(3, 2), InvalidArgument);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnit) {
+  Rng rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleRangeAndValidation) {
+  Rng rng(17);
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = rng.uniform_double(-2.5, 2.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 2.5);
+  }
+  EXPECT_THROW(rng.uniform_double(1.0, 1.0), InvalidArgument);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(19);
+  const int n = 50'000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma) {
+  Rng rng(23);
+  EXPECT_THROW(rng.normal(0.0, -1.0), InvalidArgument);
+}
+
+TEST(SplitMix, KnownGoodSequenceIsStable) {
+  // Regression pin: the generator must never silently change, or every
+  // "deterministic" test fixture in the repo changes with it.
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(first, sm2.next());
+  EXPECT_NE(first, sm.next());
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,82 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringUtil, SplitSingleField) {
+  const auto fields = split("alone", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "alone");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\nvalue\r "), "value");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("no-ws"), "no-ws");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"only"}, ","), "only");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(to_lower("VGG-13"), "vgg-13");
+  EXPECT_EQ(to_lower("512x512"), "512x512");
+}
+
+TEST(StringUtil, ParseCountHappyPath) {
+  EXPECT_EQ(parse_count("0"), 0);
+  EXPECT_EQ(parse_count(" 114697 "), 114697);
+}
+
+TEST(StringUtil, ParseCountRejectsGarbage) {
+  EXPECT_THROW(parse_count(""), InvalidArgument);
+  EXPECT_THROW(parse_count("12a"), InvalidArgument);
+  EXPECT_THROW(parse_count("-3"), InvalidArgument);
+  EXPECT_THROW(parse_count("999999999999999999999999"), InvalidArgument);
+}
+
+TEST(StringUtil, FormatFixed) {
+  EXPECT_EQ(format_fixed(1.694999, 2), "1.69");
+  EXPECT_EQ(format_fixed(73.828125, 1), "73.8");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(StringUtil, WithThousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(114697), "114,697");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(with_thousands(-4294), "-4,294");
+}
+
+TEST(StringUtil, CatConcatenatesMixedTypes) {
+  EXPECT_EQ(cat("pw=", 4, "x", 3, " ratio=", 1.5), "pw=4x3 ratio=1.5");
+  EXPECT_EQ(cat(), "");
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,88 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable table({"layer", "cycles"});
+  table.add_row({"conv1", "2809"});
+  table.add_row({"conv2", "1458"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("layer"), std::string::npos);
+  EXPECT_NE(out.find("2809"), std::string::npos);
+  EXPECT_NE(out.find("conv2"), std::string::npos);
+  // Bordered: starts and ends with a rule line.
+  EXPECT_EQ(out.front(), '+');
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(TextTable, AlignmentPadsNumbersRight) {
+  TextTable table({"name", "n"});
+  table.add_row({"a", "5"});
+  table.add_row({"b", "12345"});
+  const std::string out = table.render();
+  // The short number must be right-aligned: "    5 |" appears.
+  EXPECT_NE(out.find("    5 |"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRendersRule) {
+  TextTable table({"x"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.render();
+  // 5 rule lines total: top, under header, separator, bottom... count '+--'.
+  int rules = 0;
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '+') {
+      ++rules;
+    }
+  }
+  EXPECT_EQ(rules, 4);  // top, header rule, mid separator, bottom
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TextTable, RowCountExcludesSeparators) {
+  TextTable table({"a"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 3);  // includes the separator entry
+}
+
+TEST(TextTable, StreamOperatorMatchesRender) {
+  TextTable table({"h"});
+  table.add_row({"v"});
+  std::ostringstream os;
+  os << table;
+  EXPECT_EQ(os.str(), table.render());
+}
+
+TEST(TextTable, CustomAlignments) {
+  TextTable table({"l", "r"});
+  table.set_alignments({Align::kLeft, Align::kLeft});
+  table.add_row({"x", "1"});
+  table.add_row({"y", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| 1  |"), std::string::npos);
+  EXPECT_THROW(table.set_alignments({Align::kLeft}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,41 @@
+#include "core/exhaustive_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "core/vwsdk_mapper.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(ExhaustiveMapper, FindsGlobalMinimumOnSmallLayer) {
+  const ExhaustiveMapper oracle;
+  EXPECT_EQ(oracle.name(), "exhaustive");
+  const ConvShape shape = ConvShape::square(8, 3, 4, 6);
+  const ArrayGeometry geometry{64, 32};
+  const MappingDecision best = oracle.map(shape, geometry);
+  // Verify optimality by brute re-scan.
+  for (Dim w = 3; w <= 8; ++w) {
+    for (Dim h = 3; h <= 8; ++h) {
+      const CycleCost candidate = vw_cost(shape, geometry, {w, h});
+      if (candidate.feasible) {
+        EXPECT_LE(best.cost.total, candidate.total);
+      }
+    }
+  }
+  EXPECT_LE(best.cost.total, im2col_cost(shape, geometry).total);
+}
+
+TEST(ExhaustiveMapper, AgreesWithVwSdkOnPaperLayers) {
+  const ExhaustiveMapper oracle;
+  const VwSdkMapper vw;
+  for (const ConvShape& shape :
+       {ConvShape::square(56, 3, 128, 256), ConvShape::square(7, 3, 512, 512),
+        ConvShape::square(112, 7, 3, 64)}) {
+    EXPECT_EQ(oracle.map(shape, {512, 512}).cost.total,
+              vw.map(shape, {512, 512}).cost.total)
+        << shape.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,35 @@
+#include "core/im2col_mapper.h"
+
+#include <gtest/gtest.h>
+
+namespace vwsdk {
+namespace {
+
+TEST(Im2colMapper, AlwaysKernelWindow) {
+  const Im2colMapper mapper;
+  EXPECT_EQ(mapper.name(), "im2col");
+  const ConvShape shape = ConvShape::square(28, 3, 256, 512);
+  const MappingDecision decision = mapper.map(shape, {512, 512});
+  EXPECT_TRUE(decision.is_im2col_fallback());
+  EXPECT_EQ(decision.cost.window, (ParallelWindow{3, 3}));
+  EXPECT_EQ(decision.cost.total, 676 * 5);
+}
+
+TEST(Im2colMapper, SmallArrayNeedsManyCycles) {
+  const Im2colMapper mapper;
+  const ConvShape shape = ConvShape::square(14, 3, 512, 512);
+  // 128x128 array: AR = ceil(4608/128) = 36, AC = ceil(512/128) = 4.
+  const MappingDecision decision = mapper.map(shape, {128, 128});
+  EXPECT_EQ(decision.cost.ar_cycles, 36);
+  EXPECT_EQ(decision.cost.ac_cycles, 4);
+  EXPECT_EQ(decision.cost.total, 144LL * 36 * 4);
+}
+
+TEST(Im2colMapper, TableEntryUsesFullChannels) {
+  const Im2colMapper mapper;
+  const ConvShape shape = ConvShape::square(7, 3, 512, 512);
+  EXPECT_EQ(mapper.map(shape, {512, 512}).table_entry(), "3x3x512x512");
+}
+
+}  // namespace
+}  // namespace vwsdk

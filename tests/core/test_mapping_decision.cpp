@@ -1,0 +1,51 @@
+#include "core/mapping_decision.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(MappingDecision, TableEntryForWindowedMapping) {
+  MappingDecision decision;
+  decision.shape = ConvShape::square(56, 3, 128, 256);
+  decision.cost = vw_cost(decision.shape, {512, 512}, {4, 3});
+  EXPECT_FALSE(decision.is_im2col_fallback());
+  EXPECT_EQ(decision.table_entry(), "4x3x42x256");
+}
+
+TEST(MappingDecision, TableEntryForFallbackUsesFullChannels) {
+  MappingDecision decision;
+  decision.shape = ConvShape::square(7, 3, 512, 512);
+  decision.cost = im2col_cost(decision.shape, {512, 512});
+  EXPECT_TRUE(decision.is_im2col_fallback());
+  EXPECT_EQ(decision.table_entry(), "3x3x512x512");
+}
+
+TEST(MappingDecision, ToStringMentionsAlgorithmAndCycles) {
+  MappingDecision decision;
+  decision.algorithm = "vw-sdk";
+  decision.shape = ConvShape::square(56, 3, 128, 256);
+  decision.cost = vw_cost(decision.shape, {512, 512}, {4, 3});
+  const std::string text = decision.to_string();
+  EXPECT_NE(text.find("vw-sdk"), std::string::npos);
+  EXPECT_NE(text.find("5832"), std::string::npos);
+}
+
+TEST(MakeMapper, ResolvesAllNames) {
+  EXPECT_EQ(make_mapper("im2col")->name(), "im2col");
+  EXPECT_EQ(make_mapper("smd")->name(), "smd");
+  EXPECT_EQ(make_mapper("sdk")->name(), "sdk");
+  EXPECT_EQ(make_mapper("vw-sdk")->name(), "vw-sdk");
+  EXPECT_EQ(make_mapper("vwsdk")->name(), "vw-sdk");
+  EXPECT_EQ(make_mapper("VW-SDK")->name(), "vw-sdk");
+  EXPECT_EQ(make_mapper("exhaustive")->name(), "exhaustive");
+}
+
+TEST(MakeMapper, UnknownNameThrows) {
+  EXPECT_THROW(make_mapper("alexnet"), NotFound);
+}
+
+}  // namespace
+}  // namespace vwsdk

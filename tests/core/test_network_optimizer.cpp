@@ -1,0 +1,87 @@
+#include "core/network_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/vwsdk_mapper.h"
+#include "nn/model_zoo.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+TEST(NetworkOptimizer, CoversEveryLayerInOrder) {
+  const VwSdkMapper mapper;
+  const Network net = resnet18_paper();
+  const NetworkMappingResult result =
+      optimize_network(mapper, net, k512x512);
+  ASSERT_EQ(result.layers.size(), 5u);
+  EXPECT_EQ(result.network_name, "ResNet-18");
+  EXPECT_EQ(result.algorithm, "vw-sdk");
+  for (std::size_t i = 0; i < result.layers.size(); ++i) {
+    EXPECT_EQ(result.layers[i].layer.name,
+              net.layer(static_cast<Count>(i)).name);
+  }
+}
+
+TEST(NetworkOptimizer, TotalIsSumOfLayers) {
+  const VwSdkMapper mapper;
+  const NetworkMappingResult result =
+      optimize_network(mapper, resnet18_paper(), k512x512);
+  Cycles sum = 0;
+  for (Count i = 0; i < static_cast<Count>(result.layers.size()); ++i) {
+    sum += result.layer_cycles(i);
+  }
+  EXPECT_EQ(result.total_cycles(), sum);
+  EXPECT_EQ(sum, 4294);
+}
+
+TEST(NetworkOptimizer, LayerCyclesBoundsChecked) {
+  const VwSdkMapper mapper;
+  const NetworkMappingResult result =
+      optimize_network(mapper, resnet18_paper(), k512x512);
+  EXPECT_THROW(result.layer_cycles(5), InvalidArgument);
+  EXPECT_THROW(result.layer_cycles(-1), InvalidArgument);
+}
+
+TEST(NetworkOptimizer, EmptyNetworkRejected) {
+  const VwSdkMapper mapper;
+  const Network empty("none");
+  EXPECT_THROW(optimize_network(mapper, empty, k512x512), InvalidArgument);
+}
+
+TEST(CompareMappers, SpeedupsAndOrdering) {
+  const NetworkComparison cmp =
+      compare_mappers({"im2col", "sdk", "vw-sdk"}, resnet18_paper(),
+                      k512x512);
+  ASSERT_EQ(cmp.results.size(), 3u);
+  EXPECT_DOUBLE_EQ(cmp.speedup(0, 0), 1.0);
+  EXPECT_GT(cmp.speedup(0, 1), 1.0);
+  EXPECT_GT(cmp.speedup(0, 2), cmp.speedup(0, 1));
+  // Per-layer speedups: conv3 is where SDK stalls but VW-SDK does not.
+  EXPECT_DOUBLE_EQ(cmp.layer_speedup(0, 1, 2), 1.0);
+  EXPECT_EQ(cmp.layer_speedup(0, 2, 2), 3.0);  // 2028 / 676
+}
+
+TEST(CompareMappers, IndexValidation) {
+  const NetworkComparison cmp =
+      compare_mappers({"im2col"}, lenet5(), k512x512);
+  EXPECT_THROW(cmp.speedup(0, 1), InvalidArgument);
+  EXPECT_THROW(cmp.layer_speedup(1, 0, 0), InvalidArgument);
+  EXPECT_THROW(compare_mappers({}, lenet5(), k512x512), InvalidArgument);
+}
+
+TEST(CompareMappers, WorksAcrossModelsAndGeometries) {
+  for (const std::string& model : {"lenet5", "alexnet", "stress"}) {
+    for (const ArrayGeometry& geometry : paper_geometries()) {
+      const NetworkComparison cmp = compare_mappers(
+          {"im2col", "vw-sdk"}, model_by_name(model), geometry);
+      EXPECT_GE(cmp.speedup(0, 1), 1.0)
+          << model << " on " << geometry.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,136 @@
+/// Table I of the paper, reproduced row by row and total by total.
+/// These are the strongest regression tests in the repo: every published
+/// per-layer window shape, channel tiling, and network total must come out
+/// of our implementations exactly.
+
+#include <gtest/gtest.h>
+
+#include "core/im2col_mapper.h"
+#include "core/network_optimizer.h"
+#include "core/sdk_mapper.h"
+#include "core/vwsdk_mapper.h"
+#include "nn/model_zoo.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+struct TableRow {
+  const char* layer;
+  ParallelWindow sdk_window;
+  ParallelWindow vw_window;
+  Dim vw_ic_t;  // -1 = im2col fallback (full channels reported)
+  Dim vw_oc_t;
+  Cycles vw_cycles;
+  Cycles sdk_cycles;
+};
+
+void check_network(const Network& net, const std::vector<TableRow>& rows,
+                   Cycles sdk_total, Cycles vw_total) {
+  const SdkMapper sdk;
+  const VwSdkMapper vw;
+  ASSERT_EQ(net.layer_count(), static_cast<Count>(rows.size()));
+
+  Cycles sdk_sum = 0;
+  Cycles vw_sum = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ConvShape shape = ConvShape::from_layer(net.layer(
+        static_cast<Count>(i)));
+    const MappingDecision sdk_decision = sdk.map(shape, k512x512);
+    const MappingDecision vw_decision = vw.map(shape, k512x512);
+
+    EXPECT_EQ(sdk_decision.cost.window, rows[i].sdk_window)
+        << net.name() << " " << rows[i].layer << " (SDK window)";
+    EXPECT_EQ(sdk_decision.cost.total, rows[i].sdk_cycles)
+        << net.name() << " " << rows[i].layer << " (SDK cycles)";
+
+    EXPECT_EQ(vw_decision.cost.window, rows[i].vw_window)
+        << net.name() << " " << rows[i].layer << " (VW window)";
+    if (rows[i].vw_ic_t >= 0) {
+      EXPECT_EQ(vw_decision.cost.ic_t, rows[i].vw_ic_t)
+          << net.name() << " " << rows[i].layer << " (IC_t)";
+      EXPECT_EQ(vw_decision.cost.oc_t, rows[i].vw_oc_t)
+          << net.name() << " " << rows[i].layer << " (OC_t)";
+    }
+    EXPECT_EQ(vw_decision.cost.total, rows[i].vw_cycles)
+        << net.name() << " " << rows[i].layer << " (VW cycles)";
+
+    sdk_sum += sdk_decision.cost.total;
+    vw_sum += vw_decision.cost.total;
+  }
+  EXPECT_EQ(sdk_sum, sdk_total) << net.name() << " SDK total";
+  EXPECT_EQ(vw_sum, vw_total) << net.name() << " VW-SDK total";
+}
+
+TEST(PaperTable1, VGG13AllRowsAndTotals) {
+  // Paper note (EXPERIMENTS.md): Table I prints conv2's VW-SDK tile as
+  // "4x4x64x64" but Eq. (4) gives IC_t = floor(512/16) = 32, and only
+  // IC_t = 32 (AR = 2) is consistent with the published total 77102.
+  // We therefore pin 32 here.
+  check_network(
+      vgg13_paper(),
+      {
+          {"conv1", {4, 4}, {10, 3}, 3, 64, 6216, 12321},
+          {"conv2", {4, 4}, {4, 4}, 32, 64, 24642, 24642},
+          {"conv3", {4, 4}, {4, 4}, 32, 128, 6050, 6050},
+          {"conv4", {3, 3}, {4, 4}, 32, 128, 12100, 36300},
+          {"conv5", {3, 3}, {4, 3}, 42, 256, 5832, 8748},
+          {"conv6", {3, 3}, {4, 3}, 42, 256, 10206, 14580},
+          {"conv7", {3, 3}, {3, 3}, -1, -1, 3380, 3380},
+          {"conv8", {3, 3}, {3, 3}, -1, -1, 6084, 6084},
+          {"conv9", {3, 3}, {3, 3}, -1, -1, 1296, 1296},
+          {"conv10", {3, 3}, {3, 3}, -1, -1, 1296, 1296},
+      },
+      /*sdk_total=*/114697, /*vw_total=*/77102);
+}
+
+TEST(PaperTable1, Resnet18AllRowsAndTotals) {
+  check_network(resnet18_paper(),
+                {
+                    {"conv1", {8, 8}, {10, 8}, 3, 64, 1431, 2809},
+                    {"conv2", {4, 4}, {4, 4}, 32, 64, 1458, 1458},
+                    {"conv3", {3, 3}, {4, 4}, 32, 128, 676, 2028},
+                    {"conv4", {3, 3}, {4, 3}, 42, 256, 504, 720},
+                    {"conv5", {3, 3}, {3, 3}, -1, -1, 225, 225},
+                },
+                /*sdk_total=*/7240, /*vw_total=*/4294);
+}
+
+TEST(PaperTable1, PublishedSpeedupsReproduce) {
+  // §V-B: "VW-SDK improves the computing speed by 3.16x and 1.49x on
+  // VGG13, 4.67x and 1.69x on Resnet-18 compared to im2col and SDK-based
+  // algorithm, respectively."
+  const auto check = [](const Network& net, double vs_im2col,
+                        double vs_sdk) {
+    const NetworkComparison cmp =
+        compare_mappers({"im2col", "sdk", "vw-sdk"}, net, k512x512);
+    EXPECT_NEAR(cmp.speedup(0, 2), vs_im2col, 0.005) << net.name();
+    EXPECT_NEAR(cmp.speedup(1, 2), vs_sdk, 0.005) << net.name();
+  };
+  check(vgg13_paper(), 3.16, 1.49);
+  check(resnet18_paper(), 4.67, 1.69);
+}
+
+TEST(PaperTable1, Im2colTotals) {
+  const Im2colMapper im2col;
+  EXPECT_EQ(optimize_network(im2col, vgg13_paper(), k512x512).total_cycles(),
+            243736);
+  EXPECT_EQ(
+      optimize_network(im2col, resnet18_paper(), k512x512).total_cycles(),
+      20041);
+}
+
+TEST(PaperTable1, TableEntryStringsMatchPaperFormat) {
+  const VwSdkMapper vw;
+  const ConvShape conv5 =
+      ConvShape::from_layer(vgg13_paper().layer_by_name("conv5"));
+  EXPECT_EQ(vw.map(conv5, k512x512).table_entry(), "4x3x42x256");
+  // Fallback rows print the layer's full channels (paper convention).
+  const ConvShape r5 =
+      ConvShape::from_layer(resnet18_paper().layer_by_name("conv5"));
+  EXPECT_EQ(vw.map(r5, k512x512).table_entry(), "3x3x512x512");
+}
+
+}  // namespace
+}  // namespace vwsdk

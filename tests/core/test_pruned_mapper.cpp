@@ -1,0 +1,80 @@
+#include "core/pruned_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "core/vwsdk_mapper.h"
+
+namespace vwsdk {
+namespace {
+
+struct PrunedCase {
+  Dim image, kernel, ic, oc, rows, cols;
+};
+
+class PrunedEquivalence : public ::testing::TestWithParam<PrunedCase> {};
+
+TEST_P(PrunedEquivalence, SameOptimumAndSameWindowAsUnpruned) {
+  const PrunedCase& c = GetParam();
+  const ConvShape shape = ConvShape::square(c.image, c.kernel, c.ic, c.oc);
+  const ArrayGeometry geometry{c.rows, c.cols};
+  const MappingDecision pruned = PrunedVwSdkMapper().map(shape, geometry);
+  const MappingDecision plain = VwSdkMapper().map(shape, geometry);
+  EXPECT_EQ(pruned.cost.total, plain.cost.total);
+  // Tie-breaking must also be preserved: same first-minimum window.
+  EXPECT_EQ(pruned.cost.window, plain.cost.window);
+  EXPECT_EQ(pruned.cost.ic_t, plain.cost.ic_t);
+  EXPECT_EQ(pruned.cost.oc_t, plain.cost.oc_t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayerSweep, PrunedEquivalence,
+    ::testing::Values(PrunedCase{224, 3, 3, 64, 512, 512},
+                      PrunedCase{224, 3, 64, 64, 512, 512},
+                      PrunedCase{56, 3, 128, 256, 512, 512},
+                      PrunedCase{28, 3, 256, 512, 512, 512},
+                      PrunedCase{7, 3, 512, 512, 512, 512},
+                      PrunedCase{112, 7, 3, 64, 512, 512},
+                      PrunedCase{56, 3, 64, 64, 128, 128},
+                      PrunedCase{14, 3, 256, 256, 128, 256},
+                      PrunedCase{13, 5, 12, 24, 128, 256},
+                      PrunedCase{64, 3, 1, 1, 32, 32},
+                      PrunedCase{9, 3, 2, 2048, 512, 512},
+                      PrunedCase{16, 3, 1024, 16, 256, 128}));
+
+TEST(PrunedMapper, ActuallyPrunes) {
+  // On VGG-13 conv1 (224x224, tiny channels) the full scan is ~49k
+  // candidates; the prunes must remove the overwhelming majority.
+  const ConvShape conv1 = ConvShape::square(224, 3, 3, 64);
+  PruneStats stats;
+  PrunedVwSdkMapper().map_with_stats(conv1, {512, 512}, &stats);
+  const Count full_scan = 222LL * 222 - 1;
+  EXPECT_LT(stats.evaluated, full_scan / 10);
+  EXPECT_GT(stats.lb_skipped + stats.row_breaks + stats.col_breaks, 0);
+}
+
+TEST(PrunedMapper, StatsAddUp) {
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  PruneStats stats;
+  const MappingDecision decision =
+      PrunedVwSdkMapper().map_with_stats(conv5, {512, 512}, &stats);
+  EXPECT_GT(stats.evaluated, 0);
+  EXPECT_EQ(decision.cost.total, 5832);
+}
+
+TEST(PrunedMapper, AvailableViaFactory) {
+  EXPECT_EQ(make_mapper("vw-sdk-pruned")->name(), "vw-sdk-pruned");
+  EXPECT_EQ(make_mapper("pruned")->name(), "vw-sdk-pruned");
+}
+
+TEST(PrunedMapper, StridedLayersStillExact) {
+  ConvShape strided = ConvShape::square(29, 3, 8, 16);
+  strided.stride_w = 2;
+  strided.stride_h = 2;
+  const MappingDecision pruned = PrunedVwSdkMapper().map(strided, {96, 48});
+  const MappingDecision plain = VwSdkMapper().map(strided, {96, 48});
+  EXPECT_EQ(pruned.cost.total, plain.cost.total);
+  EXPECT_EQ(pruned.cost.window, plain.cost.window);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,70 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "nn/model_zoo.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+TEST(Report, Table1LayoutContainsPaperEntries) {
+  const NetworkComparison cmp =
+      compare_mappers({"sdk", "vw-sdk"}, resnet18_paper(), k512x512);
+  const TextTable table = render_table1(cmp.results[0], cmp.results[1]);
+  const std::string text = table.render();
+  EXPECT_NE(text.find("8x8x3x64"), std::string::npos);     // SDK conv1
+  EXPECT_NE(text.find("10x8x3x64"), std::string::npos);    // VW conv1
+  EXPECT_NE(text.find("4x3x42x256"), std::string::npos);   // VW conv4
+  EXPECT_NE(text.find("3x3x512x512"), std::string::npos);  // fallback row
+  EXPECT_NE(text.find("7240"), std::string::npos);         // SDK total
+  EXPECT_NE(text.find("4294"), std::string::npos);         // VW total
+}
+
+TEST(Report, Table1RejectsMismatchedResults) {
+  const NetworkComparison a =
+      compare_mappers({"sdk"}, resnet18_paper(), k512x512);
+  const NetworkComparison b =
+      compare_mappers({"vw-sdk"}, vgg13_paper(), k512x512);
+  EXPECT_THROW(render_table1(a.results[0], b.results[0]), InvalidArgument);
+}
+
+TEST(Report, LayerSpeedupsBaselineIsFirst) {
+  const NetworkComparison cmp =
+      compare_mappers({"im2col", "sdk", "vw-sdk"}, resnet18_paper(),
+                      k512x512);
+  const TextTable table = render_layer_speedups(cmp);
+  const std::string text = table.render();
+  // im2col column is all 1.00; totals row present.
+  EXPECT_NE(text.find("1.00"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+  // ResNet-18 totals: 4.67 (vw) and 2.77 (sdk = 20041/7240).
+  EXPECT_NE(text.find("4.67"), std::string::npos);
+  EXPECT_NE(text.find("2.77"), std::string::npos);
+}
+
+TEST(Report, UtilizationTableHasPaperNumber) {
+  const NetworkComparison cmp =
+      compare_mappers({"im2col", "sdk", "vw-sdk"}, vgg13_paper(), k512x512);
+  const TextTable table =
+      render_utilization(cmp, UtilizationConvention::kSteadyState, 6);
+  const std::string text = table.render();
+  EXPECT_EQ(table.row_count(), 6);
+  EXPECT_NE(text.find("73.8"), std::string::npos);  // conv5, VW-SDK
+}
+
+TEST(Report, UtilizationRespectsMaxLayers) {
+  const NetworkComparison cmp =
+      compare_mappers({"im2col"}, vgg13_paper(), k512x512);
+  EXPECT_EQ(render_utilization(cmp, UtilizationConvention::kSteadyState, 3)
+                .row_count(),
+            3);
+  EXPECT_EQ(render_utilization(cmp, UtilizationConvention::kSteadyState)
+                .row_count(),
+            10);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,93 @@
+#include "core/sdk_mapper.h"
+
+#include <gtest/gtest.h>
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+TEST(SdkMapper, Resnet18Conv1Chooses8x8) {
+  // γ = 2 (4 duplicates): OC*4 = 256 <= 512 and AR stays 1.
+  // γ = 3 (9x9) fails the column constraint: 64*9 = 576 > 512.
+  const ConvShape conv1 = ConvShape::square(112, 7, 3, 64);
+  EXPECT_EQ(SdkMapper::chosen_gamma(conv1, k512x512), 2);
+  const SdkMapper mapper;
+  const MappingDecision decision = mapper.map(conv1, k512x512);
+  EXPECT_EQ(decision.cost.window, (ParallelWindow{8, 8}));
+  EXPECT_EQ(decision.cost.total, 2809);
+}
+
+TEST(SdkMapper, ColumnConstraintStopsGrowth) {
+  // VGG-13 conv1 (OC=64): rows would allow giant windows (IC=3) but
+  // columns cap γ at 2 (5x5 needs 64*9 = 576 > 512 columns).
+  const ConvShape conv1 = ConvShape::square(224, 3, 3, 64);
+  EXPECT_EQ(SdkMapper::chosen_gamma(conv1, k512x512), 2);
+}
+
+TEST(SdkMapper, ArConstraintStopsGrowth) {
+  // VGG-13 conv4 (IC=128): a 4x4 window would need AR = 4 > im2col's 3,
+  // so SDK cannot form any window -- the paper's "after Layer 3" regime.
+  const ConvShape conv4 = ConvShape::square(112, 3, 128, 128);
+  EXPECT_EQ(SdkMapper::chosen_gamma(conv4, k512x512), 1);
+  const SdkMapper mapper;
+  const MappingDecision decision = mapper.map(conv4, k512x512);
+  EXPECT_TRUE(decision.is_im2col_fallback());
+  EXPECT_EQ(decision.cost.total, 36300);
+}
+
+TEST(SdkMapper, ArConstraintAllowsEqualSplit) {
+  // VGG-13 conv2 (IC=64): im2col AR = 2 and the 4x4 window also needs
+  // AR = 2 (1024 rows over 512) -- allowed, and Table I confirms 4x4.
+  const ConvShape conv2 = ConvShape::square(224, 3, 64, 64);
+  EXPECT_EQ(SdkMapper::chosen_gamma(conv2, k512x512), 2);
+  const SdkMapper mapper;
+  EXPECT_EQ(mapper.map(conv2, k512x512).cost.total, 24642);
+}
+
+TEST(SdkMapper, WindowCappedByIfmExtent) {
+  // 4x4 IFM with a 3x3 kernel: γ = 2 gives a 4x4 window (= the IFM);
+  // γ = 3 would exceed the IFM and must be rejected regardless of array.
+  const ConvShape tiny = ConvShape::square(4, 3, 1, 1);
+  const ArrayGeometry huge{4096, 4096};
+  EXPECT_EQ(SdkMapper::chosen_gamma(tiny, huge), 2);
+}
+
+TEST(SdkMapper, NonSquareKernelFallsBackToIm2col) {
+  ConvShape rect = ConvShape::square(16, 3, 4, 8);
+  rect.kernel_w = 5;
+  const SdkMapper mapper;
+  const MappingDecision decision = mapper.map(rect, k512x512);
+  EXPECT_TRUE(decision.is_im2col_fallback());
+}
+
+TEST(SdkMapper, OcLargerThanColumnsMeansNoWindow) {
+  // Even γ = 2 needs OC*4 columns; with OC = 2048 > 512 the baseline
+  // cannot duplicate at all.
+  const ConvShape wide = ConvShape::square(14, 3, 16, 2048);
+  EXPECT_EQ(SdkMapper::chosen_gamma(wide, k512x512), 1);
+}
+
+TEST(SdkMapper, GammaMonotoneInColumns) {
+  // More columns -> γ can only grow (until rows/IFM stop it).
+  const ConvShape shape = ConvShape::square(64, 3, 4, 16);
+  Dim last = 1;
+  for (const Dim cols : {64, 128, 256, 512, 1024, 2048}) {
+    const Dim gamma = SdkMapper::chosen_gamma(shape, {512, cols});
+    EXPECT_GE(gamma, last);
+    last = gamma;
+  }
+}
+
+TEST(SdkMapper, DecisionMetadata) {
+  const SdkMapper mapper;
+  EXPECT_EQ(mapper.name(), "sdk");
+  const ConvShape conv2 = ConvShape::square(56, 3, 64, 64);
+  const MappingDecision decision = mapper.map(conv2, k512x512);
+  EXPECT_EQ(decision.algorithm, "sdk");
+  EXPECT_EQ(decision.cost.ic_t, 64);  // entire channels
+  EXPECT_EQ(decision.cost.oc_t, 64);
+}
+
+}  // namespace
+}  // namespace vwsdk

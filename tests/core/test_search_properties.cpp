@@ -1,0 +1,127 @@
+/// Parameterized property suite over (layer, geometry) pairs: invariants
+/// of the search algorithms that must hold everywhere, not just on the
+/// paper's configurations.
+
+#include <gtest/gtest.h>
+
+#include "core/exhaustive_mapper.h"
+#include "core/im2col_mapper.h"
+#include "core/sdk_mapper.h"
+#include "core/smd_mapper.h"
+#include "core/vwsdk_mapper.h"
+
+namespace vwsdk {
+namespace {
+
+struct SearchCase {
+  Dim image, kernel, ic, oc, rows, cols;
+};
+
+std::ostream& operator<<(std::ostream& os, const SearchCase& c) {
+  return os << c.image << "/" << c.kernel << "/" << c.ic << "/" << c.oc
+            << " on " << c.rows << "x" << c.cols;
+}
+
+class SearchProperties : public ::testing::TestWithParam<SearchCase> {
+ protected:
+  ConvShape shape() const {
+    const SearchCase& c = GetParam();
+    return ConvShape::square(c.image, c.kernel, c.ic, c.oc);
+  }
+  ArrayGeometry geometry() const {
+    const SearchCase& c = GetParam();
+    return ArrayGeometry{c.rows, c.cols};
+  }
+};
+
+TEST_P(SearchProperties, VwSdkMatchesExhaustiveOracle) {
+  const VwSdkMapper vw;
+  const ExhaustiveMapper oracle;
+  EXPECT_EQ(vw.map(shape(), geometry()).cost.total,
+            oracle.map(shape(), geometry()).cost.total);
+}
+
+TEST_P(SearchProperties, VwSdkNeverWorseThanAnyBaseline) {
+  const Cycles vw = VwSdkMapper().map(shape(), geometry()).cost.total;
+  EXPECT_LE(vw, Im2colMapper().map(shape(), geometry()).cost.total);
+  EXPECT_LE(vw, SdkMapper().map(shape(), geometry()).cost.total);
+}
+
+TEST_P(SearchProperties, SdkNeverWorseThanIm2col) {
+  // The reconstructed SDK constraints guarantee SDK's windows only ever
+  // reduce cycles relative to im2col.
+  EXPECT_LE(SdkMapper().map(shape(), geometry()).cost.total,
+            Im2colMapper().map(shape(), geometry()).cost.total);
+}
+
+TEST_P(SearchProperties, ChosenMappingIsFeasible) {
+  for (const char* name : {"im2col", "smd", "sdk", "vw-sdk"}) {
+    const MappingDecision decision =
+        make_mapper(name)->map(shape(), geometry());
+    EXPECT_TRUE(decision.cost.feasible) << name;
+    EXPECT_GT(decision.cost.total, 0) << name;
+    if (decision.cost.split == RowSplit::kChannelGranular) {
+      EXPECT_LE(decision.cost.window.area() * decision.cost.ic_t,
+                geometry().rows)
+          << name;
+    }
+  }
+}
+
+TEST_P(SearchProperties, MoreRowsNeverHurtVwSdk) {
+  const VwSdkMapper vw;
+  const ArrayGeometry bigger{geometry().rows * 2, geometry().cols};
+  EXPECT_LE(vw.map(shape(), bigger).cost.total,
+            vw.map(shape(), geometry()).cost.total);
+}
+
+TEST_P(SearchProperties, MoreColsNeverHurtVwSdk) {
+  const VwSdkMapper vw;
+  const ArrayGeometry bigger{geometry().rows, geometry().cols * 2};
+  EXPECT_LE(vw.map(shape(), bigger).cost.total,
+            vw.map(shape(), geometry()).cost.total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayerArraySweep, SearchProperties,
+    ::testing::Values(
+        // The paper's layers on the paper's arrays.
+        SearchCase{224, 3, 3, 64, 512, 512},
+        SearchCase{56, 3, 128, 256, 512, 512},
+        SearchCase{28, 3, 256, 512, 512, 512},
+        SearchCase{7, 3, 512, 512, 512, 512},
+        SearchCase{112, 7, 3, 64, 512, 512},
+        SearchCase{56, 3, 64, 64, 128, 128},
+        SearchCase{14, 3, 256, 256, 128, 256},
+        SearchCase{28, 3, 128, 128, 256, 256},
+        SearchCase{14, 3, 256, 256, 512, 256},
+        // Off-paper shapes: odd kernels, skinny arrays, huge OC, tiny IC.
+        SearchCase{13, 5, 12, 24, 128, 256},
+        SearchCase{32, 1, 8, 8, 64, 64},
+        SearchCase{9, 3, 2, 2048, 512, 512},
+        SearchCase{64, 3, 1, 1, 32, 32},
+        SearchCase{16, 3, 1024, 16, 256, 128},
+        SearchCase{11, 7, 6, 12, 512, 512},
+        SearchCase{24, 3, 20, 40, 200, 100}));
+
+// VW-SDK speedup over im2col grows (weakly) with array size on whole
+// networks -- the trend of Fig. 8(b), checked per layer here.
+TEST(SearchTrend, SpeedupGrowsWithArraySize) {
+  const VwSdkMapper vw;
+  const Im2colMapper im2col;
+  const ConvShape shape = ConvShape::square(56, 3, 128, 256);
+  double last_speedup = 0.0;
+  for (const ArrayGeometry& geometry :
+       {ArrayGeometry{128, 128}, ArrayGeometry{256, 256},
+        ArrayGeometry{512, 512}}) {
+    const double speedup =
+        static_cast<double>(im2col.map(shape, geometry).cost.total) /
+        static_cast<double>(vw.map(shape, geometry).cost.total);
+    EXPECT_GE(speedup + 1e-9, last_speedup);
+    last_speedup = speedup;
+  }
+  EXPECT_GT(last_speedup, 1.0);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,86 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "nn/model_zoo.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+NetworkMappingResult vw_resnet() {
+  return optimize_network(*make_mapper("vw-sdk"), resnet18_paper(),
+                          k512x512);
+}
+
+TEST(Serialize, ResultCsvRoundTripsThroughParser) {
+  std::ostringstream os;
+  write_result_csv(os, vw_resnet());
+  const std::vector<std::string> lines = split(trim(os.str()), '\n');
+  ASSERT_EQ(lines.size(), 6u);  // header + 5 layers
+  const auto header = csv_parse_line(lines[0]);
+  EXPECT_EQ(header.front(), "network");
+  EXPECT_EQ(header.back(), "cycles");
+  const auto conv4 = csv_parse_line(lines[4]);
+  ASSERT_EQ(conv4.size(), header.size());
+  EXPECT_EQ(conv4[0], "ResNet-18");
+  EXPECT_EQ(conv4[3], "conv4");
+  EXPECT_EQ(conv4[8], "4x3");   // window
+  EXPECT_EQ(conv4[9], "42");    // ic_t
+  EXPECT_EQ(conv4[14], "504");  // cycles
+}
+
+TEST(Serialize, ComparisonCsvHasSpeedups) {
+  const NetworkComparison cmp =
+      compare_mappers({"im2col", "vw-sdk"}, resnet18_paper(), k512x512);
+  std::ostringstream os;
+  write_comparison_csv(os, cmp);
+  const std::vector<std::string> lines = split(trim(os.str()), '\n');
+  ASSERT_EQ(lines.size(), 1u + 2 * 5);
+  // im2col rows have speedup 1.0000.
+  const auto first = csv_parse_line(lines[1]);
+  EXPECT_EQ(first.back(), "1.0000");
+  // The VW conv3 row: 2028/676 = 3.0000.
+  const auto vw_conv3 = csv_parse_line(lines[8]);
+  EXPECT_EQ(vw_conv3[3], "conv3");
+  EXPECT_EQ(vw_conv3.back(), "3.0000");
+}
+
+TEST(Serialize, DecisionJsonContainsAllFields) {
+  const MappingDecision decision = make_mapper("vw-sdk")->map(
+      ConvShape::square(56, 3, 128, 256), k512x512);
+  const std::string json = to_json(decision);
+  EXPECT_NE(json.find("\"algorithm\":\"vw-sdk\""), std::string::npos);
+  EXPECT_NE(json.find("\"window\":\"4x3\""), std::string::npos);
+  EXPECT_NE(json.find("\"ic_t\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\":5832"), std::string::npos);
+  EXPECT_NE(json.find("\"im2col_fallback\":false"), std::string::npos);
+}
+
+TEST(Serialize, NetworkJsonHasLayersAndTotal) {
+  const std::string json = to_json(vw_resnet());
+  EXPECT_NE(json.find("\"network\":\"ResNet-18\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"conv1\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_cycles\":4294"), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Serialize, JsonEscapesSpecialCharacters) {
+  MappingDecision decision = make_mapper("im2col")->map(
+      ConvShape::square(8, 3, 2, 2), {64, 32});
+  decision.algorithm = "weird\"name\\with\nstuff";
+  const std::string json = to_json(decision);
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vwsdk

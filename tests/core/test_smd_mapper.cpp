@@ -1,0 +1,44 @@
+#include "core/smd_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "core/im2col_mapper.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(SmdMapper, DuplicatesSmallLayers) {
+  const SmdMapper mapper;
+  EXPECT_EQ(mapper.name(), "smd");
+  const ConvShape small = ConvShape::square(10, 3, 4, 8);
+  const MappingDecision decision = mapper.map(small, {512, 512});
+  EXPECT_EQ(decision.cost.smd_duplicates, 14);
+  EXPECT_LT(decision.cost.total,
+            Im2colMapper().map(small, {512, 512}).cost.total);
+}
+
+TEST(SmdMapper, LargeLayersDegenerate) {
+  const SmdMapper mapper;
+  const ConvShape big = ConvShape::square(7, 3, 512, 512);
+  const MappingDecision smd = mapper.map(big, {512, 512});
+  const MappingDecision base = Im2colMapper().map(big, {512, 512});
+  EXPECT_EQ(smd.cost.smd_duplicates, 1);
+  EXPECT_EQ(smd.cost.total, base.cost.total);
+}
+
+TEST(SmdMapper, SitsBetweenIm2colAndVwOnSmallLayers) {
+  // The paper's Fig. 2 ordering: SMD improves on im2col by duplication
+  // but lacks input reuse, so VW-SDK (via make_mapper) must be at least
+  // as good on layers where windows help.
+  const ConvShape shape = ConvShape::square(16, 3, 2, 4);
+  const ArrayGeometry geometry{128, 64};
+  const Cycles im2col =
+      make_mapper("im2col")->map(shape, geometry).cost.total;
+  const Cycles smd = make_mapper("smd")->map(shape, geometry).cost.total;
+  const Cycles vw = make_mapper("vw-sdk")->map(shape, geometry).cost.total;
+  EXPECT_LE(smd, im2col);
+  EXPECT_LE(vw, im2col);
+}
+
+}  // namespace
+}  // namespace vwsdk

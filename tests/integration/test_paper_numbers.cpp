@@ -1,0 +1,202 @@
+/// Integration pins for every quantitative claim in the paper's text that
+/// our models reproduce, beyond the Table-I rows covered in
+/// core/test_paper_table1.cpp: Fig. 4 capacities, Fig. 5 example/sweep,
+/// Fig. 7 tile curves, Fig. 8 trends, Fig. 9 utilization.
+
+#include <gtest/gtest.h>
+
+#include "core/network_optimizer.h"
+#include "mapping/utilization.h"
+#include "nn/model_zoo.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+const ArrayGeometry k512x256{512, 256};
+
+// ----------------------------------------------------------------
+// Fig. 4: computable channel size at one cycle.
+// im2col on a RxC array with K=3: IC <= floor(R/9), OC <= C.
+// SDK with a 4x4 window: IC <= floor(R/16), OC <= floor(C/4).
+// ----------------------------------------------------------------
+TEST(PaperFig4, ComputableChannelsPerArray) {
+  struct Expectation {
+    ArrayGeometry geometry;
+    Count im2col_ic, im2col_oc, sdk_ic, sdk_oc;
+  };
+  const Expectation table[] = {
+      {{128, 128}, 14, 128, 8, 32},
+      {{256, 256}, 28, 256, 16, 64},
+      {{512, 512}, 56, 512, 32, 128},
+      {{512, 256}, 56, 256, 32, 64},
+  };
+  for (const Expectation& e : table) {
+    EXPECT_EQ(e.geometry.rows / 9, e.im2col_ic);
+    EXPECT_EQ(e.geometry.cols, e.im2col_oc);
+    EXPECT_EQ(e.geometry.rows / 16, e.sdk_ic);
+    EXPECT_EQ(e.geometry.cols / 4, e.sdk_oc);
+    // The paper's point: VGG-13's deeper layers (up to 512 channels)
+    // cannot be mapped whole -- even the largest array computes at most
+    // 56 input channels per cycle with im2col.
+    EXPECT_LT(e.im2col_ic, 512);
+  }
+}
+
+// ----------------------------------------------------------------
+// Fig. 5(b): speedup (vs im2col) of fixed windows as the IFM grows.
+// Config: 512x256 array, K=3, IC=42, OC=96.  The 4x3 window tends to 2x,
+// 4x4 and 6x3 hover near 1x.
+// ----------------------------------------------------------------
+TEST(PaperFig5b, RectangularWindowApproachesTwoX) {
+  for (const Dim image : {56, 112, 224, 256}) {
+    const ConvShape shape = ConvShape::square(image, 3, 42, 96);
+    const double im2col =
+        static_cast<double>(im2col_cost(shape, k512x256).total);
+    const double rect =
+        static_cast<double>(vw_cost(shape, k512x256, {4, 3}).total);
+    const double square =
+        static_cast<double>(vw_cost(shape, k512x256, {4, 4}).total);
+    EXPECT_NEAR(im2col / rect, 2.0, 0.1) << "image " << image;
+    EXPECT_NEAR(im2col / square, 1.0, 0.15) << "image " << image;
+  }
+  // 6x3 needs two IC tiles (ICt = floor(512/18) = 28 < 42) and two OC
+  // tiles (OCt = floor(256/4) = 64 < 96): speedup stays near 1.
+  const ConvShape big = ConvShape::square(224, 3, 42, 96);
+  const double ratio =
+      static_cast<double>(im2col_cost(big, k512x256).total) /
+      static_cast<double>(vw_cost(big, k512x256, {6, 3}).total);
+  EXPECT_NEAR(ratio, 1.0, 0.2);
+}
+
+// ----------------------------------------------------------------
+// Fig. 7: tiled channels vs window size / window count.
+// ----------------------------------------------------------------
+TEST(PaperFig7a, TiledIcCurve) {
+  // IC_t = floor(rows / area) for a huge-IC layer (no clamping).
+  const ConvShape shape = ConvShape::square(80, 3, 4096, 64);
+  const struct {
+    Count area, rows, expected;
+  } samples[] = {
+      {9, 128, 14},  {9, 256, 28},  {9, 512, 56},  {16, 512, 32},
+      {22, 512, 23}, {40, 512, 12}, {76, 512, 6},  {76, 128, 1},
+  };
+  for (const auto& s : samples) {
+    // Use a wxh = area x 1... area is w*h; pick w=area/h with h = 1? The
+    // kernel is 3x3 so the minimal window is 3x3; instead pick w x 3 with
+    // w = area / 3 when divisible, else verify via the formula directly.
+    if (s.area % 3 == 0) {
+      const ParallelWindow pw{static_cast<Dim>(s.area / 3), 3};
+      EXPECT_EQ(tiled_ic(shape, {static_cast<Dim>(s.rows), 512}, pw),
+                s.expected)
+          << "area " << s.area << " rows " << s.rows;
+    } else {
+      EXPECT_EQ(s.rows / s.area, s.expected);
+    }
+  }
+}
+
+TEST(PaperFig7b, TiledOcCurve) {
+  // OC_t = floor(cols / N_WP) for a huge-OC layer.
+  const ConvShape shape = ConvShape::square(80, 3, 16, 4096);
+  for (const Dim cols : {128, 256, 512}) {
+    Count last = std::numeric_limits<Count>::max();
+    for (Dim extra = 0; extra <= 14; ++extra) {
+      const ParallelWindow pw{static_cast<Dim>(3 + extra), 3};
+      const Count n_wp = windows_in_pw(shape, pw);  // 1 + extra
+      const Dim oc_t = tiled_oc(shape, {512, cols}, pw);
+      EXPECT_EQ(oc_t, cols / n_wp);
+      EXPECT_LE(oc_t, last);  // monotone non-increasing
+      last = oc_t;
+    }
+  }
+}
+
+// ----------------------------------------------------------------
+// Fig. 8(b): total-network speedup vs array size (trend check: VW-SDK
+// beats SDK beats im2col at every size, and VW-SDK's speedup grows with
+// the array).
+// ----------------------------------------------------------------
+TEST(PaperFig8b, SpeedupTrendsAcrossArraySizes) {
+  for (const Network& net : {vgg13_paper(), resnet18_paper()}) {
+    double last_vw = 0.0;
+    for (const ArrayGeometry& geometry : paper_geometries()) {
+      const NetworkComparison cmp =
+          compare_mappers({"im2col", "sdk", "vw-sdk"}, net, geometry);
+      const double sdk = cmp.speedup(0, 1);
+      const double vw = cmp.speedup(0, 2);
+      EXPECT_GE(sdk, 1.0) << net.name() << " " << geometry.to_string();
+      EXPECT_GE(vw, sdk) << net.name() << " " << geometry.to_string();
+      EXPECT_GE(vw + 1e-9, last_vw)
+          << net.name() << " " << geometry.to_string();
+      last_vw = vw;
+    }
+    EXPECT_GT(last_vw, 1.4) << net.name();
+  }
+}
+
+// ----------------------------------------------------------------
+// Fig. 9: utilization claims.
+// ----------------------------------------------------------------
+TEST(PaperFig9a, UtilizationOrderingOnVgg13) {
+  const NetworkComparison cmp =
+      compare_mappers({"im2col", "sdk", "vw-sdk"}, vgg13_paper(), k512x512);
+  for (Count layer = 0; layer < 6; ++layer) {
+    const auto util = [&](Count mapper_index) {
+      const MappingDecision& d =
+          cmp.results[static_cast<std::size_t>(mapper_index)]
+              .layers[static_cast<std::size_t>(layer)]
+              .decision;
+      return utilization(d.shape, d.geometry, d.cost,
+                         UtilizationConvention::kSteadyState);
+    };
+    EXPECT_GE(util(1) + 1e-12, util(0)) << "layer " << layer;  // sdk>=im2col
+    EXPECT_GE(util(2) + 1e-12, util(1)) << "layer " << layer;  // vw>=sdk
+  }
+  // "the utilizations of the SDK-based algorithm and VW-SDK are equal
+  // until Layer 3" -- true for conv2 and conv3 where both pick 4x4...
+  for (Count layer : {1, 2}) {
+    const MappingDecision& sdk =
+        cmp.results[1].layers[static_cast<std::size_t>(layer)].decision;
+    const MappingDecision& vw =
+        cmp.results[2].layers[static_cast<std::size_t>(layer)].decision;
+    EXPECT_EQ(sdk.cost.window, vw.cost.window) << "layer " << layer;
+  }
+}
+
+TEST(PaperFig9a, Conv5Reaches73_8Percent) {
+  const NetworkComparison cmp =
+      compare_mappers({"vw-sdk"}, vgg13_paper(), k512x512);
+  const MappingDecision& conv5 = cmp.results[0].layers[4].decision;
+  const double util =
+      utilization(conv5.shape, conv5.geometry, conv5.cost,
+                  UtilizationConvention::kSteadyState);
+  EXPECT_NEAR(100.0 * util, 73.8, 0.05);
+}
+
+TEST(PaperFig9b, LargerArraysRaiseVwUtilizationOnConv4AndConv5) {
+  // Fig. 9(b): with larger arrays VW-SDK gains utilization against the
+  // conventional algorithms on VGG-13 layer4/layer5.
+  const Network net = vgg13_paper();
+  for (const char* layer_name : {"conv4", "conv5"}) {
+    const ConvShape shape =
+        ConvShape::from_layer(net.layer_by_name(layer_name));
+    const auto vw_util = [&](const ArrayGeometry& geometry) {
+      const MappingDecision d = make_mapper("vw-sdk")->map(shape, geometry);
+      return utilization(d.shape, d.geometry, d.cost,
+                         UtilizationConvention::kSteadyState);
+    };
+    const auto im2col_util = [&](const ArrayGeometry& geometry) {
+      const MappingDecision d = make_mapper("im2col")->map(shape, geometry);
+      return utilization(d.shape, d.geometry, d.cost,
+                         UtilizationConvention::kSteadyState);
+    };
+    EXPECT_GE(vw_util({512, 512}) + 1e-12, im2col_util({512, 512}))
+        << layer_name;
+    EXPECT_GE(vw_util({256, 256}) + 1e-12, im2col_util({256, 256}))
+        << layer_name;
+  }
+}
+
+}  // namespace
+}  // namespace vwsdk

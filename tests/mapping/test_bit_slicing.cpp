@@ -1,0 +1,97 @@
+#include "mapping/bit_slicing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+TEST(BitSlicing, DefaultConfigIsTransparent) {
+  const BitSlicingConfig config;
+  EXPECT_EQ(config.slices(), 1);
+  EXPECT_EQ(config.input_steps(), 1);
+}
+
+TEST(BitSlicing, SlicesAndStepsRoundUp) {
+  BitSlicingConfig config;
+  config.weight_bits = 8;
+  config.cell_bits = 3;
+  config.input_bits = 8;
+  config.dac_bits = 1;
+  EXPECT_EQ(config.slices(), 3);       // ceil(8/3)
+  EXPECT_EQ(config.input_steps(), 8);  // ceil(8/1)
+}
+
+TEST(BitSlicing, Validation) {
+  BitSlicingConfig config;
+  config.weight_bits = 0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = BitSlicingConfig{};
+  config.cell_bits = 33;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = BitSlicingConfig{};
+  config.dac_bits = -1;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+TEST(BitSlicing, DefaultConfigReproducesPaperCosts) {
+  const BitSlicingConfig config;
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  EXPECT_EQ(vw_cost_bitsliced(conv5, k512x512, {4, 3}, config).total,
+            vw_cost(conv5, k512x512, {4, 3}).total);
+  EXPECT_EQ(im2col_cost_bitsliced(conv5, k512x512, config).total,
+            im2col_cost(conv5, k512x512).total);
+}
+
+TEST(BitSlicing, SlicesShrinkOcTile) {
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  BitSlicingConfig config;
+  config.weight_bits = 8;
+  config.cell_bits = 2;  // 4 slices
+  // 4x3 window: N_WP = 2, slices 4 -> OC_t = floor(512/8) = 64.
+  EXPECT_EQ(tiled_oc_bitsliced(conv5, k512x512, {4, 3}, config), 64);
+  const CycleCost cost = vw_cost_bitsliced(conv5, k512x512, {4, 3}, config);
+  EXPECT_EQ(cost.oc_t, 64);
+  EXPECT_EQ(cost.ac_cycles, 4);  // ceil(256/64)
+}
+
+TEST(BitSlicing, InputStepsMultiplyCycles) {
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  BitSlicingConfig config;
+  config.input_bits = 8;
+  config.dac_bits = 2;  // 4 steps
+  const CycleCost base = vw_cost(conv5, k512x512, {4, 3});
+  const CycleCost sliced = vw_cost_bitsliced(conv5, k512x512, {4, 3}, config);
+  EXPECT_EQ(sliced.total, base.total * 4);
+}
+
+TEST(BitSlicing, InfeasibleWhenSlicesExceedColumns) {
+  const ConvShape shape = ConvShape::square(8, 3, 4, 6);
+  BitSlicingConfig config;
+  config.weight_bits = 16;
+  config.cell_bits = 1;  // 16 slices
+  // Array with 8 columns cannot hold even one sliced output channel.
+  const CycleCost cost =
+      im2col_cost_bitsliced(shape, {64, 8}, config);
+  EXPECT_FALSE(cost.feasible);
+}
+
+TEST(BitSlicing, MonotoneInCellBits) {
+  // Coarser cells (fewer bits) can only increase cycles.
+  const ConvShape conv4 = ConvShape::square(14, 3, 256, 256);
+  Cycles last = 0;
+  for (const int cell_bits : {8, 4, 2, 1}) {
+    BitSlicingConfig config;
+    config.cell_bits = cell_bits;
+    const CycleCost cost =
+        im2col_cost_bitsliced(conv4, k512x512, config);
+    EXPECT_GE(cost.total, last) << cell_bits;
+    last = cost.total;
+  }
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,84 @@
+#include "mapping/conv_shape.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "nn/model_zoo.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(ConvShape, SquareFactory) {
+  const ConvShape shape = ConvShape::square(56, 3, 128, 256);
+  EXPECT_EQ(shape.ifm_w, 56);
+  EXPECT_EQ(shape.ifm_h, 56);
+  EXPECT_EQ(shape.kernel_w, 3);
+  EXPECT_EQ(shape.in_channels, 128);
+  EXPECT_EQ(shape.out_channels, 256);
+  EXPECT_EQ(shape.stride_w, 1);
+}
+
+TEST(ConvShape, FromLayerCopiesEverything) {
+  ConvLayerDesc layer = make_conv_layer("l", 112, 7, 3, 64);
+  layer.config.stride_w = 2;
+  layer.config.stride_h = 2;
+  layer.config.pad_w = 3;
+  layer.config.pad_h = 3;
+  const ConvShape shape = ConvShape::from_layer(layer);
+  EXPECT_EQ(shape.kernel_w, 7);
+  EXPECT_EQ(shape.stride_h, 2);
+  EXPECT_EQ(shape.pad_w, 3);
+  EXPECT_EQ(shape.padded_w(), 118);
+}
+
+TEST(ConvShape, WindowCountsStride1) {
+  const ConvShape shape = ConvShape::square(224, 3, 3, 64);
+  EXPECT_EQ(shape.windows_w(), 222);
+  EXPECT_EQ(shape.num_windows(), 222 * 222);
+  const ConvShape tiny = ConvShape::square(7, 3, 512, 512);
+  EXPECT_EQ(tiny.num_windows(), 25);
+}
+
+TEST(ConvShape, WindowCountsStride2WithPadding) {
+  ConvShape shape = ConvShape::square(112, 7, 3, 64);
+  shape.stride_w = 2;
+  shape.stride_h = 2;
+  shape.pad_w = 3;
+  shape.pad_h = 3;
+  EXPECT_EQ(shape.windows_w(), 56);
+  EXPECT_EQ(shape.num_windows(), 56 * 56);
+}
+
+TEST(ConvShape, KernelVolume) {
+  const ConvShape shape = ConvShape::square(7, 3, 512, 512);
+  EXPECT_EQ(shape.kernel_volume(), 9 * 512);
+}
+
+TEST(ConvShape, ValidationRejectsBadShapes) {
+  ConvShape shape = ConvShape::square(8, 3, 4, 4);
+  shape.kernel_w = 9;
+  EXPECT_THROW(shape.validate(), InvalidArgument);
+  shape = ConvShape::square(8, 3, 4, 4);
+  shape.in_channels = 0;
+  EXPECT_THROW(shape.validate(), InvalidArgument);
+  shape = ConvShape::square(8, 3, 4, 4);
+  shape.stride_h = 0;
+  EXPECT_THROW(shape.validate(), InvalidArgument);
+}
+
+TEST(ConvShape, ToStringCompact) {
+  EXPECT_EQ(ConvShape::square(56, 3, 128, 256).to_string(),
+            "56x56 k3x3 ic128 oc256 s1 p0");
+}
+
+TEST(ConvShape, EveryZooLayerConverts) {
+  for (const auto& name : model_names()) {
+    const Network net = model_by_name(name);
+    for (const ConvLayerDesc& layer : net.layers()) {
+      EXPECT_NO_THROW(ConvShape::from_layer(layer).validate()) << layer.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,304 @@
+#include "mapping/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+const ArrayGeometry k512x256{512, 256};
+
+// ------------------------------------------------------------------
+// Tiled channels, Eqs. (4) and (6).
+// ------------------------------------------------------------------
+
+TEST(TiledChannels, PaperExamples) {
+  // Fig. 7(a)-style values: IC_t = floor(rows / PW area), clamped to IC.
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  EXPECT_EQ(tiled_ic(conv5, k512x512, {4, 3}), 42);   // floor(512/12)
+  EXPECT_EQ(tiled_ic(conv5, k512x512, {4, 4}), 32);   // floor(512/16)
+  EXPECT_EQ(tiled_ic(conv5, k512x512, {3, 3}), 56);   // floor(512/9)
+  // Clamped to the layer's IC.
+  const ConvShape conv1 = ConvShape::square(224, 3, 3, 64);
+  EXPECT_EQ(tiled_ic(conv1, k512x512, {10, 3}), 3);
+}
+
+TEST(TiledChannels, OcTiles) {
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  EXPECT_EQ(tiled_oc(conv5, k512x512, {4, 3}), 256);  // floor(512/2) clamped
+  EXPECT_EQ(tiled_oc(conv5, k512x512, {4, 4}), 128);  // floor(512/4)
+  const ConvShape conv1 = ConvShape::square(224, 3, 3, 64);
+  EXPECT_EQ(tiled_oc(conv1, k512x512, {10, 3}), 64);  // floor(512/8) clamped
+}
+
+TEST(TiledChannels, ZeroMeansInfeasible) {
+  const ConvShape big = ConvShape::square(56, 3, 128, 256);
+  // Window area 30*30=900 > 512 rows: not even one channel fits.
+  EXPECT_EQ(tiled_ic(big, k512x512, {30, 30}), 0);
+}
+
+// ------------------------------------------------------------------
+// im2col, Eq. (1) with N_WP = 1 (element-granular AR).
+// ------------------------------------------------------------------
+
+TEST(Im2colCost, Resnet18PerLayerValues) {
+  // Hand-derived from Eq. (1); these five sum to the paper's implied
+  // im2col total of 20041 (4.67x speedup for VW-SDK at 4294).
+  struct Row {
+    Dim image, kernel, ic, oc;
+    Cycles expected;
+  };
+  const Row rows[] = {
+      {112, 7, 3, 64, 11236},   // 106^2 x 1 x 1
+      {56, 3, 64, 64, 5832},    // 54^2 x 2
+      {28, 3, 128, 128, 2028},  // 26^2 x 3
+      {14, 3, 256, 256, 720},   // 12^2 x 5
+      {7, 3, 512, 512, 225},    // 25 x 9  (element-granular AR!)
+  };
+  Cycles total = 0;
+  for (const Row& row : rows) {
+    const ConvShape shape =
+        ConvShape::square(row.image, row.kernel, row.ic, row.oc);
+    const CycleCost cost = im2col_cost(shape, k512x512);
+    EXPECT_TRUE(cost.feasible);
+    EXPECT_EQ(cost.total, row.expected) << shape.to_string();
+    total += cost.total;
+  }
+  EXPECT_EQ(total, 20041);
+}
+
+TEST(Im2colCost, ElementGranularityIsLoadBearing) {
+  // ResNet-18 conv5: 9*512 = 4608 rows over 512 = exactly 9 AR cycles.
+  // Channel-granular tiling would give ceil(512/56) = 10.
+  const ConvShape conv5 = ConvShape::square(7, 3, 512, 512);
+  const CycleCost cost = im2col_cost(conv5, k512x512);
+  EXPECT_EQ(cost.ar_cycles, 9);
+  EXPECT_EQ(cost.split, RowSplit::kElementGranular);
+}
+
+TEST(Im2colCost, AcCyclesFromOutputChannels) {
+  const ConvShape shape = ConvShape::square(14, 3, 16, 2048);
+  const CycleCost cost = im2col_cost(shape, k512x512);
+  EXPECT_EQ(cost.ac_cycles, 4);  // ceil(2048/512)
+  EXPECT_EQ(cost.total, 144 * 1 * 4);
+}
+
+TEST(Im2colCost, VGG13Layer1) {
+  const ConvShape conv1 = ConvShape::square(224, 3, 3, 64);
+  EXPECT_EQ(im2col_cost(conv1, k512x512).total, 49284);
+}
+
+// ------------------------------------------------------------------
+// SDK cost, Eq. (1) with entire channels.
+// ------------------------------------------------------------------
+
+TEST(SdkCost, Resnet18Conv1With8x8Window) {
+  const ConvShape conv1 = ConvShape::square(112, 7, 3, 64);
+  const CycleCost cost = sdk_cost(conv1, k512x512, {8, 8});
+  EXPECT_TRUE(cost.feasible);
+  EXPECT_EQ(cost.n_parallel_windows, 53 * 53);
+  EXPECT_EQ(cost.ar_cycles, 1);  // ceil(64*3/512)
+  EXPECT_EQ(cost.ac_cycles, 1);  // ceil(64*4/512)
+  EXPECT_EQ(cost.total, 2809);
+}
+
+TEST(SdkCost, RowSplitAllowsOversizedWindows) {
+  // VGG-13 conv2: 4x4 window, 16*64 = 1024 rows -> AR = 2 on 512 rows.
+  const ConvShape conv2 = ConvShape::square(224, 3, 64, 64);
+  const CycleCost cost = sdk_cost(conv2, k512x512, {4, 4});
+  EXPECT_EQ(cost.ar_cycles, 2);
+  EXPECT_EQ(cost.ac_cycles, 1);
+  EXPECT_EQ(cost.total, 111 * 111 * 2);  // 24642
+}
+
+TEST(SdkCost, InadmissibleWindowInfeasible) {
+  const ConvShape conv1 = ConvShape::square(7, 3, 4, 4);
+  const CycleCost cost = sdk_cost(conv1, k512x512, {8, 8});
+  EXPECT_FALSE(cost.feasible);
+}
+
+// ------------------------------------------------------------------
+// VW-SDK cost, Eq. (8).
+// ------------------------------------------------------------------
+
+TEST(VwCost, VGG13Conv5With4x3Window) {
+  // The paper's flagship example: 4x3 window, IC_t = 42, OC_t = 256,
+  // N_PW = 1458, AR = 4, AC = 1 -> 5832 cycles.
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  const CycleCost cost = vw_cost(conv5, k512x512, {4, 3});
+  EXPECT_TRUE(cost.feasible);
+  EXPECT_EQ(cost.ic_t, 42);
+  EXPECT_EQ(cost.oc_t, 256);
+  EXPECT_EQ(cost.n_parallel_windows, 1458);
+  EXPECT_EQ(cost.ar_cycles, 4);
+  EXPECT_EQ(cost.ac_cycles, 1);
+  EXPECT_EQ(cost.total, 5832);
+}
+
+TEST(VwCost, VGG13Conv5With4x4WindowTies) {
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  const CycleCost cost = vw_cost(conv5, k512x512, {4, 4});
+  EXPECT_EQ(cost.total, 5832);  // 729 * 4 * 2
+  EXPECT_EQ(cost.ic_t, 32);
+  EXPECT_EQ(cost.oc_t, 128);
+}
+
+TEST(VwCost, Resnet18Conv1With10x8Window) {
+  const ConvShape conv1 = ConvShape::square(112, 7, 3, 64);
+  const CycleCost cost = vw_cost(conv1, k512x512, {10, 8});
+  EXPECT_EQ(cost.ic_t, 3);   // clamped: floor(512/80) = 6 > IC = 3
+  EXPECT_EQ(cost.oc_t, 64);  // floor(512/8) = 64
+  EXPECT_EQ(cost.ar_cycles, 1);
+  EXPECT_EQ(cost.ac_cycles, 1);
+  EXPECT_EQ(cost.total, 27 * 53);  // 1431
+}
+
+TEST(VwCost, InfeasibleWindowsReported) {
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  EXPECT_FALSE(vw_cost(conv5, k512x512, {30, 30}).feasible);
+  EXPECT_FALSE(vw_cost(conv5, k512x512, {2, 3}).feasible);
+  // N_WP > cols: 56x3 window has 54 windows, OC_t = floor(512/54) = 9 > 0,
+  // still feasible; push to all 54x54: N_WP = 54*54 = 2916 > 512 -> OC_t=0.
+  EXPECT_FALSE(vw_cost(conv5, k512x512, {56, 56}).feasible);
+}
+
+// ------------------------------------------------------------------
+// Fig. 5(a): the paper's worked example.  Array 512x256, kernel 3x3,
+// IC = 42, OC = 96, IFM such that there are 4 windows (I = 4).
+// im2col: 4 cycles; 4x3 window: 2 cycles; 4x4 window: 4 cycles.
+// ------------------------------------------------------------------
+
+TEST(CostModel, Fig5aWorkedExample) {
+  const ConvShape example = ConvShape::square(4, 3, 42, 96);
+
+  const CycleCost im2col = im2col_cost(example, k512x256);
+  EXPECT_EQ(im2col.total, 4);  // 4 windows, 378 rows <= 512, 96 cols <= 256
+
+  const CycleCost rect = vw_cost(example, k512x256, {4, 3});
+  EXPECT_EQ(rect.total, 2);    // 504 rows fit, 192 cols fit: 2 PWs
+  EXPECT_EQ(rect.ar_cycles, 1);
+  EXPECT_EQ(rect.ac_cycles, 1);
+
+  const CycleCost square = vw_cost(example, k512x256, {4, 4});
+  EXPECT_EQ(square.total, 4);  // 672 rows -> AR 2; 384 cols -> AC 2; 1 PW
+  EXPECT_EQ(square.ar_cycles, 2);
+  EXPECT_EQ(square.ac_cycles, 2);
+}
+
+// ------------------------------------------------------------------
+// SMD (sub-matrix duplication).
+// ------------------------------------------------------------------
+
+TEST(SmdCost, DuplicatesWhenSpacePermits) {
+  // K^2*IC = 9*4 = 36 rows; OC = 8 cols.  512/36 = 14, 512/8 = 64 -> D=14.
+  const ConvShape small = ConvShape::square(10, 3, 4, 8);
+  const CycleCost cost = smd_cost(small, k512x512);
+  EXPECT_EQ(cost.smd_duplicates, 14);
+  EXPECT_EQ(cost.total, (64 + 13) / 14);  // ceil(64/14) = 5
+  EXPECT_EQ(cost.ar_cycles, 1);
+  EXPECT_EQ(cost.ac_cycles, 1);
+}
+
+TEST(SmdCost, DuplicatesCappedByWindows) {
+  // Only 4 windows exist; never duplicate more than that.
+  const ConvShape tiny = ConvShape::square(4, 3, 1, 1);
+  const CycleCost cost = smd_cost(tiny, k512x512);
+  EXPECT_LE(cost.smd_duplicates, 4);
+  EXPECT_EQ(cost.total, ceil_div(4, cost.smd_duplicates));
+}
+
+TEST(SmdCost, FallsBackToIm2col) {
+  // Big layer: one im2col matrix doesn't even fit -> D = 1, same as im2col.
+  const ConvShape big = ConvShape::square(7, 3, 512, 512);
+  const CycleCost smd = smd_cost(big, k512x512);
+  const CycleCost base = im2col_cost(big, k512x512);
+  EXPECT_EQ(smd.smd_duplicates, 1);
+  EXPECT_EQ(smd.total, base.total);
+}
+
+TEST(SmdCost, ColumnLimited) {
+  // Rows would allow 5 copies but columns only 2.
+  const ConvShape shape = ConvShape::square(12, 3, 11, 250);
+  // K^2*IC = 99; floor(512/99) = 5; floor(512/250) = 2.
+  EXPECT_EQ(smd_cost(shape, k512x512).smd_duplicates, 2);
+}
+
+// ------------------------------------------------------------------
+// Cross-model properties.
+// ------------------------------------------------------------------
+
+struct PropertyCase {
+  Dim image, kernel, ic, oc, rows, cols;
+};
+
+class CostProperties : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(CostProperties, VwAtKernelWindowNeverBeatsIm2col) {
+  // Element-granular row packing is at least as dense as channel tiles:
+  // im2col cycles <= channel-granular kernel-window cycles.
+  const PropertyCase& c = GetParam();
+  const ConvShape shape = ConvShape::square(c.image, c.kernel, c.ic, c.oc);
+  const ArrayGeometry geometry{c.rows, c.cols};
+  const CycleCost kernel_vw =
+      vw_cost(shape, geometry, {c.kernel, c.kernel});
+  const CycleCost im2col = im2col_cost(shape, geometry);
+  if (kernel_vw.feasible) {
+    EXPECT_LE(im2col.total, kernel_vw.total);
+  }
+}
+
+TEST_P(CostProperties, SmdNeverSlowerThanIm2col) {
+  const PropertyCase& c = GetParam();
+  const ConvShape shape = ConvShape::square(c.image, c.kernel, c.ic, c.oc);
+  const ArrayGeometry geometry{c.rows, c.cols};
+  EXPECT_LE(smd_cost(shape, geometry).total,
+            im2col_cost(shape, geometry).total);
+}
+
+TEST_P(CostProperties, CycleBreakdownMultipliesOut) {
+  const PropertyCase& c = GetParam();
+  const ConvShape shape = ConvShape::square(c.image, c.kernel, c.ic, c.oc);
+  const ArrayGeometry geometry{c.rows, c.cols};
+  for (Dim w = c.kernel; w <= std::min<Dim>(c.image, c.kernel + 6); ++w) {
+    for (Dim h = c.kernel; h <= std::min<Dim>(c.image, c.kernel + 6); ++h) {
+      const CycleCost cost = vw_cost(shape, geometry, {w, h});
+      if (cost.feasible) {
+        EXPECT_EQ(cost.total,
+                  cost.n_parallel_windows * cost.ar_cycles * cost.ac_cycles);
+        EXPECT_GE(cost.ic_t, 1);
+        EXPECT_GE(cost.oc_t, 1);
+        EXPECT_LE(cost.window.area() * cost.ic_t, geometry.rows);
+        EXPECT_LE(windows_in_pw(shape, cost.window) * cost.oc_t,
+                  geometry.cols);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CostProperties,
+    ::testing::Values(PropertyCase{7, 3, 512, 512, 512, 512},
+                      PropertyCase{14, 3, 256, 256, 512, 512},
+                      PropertyCase{28, 3, 128, 128, 256, 256},
+                      PropertyCase{56, 3, 64, 64, 128, 128},
+                      PropertyCase{112, 7, 3, 64, 512, 256},
+                      PropertyCase{13, 5, 12, 24, 128, 256},
+                      PropertyCase{10, 1, 8, 8, 64, 64},
+                      PropertyCase{9, 3, 2, 2048, 512, 512}));
+
+TEST(CycleCost, ToStringMentionsKeyFields) {
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  const std::string text = vw_cost(conv5, k512x512, {4, 3}).to_string();
+  EXPECT_NE(text.find("pw=4x3"), std::string::npos);
+  EXPECT_NE(text.find("cycles=5832"), std::string::npos);
+  EXPECT_NE(vw_cost(conv5, k512x512, {30, 30}).to_string().find("infeasible"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vwsdk

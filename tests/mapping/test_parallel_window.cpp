@@ -1,0 +1,98 @@
+#include "mapping/parallel_window.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace vwsdk {
+namespace {
+
+const ConvShape kLayer = ConvShape::square(56, 3, 128, 256);
+
+TEST(ParallelWindow, BasicProperties) {
+  const ParallelWindow pw{4, 3};
+  EXPECT_EQ(pw.area(), 12);
+  EXPECT_EQ(pw.to_string(), "4x3");
+  EXPECT_EQ(kernel_window(kLayer), (ParallelWindow{3, 3}));
+}
+
+TEST(ParallelWindow, Admissibility) {
+  EXPECT_TRUE(window_admissible(kLayer, {3, 3}));
+  EXPECT_TRUE(window_admissible(kLayer, {56, 56}));
+  EXPECT_FALSE(window_admissible(kLayer, {2, 3}));   // smaller than kernel
+  EXPECT_FALSE(window_admissible(kLayer, {57, 3}));  // larger than IFM
+}
+
+TEST(ParallelWindow, StrideAlignmentGovernsAdmissibility) {
+  ConvShape strided = kLayer;
+  strided.stride_w = 2;
+  strided.stride_h = 2;
+  EXPECT_TRUE(window_admissible(strided, {3, 3}));
+  EXPECT_TRUE(window_admissible(strided, {5, 3}));   // (5-3)%2 == 0
+  EXPECT_FALSE(window_admissible(strided, {4, 3}));  // (4-3)%2 == 1
+}
+
+TEST(ParallelWindow, WindowsInPw) {
+  EXPECT_EQ(windows_in_pw_w(kLayer, {4, 3}), 2);
+  EXPECT_EQ(windows_in_pw_h(kLayer, {4, 3}), 1);
+  EXPECT_EQ(windows_in_pw(kLayer, {4, 3}), 2);
+  EXPECT_EQ(windows_in_pw(kLayer, {4, 4}), 4);
+  EXPECT_EQ(windows_in_pw(kLayer, {3, 3}), 1);  // im2col degenerate case
+  EXPECT_THROW(windows_in_pw(kLayer, {2, 2}), InvalidArgument);
+}
+
+TEST(ParallelWindow, NumParallelWindowsPaperValues) {
+  // VGG-13 conv5 (56x56): 4x3 window -> 27 x 54 = 1458 (paper Table I
+  // implies this through its total); 4x4 -> 27^2 = 729.
+  EXPECT_EQ(num_parallel_windows(kLayer, {4, 3}), 27 * 54);
+  EXPECT_EQ(num_parallel_windows(kLayer, {4, 4}), 27 * 27);
+  // ResNet-18 conv1: 112x112, 7x7 kernel, 10x8 window -> 27 x 53.
+  const ConvShape conv1 = ConvShape::square(112, 7, 3, 64);
+  EXPECT_EQ(num_parallel_windows_w(conv1, {10, 8}), 27);
+  EXPECT_EQ(num_parallel_windows_h(conv1, {10, 8}), 53);
+  EXPECT_EQ(num_parallel_windows(conv1, {10, 8}), 27 * 53);
+}
+
+TEST(ParallelWindow, KernelWindowCountsEveryWindow) {
+  EXPECT_EQ(num_parallel_windows(kLayer, kernel_window(kLayer)),
+            kLayer.num_windows());
+}
+
+// The paper's literal Eq. (3) -- ceil((I-PW)/(PW-K+1)) + 1 -- must equal
+// our ceil(windows / windows-per-PW) formulation for stride 1.
+class Eq3Identity : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Eq3Identity, LiteralFormEqualsOurs) {
+  const auto [image, kernel] = GetParam();
+  const ConvShape shape = ConvShape::square(image, kernel, 8, 8);
+  for (Dim pw = kernel; pw <= image; ++pw) {
+    const Count literal =
+        ceil_div(image - pw, pw - kernel + 1) + 1;  // paper's Eq. (3)
+    EXPECT_EQ(num_parallel_windows_w(shape, {pw, static_cast<Dim>(kernel)}),
+              literal)
+        << "image=" << image << " kernel=" << kernel << " pw=" << pw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Eq3Identity,
+    ::testing::Values(std::make_pair(7, 3), std::make_pair(14, 3),
+                      std::make_pair(28, 3), std::make_pair(56, 3),
+                      std::make_pair(112, 7), std::make_pair(224, 3),
+                      std::make_pair(13, 5), std::make_pair(9, 1)));
+
+// Windows covered by the parallel-window grid always reach every window.
+TEST(ParallelWindow, GridAlwaysCoversAllWindows) {
+  for (Dim pw_w = 3; pw_w <= 14; ++pw_w) {
+    for (Dim pw_h = 3; pw_h <= 14; ++pw_h) {
+      const ConvShape shape = ConvShape::square(14, 3, 4, 4);
+      const Count per_w = windows_in_pw_w(shape, {pw_w, pw_h});
+      const Count groups = num_parallel_windows_w(shape, {pw_w, pw_h});
+      EXPECT_GE(groups * per_w, shape.windows_w());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,172 @@
+#include "mapping/plan_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mapping/plan_validate.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry kSmall{64, 32};
+
+TEST(PlanBuilder, WindowedPlanStructure) {
+  // 8x8 image, 3x3 kernel, 4 IC, 6 OC on a 64x32 array with a 4x3 window:
+  // IC_t = floor(64/12) = 5 -> clamped... IC=4 <= 5 so IC_t = 4, AR = 1.
+  // N_WP = 2, OC_t = floor(32/2) = 16 -> clamped 6, AC = 1.
+  const ConvShape shape = ConvShape::square(8, 3, 4, 6);
+  const CycleCost cost = vw_cost(shape, kSmall, {4, 3});
+  ASSERT_TRUE(cost.feasible);
+  const MappingPlan plan = build_windowed_plan(shape, kSmall, cost);
+
+  EXPECT_EQ(plan.kind, PlanKind::kWindowed);
+  EXPECT_EQ(plan.tiles.size(), 1u);
+  // Base grid: windows_w = 6, per PW = 2 -> 3 bases; windows_h = 6 / 1 -> 6.
+  EXPECT_EQ(plan.base_x.size(), 3u);
+  EXPECT_EQ(plan.base_y.size(), 6u);
+  // Rows: 4 channels x 12 offsets = 48 bindings; cols: 6 oc x 2 = 12.
+  EXPECT_EQ(plan.tiles[0].rows.size(), 48u);
+  EXPECT_EQ(plan.tiles[0].cols.size(), 12u);
+  // Cells: 6 oc x 2 windows x 4 ic x 9 kernel = 432.
+  EXPECT_EQ(plan.tiles[0].cells.size(), 432u);
+  EXPECT_TRUE(validate_plan(plan).empty());
+}
+
+TEST(PlanBuilder, WindowedPlanClampedLastBaseOverlaps) {
+  // windows_w = 5, per PW = 2 -> bases at windows 0, 2, 3 (clamped).
+  const ConvShape shape = ConvShape::square(7, 3, 2, 2);
+  const CycleCost cost = vw_cost(shape, kSmall, {4, 3});
+  const MappingPlan plan = build_windowed_plan(shape, kSmall, cost);
+  ASSERT_EQ(plan.base_x.size(), 3u);
+  EXPECT_EQ(plan.base_x[0], 0);
+  EXPECT_EQ(plan.base_x[1], 2);
+  EXPECT_EQ(plan.base_x[2], 3);  // clamped from 4: window must fit in 7
+  EXPECT_TRUE(validate_plan(plan).empty());
+}
+
+TEST(PlanBuilder, WindowedPlanChannelTiling) {
+  // IC = 9, IC_t = floor(64/12) = 5 -> AR = 2 tiles (5 + 4 channels).
+  const ConvShape shape = ConvShape::square(8, 3, 9, 40);
+  const CycleCost cost = vw_cost(shape, kSmall, {4, 3});
+  ASSERT_EQ(cost.ar_cycles, 2);
+  ASSERT_EQ(cost.ac_cycles, 3);  // OC_t = 16 -> ceil(40/16) = 3
+  const MappingPlan plan = build_windowed_plan(shape, kSmall, cost);
+  EXPECT_EQ(plan.tiles.size(), 6u);
+  // First AR band holds channels 0..4, second 5..8.
+  EXPECT_EQ(plan.tile(0, 0).rows.front().ic, 0);
+  EXPECT_EQ(plan.tile(1, 0).rows.front().ic, 5);
+  EXPECT_EQ(plan.tile(1, 0).rows.size(), 4u * 12u);
+  // Last AC tile holds 40 - 2*16 = 8 output channels x N_WP = 2 cols.
+  EXPECT_EQ(plan.tile(0, 2).cols.size(), 16u);
+  EXPECT_TRUE(validate_plan(plan).empty());
+}
+
+TEST(PlanBuilder, Im2colPlanDenseRows) {
+  // K^2*IC = 9*8 = 72 > 64 rows -> AR = 2 element slices (64 + 8).
+  const ConvShape shape = ConvShape::square(6, 3, 8, 10);
+  const MappingPlan plan = build_im2col_plan(shape, kSmall);
+  EXPECT_EQ(plan.kind, PlanKind::kIm2colDense);
+  ASSERT_EQ(plan.cost.ar_cycles, 2);
+  EXPECT_EQ(plan.tiles[0].rows.size(), 64u);
+  EXPECT_EQ(plan.tiles[1].rows.size(), 8u);
+  // A split mid-channel: flat element 64 = channel 7, ky 0, kx 1.
+  const RowBinding& first_of_second = plan.tiles[1].rows.front();
+  EXPECT_EQ(first_of_second.row, 0);
+  EXPECT_EQ(first_of_second.ic, 7);
+  EXPECT_EQ(first_of_second.dy, 0);
+  EXPECT_EQ(first_of_second.dx, 1);
+  EXPECT_TRUE(validate_plan(plan).empty());
+}
+
+TEST(PlanBuilder, Im2colPlanBaseGridIsEveryWindow) {
+  const ConvShape shape = ConvShape::square(6, 3, 1, 1);
+  const MappingPlan plan = build_im2col_plan(shape, kSmall);
+  EXPECT_EQ(plan.base_x.size(), 4u);
+  EXPECT_EQ(plan.base_y.size(), 4u);
+  EXPECT_EQ(plan.total_cycles(), 16);
+}
+
+TEST(PlanBuilder, SmdPlanBlockDiagonal) {
+  // K^2*IC = 9, OC = 2: by_rows = floor(64/9) = 7, by_cols = 16 -> D = 7,
+  // capped by 16 windows -> 7.
+  const ConvShape shape = ConvShape::square(6, 3, 1, 2);
+  const MappingPlan plan = build_smd_plan(shape, kSmall);
+  EXPECT_EQ(plan.kind, PlanKind::kSmd);
+  EXPECT_EQ(plan.cost.smd_duplicates, 7);
+  ASSERT_EQ(plan.tiles.size(), 1u);
+  // 7 dups x 9 rows, 7 dups x 2 cols, 7 x 18 cells.
+  EXPECT_EQ(plan.tiles[0].rows.size(), 63u);
+  EXPECT_EQ(plan.tiles[0].cols.size(), 14u);
+  EXPECT_EQ(plan.tiles[0].cells.size(), 126u);
+  // Block-diagonal: dup d occupies rows [9d, 9d+9) and cols [2d, 2d+2).
+  for (const CellAssignment& cell : plan.tiles[0].cells) {
+    EXPECT_EQ(cell.row / 9, cell.col / 2);
+  }
+  EXPECT_TRUE(validate_plan(plan).empty());
+}
+
+TEST(PlanBuilder, SmdFallsBackToIm2colWhenOneCopy) {
+  const ConvShape shape = ConvShape::square(6, 3, 8, 10);  // 72 rows > 64
+  const MappingPlan plan = build_smd_plan(shape, kSmall);
+  EXPECT_EQ(plan.kind, PlanKind::kIm2colDense);
+}
+
+TEST(PlanBuilder, PlanForWindowDispatches) {
+  const ConvShape shape = ConvShape::square(8, 3, 4, 6);
+  EXPECT_EQ(build_plan_for_window(shape, kSmall, {3, 3}).kind,
+            PlanKind::kIm2colDense);
+  EXPECT_EQ(build_plan_for_window(shape, kSmall, {4, 3}).kind,
+            PlanKind::kWindowed);
+  EXPECT_THROW(build_plan_for_window(shape, kSmall, {30, 30}),
+               InvalidArgument);
+}
+
+TEST(PlanBuilder, PlanForCostDispatches) {
+  const ConvShape small = ConvShape::square(6, 3, 1, 2);
+  EXPECT_EQ(
+      build_plan_for_cost(small, kSmall, smd_cost(small, kSmall)).kind,
+      PlanKind::kSmd);
+  EXPECT_EQ(
+      build_plan_for_cost(small, kSmall, im2col_cost(small, kSmall)).kind,
+      PlanKind::kIm2colDense);
+  const ConvShape shape = ConvShape::square(8, 3, 4, 6);
+  EXPECT_EQ(build_plan_for_cost(shape, kSmall, vw_cost(shape, kSmall, {4, 3}))
+                .kind,
+            PlanKind::kWindowed);
+  CycleCost bad;
+  EXPECT_THROW(build_plan_for_cost(shape, kSmall, bad), InvalidArgument);
+}
+
+TEST(PlanBuilder, RejectsInfeasibleOrForeignCosts) {
+  const ConvShape shape = ConvShape::square(8, 3, 4, 6);
+  const CycleCost infeasible = vw_cost(shape, kSmall, {30, 30});
+  EXPECT_THROW(build_windowed_plan(shape, kSmall, infeasible),
+               InvalidArgument);
+  const CycleCost im2col = im2col_cost(shape, kSmall);
+  EXPECT_THROW(build_windowed_plan(shape, kSmall, im2col), InvalidArgument);
+}
+
+TEST(PlanBuilder, StridedWindowedPlan) {
+  // Stride-2 extension: 9x9 image, 3x3 kernel, stride 2 -> 4x4 windows.
+  ConvShape shape = ConvShape::square(9, 3, 2, 3);
+  shape.stride_w = 2;
+  shape.stride_h = 2;
+  const CycleCost cost = vw_cost(shape, kSmall, {5, 5});  // 2x2 windows/PW
+  ASSERT_TRUE(cost.feasible);
+  const MappingPlan plan = build_windowed_plan(shape, kSmall, cost);
+  EXPECT_EQ(plan.base_x.size(), 2u);
+  EXPECT_EQ(plan.base_x[1], 4);  // second PW starts at window 2 -> pixel 4
+  EXPECT_TRUE(validate_plan(plan).empty());
+}
+
+TEST(PlanBuilder, ProgrammedCellCountsMatchAnalyticWeights) {
+  // Windowed plan: total cells = K^2 * IC * N_WP * OC (every weight copied
+  // once per window position across all tiles).
+  const ConvShape shape = ConvShape::square(8, 3, 9, 40);
+  const CycleCost cost = vw_cost(shape, kSmall, {4, 3});
+  const MappingPlan plan = build_windowed_plan(shape, kSmall, cost);
+  EXPECT_EQ(plan.programmed_cells(), 9LL * 9 * 2 * 40);
+}
+
+}  // namespace
+}  // namespace vwsdk

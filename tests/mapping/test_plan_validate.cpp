@@ -1,0 +1,147 @@
+#include "mapping/plan_validate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "mapping/plan_builder.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry kSmall{64, 32};
+
+MappingPlan good_plan() {
+  const ConvShape shape = ConvShape::square(8, 3, 4, 6);
+  return build_plan_for_window(shape, kSmall, {4, 3});
+}
+
+TEST(PlanValidate, BuilderOutputsAreValid) {
+  EXPECT_TRUE(validate_plan(good_plan()).empty());
+  EXPECT_NO_THROW(expect_valid(good_plan()));
+}
+
+TEST(PlanValidate, DetectsCellCollision) {
+  MappingPlan plan = good_plan();
+  plan.tiles[0].cells.push_back(plan.tiles[0].cells.front());
+  const auto issues = validate_plan(plan);
+  ASSERT_FALSE(issues.empty());
+  bool found = false;
+  for (const std::string& issue : issues) {
+    found = found || issue.find("assigned twice") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_THROW(expect_valid(plan), InternalError);
+}
+
+TEST(PlanValidate, DetectsRowOutsideArray) {
+  MappingPlan plan = good_plan();
+  plan.tiles[0].rows.front().row = 64;
+  const auto issues = validate_plan(plan);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().find("outside array"), std::string::npos);
+}
+
+TEST(PlanValidate, DetectsDuplicateRowBinding) {
+  MappingPlan plan = good_plan();
+  plan.tiles[0].rows.push_back(plan.tiles[0].rows.front());
+  bool found = false;
+  for (const std::string& issue : validate_plan(plan)) {
+    found = found || issue.find("duplicate row binding") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanValidate, DetectsGeometryBreak) {
+  MappingPlan plan = good_plan();
+  // Corrupt a cell's kernel coordinate: offset equation dy = wy*s + ky
+  // no longer holds.
+  plan.tiles[0].cells.front().ky += 1;
+  bool found = false;
+  for (const std::string& issue : validate_plan(plan)) {
+    found = found || issue.find("geometry broken") != std::string::npos ||
+            issue.find("assigned twice") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanValidate, DetectsChannelDroppedFromCoverage) {
+  MappingPlan plan = good_plan();
+  // Remove every row binding of channel 2 (and its cells).
+  auto& rows = plan.tiles[0].rows;
+  rows.erase(std::remove_if(rows.begin(), rows.end(),
+                            [](const RowBinding& rb) { return rb.ic == 2; }),
+             rows.end());
+  auto& cells = plan.tiles[0].cells;
+  cells.erase(
+      std::remove_if(cells.begin(), cells.end(),
+                     [](const CellAssignment& c) { return c.ic == 2; }),
+      cells.end());
+  bool found = false;
+  for (const std::string& issue : validate_plan(plan)) {
+    found = found || issue.find("input row entity 2 not mapped") !=
+                         std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanValidate, DetectsOutputChannelMissing) {
+  MappingPlan plan = good_plan();
+  auto& cols = plan.tiles[0].cols;
+  cols.erase(std::remove_if(cols.begin(), cols.end(),
+                            [](const ColBinding& cb) { return cb.oc == 5; }),
+             cols.end());
+  auto& cells = plan.tiles[0].cells;
+  cells.erase(
+      std::remove_if(cells.begin(), cells.end(),
+                     [](const CellAssignment& c) { return c.oc == 5; }),
+      cells.end());
+  bool found = false;
+  for (const std::string& issue : validate_plan(plan)) {
+    found = found || issue.find("output column entity 5 not mapped") !=
+                         std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanValidate, DetectsBaseGridGap) {
+  MappingPlan plan = good_plan();
+  plan.base_x.pop_back();
+  bool found = false;
+  for (const std::string& issue : validate_plan(plan)) {
+    found = found ||
+            issue.find("not fully covered along x") != std::string::npos ||
+            issue.find("cycles") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanValidate, DetectsCycleMismatch) {
+  MappingPlan plan = good_plan();
+  plan.cost.total += 1;
+  bool found = false;
+  for (const std::string& issue : validate_plan(plan)) {
+    found = found || issue.find("analytic cycles") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanValidate, DetectsEmptyPlan) {
+  MappingPlan plan;
+  plan.shape = ConvShape::square(8, 3, 4, 6);
+  plan.geometry = kSmall;
+  const auto issues = validate_plan(plan);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().find("no tiles"), std::string::npos);
+}
+
+TEST(PlanValidate, SmdAndIm2colPlansValidate) {
+  const ConvShape small = ConvShape::square(6, 3, 1, 2);
+  EXPECT_TRUE(validate_plan(build_smd_plan(small, kSmall)).empty());
+  const ConvShape split = ConvShape::square(6, 3, 8, 10);
+  EXPECT_TRUE(validate_plan(build_im2col_plan(split, kSmall)).empty());
+}
+
+}  // namespace
+}  // namespace vwsdk

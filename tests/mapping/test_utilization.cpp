@@ -1,0 +1,144 @@
+#include "mapping/utilization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+TEST(Utilization, PaperFlagshipNumber73_8Percent) {
+  // §V-B: "achieving a utilization up to 73.8% at Layer 5".
+  // VGG-13 conv5, 4x3 window on 512x512: 9*42 * 2*256 / 512^2 = 0.73828.
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  const CycleCost cost = vw_cost(conv5, k512x512, {4, 3});
+  const double util = utilization(conv5, k512x512, cost,
+                                  UtilizationConvention::kSteadyState);
+  EXPECT_NEAR(util, 0.73828125, 1e-12);
+}
+
+TEST(Utilization, Im2colSteadyStateConv5) {
+  // im2col at conv5: 9*56 = 504 weight rows of 512, 256 of 512 cols...
+  // element-granular full tile occupies min(rows, K^2*IC) = 512 rows.
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  const CycleCost cost = im2col_cost(conv5, k512x512);
+  const double util = utilization(conv5, k512x512, cost,
+                                  UtilizationConvention::kSteadyState);
+  EXPECT_NEAR(util, (512.0 * 256.0) / (512.0 * 512.0), 1e-12);  // 50%
+}
+
+TEST(Utilization, CycleAverageWeightCellsConv5) {
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  // VW 4x3: K^2*IC*N_WP*OC / (AR*AC*cells) = 9*128*2*256 / (4*262144).
+  const CycleCost vw = vw_cost(conv5, k512x512, {4, 3});
+  EXPECT_NEAR(utilization(conv5, k512x512, vw,
+                          UtilizationConvention::kCycleAverageWeightCells),
+              0.5625, 1e-12);
+  // im2col: 9*128*256 / (3*262144) = 0.375.
+  const CycleCost base = im2col_cost(conv5, k512x512);
+  EXPECT_NEAR(utilization(conv5, k512x512, base,
+                          UtilizationConvention::kCycleAverageWeightCells),
+              0.375, 1e-12);
+}
+
+TEST(Utilization, CycleAverageFootprintConv5) {
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  // Footprint counts the PW-area rows incl. structural zeros:
+  // 12*128 * 2*256 / (4 * 262144) = 0.75.
+  const CycleCost vw = vw_cost(conv5, k512x512, {4, 3});
+  EXPECT_NEAR(utilization(conv5, k512x512, vw,
+                          UtilizationConvention::kCycleAverageFootprint),
+              0.75, 1e-12);
+}
+
+TEST(Utilization, FootprintAtLeastWeightCells) {
+  const ConvShape shapes[] = {
+      ConvShape::square(56, 3, 128, 256), ConvShape::square(14, 3, 256, 256),
+      ConvShape::square(112, 7, 3, 64), ConvShape::square(28, 3, 64, 128)};
+  for (const ConvShape& shape : shapes) {
+    for (Dim w = shape.kernel_w; w <= shape.kernel_w + 8; ++w) {
+      const CycleCost cost = vw_cost(shape, k512x512, {w, shape.kernel_h});
+      if (!cost.feasible) {
+        continue;
+      }
+      const double weights = utilization(
+          shape, k512x512, cost,
+          UtilizationConvention::kCycleAverageWeightCells);
+      const double footprint = utilization(
+          shape, k512x512, cost, UtilizationConvention::kCycleAverageFootprint);
+      EXPECT_LE(weights, footprint + 1e-12) << shape.to_string();
+    }
+  }
+}
+
+TEST(Utilization, AlwaysWithinUnitInterval) {
+  const ConvShape shapes[] = {
+      ConvShape::square(7, 3, 512, 512), ConvShape::square(224, 3, 3, 64),
+      ConvShape::square(14, 3, 16, 2048), ConvShape::square(10, 3, 4, 8)};
+  const UtilizationConvention conventions[] = {
+      UtilizationConvention::kSteadyState,
+      UtilizationConvention::kCycleAverageWeightCells,
+      UtilizationConvention::kCycleAverageFootprint};
+  for (const ConvShape& shape : shapes) {
+    for (const auto convention : conventions) {
+      const CycleCost base = im2col_cost(shape, k512x512);
+      const double u = utilization(shape, k512x512, base, convention);
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+      const CycleCost smd = smd_cost(shape, k512x512);
+      const double us = utilization(shape, k512x512, smd, convention);
+      EXPECT_GE(us, 0.0);
+      EXPECT_LE(us, 1.0);
+    }
+  }
+}
+
+TEST(Utilization, SmdDuplicationRaisesUtilization) {
+  const ConvShape small = ConvShape::square(10, 3, 4, 8);
+  const CycleCost base = im2col_cost(small, k512x512);
+  const CycleCost smd = smd_cost(small, k512x512);
+  ASSERT_GT(smd.smd_duplicates, 1);
+  EXPECT_GT(utilization(small, k512x512, smd,
+                        UtilizationConvention::kSteadyState),
+            utilization(small, k512x512, base,
+                        UtilizationConvention::kSteadyState));
+}
+
+TEST(Utilization, VwBeatsIm2colOnConv5AllConventions) {
+  // The qualitative claim of Fig. 9(a): VW-SDK utilizes the array better.
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  const CycleCost vw = vw_cost(conv5, k512x512, {4, 3});
+  const CycleCost base = im2col_cost(conv5, k512x512);
+  for (const auto convention :
+       {UtilizationConvention::kSteadyState,
+        UtilizationConvention::kCycleAverageWeightCells,
+        UtilizationConvention::kCycleAverageFootprint}) {
+    EXPECT_GT(utilization(conv5, k512x512, vw, convention),
+              utilization(conv5, k512x512, base, convention));
+  }
+}
+
+TEST(Utilization, InfeasibleCostRejected) {
+  const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
+  const CycleCost bad = vw_cost(conv5, k512x512, {30, 30});
+  EXPECT_THROW(utilization(conv5, k512x512, bad,
+                           UtilizationConvention::kSteadyState),
+               InvalidArgument);
+}
+
+TEST(Utilization, ConventionNames) {
+  EXPECT_STREQ(
+      utilization_convention_name(UtilizationConvention::kSteadyState),
+      "steady-state");
+  EXPECT_STREQ(utilization_convention_name(
+                   UtilizationConvention::kCycleAverageWeightCells),
+               "cycle-average(weights)");
+  EXPECT_STREQ(utilization_convention_name(
+                   UtilizationConvention::kCycleAverageFootprint),
+               "cycle-average(footprint)");
+}
+
+}  // namespace
+}  // namespace vwsdk

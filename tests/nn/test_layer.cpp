@@ -1,0 +1,83 @@
+#include "nn/layer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(ConvLayerDesc, FactoryBuildsPaperStyleLayer) {
+  const ConvLayerDesc layer = make_conv_layer("conv5", 56, 3, 128, 256);
+  EXPECT_EQ(layer.name, "conv5");
+  EXPECT_EQ(layer.ifm_w, 56);
+  EXPECT_EQ(layer.kernel_h, 3);
+  EXPECT_EQ(layer.in_channels, 128);
+  EXPECT_EQ(layer.out_channels, 256);
+  EXPECT_EQ(layer.config.stride_w, 1);
+  EXPECT_EQ(layer.config.pad_w, 0);
+}
+
+TEST(ConvLayerDesc, OutputExtents) {
+  const ConvLayerDesc layer = make_conv_layer("l", 56, 3, 8, 8);
+  EXPECT_EQ(layer.ofm_w(), 54);
+  EXPECT_EQ(layer.ofm_h(), 54);
+  EXPECT_EQ(layer.num_windows(), 54 * 54);
+}
+
+TEST(ConvLayerDesc, WeightCount) {
+  const ConvLayerDesc layer = make_conv_layer("l", 14, 3, 512, 512);
+  EXPECT_EQ(layer.weight_count(), 3LL * 3 * 512 * 512);
+}
+
+TEST(ConvLayerDesc, ValidationCatchesEachField) {
+  ConvLayerDesc layer = make_conv_layer("ok", 8, 3, 4, 4);
+  layer.ifm_w = 0;
+  EXPECT_THROW(layer.validate(), InvalidArgument);
+  layer = make_conv_layer("ok", 8, 3, 4, 4);
+  layer.kernel_h = -1;
+  EXPECT_THROW(layer.validate(), InvalidArgument);
+  layer = make_conv_layer("ok", 8, 3, 4, 4);
+  layer.in_channels = 0;
+  EXPECT_THROW(layer.validate(), InvalidArgument);
+  layer = make_conv_layer("ok", 8, 3, 4, 4);
+  layer.config.stride_w = 0;
+  EXPECT_THROW(layer.validate(), InvalidArgument);
+  layer = make_conv_layer("ok", 8, 3, 4, 4);
+  layer.config.pad_h = -1;
+  EXPECT_THROW(layer.validate(), InvalidArgument);
+}
+
+TEST(ConvLayerDesc, KernelLargerThanInputRejected) {
+  EXPECT_THROW(make_conv_layer("bad", 4, 5, 1, 1), InvalidArgument);
+  // ... unless padding makes up for it.
+  ConvLayerDesc layer;
+  layer.name = "padded";
+  layer.ifm_w = 4;
+  layer.ifm_h = 4;
+  layer.kernel_w = 5;
+  layer.kernel_h = 5;
+  layer.in_channels = 1;
+  layer.out_channels = 1;
+  layer.config.pad_w = 1;
+  layer.config.pad_h = 1;
+  EXPECT_NO_THROW(layer.validate());
+}
+
+TEST(ConvLayerDesc, ToStringIsInformative) {
+  const ConvLayerDesc layer = make_conv_layer("conv1", 224, 3, 3, 64);
+  EXPECT_EQ(layer.to_string(), "conv1: 224x224, 3x3x3x64");
+}
+
+TEST(ConvLayerDesc, StridedOutputExtents) {
+  ConvLayerDesc layer = make_conv_layer("s2", 112, 7, 3, 64);
+  layer.config.stride_w = 2;
+  layer.config.stride_h = 2;
+  layer.config.pad_w = 3;
+  layer.config.pad_h = 3;
+  EXPECT_EQ(layer.ofm_w(), 56);
+  EXPECT_EQ(layer.ofm_h(), 56);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,81 @@
+#include "nn/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(ModelZoo, Vgg13MatchesTableI) {
+  const Network net = vgg13_paper();
+  EXPECT_EQ(net.name(), "VGG-13");
+  ASSERT_EQ(net.layer_count(), 10);
+  // Spot-check the rows of Table I.
+  EXPECT_EQ(net.layer(0).ifm_w, 224);
+  EXPECT_EQ(net.layer(0).in_channels, 3);
+  EXPECT_EQ(net.layer(0).out_channels, 64);
+  EXPECT_EQ(net.layer(4).ifm_w, 56);
+  EXPECT_EQ(net.layer(4).in_channels, 128);
+  EXPECT_EQ(net.layer(4).out_channels, 256);
+  EXPECT_EQ(net.layer(9).ifm_w, 14);
+  EXPECT_EQ(net.layer(9).in_channels, 512);
+  // All VGG kernels are 3x3 stride 1.
+  for (const ConvLayerDesc& layer : net.layers()) {
+    EXPECT_EQ(layer.kernel_w, 3);
+    EXPECT_EQ(layer.kernel_h, 3);
+    EXPECT_EQ(layer.config.stride_w, 1);
+  }
+}
+
+TEST(ModelZoo, Resnet18MatchesTableI) {
+  const Network net = resnet18_paper();
+  ASSERT_EQ(net.layer_count(), 5);
+  EXPECT_EQ(net.layer(0).ifm_w, 112);
+  EXPECT_EQ(net.layer(0).kernel_w, 7);
+  EXPECT_EQ(net.layer(0).in_channels, 3);
+  EXPECT_EQ(net.layer(1).ifm_w, 56);
+  EXPECT_EQ(net.layer(2).ifm_w, 28);
+  EXPECT_EQ(net.layer(3).ifm_w, 14);
+  EXPECT_EQ(net.layer(4).ifm_w, 7);
+  EXPECT_EQ(net.layer(4).in_channels, 512);
+  EXPECT_EQ(net.layer(4).out_channels, 512);
+}
+
+TEST(ModelZoo, ExtensionModelsAreWellFormed) {
+  EXPECT_EQ(vgg16().layer_count(), 13);
+  EXPECT_EQ(alexnet().layer_count(), 5);
+  EXPECT_EQ(lenet5().layer_count(), 2);
+  EXPECT_GE(stress_mix().layer_count(), 5);
+}
+
+TEST(ModelZoo, StressMixIncludesNonSquareKernel) {
+  const Network net = stress_mix();
+  const ConvLayerDesc& rect = net.layer_by_name("rect_kernel");
+  EXPECT_NE(rect.kernel_w, rect.kernel_h);
+}
+
+TEST(ModelZoo, LookupByNameIsCaseAndDashInsensitive) {
+  EXPECT_EQ(model_by_name("vgg13").name(), "VGG-13");
+  EXPECT_EQ(model_by_name("VGG-13").name(), "VGG-13");
+  EXPECT_EQ(model_by_name("ResNet18").name(), "ResNet-18");
+  EXPECT_EQ(model_by_name(" resnet-18 ").name(), "ResNet-18");
+}
+
+TEST(ModelZoo, UnknownNameThrowsWithSuggestions) {
+  try {
+    model_by_name("vgg99");
+    FAIL() << "expected NotFound";
+  } catch (const NotFound& e) {
+    EXPECT_NE(std::string(e.what()).find("vgg13"), std::string::npos);
+  }
+}
+
+TEST(ModelZoo, NamesListResolves) {
+  for (const std::string& name : model_names()) {
+    EXPECT_NO_THROW(model_by_name(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,88 @@
+#include "nn/network_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(NetworkBuilder, TracksSizesThroughConvAndPool) {
+  NetworkBuilder builder("net", 32, 3);
+  builder.conv(3, 16, Padding::kSame);
+  EXPECT_EQ(builder.current_size(), 32);
+  EXPECT_EQ(builder.current_channels(), 16);
+  builder.max_pool(2, 2);
+  EXPECT_EQ(builder.current_size(), 16);
+  builder.conv(3, 32, Padding::kValid);
+  EXPECT_EQ(builder.current_size(), 14);
+  const Network net = builder.build();
+  ASSERT_EQ(net.layer_count(), 2);
+  EXPECT_EQ(net.layer(0).ifm_w, 32);
+  EXPECT_EQ(net.layer(0).config.pad_w, 1);   // kSame for 3x3
+  EXPECT_EQ(net.layer(1).ifm_w, 16);
+  EXPECT_EQ(net.layer(1).config.pad_w, 0);
+}
+
+TEST(NetworkBuilder, StridedConv) {
+  NetworkBuilder builder("net", 224, 3);
+  builder.conv(7, 64, Padding::kSame, 2);
+  EXPECT_EQ(builder.current_size(), 112);
+  const Network net = builder.build();
+  EXPECT_EQ(net.layer(0).config.stride_w, 2);
+  EXPECT_EQ(net.layer(0).config.pad_w, 3);
+}
+
+TEST(NetworkBuilder, AutoNamesLayersSequentially) {
+  const Network net = NetworkBuilder("n", 16, 1)
+                          .conv(3, 2)
+                          .conv(3, 4)
+                          .build();
+  EXPECT_EQ(net.layer(0).name, "conv1");
+  EXPECT_EQ(net.layer(1).name, "conv2");
+}
+
+TEST(NetworkBuilder, SamePaddingRequiresOddKernel) {
+  NetworkBuilder builder("n", 16, 1);
+  EXPECT_THROW(builder.conv(2, 4, Padding::kSame), InvalidArgument);
+}
+
+TEST(NetworkBuilder, KernelLargerThanCurrentSizeRejected) {
+  NetworkBuilder builder("n", 4, 1);
+  EXPECT_THROW(builder.conv(5, 4), InvalidArgument);
+}
+
+TEST(NetworkBuilder, PoolLargerThanCurrentSizeRejected) {
+  NetworkBuilder builder("n", 4, 1);
+  EXPECT_THROW(builder.max_pool(5, 5), InvalidArgument);
+}
+
+TEST(NetworkBuilder, CannotBuildEmptyOrReuse) {
+  NetworkBuilder empty("n", 8, 1);
+  EXPECT_THROW(empty.build(), InvalidArgument);
+
+  NetworkBuilder once("n", 8, 1);
+  once.conv(3, 2);
+  (void)once.build();
+  EXPECT_THROW(once.build(), InvalidArgument);
+  EXPECT_THROW(once.conv(3, 2), InvalidArgument);
+}
+
+TEST(NetworkBuilder, VggStylePrefixReproducesZooDims) {
+  // The first four VGG-13 conv shapes via the builder (kSame + pools)
+  // must match the model zoo's hard-coded Table-I dims.
+  const Network built = NetworkBuilder("vgg-prefix", 224, 3)
+                            .conv(3, 64, Padding::kSame)
+                            .conv(3, 64, Padding::kSame)
+                            .max_pool(2, 2)
+                            .conv(3, 128, Padding::kSame)
+                            .conv(3, 128, Padding::kSame)
+                            .build();
+  EXPECT_EQ(built.layer(1).ifm_w, 224);
+  EXPECT_EQ(built.layer(2).ifm_w, 112);
+  EXPECT_EQ(built.layer(3).ifm_w, 112);
+  EXPECT_EQ(built.layer(3).in_channels, 128);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,73 @@
+#include "pim/adc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(Converter, IdealIsPassthrough) {
+  const ConverterModel ideal;
+  EXPECT_EQ(ideal.mode(), ConverterMode::kIdeal);
+  EXPECT_EQ(ideal.convert(3.14159), 3.14159);
+  EXPECT_EQ(ideal.convert(-1e9), -1e9);
+  EXPECT_EQ(ideal.step(), 0.0);
+}
+
+TEST(Converter, LinearQuantizesToStepGrid) {
+  // 2 bits over [0, 4): 4 codes, step 1.
+  const ConverterModel adc(2, 0.0, 4.0);
+  EXPECT_EQ(adc.step(), 1.0);
+  EXPECT_EQ(adc.convert(0.0), 0.0);
+  EXPECT_EQ(adc.convert(0.99), 0.0);
+  EXPECT_EQ(adc.convert(1.0), 1.0);
+  EXPECT_EQ(adc.convert(2.5), 2.0);
+  EXPECT_EQ(adc.convert(3.999), 3.0);
+}
+
+TEST(Converter, SaturatesOutsideRange) {
+  const ConverterModel adc(2, 0.0, 4.0);
+  EXPECT_EQ(adc.convert(-10.0), 0.0);
+  EXPECT_EQ(adc.convert(100.0), 3.0);  // top code = max - step
+}
+
+TEST(Converter, SignedRange) {
+  const ConverterModel adc(3, -4.0, 4.0);  // 8 codes, step 1
+  EXPECT_EQ(adc.convert(-3.5), -4.0);
+  EXPECT_EQ(adc.convert(0.2), 0.0);
+  EXPECT_EQ(adc.convert(3.7), 3.0);
+}
+
+TEST(Converter, HigherResolutionReducesError) {
+  const ConverterModel coarse(4, 0.0, 1.0);
+  const ConverterModel fine(12, 0.0, 1.0);
+  double worst_coarse = 0.0;
+  double worst_fine = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>(i) / 1000.0;
+    worst_coarse = std::max(worst_coarse, v - coarse.convert(v));
+    worst_fine = std::max(worst_fine, v - fine.convert(v));
+  }
+  EXPECT_LE(worst_coarse, coarse.step());
+  EXPECT_LE(worst_fine, fine.step());
+  EXPECT_LT(worst_fine, worst_coarse);
+}
+
+TEST(Converter, QuantizationIsIdempotent) {
+  const ConverterModel adc(5, -2.0, 2.0);
+  for (const double v : {-3.0, -1.234, 0.0, 0.77, 1.999, 5.0}) {
+    const double once = adc.convert(v);
+    EXPECT_EQ(adc.convert(once), once);
+  }
+}
+
+TEST(Converter, Validation) {
+  EXPECT_THROW(ConverterModel(0, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(ConverterModel(31, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(ConverterModel(8, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(ConverterModel(8, 2.0, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,46 @@
+#include "pim/array_geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(ArrayGeometry, CellCountAndToString) {
+  const ArrayGeometry g{512, 256};
+  EXPECT_EQ(g.cell_count(), 512 * 256);
+  EXPECT_EQ(g.to_string(), "512x256");
+}
+
+TEST(ArrayGeometry, ValidationRejectsNonPositive) {
+  EXPECT_THROW((ArrayGeometry{0, 256}.validate()), InvalidArgument);
+  EXPECT_THROW((ArrayGeometry{256, -1}.validate()), InvalidArgument);
+  EXPECT_NO_THROW((ArrayGeometry{1, 1}.validate()));
+}
+
+TEST(ArrayGeometry, ParseHappyPath) {
+  EXPECT_EQ(parse_geometry("512x512"), (ArrayGeometry{512, 512}));
+  EXPECT_EQ(parse_geometry("128X256"), (ArrayGeometry{128, 256}));
+  EXPECT_EQ(parse_geometry("  64x32 "), (ArrayGeometry{64, 32}));
+}
+
+TEST(ArrayGeometry, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_geometry("512"), InvalidArgument);
+  EXPECT_THROW(parse_geometry("ax512"), InvalidArgument);
+  EXPECT_THROW(parse_geometry("512x"), InvalidArgument);
+  EXPECT_THROW(parse_geometry("0x512"), InvalidArgument);
+}
+
+TEST(ArrayGeometry, PaperGeometriesMatchFig8b) {
+  const auto geometries = paper_geometries();
+  ASSERT_EQ(geometries.size(), 5u);
+  EXPECT_EQ(geometries[0], (ArrayGeometry{128, 128}));
+  EXPECT_EQ(geometries[1], (ArrayGeometry{128, 256}));
+  EXPECT_EQ(geometries[2], (ArrayGeometry{256, 256}));
+  EXPECT_EQ(geometries[3], (ArrayGeometry{512, 256}));
+  EXPECT_EQ(geometries[4], (ArrayGeometry{512, 512}));
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,88 @@
+#include "pim/energy_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+EnergyParams unit_params() {
+  EnergyParams params;
+  params.dac_pj_per_row = 1.0;
+  params.adc_pj_per_col = 10.0;
+  params.cell_pj_per_mac = 0.1;
+  params.cycle_ns = 2.0;
+  return params;
+}
+
+TEST(EnergyModel, EnergyIsLinearInActivity) {
+  EnergyReport report;
+  report.cycles = 4;
+  report.row_activations = 100;
+  report.col_reads = 20;
+  report.cell_macs = 1000;
+  const EnergyParams params = unit_params();
+  EXPECT_DOUBLE_EQ(report.energy_pj(params), 100.0 + 200.0 + 100.0);
+  EXPECT_DOUBLE_EQ(report.latency_ns(params), 8.0);
+}
+
+TEST(EnergyModel, ConversionFraction) {
+  EnergyReport report;
+  report.row_activations = 100;  // 100 pJ
+  report.col_reads = 20;         // 200 pJ
+  report.cell_macs = 1000;       // 100 pJ
+  EXPECT_DOUBLE_EQ(report.conversion_fraction(unit_params()), 300.0 / 400.0);
+}
+
+TEST(EnergyModel, ConversionFractionOfEmptyReportIsZero) {
+  const EnergyReport report;
+  EXPECT_EQ(report.conversion_fraction(unit_params()), 0.0);
+}
+
+TEST(EnergyModel, DefaultsMakeConversionsDominate) {
+  // The paper cites conversions costing >98% of PIM energy ([3]); our
+  // default constants must reproduce that regime for a typical cycle
+  // (512 rows, 512 cols, 512x512 cells all active).
+  EnergyReport report;
+  report.cycles = 1;
+  report.row_activations = 512;
+  report.col_reads = 512;
+  report.cell_macs = 512 * 512;
+  const EnergyParams defaults;
+  EXPECT_GT(report.conversion_fraction(defaults), 0.80);
+}
+
+TEST(EnergyModel, AccumulateSums) {
+  EnergyReport a;
+  a.cycles = 1;
+  a.row_activations = 2;
+  a.col_reads = 3;
+  a.cell_macs = 4;
+  EnergyReport b = a;
+  b.accumulate(a);
+  EXPECT_EQ(b.cycles, 2);
+  EXPECT_EQ(b.row_activations, 4);
+  EXPECT_EQ(b.col_reads, 6);
+  EXPECT_EQ(b.cell_macs, 8);
+}
+
+TEST(EnergyModel, ValidationRejectsNegatives) {
+  EnergyParams params;
+  params.adc_pj_per_col = -1.0;
+  EXPECT_THROW(params.validate(), InvalidArgument);
+  EnergyReport report;
+  EXPECT_THROW(report.energy_pj(params), InvalidArgument);
+}
+
+TEST(EnergyModel, ToStringMentionsKeyNumbers) {
+  EnergyReport report;
+  report.cycles = 42;
+  report.row_activations = 1;
+  const std::string text = report.to_string(unit_params());
+  EXPECT_NE(text.find("cycles=42"), std::string::npos);
+  EXPECT_NE(text.find("pJ"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vwsdk

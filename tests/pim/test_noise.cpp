@@ -1,0 +1,72 @@
+#include "pim/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(Noise, DisabledConfigIsIdentity) {
+  NoiseModel model({0.0, 0.0}, 1);
+  EXPECT_FALSE(model.config().enabled());
+  for (const double v : {-2.0, 0.0, 1.5}) {
+    EXPECT_EQ(model.apply(v), v);
+  }
+}
+
+TEST(Noise, AdditiveNoisePerturbsAroundValue) {
+  NoiseModel model({0.01, 0.0}, 7);
+  const int n = 20'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += model.apply(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.001);
+}
+
+TEST(Noise, MultiplicativeNoiseScalesWithMagnitude) {
+  NoiseModel small({0.0, 0.05}, 11);
+  NoiseModel large({0.0, 0.05}, 11);
+  const int n = 20'000;
+  double dev_small = 0.0;
+  double dev_large = 0.0;
+  for (int i = 0; i < n; ++i) {
+    dev_small += std::abs(small.apply(1.0) - 1.0);
+    dev_large += std::abs(large.apply(100.0) - 100.0);
+  }
+  // Same relative sigma: absolute deviation ~100x larger for the larger
+  // magnitude.
+  EXPECT_NEAR(dev_large / dev_small, 100.0, 5.0);
+}
+
+TEST(Noise, DeterministicPerSeedAndDivergentAcrossSeeds) {
+  NoiseModel a({0.1, 0.1}, 3);
+  NoiseModel b({0.1, 0.1}, 3);
+  NoiseModel c({0.1, 0.1}, 4);
+  bool any_diff_c = false;
+  for (int i = 0; i < 32; ++i) {
+    const double va = a.apply(1.0);
+    EXPECT_EQ(va, b.apply(1.0));
+    any_diff_c = any_diff_c || (va != c.apply(1.0));
+  }
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Noise, ZeroValueGetsOnlyAdditiveComponent) {
+  NoiseModel model({0.0, 0.5}, 9);
+  // Pure multiplicative noise leaves 0 untouched.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(model.apply(0.0), 0.0);
+  }
+}
+
+TEST(Noise, NegativeSigmaRejected) {
+  EXPECT_THROW(NoiseModel({-0.1, 0.0}, 1), InvalidArgument);
+  EXPECT_THROW(NoiseModel({0.0, -0.1}, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vwsdk

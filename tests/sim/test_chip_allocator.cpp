@@ -1,0 +1,99 @@
+#include "sim/chip_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "nn/model_zoo.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+NetworkMappingResult vw_resnet() {
+  return optimize_network(*make_mapper("vw-sdk"), resnet18_paper(),
+                          k512x512);
+}
+
+TEST(ChipAllocator, ResidentDemandIsSumOfTiles) {
+  // VW-SDK ResNet-18 tiles: conv1 1, conv2 2, conv3 4, conv4 7, conv5 9.
+  EXPECT_EQ(resident_array_demand(vw_resnet()), 1 + 2 + 4 + 7 + 9);
+}
+
+TEST(ChipAllocator, InfeasibleWhenWeightsCannotStayResident) {
+  const ChipAllocation allocation = allocate_chip(vw_resnet(), 16);
+  EXPECT_FALSE(allocation.feasible);
+  EXPECT_EQ(allocation.bottleneck(), 0);
+  EXPECT_NE(allocation.to_string().find("INFEASIBLE"), std::string::npos);
+}
+
+TEST(ChipAllocator, MinimalChipMatchesTileDemand) {
+  const NetworkMappingResult result = vw_resnet();
+  const ChipAllocation allocation = allocate_chip(result, 23);
+  ASSERT_TRUE(allocation.feasible);
+  EXPECT_EQ(allocation.arrays_used(), 23);
+  // With exactly the mandatory tiles, each stage's makespan is its
+  // parallel-window count (tiles run concurrently).
+  for (std::size_t i = 0; i < allocation.layers.size(); ++i) {
+    EXPECT_EQ(allocation.layers[i].makespan,
+              result.layers[i].decision.cost.n_parallel_windows)
+        << allocation.layers[i].layer_name;
+  }
+  // Bottleneck = conv2's 729 parallel windows x 2 tiles... no: per-stage
+  // makespan at tile count = N_PW; the max N_PW across layers is conv1's
+  // 1431.
+  EXPECT_EQ(allocation.bottleneck(), 1431);
+}
+
+TEST(ChipAllocator, SpareArraysShrinkTheBottleneck) {
+  const NetworkMappingResult result = vw_resnet();
+  Cycles last = std::numeric_limits<Cycles>::max();
+  for (const Dim arrays : {23, 32, 64, 128, 256}) {
+    const ChipAllocation allocation = allocate_chip(result, arrays);
+    ASSERT_TRUE(allocation.feasible) << arrays;
+    EXPECT_LE(allocation.bottleneck(), last) << arrays;
+    last = allocation.bottleneck();
+  }
+  EXPECT_LT(last, 1431 / 8);  // 256 arrays: bottleneck well below minimal
+}
+
+TEST(ChipAllocator, NeverExceedsTheChip) {
+  const ChipAllocation allocation = allocate_chip(vw_resnet(), 100);
+  ASSERT_TRUE(allocation.feasible);
+  EXPECT_LE(allocation.arrays_used(), 100);
+  for (const LayerAllocation& layer : allocation.layers) {
+    EXPECT_GE(layer.arrays, layer.tiles);
+  }
+}
+
+TEST(ChipAllocator, FillLatencyIsSumOfStages) {
+  const ChipAllocation allocation = allocate_chip(vw_resnet(), 64);
+  Cycles sum = 0;
+  for (const LayerAllocation& layer : allocation.layers) {
+    sum += layer.makespan;
+  }
+  EXPECT_EQ(allocation.fill_latency(), sum);
+}
+
+TEST(ChipAllocator, VwSdkNeedsFewerCyclesPerChipThanIm2col) {
+  // Same chip, both algorithms feasible: VW-SDK's pipeline interval must
+  // not exceed im2col's (it never maps a layer worse).
+  const NetworkMappingResult vw = vw_resnet();
+  const NetworkMappingResult base = optimize_network(
+      *make_mapper("im2col"), resnet18_paper(), k512x512);
+  for (const Dim arrays : {64, 128, 512}) {
+    const ChipAllocation vw_chip = allocate_chip(vw, arrays);
+    const ChipAllocation base_chip = allocate_chip(base, arrays);
+    ASSERT_TRUE(vw_chip.feasible && base_chip.feasible) << arrays;
+    EXPECT_LE(vw_chip.bottleneck(), base_chip.bottleneck()) << arrays;
+  }
+}
+
+TEST(ChipAllocator, Validation) {
+  EXPECT_THROW(allocate_chip(vw_resnet(), 0), InvalidArgument);
+  NetworkMappingResult empty;
+  EXPECT_THROW(allocate_chip(empty, 64), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,90 @@
+#include "sim/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/vwsdk_mapper.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+MappingDecision conv5_decision() {
+  // VGG-13 conv5, VW-SDK: N_PW = 1458, AR = 4, AC = 1 -> 4 tiles.
+  return VwSdkMapper().map(ConvShape::square(56, 3, 128, 256), k512x512);
+}
+
+TEST(Dispatch, SingleArrayIsSerial) {
+  const DispatchResult result = dispatch_layer(conv5_decision(), 1);
+  EXPECT_EQ(result.makespan, 5832);
+  EXPECT_DOUBLE_EQ(result.speedup(), 1.0);
+  EXPECT_DOUBLE_EQ(result.balance(), 1.0);
+}
+
+TEST(Dispatch, TilesSplitAcrossArrays) {
+  // 4 tiles x 1458 cycles each on 2 arrays: 2 tiles per array.
+  const DispatchResult result = dispatch_layer(conv5_decision(), 2);
+  EXPECT_EQ(result.makespan, 2 * 1458);
+  EXPECT_DOUBLE_EQ(result.speedup(), 2.0);
+  EXPECT_DOUBLE_EQ(result.balance(), 1.0);
+}
+
+TEST(Dispatch, UnevenTileCountsLeaveImbalance) {
+  // 4 tiles on 3 arrays: loads 2/1/1 -> makespan 2*1458, balance 0.5.
+  const DispatchResult result = dispatch_layer(conv5_decision(), 3);
+  EXPECT_EQ(result.makespan, 2 * 1458);
+  EXPECT_DOUBLE_EQ(result.balance(), 0.5);
+}
+
+TEST(Dispatch, MoreArraysThanTilesSaturates) {
+  const DispatchResult at4 = dispatch_layer(conv5_decision(), 4);
+  const DispatchResult at16 = dispatch_layer(conv5_decision(), 16);
+  EXPECT_EQ(at4.makespan, 1458);
+  EXPECT_EQ(at16.makespan, 1458);  // static ownership cannot split a tile
+  EXPECT_DOUBLE_EQ(at4.speedup(), 4.0);
+}
+
+TEST(Dispatch, ReplicationBreaksTheTileBarrier) {
+  const DispatchResult result =
+      dispatch_layer(conv5_decision(), 16, /*allow_replication=*/true);
+  EXPECT_EQ(result.makespan, (5832 + 15) / 16);
+  EXPECT_GT(result.speedup(), 15.9);
+}
+
+TEST(Dispatch, ReplicationNeverSlower) {
+  const MappingDecision decision = conv5_decision();
+  for (const Dim arrays : {1, 2, 3, 5, 8, 13}) {
+    const DispatchResult owned = dispatch_layer(decision, arrays);
+    const DispatchResult replicated =
+        dispatch_layer(decision, arrays, true);
+    EXPECT_LE(replicated.makespan, owned.makespan) << arrays << " arrays";
+  }
+}
+
+TEST(Dispatch, BusyCyclesSumToSerial) {
+  for (const Dim arrays : {1, 2, 3, 4, 7}) {
+    const DispatchResult result = dispatch_layer(conv5_decision(), arrays);
+    Cycles total = 0;
+    for (const Cycles busy : result.per_array_busy) {
+      total += busy;
+    }
+    EXPECT_EQ(total, result.serial_cycles) << arrays << " arrays";
+  }
+}
+
+TEST(Dispatch, Validation) {
+  EXPECT_THROW(dispatch_layer(conv5_decision(), 0), InvalidArgument);
+  MappingDecision infeasible = conv5_decision();
+  infeasible.cost.feasible = false;
+  EXPECT_THROW(dispatch_layer(infeasible, 2), InvalidArgument);
+}
+
+TEST(Dispatch, ToStringSummarizes) {
+  const std::string text = dispatch_layer(conv5_decision(), 2).to_string();
+  EXPECT_NE(text.find("2 arrays"), std::string::npos);
+  EXPECT_NE(text.find("speedup 2.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vwsdk

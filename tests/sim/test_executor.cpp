@@ -1,0 +1,170 @@
+#include "sim/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mapping/plan_builder.h"
+#include "sim/latency_model.h"
+#include "tensor/conv_ref.h"
+#include "tensor/tensor_ops.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry kSmall{64, 32};
+
+MappingPlan sample_plan() {
+  const ConvShape shape = ConvShape::square(8, 3, 9, 40);
+  return build_windowed_plan(shape, kSmall,
+                             vw_cost(shape, kSmall, {4, 3}));
+}
+
+std::pair<Tensord, Tensord> sample_tensors(const ConvShape& shape,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  Tensord ifm =
+      Tensord::feature_map(shape.in_channels, shape.ifm_h, shape.ifm_w);
+  Tensord weights = Tensord::weights(shape.out_channels, shape.in_channels,
+                                     shape.kernel_h, shape.kernel_w);
+  fill_random_int(ifm, rng, 4);
+  fill_random_int(weights, rng, 4);
+  return {std::move(ifm), std::move(weights)};
+}
+
+TEST(Executor, CycleCountMatchesAnalyticModel) {
+  const MappingPlan plan = sample_plan();
+  const auto [ifm, weights] = sample_tensors(plan.shape, 1);
+  const ExecutionResult result = execute_plan(plan, ifm, weights);
+  EXPECT_EQ(result.cycles, plan.cost.total);
+  EXPECT_EQ(result.activity.cycles, plan.cost.total);
+}
+
+TEST(Executor, ActivityMatchesAnalyticActivity) {
+  const MappingPlan plan = sample_plan();
+  const auto [ifm, weights] = sample_tensors(plan.shape, 2);
+  const ExecutionResult result = execute_plan(plan, ifm, weights);
+  const EnergyReport analytic =
+      analytic_activity(plan.shape, plan.geometry, plan.cost);
+  EXPECT_EQ(result.activity.cycles, analytic.cycles);
+  EXPECT_EQ(result.activity.row_activations, analytic.row_activations);
+  EXPECT_EQ(result.activity.col_reads, analytic.col_reads);
+  EXPECT_EQ(result.activity.cell_macs, analytic.cell_macs);
+}
+
+TEST(Executor, AnalyticActivityMatchesForIm2colAndSmd) {
+  for (const ConvShape& shape :
+       {ConvShape::square(6, 3, 8, 10),    // im2col with AR split
+        ConvShape::square(6, 3, 1, 2)}) {  // SMD with duplicates
+    for (const MappingPlan& plan :
+         {build_im2col_plan(shape, kSmall), build_smd_plan(shape, kSmall)}) {
+      const auto [ifm, weights] = sample_tensors(plan.shape, 3);
+      const ExecutionResult result = execute_plan(plan, ifm, weights);
+      const EnergyReport analytic =
+          analytic_activity(plan.shape, plan.geometry, plan.cost);
+      EXPECT_EQ(result.activity.row_activations, analytic.row_activations);
+      EXPECT_EQ(result.activity.col_reads, analytic.col_reads);
+      EXPECT_EQ(result.activity.cell_macs, analytic.cell_macs);
+    }
+  }
+}
+
+TEST(Executor, ProgrammedCellsReported) {
+  const MappingPlan plan = sample_plan();
+  const auto [ifm, weights] = sample_tensors(plan.shape, 4);
+  const ExecutionResult result = execute_plan(plan, ifm, weights);
+  EXPECT_EQ(result.programmed_cells, plan.programmed_cells());
+  EXPECT_EQ(result.arrays_used, static_cast<Count>(plan.tiles.size()));
+  EXPECT_GT(result.min_tile_utilization, 0.0);
+  EXPECT_GE(result.mean_tile_utilization, result.min_tile_utilization);
+  EXPECT_LE(result.mean_tile_utilization, 1.0);
+}
+
+TEST(Executor, RejectsMismatchedTensors) {
+  const MappingPlan plan = sample_plan();
+  const auto [ifm, weights] = sample_tensors(plan.shape, 5);
+  const Tensord wrong_ifm = Tensord::feature_map(2, 8, 8);
+  EXPECT_THROW(execute_plan(plan, wrong_ifm, weights), InvalidArgument);
+  const Tensord wrong_weights = Tensord::weights(40, 9, 5, 5);
+  EXPECT_THROW(execute_plan(plan, ifm, wrong_weights), InvalidArgument);
+}
+
+TEST(Executor, ValidatesPlanUnlessDisabled) {
+  MappingPlan plan = sample_plan();
+  plan.cost.total += 1;  // corrupt: validator must object
+  const auto [ifm, weights] = sample_tensors(plan.shape, 6);
+  EXPECT_THROW(execute_plan(plan, ifm, weights), InternalError);
+  // With validation off the executor itself notices the cycle mismatch at
+  // the end (still InternalError, different path).
+  ExecutionOptions options;
+  options.validate_plan = false;
+  EXPECT_THROW(execute_plan(plan, ifm, weights, options), InternalError);
+}
+
+TEST(Executor, QuantizedAdcDegradesGracefully) {
+  const ConvShape shape = ConvShape::square(6, 3, 2, 3);
+  const MappingPlan plan = build_plan_for_window(shape, kSmall, {4, 4});
+  const auto [ifm, weights] = sample_tensors(shape, 7);
+  const Tensord reference = conv2d_direct(ifm, weights);
+
+  ExecutionOptions coarse;
+  coarse.adc = ConverterModel(4, -256.0, 256.0);
+  const ExecutionResult coarse_result =
+      execute_plan(plan, ifm, weights, coarse);
+  const double coarse_err = max_abs_diff(coarse_result.ofm, reference);
+  EXPECT_GT(coarse_err, 0.0);  // 4 bits over +-256: step 32, real error
+
+  ExecutionOptions fine;
+  fine.adc = ConverterModel(16, -256.0, 256.0);
+  const ExecutionResult fine_result = execute_plan(plan, ifm, weights, fine);
+  const double fine_err = max_abs_diff(fine_result.ofm, reference);
+  EXPECT_LT(fine_err, coarse_err);
+}
+
+TEST(Executor, NoiseGrowsWithSigma) {
+  const ConvShape shape = ConvShape::square(6, 3, 2, 3);
+  const MappingPlan plan = build_plan_for_window(shape, kSmall, {4, 4});
+  const auto [ifm, weights] = sample_tensors(shape, 8);
+  const Tensord reference = conv2d_direct(ifm, weights);
+
+  double last_err = 0.0;
+  for (const double sigma : {0.0, 0.01, 0.1}) {
+    ExecutionOptions options;
+    options.noise.multiplicative_sigma = sigma;
+    options.noise_seed = 99;
+    const ExecutionResult result = execute_plan(plan, ifm, weights, options);
+    const double err = max_abs_diff(result.ofm, reference);
+    if (sigma == 0.0) {
+      EXPECT_EQ(err, 0.0);
+    } else {
+      EXPECT_GT(err, last_err);
+    }
+    last_err = err;
+  }
+}
+
+TEST(Executor, NoiseIsDeterministicPerSeed) {
+  const ConvShape shape = ConvShape::square(6, 3, 2, 3);
+  const MappingPlan plan = build_plan_for_window(shape, kSmall, {4, 4});
+  const auto [ifm, weights] = sample_tensors(shape, 9);
+  ExecutionOptions options;
+  options.noise.additive_sigma = 0.05;
+  options.noise_seed = 123;
+  const ExecutionResult a = execute_plan(plan, ifm, weights, options);
+  const ExecutionResult b = execute_plan(plan, ifm, weights, options);
+  EXPECT_TRUE(exactly_equal(a.ofm, b.ofm));
+}
+
+TEST(Executor, ZeroInputYieldsZeroOutput) {
+  const MappingPlan plan = sample_plan();
+  const Tensord ifm = Tensord::feature_map(plan.shape.in_channels,
+                                           plan.shape.ifm_h,
+                                           plan.shape.ifm_w);
+  auto [unused_ifm, weights] = sample_tensors(plan.shape, 10);
+  const ExecutionResult result = execute_plan(plan, ifm, weights);
+  for (const double v : result.ofm.data()) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,109 @@
+#include "sim/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/im2col_mapper.h"
+#include "core/vwsdk_mapper.h"
+#include "tensor/tensor_ops.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry kSmall{96, 48};
+
+std::vector<StageSpec> tiny_cnn() {
+  // 12x12x2 -> conv3x3(4) + relu + pool2 -> 5x5x4 -> conv3x3(6) -> 3x3x6.
+  std::vector<StageSpec> stages;
+  StageSpec s1;
+  s1.conv = make_conv_layer("conv1", 12, 3, 2, 4);
+  s1.relu = true;
+  s1.pool_window = 2;
+  s1.pool_stride = 2;
+  stages.push_back(s1);
+  StageSpec s2;
+  s2.conv = make_conv_layer("conv2", 5, 3, 4, 6);
+  s2.relu = false;
+  stages.push_back(s2);
+  return stages;
+}
+
+Tensord tiny_input() {
+  Rng rng(31);
+  Tensord input = Tensord::feature_map(2, 12, 12);
+  fill_random_int(input, rng, 3);
+  return input;
+}
+
+TEST(Pipeline, RunsAndVerifiesEveryStage) {
+  const VwSdkMapper mapper;
+  const PipelineResult result =
+      run_pipeline(tiny_cnn(), tiny_input(), mapper, kSmall);
+  EXPECT_TRUE(result.all_verified) << result.summary();
+  ASSERT_EQ(result.stages.size(), 2u);
+  EXPECT_EQ(result.stages[0].output_shape, (Shape4{1, 4, 5, 5}));
+  EXPECT_EQ(result.stages[1].output_shape, (Shape4{1, 6, 3, 3}));
+  EXPECT_EQ(result.output.shape(), (Shape4{1, 6, 3, 3}));
+  EXPECT_GT(result.total_cycles, 0);
+  EXPECT_GT(result.activity.cell_macs, 0);
+}
+
+TEST(Pipeline, MapperChoiceChangesCyclesNotValues) {
+  const PipelineResult vw =
+      run_pipeline(tiny_cnn(), tiny_input(), VwSdkMapper(), kSmall);
+  const PipelineResult im2col =
+      run_pipeline(tiny_cnn(), tiny_input(), Im2colMapper(), kSmall);
+  EXPECT_TRUE(vw.all_verified);
+  EXPECT_TRUE(im2col.all_verified);
+  // Same weights (same seed), same functional output...
+  EXPECT_TRUE(exactly_equal(vw.output, im2col.output));
+  // ...but the variable-window mapping uses fewer cycles.
+  EXPECT_LT(vw.total_cycles, im2col.total_cycles);
+}
+
+TEST(Pipeline, ReluAppliedWhenRequested) {
+  std::vector<StageSpec> stages;
+  StageSpec s;
+  s.conv = make_conv_layer("conv1", 6, 3, 1, 2);
+  s.relu = true;
+  stages.push_back(s);
+  Rng rng(7);
+  Tensord input = Tensord::feature_map(1, 6, 6);
+  fill_random_int(input, rng, 3);
+  const PipelineResult result =
+      run_pipeline(stages, input, VwSdkMapper(), kSmall);
+  for (const double v : result.output.data()) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(Pipeline, ShapeMismatchRejected) {
+  std::vector<StageSpec> stages = tiny_cnn();
+  Tensord wrong = Tensord::feature_map(3, 12, 12);  // stage expects 2 ch
+  EXPECT_THROW(run_pipeline(stages, wrong, VwSdkMapper(), kSmall),
+               InvalidArgument);
+}
+
+TEST(Pipeline, EmptyStagesRejected) {
+  EXPECT_THROW(run_pipeline({}, tiny_input(), VwSdkMapper(), kSmall),
+               InvalidArgument);
+}
+
+TEST(Pipeline, PoolWithoutStrideRejected) {
+  std::vector<StageSpec> stages = tiny_cnn();
+  stages[0].pool_stride = 0;
+  EXPECT_THROW(run_pipeline(stages, tiny_input(), VwSdkMapper(), kSmall),
+               InvalidArgument);
+}
+
+TEST(Pipeline, SummaryListsStages) {
+  const PipelineResult result =
+      run_pipeline(tiny_cnn(), tiny_input(), VwSdkMapper(), kSmall);
+  const std::string text = result.summary();
+  EXPECT_NE(text.find("stage 1"), std::string::npos);
+  EXPECT_NE(text.find("stage 2"), std::string::npos);
+  EXPECT_NE(text.find("all stages verified"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vwsdk

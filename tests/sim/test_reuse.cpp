@@ -1,0 +1,79 @@
+#include "sim/reuse.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/im2col_mapper.h"
+#include "core/vwsdk_mapper.h"
+#include "mapping/plan_builder.h"
+#include "sim/executor.h"
+#include "tensor/tensor_ops.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+TEST(Reuse, Im2colFetchesEachInteriorElementKernelAreaTimes) {
+  // Large IFM, small kernel, everything fits: each of the ~I^2 elements is
+  // covered by ~K^2 windows, and each window fetch drives its rows once.
+  const ConvShape shape = ConvShape::square(64, 3, 4, 8);
+  const MappingDecision decision = Im2colMapper().map(shape, {512, 512});
+  const ReuseReport report = input_reuse(decision);
+  // 62^2 windows x 9*4 rows / (4 * 64^2 elements) = ~8.4.
+  EXPECT_NEAR(report.fetches_per_element, 8.4, 0.1);
+}
+
+TEST(Reuse, ParallelWindowsReduceFetches) {
+  // The §I claim: SDK-style mappings reuse inputs across the duplicated
+  // kernels.  VW-SDK must fetch less than im2col on every paper layer
+  // where it forms a window.
+  const VwSdkMapper vw;
+  const Im2colMapper im2col;
+  for (const ConvShape& shape :
+       {ConvShape::square(224, 3, 3, 64), ConvShape::square(56, 3, 128, 256),
+        ConvShape::square(14, 3, 256, 256)}) {
+    const MappingDecision base = im2col.map(shape, k512x512);
+    const MappingDecision cand = vw.map(shape, k512x512);
+    ASSERT_FALSE(cand.is_im2col_fallback()) << shape.to_string();
+    EXPECT_GT(fetch_reduction(base, cand), 1.0) << shape.to_string();
+  }
+}
+
+TEST(Reuse, FallbackLayersFetchEqually) {
+  const ConvShape conv5 = ConvShape::square(7, 3, 512, 512);
+  const MappingDecision base = Im2colMapper().map(conv5, k512x512);
+  const MappingDecision cand = VwSdkMapper().map(conv5, k512x512);
+  EXPECT_DOUBLE_EQ(fetch_reduction(base, cand), 1.0);
+}
+
+TEST(Reuse, MatchesExecutedRowDrives) {
+  // The analytic fetch count is exactly what the executor performs.
+  const ConvShape shape = ConvShape::square(10, 3, 6, 8);
+  const ArrayGeometry geometry{96, 48};
+  const MappingDecision decision = VwSdkMapper().map(shape, geometry);
+  const MappingPlan plan =
+      build_plan_for_cost(shape, geometry, decision.cost);
+  Rng rng(3);
+  Tensord ifm = Tensord::feature_map(6, 10, 10);
+  Tensord weights = Tensord::weights(8, 6, 3, 3);
+  fill_random_int(ifm, rng, 3);
+  fill_random_int(weights, rng, 3);
+  const ExecutionResult executed = execute_plan(plan, ifm, weights);
+  EXPECT_EQ(input_reuse(decision).row_drives,
+            executed.activity.row_activations);
+}
+
+TEST(Reuse, ReportFormatsAndValidates) {
+  const ConvShape shape = ConvShape::square(56, 3, 128, 256);
+  const MappingDecision decision = VwSdkMapper().map(shape, k512x512);
+  const std::string text = input_reuse(decision).to_string();
+  EXPECT_NE(text.find("fetches/element"), std::string::npos);
+
+  MappingDecision bad = decision;
+  bad.cost.feasible = false;
+  EXPECT_THROW(input_reuse(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vwsdk

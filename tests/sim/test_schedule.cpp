@@ -1,0 +1,87 @@
+#include "sim/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/plan_builder.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry kSmall{64, 32};
+
+TEST(Schedule, LengthEqualsAnalyticCycles) {
+  const ConvShape shape = ConvShape::square(8, 3, 9, 40);
+  const MappingPlan plan =
+      build_windowed_plan(shape, kSmall, vw_cost(shape, kSmall, {4, 3}));
+  const auto schedule = build_schedule(plan);
+  EXPECT_EQ(static_cast<Cycles>(schedule.size()), plan.cost.total);
+  EXPECT_EQ(schedule_cycle_count(plan), plan.cost.total);
+}
+
+TEST(Schedule, OrderIsBaseThenArThenAc) {
+  const ConvShape shape = ConvShape::square(8, 3, 9, 40);
+  const MappingPlan plan =
+      build_windowed_plan(shape, kSmall, vw_cost(shape, kSmall, {4, 3}));
+  const auto schedule = build_schedule(plan);
+  // AR = 2, AC = 3: the first six cycles share the first base.
+  ASSERT_GE(schedule.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(schedule[static_cast<std::size_t>(i)].base_x, 0);
+    EXPECT_EQ(schedule[static_cast<std::size_t>(i)].base_y, 0);
+  }
+  EXPECT_EQ(schedule[0].ar, 0);
+  EXPECT_EQ(schedule[0].ac, 0);
+  EXPECT_EQ(schedule[1].ac, 1);
+  EXPECT_EQ(schedule[3].ar, 1);
+  // Indices increase monotonically.
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_EQ(schedule[i].index, schedule[i - 1].index + 1);
+  }
+}
+
+TEST(Schedule, BasesAdvanceRowMajor) {
+  const ConvShape shape = ConvShape::square(7, 3, 2, 2);
+  const MappingPlan plan =
+      build_windowed_plan(shape, kSmall, vw_cost(shape, kSmall, {4, 3}));
+  const auto schedule = build_schedule(plan);
+  // One tile per base: sequence of (y, x) must be row-major.
+  ASSERT_EQ(plan.tiles.size(), 1u);
+  Dim last_y = -1;
+  Dim last_x = -1;
+  for (const CycleDescriptor& cycle : schedule) {
+    if (cycle.base_y == last_y) {
+      EXPECT_GT(cycle.base_x, last_x);
+    } else {
+      EXPECT_GT(cycle.base_y, last_y);
+    }
+    last_y = cycle.base_y;
+    last_x = cycle.base_x;
+  }
+}
+
+TEST(Schedule, SmdChunksWindows) {
+  const ConvShape shape = ConvShape::square(6, 3, 1, 2);
+  const MappingPlan plan = build_smd_plan(shape, kSmall);
+  ASSERT_EQ(plan.cost.smd_duplicates, 7);
+  const auto schedule = build_schedule(plan);
+  // 16 windows in chunks of 7 -> 3 cycles.
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule[0].first_window, 0);
+  EXPECT_EQ(schedule[1].first_window, 7);
+  EXPECT_EQ(schedule[2].first_window, 14);
+}
+
+TEST(Schedule, Im2colVisitsEveryWindowOnce) {
+  const ConvShape shape = ConvShape::square(6, 3, 1, 1);
+  const MappingPlan plan = build_im2col_plan(shape, kSmall);
+  const auto schedule = build_schedule(plan);
+  EXPECT_EQ(schedule.size(), 16u);  // 4x4 windows, one tile
+  std::set<std::pair<Dim, Dim>> bases;
+  for (const CycleDescriptor& cycle : schedule) {
+    bases.emplace(cycle.base_y, cycle.base_x);
+  }
+  EXPECT_EQ(bases.size(), 16u);
+}
+
+}  // namespace
+}  // namespace vwsdk

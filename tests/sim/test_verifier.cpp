@@ -1,0 +1,60 @@
+#include "sim/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/plan_builder.h"
+#include "tensor/tensor_ops.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry kSmall{64, 32};
+
+TEST(Verifier, ReportsExactMatchForIdealExecution) {
+  const ConvShape shape = ConvShape::square(8, 3, 4, 6);
+  const MappingPlan plan = build_plan_for_window(shape, kSmall, {4, 3});
+  const VerificationReport report = verify_mapping_random(plan, 42);
+  EXPECT_TRUE(report.exact_match);
+  EXPECT_EQ(report.max_abs_error, 0.0);
+  EXPECT_TRUE(report.cycles_match);
+  EXPECT_GT(report.programmed_cells, 0);
+  EXPECT_NE(report.summary.find("EXACT match"), std::string::npos);
+}
+
+TEST(Verifier, DeterministicForSeed) {
+  const ConvShape shape = ConvShape::square(8, 3, 4, 6);
+  const MappingPlan plan = build_plan_for_window(shape, kSmall, {4, 3});
+  const VerificationReport a = verify_mapping_random(plan, 7);
+  const VerificationReport b = verify_mapping_random(plan, 7);
+  EXPECT_EQ(a.summary, b.summary);
+}
+
+TEST(Verifier, QuantizedAdcReportsBoundedError) {
+  const ConvShape shape = ConvShape::square(8, 3, 4, 6);
+  const MappingPlan plan = build_plan_for_window(shape, kSmall, {4, 3});
+  ExecutionOptions options;
+  options.adc = ConverterModel(8, -512.0, 512.0);
+  const VerificationReport report = verify_mapping_random(plan, 42, 4,
+                                                          options);
+  // Quantization error is bounded by steps * AR accumulations.
+  EXPECT_FALSE(report.exact_match);
+  EXPECT_GT(report.max_abs_error, 0.0);
+  EXPECT_LE(report.max_abs_error, 4 * 4.0 * plan.cost.ar_cycles);
+  EXPECT_TRUE(report.cycles_match);
+}
+
+TEST(Verifier, ExplicitTensorsOverload) {
+  const ConvShape shape = ConvShape::square(6, 3, 2, 3);
+  const MappingPlan plan = build_im2col_plan(shape, kSmall);
+  Rng rng(5);
+  Tensord ifm = Tensord::feature_map(2, 6, 6);
+  Tensord weights = Tensord::weights(3, 2, 3, 3);
+  fill_random_int(ifm, rng, 2);
+  fill_random_int(weights, rng, 2);
+  const VerificationReport report = verify_mapping(plan, ifm, weights);
+  EXPECT_TRUE(report.exact_match);
+  EXPECT_EQ(report.analytic_cycles, plan.cost.total);
+}
+
+}  // namespace
+}  // namespace vwsdk

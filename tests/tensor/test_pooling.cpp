@@ -1,0 +1,86 @@
+#include "tensor/pooling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(MaxPool, TwoByTwoStrideTwo) {
+  Tensord ifm = Tensord::feature_map(1, 4, 4);
+  fill_sequential(ifm);  // rows: 0-3, 4-7, 8-11, 12-15
+  const Tensord out = max_pool2d(ifm, 2, 2);
+  ASSERT_EQ(out.shape(), (Shape4{1, 1, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0), 5.0);
+  EXPECT_EQ(out.at(0, 0, 1), 7.0);
+  EXPECT_EQ(out.at(0, 1, 0), 13.0);
+  EXPECT_EQ(out.at(0, 1, 1), 15.0);
+}
+
+TEST(MaxPool, HandlesNegativeValues) {
+  Tensord ifm = Tensord::feature_map(1, 2, 2);
+  ifm.at(0, 0, 0) = -5.0;
+  ifm.at(0, 0, 1) = -2.0;
+  ifm.at(0, 1, 0) = -9.0;
+  ifm.at(0, 1, 1) = -7.0;
+  const Tensord out = max_pool2d(ifm, 2, 2);
+  EXPECT_EQ(out.at(0, 0, 0), -2.0);
+}
+
+TEST(MaxPool, PerChannelIndependence) {
+  Tensord ifm = Tensord::feature_map(2, 2, 2);
+  ifm.at(0, 0, 0) = 10.0;
+  ifm.at(1, 1, 1) = 20.0;
+  const Tensord out = max_pool2d(ifm, 2, 2);
+  EXPECT_EQ(out.at(0, 0, 0), 10.0);
+  EXPECT_EQ(out.at(1, 0, 0), 20.0);
+}
+
+TEST(AvgPool, Averages) {
+  Tensord ifm = Tensord::feature_map(1, 2, 2);
+  fill_sequential(ifm);  // 0,1,2,3
+  const Tensord out = avg_pool2d(ifm, 2, 2);
+  EXPECT_EQ(out.at(0, 0, 0), 1.5);
+}
+
+TEST(Pooling, OverlappingStride) {
+  Tensord ifm = Tensord::feature_map(1, 3, 3);
+  fill_sequential(ifm);
+  const Tensord out = max_pool2d(ifm, 2, 1);
+  ASSERT_EQ(out.shape(), (Shape4{1, 1, 2, 2}));
+  EXPECT_EQ(out.at(0, 1, 1), 8.0);
+}
+
+TEST(Pooling, Validation) {
+  const Tensord ifm = Tensord::feature_map(1, 2, 2);
+  EXPECT_THROW(max_pool2d(ifm, 3, 1), InvalidArgument);
+  EXPECT_THROW(max_pool2d(ifm, 0, 1), InvalidArgument);
+  EXPECT_THROW(avg_pool2d(ifm, 2, 0), InvalidArgument);
+}
+
+TEST(Relu, ClampsNegatives) {
+  Tensord t = Tensord::feature_map(1, 1, 3);
+  t.at(0, 0, 0) = -1.0;
+  t.at(0, 0, 1) = 0.0;
+  t.at(0, 0, 2) = 2.5;
+  const Tensord out = relu(t);
+  EXPECT_EQ(out.at(0, 0, 0), 0.0);
+  EXPECT_EQ(out.at(0, 0, 1), 0.0);
+  EXPECT_EQ(out.at(0, 0, 2), 2.5);
+}
+
+TEST(Add, ElementwiseAndValidation) {
+  Tensord a = Tensord::feature_map(1, 2, 2);
+  Tensord b = Tensord::feature_map(1, 2, 2);
+  fill_sequential(a);
+  fill_sequential(b);
+  const Tensord out = add(a, b);
+  EXPECT_EQ(out.at(0, 1, 1), 6.0);
+  const Tensord c = Tensord::feature_map(1, 2, 3);
+  EXPECT_THROW(add(a, c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,73 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensord t(Shape4{2, 3, 4, 5});
+  EXPECT_EQ(t.size(), 2 * 3 * 4 * 5);
+  for (const double v : t.data()) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(Tensor, ShapeAccessors) {
+  const Tensord fm = Tensord::feature_map(16, 8, 9);
+  EXPECT_EQ(fm.shape(), (Shape4{1, 16, 8, 9}));
+  const Tensord w = Tensord::weights(32, 16, 3, 3);
+  EXPECT_EQ(w.shape(), (Shape4{32, 16, 3, 3}));
+}
+
+TEST(Tensor, RowMajorLayout) {
+  Tensord t(Shape4{1, 2, 2, 3});
+  t.at(0, 1, 1, 2) = 7.0;
+  // flat = ((0*2+1)*2+1)*3+2 = 11
+  EXPECT_EQ(t.data()[11], 7.0);
+}
+
+TEST(Tensor, FeatureMapAccessorAliasesFourIndexForm) {
+  Tensord t = Tensord::feature_map(3, 4, 5);
+  t.at(2, 3, 4) = 9.5;
+  EXPECT_EQ(t.at(0, 2, 3, 4), 9.5);
+}
+
+TEST(Tensor, BoundsChecked) {
+  Tensord t = Tensord::feature_map(2, 2, 2);
+  EXPECT_THROW(t.at(0, 0, 0, 2), InvalidArgument);
+  EXPECT_THROW(t.at(0, 2, 0, 0), InvalidArgument);
+  EXPECT_THROW(t.at(0, 0, -1, 0), InvalidArgument);
+  EXPECT_THROW(t.at(1, 0, 0, 0), InvalidArgument);  // batch is 1
+}
+
+TEST(Tensor, FillAndEquality) {
+  Tensord a = Tensord::feature_map(2, 2, 2);
+  Tensord b = Tensord::feature_map(2, 2, 2);
+  a.fill(3.0);
+  b.fill(3.0);
+  EXPECT_EQ(a, b);
+  b.at(0, 1, 1) = 4.0;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Tensor, EmptyTensor) {
+  const Tensord t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(Tensor, NegativeDimensionRejected) {
+  EXPECT_THROW(Tensord(Shape4{1, -1, 2, 2}), InvalidArgument);
+}
+
+TEST(Shape4, ToStringAndSize) {
+  const Shape4 s{64, 3, 7, 7};
+  EXPECT_EQ(s.to_string(), "(64, 3, 7, 7)");
+  EXPECT_EQ(s.size(), 64 * 3 * 7 * 7);
+}
+
+}  // namespace
+}  // namespace vwsdk
