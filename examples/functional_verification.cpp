@@ -4,8 +4,7 @@
 /// to the result.
 ///
 ///   ./examples/functional_verification
-///   ./examples/functional_verification --image 10 --ic 8 --oc 12 \
-///       --array 96x48 --adc-bits 8 --noise 0.02
+///   ./examples/functional_verification --image 10 --ic 8 --oc 12 --array 96x48 --adc-bits 8 --noise 0.02
 
 #include <iostream>
 

@@ -2,8 +2,7 @@
 /// algorithm in the library and print what each one chose.
 ///
 ///   ./examples/quickstart
-///   ./examples/quickstart --image 28 --kernel 3 --ic 256 --oc 512 \
-///                         --array 256x256
+///   ./examples/quickstart --image 28 --kernel 3 --ic 256 --oc 512 --array 256x256
 
 #include <iostream>
 

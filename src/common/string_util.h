@@ -41,7 +41,7 @@ std::string with_thousands(long long value);
 template <typename... Parts>
 std::string cat(const Parts&... parts) {
   std::ostringstream os;
-  (os << ... << parts);
+  (void)(os << ... << parts);
   return os.str();
 }
 

@@ -73,7 +73,7 @@ TEST(CompareMappers, IndexValidation) {
 }
 
 TEST(CompareMappers, WorksAcrossModelsAndGeometries) {
-  for (const std::string& model : {"lenet5", "alexnet", "stress"}) {
+  for (const char* model : {"lenet5", "alexnet", "stress"}) {
     for (const ArrayGeometry& geometry : paper_geometries()) {
       const NetworkComparison cmp = compare_mappers(
           {"im2col", "vw-sdk"}, model_by_name(model), geometry);

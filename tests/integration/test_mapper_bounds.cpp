@@ -1,0 +1,58 @@
+/// Randomized sandwich bound on the VW-SDK search: for any problem, the
+/// cost Algorithm 1 reports can never beat the exhaustive oracle (it
+/// searches a subset of the oracle's candidates) and can never lose to
+/// im2col (im2col is its incumbent's initialization).  Shapes are kept
+/// small so the oracle stays fast; the PRNG is seeded so failures replay.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/exhaustive_mapper.h"
+#include "core/im2col_mapper.h"
+#include "core/vwsdk_mapper.h"
+
+namespace vwsdk {
+namespace {
+
+struct Draw {
+  ConvShape shape;
+  ArrayGeometry geometry;
+  std::string context;
+};
+
+Draw draw_small(Rng& rng) {
+  Draw d;
+  const Dim kernel = static_cast<Dim>(rng.uniform_int(1, 5));
+  d.shape.kernel_w = kernel;
+  d.shape.kernel_h = static_cast<Dim>(rng.uniform_int(1, kernel));
+  d.shape.ifm_w = static_cast<Dim>(rng.uniform_int(kernel, 16));
+  d.shape.ifm_h =
+      static_cast<Dim>(rng.uniform_int(d.shape.kernel_h, 16));
+  d.shape.in_channels = static_cast<Dim>(rng.uniform_int(1, 16));
+  d.shape.out_channels = static_cast<Dim>(rng.uniform_int(1, 24));
+  d.geometry.rows = static_cast<Dim>(rng.uniform_int(8, 128));
+  d.geometry.cols = static_cast<Dim>(rng.uniform_int(4, 64));
+  d.shape.validate();
+  d.geometry.validate();
+  d.context = cat(d.shape.to_string(), " on ", d.geometry.to_string());
+  return d;
+}
+
+TEST(MapperBounds, VwSdkSandwichedBetweenOracleAndIm2col) {
+  const ExhaustiveMapper oracle;
+  const VwSdkMapper vw;
+  const Im2colMapper im2col;
+  Rng rng(0xB0BA);
+  for (int i = 0; i < 150; ++i) {
+    const Draw d = draw_small(rng);
+    const Cycles lower = oracle.map(d.shape, d.geometry).cost.total;
+    const Cycles mid = vw.map(d.shape, d.geometry).cost.total;
+    const Cycles upper = im2col.map(d.shape, d.geometry).cost.total;
+    EXPECT_GE(mid, lower) << "draw " << i << ": " << d.context;
+    EXPECT_LE(mid, upper) << "draw " << i << ": " << d.context;
+  }
+}
+
+}  // namespace
+}  // namespace vwsdk
