@@ -57,8 +57,8 @@ Cycles best_square_tiled(const ConvShape& shape,
 }  // namespace
 
 int main() {
-  bench::banner("Ablation -- rectangular windows vs channel tiling");
-  bench::Checker checker;
+  bench::JsonReporter reporter("bench_ablation");
+  reporter.section("Ablation -- rectangular windows vs channel tiling");
   const ArrayGeometry geometry{512, 512};
 
   for (const Network& net : {vgg13_paper(), resnet18_paper()}) {
@@ -92,14 +92,14 @@ int main() {
     add("vw-sdk (rect + tiled)", vw_total);
     std::cout << table;
 
-    checker.expect_true(net.name() + ": rect-only >= sdk improvement",
-                        rect_total <= sdk_total);
-    checker.expect_true(net.name() + ": square-tiled >= sdk improvement",
-                        square_total <= sdk_total);
-    checker.expect_true(net.name() + ": vw-sdk <= square-tiled",
-                        vw_total <= square_total);
-    checker.expect_true(net.name() + ": vw-sdk strictly beats sdk",
-                        vw_total < sdk_total);
+    reporter.expect_true(net.name() + ": rect-only >= sdk improvement",
+                         rect_total <= sdk_total);
+    reporter.expect_true(net.name() + ": square-tiled >= sdk improvement",
+                         square_total <= sdk_total);
+    reporter.expect_true(net.name() + ": vw-sdk <= square-tiled",
+                         vw_total <= square_total);
+    reporter.expect_true(net.name() + ": vw-sdk strictly beats sdk",
+                         vw_total < sdk_total);
     // Documented finding (EXPERIMENTS.md): the hypothetical rect-only
     // variant costs windows with Eq. (1)'s *element-granular* row split
     // (AR = ceil(PW_area*IC/rows)), which packs arrays denser than
@@ -107,9 +107,9 @@ int main() {
     // wins on pure cycle count (~12% on VGG-13).  VW-SDK trades those
     // cycles for keeping whole channels per array.  The bound must stay
     // a bound:
-    checker.expect_true(net.name() +
-                            ": element-split rect bound <= vw-sdk cycles",
-                        rect_total <= vw_total);
+    reporter.expect_true(net.name() +
+                             ": element-split rect bound <= vw-sdk cycles",
+                         rect_total <= vw_total);
   }
-  return checker.finish("bench_ablation");
+  return reporter.finish();
 }

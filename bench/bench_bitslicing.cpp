@@ -18,8 +18,8 @@
 
 int main() {
   using namespace vwsdk;
-  bench::banner("Bit-slicing sweep -- ResNet-18 on 512x512");
-  bench::Checker checker;
+  bench::JsonReporter reporter("bench_bitslicing");
+  reporter.section("Bit-slicing sweep -- ResNet-18 on 512x512");
   const ArrayGeometry geometry{512, 512};
   const Network net = resnet18_paper();
 
@@ -57,10 +57,10 @@ int main() {
   }
   std::cout << table;
 
-  checker.expect_eq("full precision reduces to the paper total", 4294,
-                    full_precision_total);
-  checker.expect_true("VW-SDK never loses to im2col at any precision",
-                      always_wins);
+  reporter.expect_eq("full precision reduces to the paper total", 4294,
+                     full_precision_total);
+  reporter.expect_true("VW-SDK never loses to im2col at any precision",
+                       always_wins);
 
   // 1-bit DAC multiplies every mapping by 8 input steps; the *relative*
   // speedup at 8-bit cells must therefore be precision-independent.
@@ -72,7 +72,7 @@ int main() {
     vw_serial +=
         mapper.map(ConvShape::from_layer(layer), geometry).cost.total;
   }
-  checker.expect_eq("bit-serial inputs scale cycles by exactly 8",
-                    4294 * 8, vw_serial);
-  return checker.finish("bench_bitslicing");
+  reporter.expect_eq("bit-serial inputs scale cycles by exactly 8",
+                     4294 * 8, vw_serial);
+  return reporter.finish();
 }

@@ -17,8 +17,8 @@
 
 int main() {
   using namespace vwsdk;
-  bench::banner("Chip-level pipeline -- ResNet-18, 512x512 arrays");
-  bench::Checker checker;
+  bench::JsonReporter reporter("bench_chip");
+  reporter.section("Chip-level pipeline -- ResNet-18, 512x512 arrays");
 
   const Network net = resnet18_paper();
   const NetworkMappingResult vw =
@@ -62,16 +62,16 @@ int main() {
   }
   std::cout << table;
 
-  checker.expect_eq("vw-sdk resident demand (tiles of Table I mappings)",
-                    23, resident_array_demand(vw));
-  checker.expect_eq("im2col resident demand", 20,
-                    resident_array_demand(base));
-  checker.expect_true("vw-sdk interval <= im2col interval at every size",
-                      vw_never_worse);
-  checker.expect_true("256 arrays push the interval below 200 cycles",
-                      vw_at_256 > 0 && vw_at_256 < 200);
+  reporter.expect_eq("vw-sdk resident demand (tiles of Table I mappings)",
+                     23, resident_array_demand(vw));
+  reporter.expect_eq("im2col resident demand", 20,
+                     resident_array_demand(base));
+  reporter.expect_true("vw-sdk interval <= im2col interval at every size",
+                       vw_never_worse);
+  reporter.expect_true("256 arrays push the interval below 200 cycles",
+                       vw_at_256 > 0 && vw_at_256 < 200);
 
   std::cout << "\nallocation detail at 64 arrays:\n"
             << allocate_chip(vw, 64).to_string();
-  return checker.finish("bench_chip");
+  return reporter.finish();
 }

@@ -17,8 +17,8 @@
 
 int main() {
   using namespace vwsdk;
-  bench::banner("Multi-array dispatch -- ResNet-18, VW-SDK, 512x512");
-  bench::Checker checker;
+  bench::JsonReporter reporter("bench_dispatch");
+  reporter.section("Multi-array dispatch -- ResNet-18, VW-SDK, 512x512");
   const ArrayGeometry geometry{512, 512};
   const Network net = resnet18_paper();
   const auto mapper = make_mapper("vw-sdk");
@@ -58,13 +58,13 @@ int main() {
   }
   std::cout << table;
 
-  checker.expect_eq("serial total is the Table-I VW-SDK total", 4294,
-                    serial_total);
-  checker.expect_true("replication at 8 arrays beats static ownership",
-                      replicated_at_8 < owned_at_8);
-  checker.expect_true("replicated speedup at 8 arrays is near-linear",
-                      static_cast<double>(serial_total) /
-                              static_cast<double>(replicated_at_8) >
-                          7.5);
-  return checker.finish("bench_dispatch");
+  reporter.expect_eq("serial total is the Table-I VW-SDK total", 4294,
+                     serial_total);
+  reporter.expect_true("replication at 8 arrays beats static ownership",
+                       replicated_at_8 < owned_at_8);
+  reporter.expect_true("replicated speedup at 8 arrays is near-linear",
+                       static_cast<double>(serial_total) /
+                               static_cast<double>(replicated_at_8) >
+                           7.5);
+  return reporter.finish();
 }

@@ -19,8 +19,8 @@
 
 int main() {
   using namespace vwsdk;
-  bench::banner("Energy & latency per mapping (ResNet-18, 512x512)");
-  bench::Checker checker;
+  bench::JsonReporter reporter("bench_energy");
+  reporter.section("Energy & latency per mapping (ResNet-18, 512x512)");
   const ArrayGeometry geometry{512, 512};
   const EnergyParams params;  // documented literature-scale defaults
 
@@ -62,21 +62,21 @@ int main() {
   std::cout << "\nnetwork totals: cycle ratio " << format_fixed(cycle_ratio, 2)
             << "x, full-array energy ratio " << format_fixed(energy_ratio, 2)
             << "x\n";
-  checker.expect_near("full-array energy ratio tracks cycle ratio (4.67x)",
-                      cycle_ratio, energy_ratio, 0.8);
-  checker.expect_true("VW-SDK saves >3x energy on ResNet-18",
-                      energy_ratio > 3.0);
+  reporter.expect_near("full-array energy ratio tracks cycle ratio (4.67x)",
+                       cycle_ratio, energy_ratio, 0.8);
+  reporter.expect_true("VW-SDK saves >3x energy on ResNet-18",
+                       energy_ratio > 3.0);
 
   // Conversion dominance (refs [2],[3]): with all converters firing every
   // cycle, conversions must dominate the energy budget.
   const ConvShape conv4 = ConvShape::from_layer(net.layer_by_name("conv4"));
   const LatencyEstimate conv4_vw =
       estimate_layer(make_mapper("vw-sdk")->map(conv4, geometry), params);
-  checker.expect_true("conversions dominate layer energy (>80%)",
-                      conv4_vw.conversion_fraction > 0.8);
+  reporter.expect_true("conversions dominate layer energy (>80%)",
+                       conv4_vw.conversion_fraction > 0.8);
 
   // The pinned nuance: per-active-column accounting on VGG-13 conv5.
-  bench::banner("Nuance: active-column accounting on VGG-13 conv5");
+  reporter.section("Nuance: active-column accounting on VGG-13 conv5");
   const ConvShape conv5 = ConvShape::square(56, 3, 128, 256);
   const LatencyEstimate base =
       estimate_layer(make_mapper("im2col")->map(conv5, geometry), params);
@@ -88,9 +88,9 @@ int main() {
             << ") yet more ACTIVE conversions: VW-SDK's channel-granular\n"
             << "     AR is 4 vs im2col's element-granular 3, so each output\n"
             << "     needs one extra partial-sum conversion.\n";
-  checker.expect_true("nuance holds: vw active energy > im2col's on conv5",
-                      vw.energy_pj > base.energy_pj);
-  checker.expect_true("while vw full-array energy is still lower",
-                      vw.energy_full_array_pj < base.energy_full_array_pj);
-  return checker.finish("bench_energy");
+  reporter.expect_true("nuance holds: vw active energy > im2col's on conv5",
+                       vw.energy_pj > base.energy_pj);
+  reporter.expect_true("while vw full-array energy is still lower",
+                       vw.energy_full_array_pj < base.energy_full_array_pj);
+  return reporter.finish();
 }

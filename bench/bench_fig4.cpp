@@ -18,9 +18,9 @@
 
 int main() {
   using namespace vwsdk;
-  bench::banner(
+  bench::JsonReporter reporter("bench_fig4");
+  reporter.section(
       "Fig. 4 -- computable channel size per cycle (K=3) vs array size");
-  bench::Checker checker;
 
   const std::vector<std::pair<std::string, ArrayGeometry>> arrays = {
       {"128x128 [5]", {128, 128}},
@@ -54,15 +54,15 @@ int main() {
   std::cout << layers;
 
   // Exact spot values readable off the figure's dashed lines.
-  checker.expect_eq("im2col IC on 512 rows", 56, 512 / 9);
-  checker.expect_eq("im2col IC on 256 rows", 28, 256 / 9);
-  checker.expect_eq("im2col IC on 128 rows", 14, 128 / 9);
-  checker.expect_eq("SDK IC on 512 rows", 32, 512 / 16);
-  checker.expect_eq("SDK OC on 512 cols", 128, 512 / 4);
-  checker.expect_eq("SDK OC on 256 cols", 64, 256 / 4);
+  reporter.expect_eq("im2col IC on 512 rows", 56, 512 / 9);
+  reporter.expect_eq("im2col IC on 256 rows", 28, 256 / 9);
+  reporter.expect_eq("im2col IC on 128 rows", 14, 128 / 9);
+  reporter.expect_eq("SDK IC on 512 rows", 32, 512 / 16);
+  reporter.expect_eq("SDK OC on 512 cols", 128, 512 / 4);
+  reporter.expect_eq("SDK OC on 256 cols", 64, 256 / 4);
   // The figure's argument: even the largest array cannot hold conv5+'s
   // 256-512 channels in one im2col cycle.
-  checker.expect_true("no array maps VGG-13 conv5's 128/256 channels at once",
-                      512 / 9 < 128);
-  return checker.finish("bench_fig4");
+  reporter.expect_true("no array maps VGG-13 conv5's 128/256 channels at once",
+                       512 / 9 < 128);
+  return reporter.finish();
 }

@@ -18,8 +18,8 @@
 
 int main() {
   using namespace vwsdk;
-  bench::banner("Fig. 5(a) -- worked example: window shape vs cycles");
-  bench::Checker checker;
+  bench::JsonReporter reporter("bench_fig5a");
+  reporter.section("Fig. 5(a) -- worked example: window shape vs cycles");
 
   const ConvShape example = ConvShape::square(4, 3, 42, 96);
   const ArrayGeometry geometry{512, 256};
@@ -44,17 +44,17 @@ int main() {
   std::cout << table;
 
   // The figure's annotated row/column demands.
-  checker.expect_eq("im2col rows (figure: 378)", 378, 9 * 42);
-  checker.expect_eq("4x3 rows (figure: 504)", 504, 12 * 42);
-  checker.expect_eq("4x4 rows (figure: 672)", 672, 16 * 42);
-  checker.expect_eq("im2col cols (figure: 96)", 96, 96);
-  checker.expect_eq("4x3 cols (figure: 192)", 192, 2 * 96);
-  checker.expect_eq("4x4 cols (figure: 384)", 384, 4 * 96);
+  reporter.expect_eq("im2col rows (figure: 378)", 378, 9 * 42);
+  reporter.expect_eq("4x3 rows (figure: 504)", 504, 12 * 42);
+  reporter.expect_eq("4x4 rows (figure: 672)", 672, 16 * 42);
+  reporter.expect_eq("im2col cols (figure: 96)", 96, 96);
+  reporter.expect_eq("4x3 cols (figure: 192)", 192, 2 * 96);
+  reporter.expect_eq("4x4 cols (figure: 384)", 384, 4 * 96);
   // The figure's cycle counts.
-  checker.expect_eq("im2col cycles", 4, im2col.total);
-  checker.expect_eq("4x3 cycles", 2, rect.total);
-  checker.expect_eq("4x4 cycles", 4, square.total);
-  checker.expect_eq("4x4 AR cycles", 2, square.ar_cycles);
-  checker.expect_eq("4x4 AC cycles", 2, square.ac_cycles);
-  return checker.finish("bench_fig5a");
+  reporter.expect_eq("im2col cycles", 4, im2col.total);
+  reporter.expect_eq("4x3 cycles", 2, rect.total);
+  reporter.expect_eq("4x4 cycles", 4, square.total);
+  reporter.expect_eq("4x4 AR cycles", 2, square.ar_cycles);
+  reporter.expect_eq("4x4 AC cycles", 2, square.ac_cycles);
+  return reporter.finish();
 }

@@ -17,8 +17,8 @@
 
 int main() {
   using namespace vwsdk;
-  bench::banner("Fig. 5(b) -- speedup vs IFM size for fixed window shapes");
-  bench::Checker checker;
+  bench::JsonReporter reporter("bench_fig5b");
+  reporter.section("Fig. 5(b) -- speedup vs IFM size for fixed window shapes");
 
   const ArrayGeometry geometry{512, 256};
   const Dim sizes[] = {7, 8, 14, 16, 28, 32, 56, 64, 112, 128, 224, 256};
@@ -49,11 +49,11 @@ int main() {
   }
   std::cout << table;
 
-  checker.expect_near("4x3 speedup at IFM 224 (~2x)", 2.0,
-                      speedup_4x3_at_224, 0.05);
-  checker.expect_near("4x4 speedup at IFM 224 (~1x)", 1.0,
-                      speedup_4x4_at_224, 0.05);
-  checker.expect_near("4x3 gains ~2x over 4x4 (paper's highlight)", 2.0,
-                      speedup_4x3_at_224 / speedup_4x4_at_224, 0.1);
-  return checker.finish("bench_fig5b");
+  reporter.expect_near("4x3 speedup at IFM 224 (~2x)", 2.0,
+                       speedup_4x3_at_224, 0.05);
+  reporter.expect_near("4x4 speedup at IFM 224 (~1x)", 1.0,
+                       speedup_4x4_at_224, 0.05);
+  reporter.expect_near("4x3 gains ~2x over 4x4 (paper's highlight)", 2.0,
+                       speedup_4x3_at_224 / speedup_4x4_at_224, 0.1);
+  return reporter.finish();
 }

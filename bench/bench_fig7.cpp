@@ -14,9 +14,9 @@
 
 int main() {
   using namespace vwsdk;
-  bench::Checker checker;
 
-  bench::banner("Fig. 7(a) -- tiled ICs vs parallel-window area");
+  bench::JsonReporter reporter("bench_fig7");
+  reporter.section("Fig. 7(a) -- tiled ICs vs parallel-window area");
   {
     TextTable table({"PW area", "128 rows", "256 rows", "512 rows"});
     for (const Count area : {9, 16, 22, 28, 34, 40, 46, 52, 58, 64, 70, 76}) {
@@ -26,7 +26,7 @@ int main() {
     std::cout << table;
   }
 
-  bench::banner("Fig. 7(b) -- tiled OCs vs windows per parallel window");
+  reporter.section("Fig. 7(b) -- tiled OCs vs windows per parallel window");
   {
     TextTable table({"N_WP", "128 cols", "256 cols", "512 cols"});
     for (Count n_wp = 1; n_wp <= 15; n_wp += 2) {
@@ -39,18 +39,18 @@ int main() {
   // Verify the formulas against the library's tiled_ic / tiled_oc on an
   // unclamped layer, and pin the end points of both curves.
   const ConvShape huge = ConvShape::square(90, 3, 100000, 100000);
-  checker.expect_eq("IC_t at area 9, 512 rows", 56,
-                    tiled_ic(huge, {512, 512}, {3, 3}));
-  checker.expect_eq("IC_t at area 76 (19x4)... 512 rows", 512 / 76,
-                    tiled_ic(huge, {512, 512}, {19, 4}));
-  checker.expect_eq("IC_t at area 9, 128 rows", 14,
-                    tiled_ic(huge, {128, 512}, {3, 3}));
-  checker.expect_eq("OC_t at N_WP 1, 512 cols", 512,
-                    tiled_oc(huge, {512, 512}, {3, 3}));
-  checker.expect_eq("OC_t at N_WP 15, 512 cols", 34,
-                    tiled_oc(huge, {512, 512}, {17, 3}));
-  checker.expect_eq("OC_t at N_WP 15, 128 cols", 8,
-                    tiled_oc(huge, {512, 128}, {17, 3}));
+  reporter.expect_eq("IC_t at area 9, 512 rows", 56,
+                     tiled_ic(huge, {512, 512}, {3, 3}));
+  reporter.expect_eq("IC_t at area 76 (19x4)... 512 rows", 512 / 76,
+                     tiled_ic(huge, {512, 512}, {19, 4}));
+  reporter.expect_eq("IC_t at area 9, 128 rows", 14,
+                     tiled_ic(huge, {128, 512}, {3, 3}));
+  reporter.expect_eq("OC_t at N_WP 1, 512 cols", 512,
+                     tiled_oc(huge, {512, 512}, {3, 3}));
+  reporter.expect_eq("OC_t at N_WP 15, 512 cols", 34,
+                     tiled_oc(huge, {512, 512}, {17, 3}));
+  reporter.expect_eq("OC_t at N_WP 15, 128 cols", 8,
+                     tiled_oc(huge, {512, 128}, {17, 3}));
   // Monotonicity of both curves (the figure's visual shape).
   bool ic_monotone = true;
   Count last = 1 << 30;
@@ -58,6 +58,6 @@ int main() {
     ic_monotone = ic_monotone && 512 / area <= last;
     last = 512 / area;
   }
-  checker.expect_true("IC_t non-increasing in window area", ic_monotone);
-  return checker.finish("bench_fig7");
+  reporter.expect_true("IC_t non-increasing in window area", ic_monotone);
+  return reporter.finish();
 }

@@ -16,8 +16,8 @@
 
 int main() {
   using namespace vwsdk;
-  bench::banner("Fig. 8(a) -- per-layer speedup vs im2col, 512x512 array");
-  bench::Checker checker;
+  bench::JsonReporter reporter("bench_fig8a");
+  reporter.section("Fig. 8(a) -- per-layer speedup vs im2col, 512x512 array");
   const ArrayGeometry geometry{512, 512};
 
   for (const Network& net : {vgg13_paper(), resnet18_paper()}) {
@@ -28,28 +28,28 @@ int main() {
 
     // Spot-check the per-layer speedups implied by Table I.
     if (net.name() == "VGG-13") {
-      checker.expect_near("VGG-13 conv1 VW speedup (49284/6216)", 7.93,
-                          cmp.layer_speedup(0, 2, 0), 0.01);
-      checker.expect_near("VGG-13 conv4 SDK speedup collapses to 1", 1.0,
-                          cmp.layer_speedup(0, 1, 3), 1e-9);
-      checker.expect_near("VGG-13 conv4 VW speedup (36300/12100)", 3.0,
-                          cmp.layer_speedup(0, 2, 3), 1e-9);
-      checker.expect_near("VGG-13 conv7 both fall back to im2col", 1.0,
-                          cmp.layer_speedup(0, 2, 6), 1e-9);
-      checker.expect_near("VGG-13 total VW speedup", 3.16,
-                          cmp.speedup(0, 2), 0.005);
+      reporter.expect_near("VGG-13 conv1 VW speedup (49284/6216)", 7.93,
+                           cmp.layer_speedup(0, 2, 0), 0.01);
+      reporter.expect_near("VGG-13 conv4 SDK speedup collapses to 1", 1.0,
+                           cmp.layer_speedup(0, 1, 3), 1e-9);
+      reporter.expect_near("VGG-13 conv4 VW speedup (36300/12100)", 3.0,
+                           cmp.layer_speedup(0, 2, 3), 1e-9);
+      reporter.expect_near("VGG-13 conv7 both fall back to im2col", 1.0,
+                           cmp.layer_speedup(0, 2, 6), 1e-9);
+      reporter.expect_near("VGG-13 total VW speedup", 3.16,
+                           cmp.speedup(0, 2), 0.005);
     } else {
-      checker.expect_near("ResNet-18 conv1 VW speedup (11236/1431)", 7.85,
-                          cmp.layer_speedup(0, 2, 0), 0.01);
-      checker.expect_near("ResNet-18 conv3 SDK speedup collapses to 1", 1.0,
-                          cmp.layer_speedup(0, 1, 2), 1e-9);
-      checker.expect_near("ResNet-18 conv3 VW speedup (2028/676)", 3.0,
-                          cmp.layer_speedup(0, 2, 2), 1e-9);
-      checker.expect_near("ResNet-18 conv5 both fall back to im2col", 1.0,
-                          cmp.layer_speedup(0, 2, 4), 1e-9);
-      checker.expect_near("ResNet-18 total VW speedup", 4.67,
-                          cmp.speedup(0, 2), 0.005);
+      reporter.expect_near("ResNet-18 conv1 VW speedup (11236/1431)", 7.85,
+                           cmp.layer_speedup(0, 2, 0), 0.01);
+      reporter.expect_near("ResNet-18 conv3 SDK speedup collapses to 1", 1.0,
+                           cmp.layer_speedup(0, 1, 2), 1e-9);
+      reporter.expect_near("ResNet-18 conv3 VW speedup (2028/676)", 3.0,
+                           cmp.layer_speedup(0, 2, 2), 1e-9);
+      reporter.expect_near("ResNet-18 conv5 both fall back to im2col", 1.0,
+                           cmp.layer_speedup(0, 2, 4), 1e-9);
+      reporter.expect_near("ResNet-18 total VW speedup", 4.67,
+                           cmp.speedup(0, 2), 0.005);
     }
   }
-  return checker.finish("bench_fig8a");
+  return reporter.finish();
 }

@@ -15,8 +15,8 @@
 
 int main() {
   using namespace vwsdk;
-  bench::banner("Fig. 8(b) -- total speedup vs PIM array size");
-  bench::Checker checker;
+  bench::JsonReporter reporter("bench_fig8b");
+  reporter.section("Fig. 8(b) -- total speedup vs PIM array size");
 
   for (const Network& net : {vgg13_paper(), resnet18_paper()}) {
     std::cout << net.name() << ":\n";
@@ -47,21 +47,21 @@ int main() {
     }
     std::cout << table;
 
-    checker.expect_true(net.name() + ": VW speedup grows with array size",
-                        vw_monotone);
-    checker.expect_true(net.name() + ": VW >= SDK >= im2col at every size",
-                        vw_dominates);
+    reporter.expect_true(net.name() + ": VW speedup grows with array size",
+                         vw_monotone);
+    reporter.expect_true(net.name() + ": VW >= SDK >= im2col at every size",
+                         vw_dominates);
     if (net.name() == "VGG-13") {
-      checker.expect_near("VGG-13 VW speedup at 512x512", 3.16, vw_512,
-                          0.005);
-      checker.expect_near("VGG-13 SDK speedup at 512x512 (243736/114697)",
-                          2.13, sdk_512, 0.005);
+      reporter.expect_near("VGG-13 VW speedup at 512x512", 3.16, vw_512,
+                           0.005);
+      reporter.expect_near("VGG-13 SDK speedup at 512x512 (243736/114697)",
+                           2.13, sdk_512, 0.005);
     } else {
-      checker.expect_near("ResNet-18 VW speedup at 512x512", 4.67, vw_512,
-                          0.005);
-      checker.expect_near("ResNet-18 SDK speedup at 512x512 (20041/7240)",
-                          2.77, sdk_512, 0.005);
+      reporter.expect_near("ResNet-18 VW speedup at 512x512", 4.67, vw_512,
+                           0.005);
+      reporter.expect_near("ResNet-18 SDK speedup at 512x512 (20041/7240)",
+                           2.77, sdk_512, 0.005);
     }
   }
-  return checker.finish("bench_fig8b");
+  return reporter.finish();
 }

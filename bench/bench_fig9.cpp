@@ -19,10 +19,10 @@
 
 int main() {
   using namespace vwsdk;
-  bench::Checker checker;
   const Network net = vgg13_paper();
 
-  bench::banner(
+  bench::JsonReporter reporter("bench_fig9");
+  reporter.section(
       "Fig. 9(a) -- utilization on VGG-13 layers 1-6, 512x512 array");
   const NetworkComparison cmp =
       compare_mappers({"im2col", "sdk", "vw-sdk"}, net, {512, 512});
@@ -39,12 +39,12 @@ int main() {
   };
 
   const MappingDecision& vw_conv5 = cmp.results[2].layers[4].decision;
-  checker.expect_near("VW-SDK utilization at conv5 (paper: 73.8%)", 73.8,
-                      util(vw_conv5, UtilizationConvention::kSteadyState),
-                      0.05);
+  reporter.expect_near("VW-SDK utilization at conv5 (paper: 73.8%)", 73.8,
+                       util(vw_conv5, UtilizationConvention::kSteadyState),
+                       0.05);
   for (Count layer = 1; layer <= 2; ++layer) {
     const auto i = static_cast<std::size_t>(layer);
-    checker.expect_near(
+    reporter.expect_near(
         "SDK == VW-SDK utilization at layer " + std::to_string(layer + 1),
         util(cmp.results[1].layers[i].decision,
              UtilizationConvention::kSteadyState),
@@ -62,9 +62,9 @@ int main() {
                              UtilizationConvention::kSteadyState);
     ordered = ordered && u_vw + 1e-9 >= u_sdk && u_sdk + 1e-9 >= u_im2col;
   }
-  checker.expect_true("VW >= SDK >= im2col on layers 1-6", ordered);
+  reporter.expect_true("VW >= SDK >= im2col on layers 1-6", ordered);
 
-  bench::banner("Fig. 9(b) -- layer4/layer5 utilization vs array size");
+  reporter.section("Fig. 9(b) -- layer4/layer5 utilization vs array size");
   // The paper's claim is about the GAP: "with a larger PIM array, VW-SDK
   // gains higher utilization than the conventional algorithms" -- small
   // arrays are trivially easy for every algorithm to fill, so the
@@ -105,10 +105,10 @@ int main() {
       table.add_row(std::move(row));
     }
     std::cout << table;
-    checker.expect_true(
+    reporter.expect_true(
         std::string(layer_name) +
             ": VW-SDK's utilization advantage grows with the array",
         largest_gap + 1e-9 >= smallest_gap);
   }
-  return checker.finish("bench_fig9");
+  return reporter.finish();
 }

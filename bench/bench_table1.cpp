@@ -25,7 +25,8 @@ struct ExpectedRow {
 };
 
 int run_network(const Network& net, const std::vector<ExpectedRow>& rows,
-                Cycles sdk_total, Cycles vw_total, bench::Checker& checker) {
+                Cycles sdk_total, Cycles vw_total,
+                bench::JsonReporter& reporter) {
   const ArrayGeometry geometry{512, 512};
   const NetworkComparison cmp =
       compare_mappers({"im2col", "sdk", "vw-sdk"}, net, geometry);
@@ -36,31 +37,31 @@ int run_network(const Network& net, const std::vector<ExpectedRow>& rows,
 
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const std::string layer = net.layer(static_cast<Count>(i)).name;
-    checker.expect_true(
+    reporter.expect_true(
         net.name() + " " + layer + " SDK=" + rows[i].sdk,
         sdk.layers[i].decision.table_entry() == rows[i].sdk);
-    checker.expect_true(
+    reporter.expect_true(
         net.name() + " " + layer + " VW-SDK=" + rows[i].vw,
         vw.layers[i].decision.table_entry() == rows[i].vw);
   }
-  checker.expect_eq(net.name() + " SDK total cycles", sdk_total,
-                    sdk.total_cycles());
-  checker.expect_eq(net.name() + " VW-SDK total cycles", vw_total,
-                    vw.total_cycles());
-  checker.expect_near(net.name() + " VW-SDK speedup vs im2col",
-                      net.name() == "VGG-13" ? 3.16 : 4.67,
-                      cmp.speedup(0, 2), 0.005);
-  checker.expect_near(net.name() + " VW-SDK speedup vs SDK",
-                      net.name() == "VGG-13" ? 1.49 : 1.69,
-                      cmp.speedup(1, 2), 0.005);
+  reporter.expect_eq(net.name() + " SDK total cycles", sdk_total,
+                     sdk.total_cycles());
+  reporter.expect_eq(net.name() + " VW-SDK total cycles", vw_total,
+                     vw.total_cycles());
+  reporter.expect_near(net.name() + " VW-SDK speedup vs im2col",
+                       net.name() == "VGG-13" ? 3.16 : 4.67,
+                       cmp.speedup(0, 2), 0.005);
+  reporter.expect_near(net.name() + " VW-SDK speedup vs SDK",
+                       net.name() == "VGG-13" ? 1.49 : 1.69,
+                       cmp.speedup(1, 2), 0.005);
   return 0;
 }
 
 }  // namespace
 
 int main() {
-  bench::banner("Table I -- CNN layer mappings on a 512x512 PIM array");
-  bench::Checker checker;
+  bench::JsonReporter reporter("bench_table1");
+  reporter.section("Table I -- CNN layer mappings on a 512x512 PIM array");
 
   run_network(vgg13_paper(),
               {
@@ -75,7 +76,7 @@ int main() {
                   {"3x3x512x512", "3x3x512x512"},
                   {"3x3x512x512", "3x3x512x512"},
               },
-              114697, 77102, checker);
+              114697, 77102, reporter);
 
   run_network(resnet18_paper(),
               {
@@ -85,7 +86,7 @@ int main() {
                   {"3x3x256x256", "4x3x42x256"},
                   {"3x3x512x512", "3x3x512x512"},
               },
-              7240, 4294, checker);
+              7240, 4294, reporter);
 
-  return checker.finish("bench_table1");
+  return reporter.finish();
 }

@@ -1,68 +1,255 @@
 #pragma once
 
 /// @file bench_util.h
-/// Shared scaffolding for the paper-reproduction benchmark binaries: a
-/// tiny expectation tracker so every bench prints paper-vs-computed values
-/// and exits non-zero when an exact published target is missed, making
-/// `for b in build/bench/*; do $b; done` a regression gate.
+/// Shared scaffolding for the paper-reproduction benchmark binaries.
+///
+/// JsonReporter is both the human-facing expectation tracker (paper-vs-
+/// computed lines on stdout, non-zero exit on a missed published target)
+/// and the machine-facing reporter: finish() writes `BENCH_<name>.json`
+/// with every check, per-section wall times, and a summary, so CI can
+/// diff runs against the checked-in `bench/baseline/` files with
+/// `tools/compare_bench.py`.  The JSON directory defaults to the working
+/// directory and can be redirected with `VWSDK_BENCH_JSON_DIR`.
+///
+/// JSON schema (schema version 1):
+///   {
+///     "schema": 1,
+///     "bench": "bench_table1",
+///     "checks": [
+///       {"label": "...", "kind": "eq|near|true|info",
+///        "paper": <number|bool|string>, "computed": <same>,
+///        "pass": true}
+///     ],
+///     "sections": [{"title": "...", "wall_ms": 1.234}],
+///     "summary": {"checks": 24, "failures": 0, "wall_ms": 5.678}
+///   }
 
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 
 namespace vwsdk::bench {
 
-/// Counts failed expectations; returned as the process exit code.
-class Checker {
+/// Tracks expectations and sections; writes BENCH_<name>.json on finish.
+class JsonReporter {
  public:
+  /// `bench_name` is the binary name ("bench_table1"); the JSON file
+  /// drops the "bench_" prefix: BENCH_table1.json.
+  explicit JsonReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)),
+        start_(Clock::now()),
+        section_start_(start_) {}
+
+  /// Start a titled, wall-timed section (printed as a banner).
+  void section(const std::string& title) {
+    close_section();
+    std::cout << "\n=== " << title << " ===\n\n";
+    section_title_ = title;
+    section_start_ = Clock::now();
+    in_section_ = true;
+  }
+
   /// Exact integer target (paper-published value).
   void expect_eq(const std::string& label, long long expected,
                  long long actual) {
     const bool ok = expected == actual;
     std::cout << "  [" << (ok ? "OK" : "MISMATCH") << "] " << label
               << ": paper=" << expected << " computed=" << actual << "\n";
-    failures_ += ok ? 0 : 1;
+    add_check(label, "eq", std::to_string(expected), std::to_string(actual),
+              ok);
   }
 
-  /// Approximate target (paper prints rounded ratios).
+  /// Approximate target (paper prints rounded ratios).  NaN inputs are
+  /// handled explicitly: a NaN `actual` fails with a message saying so
+  /// (unless the expectation itself is NaN, which only NaN satisfies).
   void expect_near(const std::string& label, double expected, double actual,
                    double tolerance) {
-    const bool ok =
-        actual >= expected - tolerance && actual <= expected + tolerance;
+    const bool expected_nan = std::isnan(expected);
+    const bool actual_nan = std::isnan(actual);
+    bool ok;
+    if (expected_nan || actual_nan) {
+      ok = expected_nan && actual_nan;
+    } else {
+      ok = actual >= expected - tolerance && actual <= expected + tolerance;
+    }
     std::cout << "  [" << (ok ? "OK" : "MISMATCH") << "] " << label
-              << ": paper=" << format_fixed(expected, 2)
-              << " computed=" << format_fixed(actual, 3) << "\n";
-    failures_ += ok ? 0 : 1;
+              << ": paper=" << render_double(expected, 2)
+              << " computed=" << render_double(actual, 3)
+              << (actual_nan && !expected_nan ? " (computed is NaN)" : "")
+              << "\n";
+    add_check(label, "near", json_number(expected), json_number(actual), ok);
   }
 
   /// Qualitative target (trend/shape claims).
   void expect_true(const std::string& label, bool condition) {
     std::cout << "  [" << (condition ? "OK" : "MISMATCH") << "] " << label
               << "\n";
-    failures_ += condition ? 0 : 1;
+    add_check(label, "true", "true", condition ? "true" : "false",
+              condition);
+  }
+
+  /// Informational measurement (never fails): recorded in the JSON so CI
+  /// can track it over time, printed for humans.
+  void report_value(const std::string& label, double value) {
+    std::cout << "  [INFO] " << label << ": " << render_double(value, 3)
+              << "\n";
+    add_check(label, "info", "null", json_number(value), true);
   }
 
   int failures() const { return failures_; }
 
-  /// Print the verdict and return the exit code.
-  int finish(const std::string& bench_name) const {
-    if (failures_ == 0) {
-      std::cout << "\n" << bench_name << ": all reproduction checks passed\n";
-    } else {
-      std::cout << "\n" << bench_name << ": " << failures_
+  /// Print the shared summary line, write BENCH_<name>.json, and return
+  /// the process exit code.
+  int finish() {
+    close_section();
+    const double total_ms = ms_between(start_, Clock::now());
+    const std::string summary =
+        cat(bench_name_, ": ", checks_.size(), " checks, ", failures_,
+            " failed, ", format_fixed(total_ms, 1), " ms");
+    std::cout << "\n" << summary << "\n";
+    if (failures_ != 0) {
+      std::cout << bench_name_ << ": " << failures_
                 << " reproduction check(s) FAILED\n";
+    }
+    if (!write_json(total_ms)) {
+      std::cerr << bench_name_ << ": could not write " << json_path()
+                << "\n";
+      return 1;
     }
     return failures_ == 0 ? 0 : 1;
   }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Check {
+    std::string label;
+    std::string kind;
+    std::string paper;     ///< JSON literal
+    std::string computed;  ///< JSON literal
+    bool pass = false;
+  };
+
+  struct Section {
+    std::string title;
+    double wall_ms = 0.0;
+  };
+
+  static double ms_between(Clock::time_point from, Clock::time_point to) {
+    return std::chrono::duration<double, std::milli>(to - from).count();
+  }
+
+  /// Human rendering: fixed precision, explicit "nan"/"inf".
+  static std::string render_double(double value, int precision) {
+    if (std::isnan(value)) {
+      return "nan";
+    }
+    if (std::isinf(value)) {
+      return value > 0 ? "inf" : "-inf";
+    }
+    return format_fixed(value, precision);
+  }
+
+  /// JSON literal for a double (non-finite values become strings, since
+  /// JSON has no NaN/Infinity).
+  static std::string json_number(double value) {
+    if (!std::isfinite(value)) {
+      return cat("\"", render_double(value, 0), "\"");
+    }
+    return format_fixed(value, 6);
+  }
+
+  static std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out += cat("\\u00", "0123456789abcdef"[(c >> 4) & 0xf],
+                       "0123456789abcdef"[c & 0xf]);
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  void add_check(const std::string& label, const char* kind,
+                 std::string paper, std::string computed, bool ok) {
+    checks_.push_back(
+        Check{label, kind, std::move(paper), std::move(computed), ok});
+    failures_ += ok ? 0 : 1;
+  }
+
+  void close_section() {
+    if (in_section_) {
+      sections_.push_back(
+          Section{section_title_, ms_between(section_start_, Clock::now())});
+      in_section_ = false;
+    }
+  }
+
+  std::string json_path() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("VWSDK_BENCH_JSON_DIR")) {
+      if (env[0] != '\0') {
+        dir = env;
+      }
+    }
+    std::string stem = bench_name_;
+    if (starts_with(stem, "bench_")) {
+      stem = stem.substr(6);
+    }
+    return cat(dir, "/BENCH_", stem, ".json");
+  }
+
+  bool write_json(double total_ms) const {
+    std::ofstream os(json_path());
+    if (!os) {
+      return false;
+    }
+    os << "{\n  \"schema\": 1,\n  \"bench\": \"" << json_escape(bench_name_)
+       << "\",\n  \"checks\": [\n";
+    for (std::size_t i = 0; i < checks_.size(); ++i) {
+      const Check& check = checks_[i];
+      os << "    {\"label\": \"" << json_escape(check.label)
+         << "\", \"kind\": \"" << check.kind << "\", \"paper\": "
+         << check.paper << ", \"computed\": " << check.computed
+         << ", \"pass\": " << (check.pass ? "true" : "false") << "}"
+         << (i + 1 < checks_.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"sections\": [\n";
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+      os << "    {\"title\": \"" << json_escape(sections_[i].title)
+         << "\", \"wall_ms\": " << format_fixed(sections_[i].wall_ms, 3)
+         << "}" << (i + 1 < sections_.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"summary\": {\"checks\": " << checks_.size()
+       << ", \"failures\": " << failures_
+       << ", \"wall_ms\": " << format_fixed(total_ms, 3) << "}\n}\n";
+    return os.good();
+  }
+
+  std::string bench_name_;
+  Clock::time_point start_;
+  Clock::time_point section_start_;
+  std::string section_title_;
+  bool in_section_ = false;
+  std::vector<Check> checks_;
+  std::vector<Section> sections_;
   int failures_ = 0;
 };
-
-/// Section header in the bench output.
-inline void banner(const std::string& title) {
-  std::cout << "\n=== " << title << " ===\n\n";
-}
 
 }  // namespace vwsdk::bench

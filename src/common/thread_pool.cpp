@@ -1,0 +1,137 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+int clamp_threads(long long value) {
+  return static_cast<int>(
+      std::clamp<long long>(value, 1, kMaxThreads));
+}
+
+}  // namespace
+
+int ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("VWSDK_THREADS")) {
+    try {
+      const long long parsed = parse_count(env);
+      if (parsed > 0) {
+        return clamp_threads(parsed);
+      }
+    } catch (const InvalidArgument&) {
+      // Unparseable VWSDK_THREADS falls through to the hardware default;
+      // a mis-typed env var should degrade, not abort a mapping run.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return clamp_threads(hw == 0 ? 1 : static_cast<long long>(hw));
+}
+
+int ThreadPool::resolve_thread_count(int requested) {
+  if (requested > 0) {
+    return clamp_threads(requested);
+  }
+  return default_thread_count();
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = resolve_thread_count(threads);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    VWSDK_ASSERT(!stopping_, "submit() on a stopping ThreadPool");
+    queue_.push(std::move(job));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained
+      }
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();  // packaged_task captures exceptions into its future
+  }
+}
+
+void parallel_chunks(ThreadPool& pool, Count n,
+                     const std::function<void(Count, Count)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  const Count workers = pool.size();
+  // Several chunks per worker keeps uneven chunk costs from leaving
+  // workers idle at the tail of the range.
+  const Count target_chunks = std::min<Count>(n, workers * 4);
+  const Count chunk = (n + target_chunks - 1) / target_chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(target_chunks));
+  try {
+    for (Count begin = 0; begin < n; begin += chunk) {
+      const Count end = std::min<Count>(begin + chunk, n);
+      futures.push_back(
+          pool.submit([&fn, begin, end]() { fn(begin, end); }));
+    }
+  } catch (...) {
+    // submit() failed mid-loop (e.g. bad_alloc).  Already-enqueued
+    // chunks hold references to `fn` and the caller's captures; drain
+    // them before unwinding destroys what they point at.
+    for (std::future<void>& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        // The caller sees the submit failure; chunk errors are moot.
+      }
+    }
+    throw;
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace vwsdk

@@ -1,9 +1,25 @@
 #include "core/exhaustive_mapper.h"
 
+#include <vector>
+
+#include "common/thread_pool.h"
+
 namespace vwsdk {
 
 MappingDecision ExhaustiveMapper::map(const ConvShape& shape,
                                       const ArrayGeometry& geometry) const {
+  return map_impl(shape, geometry, nullptr);
+}
+
+MappingDecision ExhaustiveMapper::map_parallel(
+    const ConvShape& shape, const ArrayGeometry& geometry,
+    ThreadPool& pool) const {
+  return map_impl(shape, geometry, &pool);
+}
+
+MappingDecision ExhaustiveMapper::map_impl(const ConvShape& shape,
+                                           const ArrayGeometry& geometry,
+                                           ThreadPool* pool) const {
   shape.validate();
   geometry.validate();
 
@@ -13,13 +29,27 @@ MappingDecision ExhaustiveMapper::map(const ConvShape& shape,
   decision.geometry = geometry;
   decision.cost = im2col_cost(shape, geometry);
 
-  for (Dim h = shape.kernel_h; h <= shape.padded_h(); h += shape.stride_h) {
-    for (Dim w = shape.kernel_w; w <= shape.padded_w();
-         w += shape.stride_w) {
-      const CycleCost candidate = vw_cost(shape, geometry, {w, h});
-      if (candidate.feasible && candidate.total < decision.cost.total) {
-        decision.cost = candidate;
-      }
+  // With a pool, candidate costs may be computed out of order; the
+  // reduction is sequential in scan order so the im2col-first tie-break
+  // matches the single-threaded oracle exactly.  Without one, costs
+  // stream per candidate.
+  const std::vector<ParallelWindow> windows =
+      enumerate_windows(shape, /*include_kernel=*/true);
+
+  const auto consider = [&](const CycleCost& candidate) {
+    if (candidate.feasible && candidate.total < decision.cost.total) {
+      decision.cost = candidate;
+    }
+  };
+
+  if (pool != nullptr && pool->size() > 1) {
+    for (const CycleCost& candidate :
+         vw_costs(shape, geometry, windows, pool)) {
+      consider(candidate);
+    }
+  } else {
+    for (const ParallelWindow& pw : windows) {
+      consider(vw_cost(shape, geometry, pw));
     }
   }
   return decision;

@@ -24,6 +24,17 @@ class ExhaustiveMapper final : public Mapper {
   std::string name() const override { return "exhaustive"; }
   MappingDecision map(const ConvShape& shape,
                       const ArrayGeometry& geometry) const override;
+
+  /// Evaluates all windows over `pool`, then reduces them in scan order;
+  /// returns exactly map()'s decision.
+  MappingDecision map_parallel(const ConvShape& shape,
+                               const ArrayGeometry& geometry,
+                               ThreadPool& pool) const override;
+
+ private:
+  MappingDecision map_impl(const ConvShape& shape,
+                           const ArrayGeometry& geometry,
+                           ThreadPool* pool) const;
 };
 
 }  // namespace vwsdk

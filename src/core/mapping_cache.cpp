@@ -1,0 +1,93 @@
+#include "core/mapping_cache.h"
+
+#include <optional>
+#include <utility>
+
+namespace vwsdk {
+
+namespace {
+
+void hash_combine(std::size_t& seed, std::size_t value) {
+  // Boost's golden-ratio mixer; good enough for a lookup table.
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+std::size_t MappingCache::KeyHash::operator()(
+    const MappingCacheKey& key) const {
+  std::size_t seed = std::hash<std::string>{}(key.mapper);
+  const ConvShape& s = key.shape;
+  for (const Dim dim :
+       {s.ifm_w, s.ifm_h, s.kernel_w, s.kernel_h, s.in_channels,
+        s.out_channels, s.stride_w, s.stride_h, s.pad_w, s.pad_h,
+        key.geometry.rows, key.geometry.cols}) {
+    hash_combine(seed, std::hash<Dim>{}(dim));
+  }
+  return seed;
+}
+
+MappingDecision MappingCache::get_or_compute(
+    const MappingCacheKey& key,
+    const std::function<MappingDecision()>& compute) {
+  std::shared_future<MappingDecision> future;
+  // Lazily constructed so the hit path never allocates promise state.
+  std::optional<std::promise<MappingDecision>> promise;
+  std::uint64_t owner_id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      future = it->second.future;
+    } else {
+      ++stats_.misses;
+      promise.emplace();
+      future = promise->get_future().share();
+      owner_id = ++next_id_;
+      entries_.emplace(key, Entry{future, owner_id});
+    }
+  }
+  if (promise.has_value()) {
+    try {
+      promise->set_value(compute());
+    } catch (...) {
+      // Wake waiters with the error, then evict so the next request
+      // retries instead of replaying a stale failure forever.  Only
+      // evict our *own* entry: after a concurrent clear() the key may
+      // already map to someone else's healthy in-flight compute.
+      promise->set_exception(std::current_exception());
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = entries_.find(key);
+      if (it != entries_.end() && it->second.id == owner_id) {
+        entries_.erase(it);
+      }
+    }
+  }
+  return future.get();
+}
+
+MappingDecision MappingCache::map(const Mapper& mapper,
+                                  const ConvShape& shape,
+                                  const ArrayGeometry& geometry) {
+  return get_or_compute(
+      MappingCacheKey{mapper.name(), shape, geometry},
+      [&]() { return mapper.map(shape, geometry); });
+}
+
+MappingCacheStats MappingCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Count MappingCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<Count>(entries_.size());
+}
+
+void MappingCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace vwsdk

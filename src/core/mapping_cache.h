@@ -1,0 +1,91 @@
+#pragma once
+
+/// @file mapping_cache.h
+/// Thread-safe memoization of mapping searches, keyed by
+/// (mapper id, ConvShape, ArrayGeometry).
+///
+/// Real networks repeat conv shapes heavily (VGG-16's 13 conv layers
+/// collapse to 9 distinct shapes), so the network optimizer searches each
+/// distinct (shape, array, algorithm) triple once and replays the
+/// decision everywhere else.
+///
+/// Concurrency model: *single-flight*.  The first thread to request a key
+/// computes it; concurrent requesters for the same key block on a shared
+/// future instead of duplicating the search.  This keeps the hit/miss
+/// statistics deterministic -- misses always equal the number of distinct
+/// keys, regardless of how layers race -- which the determinism tests
+/// pin down.  A compute that throws propagates to every waiter and is
+/// evicted, so a later request retries rather than replaying the error.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/mapping_decision.h"
+
+namespace vwsdk {
+
+/// Cache key: one mapping search.
+struct MappingCacheKey {
+  std::string mapper;       ///< Mapper::name()
+  ConvShape shape{};        ///< the layer
+  ArrayGeometry geometry{}; ///< the array
+
+  bool operator==(const MappingCacheKey&) const = default;
+};
+
+/// Counters of one cache's lifetime (monotonic).
+struct MappingCacheStats {
+  Count hits = 0;    ///< requests served from a present or in-flight entry
+  Count misses = 0;  ///< requests that triggered a compute
+};
+
+/// Thread-safe single-flight memoization of Mapper::map results.
+class MappingCache {
+ public:
+  MappingCache() = default;
+  MappingCache(const MappingCache&) = delete;
+  MappingCache& operator=(const MappingCache&) = delete;
+
+  /// The decision for `key`, computing it with `compute` on a miss.
+  /// Concurrent callers with the same key share one compute.
+  MappingDecision get_or_compute(
+      const MappingCacheKey& key,
+      const std::function<MappingDecision()>& compute);
+
+  /// Convenience: memoized `mapper.map(shape, geometry)`.
+  MappingDecision map(const Mapper& mapper, const ConvShape& shape,
+                      const ArrayGeometry& geometry);
+
+  /// Lifetime counters; hits + misses equals requests served.
+  MappingCacheStats stats() const;
+
+  /// Number of cached (completed or in-flight) entries.
+  Count size() const;
+
+  /// Drop every entry; statistics keep accumulating.
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const MappingCacheKey& key) const;
+  };
+
+  /// The id lets a failing owner evict exactly its own entry: after a
+  /// concurrent clear() plus re-insert, the key maps to a *different*
+  /// in-flight compute that must survive the owner's cleanup.
+  struct Entry {
+    std::shared_future<MappingDecision> future;
+    std::uint64_t id = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<MappingCacheKey, Entry, KeyHash> entries_;
+  MappingCacheStats stats_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace vwsdk

@@ -12,6 +12,8 @@
 
 namespace vwsdk {
 
+class ThreadPool;
+
 /// A mapper's chosen mapping for one (layer, array) pair.
 struct MappingDecision {
   std::string algorithm;    ///< producer name ("im2col", "sdk", "vw-sdk", ...)
@@ -30,6 +32,11 @@ struct MappingDecision {
 
   /// One-line description.
   std::string to_string() const;
+
+  /// Field-wise equality; the parallel-determinism tests rely on the
+  /// threaded optimizer producing *identical* decisions, not merely
+  /// equal totals.
+  bool operator==(const MappingDecision&) const = default;
 };
 
 /// Interface of a mapping algorithm.
@@ -43,6 +50,18 @@ class Mapper {
   /// Choose a mapping for `shape` on `geometry`.
   virtual MappingDecision map(const ConvShape& shape,
                               const ArrayGeometry& geometry) const = 0;
+
+  /// As map(), free to spread candidate evaluation over `pool`.  The
+  /// result must be identical to map()'s -- parallelism may change the
+  /// wall time, never the decision.  The default ignores the pool;
+  /// search-based mappers override it.  Must not be called from a task
+  /// already running on `pool` (see thread_pool.h).
+  virtual MappingDecision map_parallel(const ConvShape& shape,
+                                       const ArrayGeometry& geometry,
+                                       ThreadPool& pool) const {
+    (void)pool;
+    return map(shape, geometry);
+  }
 };
 
 /// Construct any registered mapper by name; throws NotFound.

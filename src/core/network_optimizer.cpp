@@ -1,8 +1,12 @@
 #include "core/network_optimizer.h"
 
+#include <memory>
+#include <utility>
+
 #include "common/error.h"
 #include "common/math_util.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace vwsdk {
 
@@ -20,21 +24,107 @@ Cycles NetworkMappingResult::layer_cycles(Count index) const {
   return layers[static_cast<std::size_t>(index)].decision.cost.total;
 }
 
+namespace {
+
+/// Worker count an options struct resolves to (pool size wins, then
+/// explicit threads, then VWSDK_THREADS / hardware).
+int resolve_threads(const OptimizerOptions& options) {
+  return options.pool != nullptr
+             ? options.pool->size()
+             : ThreadPool::resolve_thread_count(options.threads);
+}
+
+/// The pool to run on: the caller's, or a freshly created one parked in
+/// `owned` so it outlives the fan-out.
+ThreadPool* borrow_or_create_pool(const OptimizerOptions& options,
+                                  int threads,
+                                  std::unique_ptr<ThreadPool>& owned) {
+  if (options.pool != nullptr) {
+    return options.pool;
+  }
+  owned = std::make_unique<ThreadPool>(threads);
+  return owned.get();
+}
+
+/// One layer's search: through the cache when one is given, spread over
+/// `pool` (may be null) when `intra_layer` asks for it.
+MappingDecision map_layer(const Mapper& mapper, const ConvShape& shape,
+                          const ArrayGeometry& geometry,
+                          const OptimizerOptions& options,
+                          ThreadPool* intra_pool) {
+  const auto compute = [&]() {
+    if (intra_pool != nullptr) {
+      return mapper.map_parallel(shape, geometry, *intra_pool);
+    }
+    return mapper.map(shape, geometry);
+  };
+  if (options.cache != nullptr) {
+    return options.cache->get_or_compute(
+        MappingCacheKey{mapper.name(), shape, geometry}, compute);
+  }
+  return compute();
+}
+
+}  // namespace
+
 NetworkMappingResult optimize_network(const Mapper& mapper,
                                       const Network& network,
                                       const ArrayGeometry& geometry) {
+  return optimize_network(mapper, network, geometry, OptimizerOptions{});
+}
+
+NetworkMappingResult optimize_network(const Mapper& mapper,
+                                      const Network& network,
+                                      const ArrayGeometry& geometry,
+                                      const OptimizerOptions& options) {
   VWSDK_REQUIRE(!network.empty(), "cannot optimize an empty network");
   geometry.validate();
+
+  const std::vector<ConvLayerDesc>& layers = network.layers();
+  const int threads = resolve_threads(options);
+  const bool across_layers =
+      !options.intra_layer && threads > 1 && layers.size() > 1;
+  const bool within_layer = options.intra_layer && threads > 1;
+
+  // Declaration order matters for exception safety: `decisions` must
+  // outlive the owned pool (its destructor finishes in-flight tasks that
+  // write into `decisions`).
+  std::vector<MappingDecision> decisions(layers.size());
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = (across_layers || within_layer)
+                         ? borrow_or_create_pool(options, threads,
+                                                 owned_pool)
+                         : options.pool;
+
+  if (across_layers) {
+    // Fan layers out across the pool; slot `i` of `decisions` belongs to
+    // layer `i`, so the result order is the network order regardless of
+    // completion order.
+    parallel_chunks(*pool, static_cast<Count>(layers.size()),
+                    [&](Count begin, Count end) {
+                      for (Count i = begin; i < end; ++i) {
+                        const auto index = static_cast<std::size_t>(i);
+                        decisions[index] = map_layer(
+                            mapper, ConvShape::from_layer(layers[index]),
+                            geometry, options, nullptr);
+                      }
+                    });
+  } else {
+    ThreadPool* intra_pool = within_layer ? pool : nullptr;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      decisions[i] = map_layer(mapper, ConvShape::from_layer(layers[i]),
+                               geometry, options, intra_pool);
+    }
+  }
+
   NetworkMappingResult result;
   result.network_name = network.name();
   result.algorithm = mapper.name();
   result.geometry = geometry;
-  result.layers.reserve(network.layers().size());
-  for (const ConvLayerDesc& layer : network.layers()) {
-    LayerMapping lm;
-    lm.layer = layer;
-    lm.decision = mapper.map(ConvShape::from_layer(layer), geometry);
-    result.layers.push_back(std::move(lm));
+  result.layers.reserve(layers.size());
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    result.layers.push_back(
+        LayerMapping{layers[i], std::move(decisions[i])});
   }
   return result;
 }
@@ -68,13 +158,31 @@ double NetworkComparison::layer_speedup(Count baseline, Count target,
 NetworkComparison compare_mappers(const std::vector<std::string>& mapper_names,
                                   const Network& network,
                                   const ArrayGeometry& geometry) {
+  return compare_mappers(mapper_names, network, geometry,
+                         OptimizerOptions{});
+}
+
+NetworkComparison compare_mappers(const std::vector<std::string>& mapper_names,
+                                  const Network& network,
+                                  const ArrayGeometry& geometry,
+                                  const OptimizerOptions& options) {
   VWSDK_REQUIRE(!mapper_names.empty(), "need at least one mapper");
+
+  // One pool shared by every mapper run (optimize_network would otherwise
+  // create and join a fresh pool per mapper).
+  OptimizerOptions shared = options;
+  std::unique_ptr<ThreadPool> owned_pool;
+  const int threads = resolve_threads(options);
+  if (threads > 1) {
+    shared.pool = borrow_or_create_pool(options, threads, owned_pool);
+  }
+
   NetworkComparison comparison;
   comparison.results.reserve(mapper_names.size());
   for (const std::string& name : mapper_names) {
     const auto mapper = make_mapper(name);
     comparison.results.push_back(
-        optimize_network(*mapper, network, geometry));
+        optimize_network(*mapper, network, geometry, shared));
   }
   return comparison;
 }

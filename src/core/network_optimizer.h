@@ -4,14 +4,30 @@
 /// Runs a mapping algorithm over every layer of a network and aggregates
 /// the results; also compares several algorithms on the same network (the
 /// computation behind Table I and Fig. 8).
+///
+/// The optimizer is a concurrent, memoized search engine:
+///  * layer searches fan out across a fixed-size ThreadPool (or, with
+///    `intra_layer`, each layer's window candidates do);
+///  * an optional MappingCache deduplicates repeated (shape, array,
+///    algorithm) searches -- real networks repeat shapes heavily;
+///  * results are bit-identical to the sequential scan in any mode: the
+///    layer order, each layer's decision, and each mapper's SearchTrace
+///    are all reduced in deterministic order, never completion order.
+///
+/// Thread count resolution: `OptimizerOptions::threads` when positive,
+/// else the `VWSDK_THREADS` environment variable, else the hardware
+/// concurrency (see ThreadPool::default_thread_count).
 
 #include <string>
 #include <vector>
 
+#include "core/mapping_cache.h"
 #include "core/mapping_decision.h"
 #include "nn/network.h"
 
 namespace vwsdk {
+
+class ThreadPool;
 
 /// One layer's mapping inside a network-level result.
 struct LayerMapping {
@@ -33,10 +49,39 @@ struct NetworkMappingResult {
   Cycles layer_cycles(Count index) const;
 };
 
-/// Map every layer of `network` with `mapper` on `geometry`.
+/// How optimize_network schedules its work.
+struct OptimizerOptions {
+  /// Worker count; <= 0 resolves via VWSDK_THREADS, then the hardware
+  /// concurrency.  1 runs fully sequentially (no pool is created).
+  int threads = 0;
+
+  /// Borrow an existing pool instead of creating one; overrides
+  /// `threads`.  The caller keeps ownership.
+  ThreadPool* pool = nullptr;
+
+  /// Memoize layer searches here; distinct (mapper, shape, geometry)
+  /// triples are searched once.  The caller keeps ownership, so one
+  /// cache can span many optimize_network / compare_mappers calls.
+  MappingCache* cache = nullptr;
+
+  /// false (default): map layers concurrently, each layer's search
+  /// sequential.  true: map layers in order, parallelizing each layer's
+  /// candidate evaluation via Mapper::map_parallel -- better for
+  /// few-layer networks with large search spaces.
+  bool intra_layer = false;
+};
+
+/// Map every layer of `network` with `mapper` on `geometry` using the
+/// default options (auto thread count, no cache).
 NetworkMappingResult optimize_network(const Mapper& mapper,
                                       const Network& network,
                                       const ArrayGeometry& geometry);
+
+/// As above with explicit scheduling/memoization options.
+NetworkMappingResult optimize_network(const Mapper& mapper,
+                                      const Network& network,
+                                      const ArrayGeometry& geometry,
+                                      const OptimizerOptions& options);
 
 /// Results of several mappers on the same network/array, with speedups.
 struct NetworkComparison {
@@ -55,5 +100,12 @@ struct NetworkComparison {
 NetworkComparison compare_mappers(const std::vector<std::string>& mapper_names,
                                   const Network& network,
                                   const ArrayGeometry& geometry);
+
+/// As above with explicit options; the pool (given or created) is shared
+/// across all mappers, as is any cache.
+NetworkComparison compare_mappers(const std::vector<std::string>& mapper_names,
+                                  const Network& network,
+                                  const ArrayGeometry& geometry,
+                                  const OptimizerOptions& options);
 
 }  // namespace vwsdk

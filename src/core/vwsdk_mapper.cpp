@@ -1,5 +1,9 @@
 #include "core/vwsdk_mapper.h"
 
+#include <vector>
+
+#include "common/thread_pool.h"
+
 namespace vwsdk {
 
 MappingDecision VwSdkMapper::map(const ConvShape& shape,
@@ -7,9 +11,16 @@ MappingDecision VwSdkMapper::map(const ConvShape& shape,
   return map_traced(shape, geometry, nullptr);
 }
 
+MappingDecision VwSdkMapper::map_parallel(const ConvShape& shape,
+                                          const ArrayGeometry& geometry,
+                                          ThreadPool& pool) const {
+  return map_traced(shape, geometry, nullptr, &pool);
+}
+
 MappingDecision VwSdkMapper::map_traced(const ConvShape& shape,
                                         const ArrayGeometry& geometry,
-                                        SearchTrace* trace) const {
+                                        SearchTrace* trace,
+                                        ThreadPool* pool) const {
   shape.validate();
   geometry.validate();
 
@@ -20,25 +31,39 @@ MappingDecision VwSdkMapper::map_traced(const ConvShape& shape,
   // Step 1 of Algorithm 1: initialize with im2col.
   decision.cost = im2col_cost(shape, geometry);
 
-  // Steps 2-16: scan PW_h outer, PW_w inner, skipping the kernel window.
-  for (Dim h = shape.kernel_h; h <= shape.padded_h(); h += shape.stride_h) {
-    for (Dim w = shape.kernel_w; w <= shape.padded_w();
-         w += shape.stride_w) {
-      if (w == shape.kernel_w && h == shape.kernel_h) {
-        continue;  // the im2col initialization covers the kernel window
-      }
-      const ParallelWindow pw{w, h};
-      const CycleCost candidate = vw_cost(shape, geometry, pw);
-      const bool improved =
-          candidate.feasible && decision.cost.total > candidate.total;
-      if (trace != nullptr) {
-        trace->record(SearchStep{pw, candidate.feasible,
-                                 candidate.feasible ? candidate.total : 0,
-                                 improved});
-      }
-      if (improved) {
-        decision.cost = candidate;  // strict '>' keeps the first minimum
-      }
+  // Steps 2-16: every candidate in scan order (PW_h outer, PW_w inner),
+  // skipping the kernel window the initialization covers.  With a pool,
+  // costs may be *computed* out of order across workers; the reduction
+  // below is always sequential in scan order, so the first-minimum
+  // tie-break and the recorded trace are identical to the
+  // single-threaded scan.  Without a pool, costs stream one candidate
+  // at a time (no whole-scan cost buffer).
+  const std::vector<ParallelWindow> windows =
+      enumerate_windows(shape, /*include_kernel=*/false);
+
+  const auto consider = [&](const ParallelWindow& pw,
+                            const CycleCost& candidate) {
+    const bool improved =
+        candidate.feasible && decision.cost.total > candidate.total;
+    if (trace != nullptr) {
+      trace->record(SearchStep{pw, candidate.feasible,
+                               candidate.feasible ? candidate.total : 0,
+                               improved});
+    }
+    if (improved) {
+      decision.cost = candidate;  // strict '>' keeps the first minimum
+    }
+  };
+
+  if (pool != nullptr && pool->size() > 1) {
+    const std::vector<CycleCost> costs = vw_costs(shape, geometry, windows,
+                                                  pool);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      consider(windows[i], costs[i]);
+    }
+  } else {
+    for (const ParallelWindow& pw : windows) {
+      consider(pw, vw_cost(shape, geometry, pw));
     }
   }
   return decision;

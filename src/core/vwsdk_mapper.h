@@ -29,11 +29,21 @@ class VwSdkMapper final : public Mapper {
   MappingDecision map(const ConvShape& shape,
                       const ArrayGeometry& geometry) const override;
 
-  /// As map(), optionally recording every candidate into `trace`
-  /// (pass nullptr to skip recording).
+  /// Evaluates the window candidates over `pool`, then reduces them in
+  /// scan order; returns exactly map()'s decision.
+  MappingDecision map_parallel(const ConvShape& shape,
+                               const ArrayGeometry& geometry,
+                               ThreadPool& pool) const override;
+
+  /// As map(), optionally recording every candidate into `trace` (pass
+  /// nullptr to skip recording) and optionally evaluating candidates
+  /// over `pool`.  The trace is identical either way: candidates are
+  /// recorded during the sequential scan-order reduction, never in
+  /// completion order.
   MappingDecision map_traced(const ConvShape& shape,
                              const ArrayGeometry& geometry,
-                             SearchTrace* trace) const;
+                             SearchTrace* trace,
+                             ThreadPool* pool = nullptr) const;
 };
 
 }  // namespace vwsdk

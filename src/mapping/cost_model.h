@@ -31,6 +31,7 @@
 ///    implies AR = AC = 1 by construction).
 
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "mapping/conv_shape.h"
@@ -38,6 +39,8 @@
 #include "pim/array_geometry.h"
 
 namespace vwsdk {
+
+class ThreadPool;
 
 /// How a mapping splits kernel rows across AR cycles.
 enum class RowSplit {
@@ -60,6 +63,8 @@ struct CycleCost {
 
   /// "pw=4x3 ict=42 oct=256 npw=72 ar=7 ac=1 cycles=504"
   std::string to_string() const;
+
+  bool operator==(const CycleCost&) const = default;
 };
 
 /// Tiled input channels for a window (Eq. (4)), clamped to IC.
@@ -89,5 +94,15 @@ CycleCost vw_cost(const ConvShape& shape, const ArrayGeometry& geometry,
 
 /// Sub-matrix duplication cost (ref [6]).
 CycleCost smd_cost(const ConvShape& shape, const ArrayGeometry& geometry);
+
+/// vw_cost() of every window in `windows` (same indexing).  With a pool
+/// of more than one worker and a candidate set large enough to amortize
+/// the fan-out, evaluation is spread over the pool in contiguous chunks;
+/// the result is index-aligned and therefore independent of scheduling.
+/// Must not be called from a task already running on `pool`.
+std::vector<CycleCost> vw_costs(const ConvShape& shape,
+                                const ArrayGeometry& geometry,
+                                const std::vector<ParallelWindow>& windows,
+                                ThreadPool* pool = nullptr);
 
 }  // namespace vwsdk

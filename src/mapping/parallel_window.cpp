@@ -46,6 +46,26 @@ Count windows_in_pw(const ConvShape& shape, const ParallelWindow& pw) {
   return checked_mul(windows_in_pw_w(shape, pw), windows_in_pw_h(shape, pw));
 }
 
+std::vector<ParallelWindow> enumerate_windows(const ConvShape& shape,
+                                              bool include_kernel) {
+  shape.validate();
+  std::vector<ParallelWindow> windows;
+  // Candidate extents step exactly like kernel positions, so the scan
+  // visits windows_w() * windows_h() candidates.
+  windows.reserve(
+      static_cast<std::size_t>(shape.windows_w() * shape.windows_h()));
+  for (Dim h = shape.kernel_h; h <= shape.padded_h(); h += shape.stride_h) {
+    for (Dim w = shape.kernel_w; w <= shape.padded_w();
+         w += shape.stride_w) {
+      if (!include_kernel && w == shape.kernel_w && h == shape.kernel_h) {
+        continue;
+      }
+      windows.push_back(ParallelWindow{w, h});
+    }
+  }
+  return windows;
+}
+
 Count num_parallel_windows_w(const ConvShape& shape,
                              const ParallelWindow& pw) {
   return ceil_div(shape.windows_w(), windows_in_pw_w(shape, pw));

@@ -10,6 +10,7 @@
 /// divides the shifts by s).
 
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "mapping/conv_shape.h"
@@ -46,6 +47,17 @@ Count windows_in_pw_h(const ConvShape& shape, const ParallelWindow& pw);
 
 /// N_WP: total kernel windows computed per parallel-window cycle.
 Count windows_in_pw(const ConvShape& shape, const ParallelWindow& pw);
+
+/// Every candidate window Algorithm 1 visits for `shape`, in its scan
+/// order: PW_h outer from K_h to the padded IFM height, PW_w inner from
+/// K_w to the padded IFM width, both advancing in stride steps (so every
+/// produced window is admissible).  With `include_kernel` false the
+/// kernel-sized window itself is omitted -- the mappers' im2col
+/// initialization already covers it.  This enumeration is the contract
+/// between the sequential scan and the parallel candidate evaluation:
+/// both walk exactly this list, in this order.
+std::vector<ParallelWindow> enumerate_windows(const ConvShape& shape,
+                                              bool include_kernel);
 
 /// Number of parallel windows needed to cover the IFM (Eq. (3)):
 /// ceil(windows / windows-per-PW) along each axis.  For stride 1 this

@@ -20,6 +20,7 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 
 #include "tensor/conv_ref.h"
@@ -53,6 +54,7 @@
 #include "core/exhaustive_mapper.h"
 #include "core/grouped_conv.h"
 #include "core/im2col_mapper.h"
+#include "core/mapping_cache.h"
 #include "core/mapping_decision.h"
 #include "core/network_optimizer.h"
 #include "core/pruned_mapper.h"

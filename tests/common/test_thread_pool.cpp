@@ -1,0 +1,111 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vwsdk {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletesEverything) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&count]() { ++count; }));
+  }
+  for (auto& future : futures) {
+    future.get();
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, TaskExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([]() { return 7; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      (void)pool.submit([&count]() { ++count; });
+    }
+  }  // destructor joins after finishing the queue
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, ParallelChunksCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(1000);
+  parallel_chunks(pool, 1000, [&seen](Count begin, Count end) {
+    for (Count i = begin; i < end; ++i) {
+      ++seen[static_cast<std::size_t>(i)];
+    }
+  });
+  for (const auto& cell : seen) {
+    EXPECT_EQ(cell.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelChunksEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_chunks(pool, 0, [&called](Count, Count) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelChunksRethrowsTaskException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      parallel_chunks(pool, 100,
+                      [](Count begin, Count) {
+                        if (begin == 0) {
+                          throw std::runtime_error("chunk failed");
+                        }
+                      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ResolveThreadCountClampsAndPassesThrough) {
+  EXPECT_EQ(ThreadPool::resolve_thread_count(4), 4);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(1), 1);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(100000), 256);
+  EXPECT_GE(ThreadPool::resolve_thread_count(0), 1);
+  EXPECT_GE(ThreadPool::resolve_thread_count(-5), 1);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonoursEnvVar) {
+  ASSERT_EQ(setenv("VWSDK_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3);
+  ASSERT_EQ(setenv("VWSDK_THREADS", "0", 1), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);  // falls back
+  ASSERT_EQ(setenv("VWSDK_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);  // degrades, no throw
+  ASSERT_EQ(unsetenv("VWSDK_THREADS"), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace vwsdk

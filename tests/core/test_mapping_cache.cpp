@@ -1,0 +1,104 @@
+#include "core/mapping_cache.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/vwsdk_mapper.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+TEST(MappingCache, HitReturnsIdenticalDecision) {
+  const VwSdkMapper mapper;
+  MappingCache cache;
+  const ConvShape shape = ConvShape::square(14, 3, 256, 256);
+  const MappingDecision first = cache.map(mapper, shape, k512x512);
+  const MappingDecision second = cache.map(mapper, shape, k512x512);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, mapper.map(shape, k512x512));
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(MappingCache, DistinguishesMapperShapeAndGeometry) {
+  const VwSdkMapper mapper;
+  MappingCache cache;
+  const ConvShape a = ConvShape::square(14, 3, 256, 256);
+  const ConvShape b = ConvShape::square(28, 3, 256, 256);
+  (void)cache.map(mapper, a, k512x512);
+  (void)cache.map(mapper, b, k512x512);             // new shape
+  (void)cache.map(mapper, a, {256, 256});           // new geometry
+  (void)cache.get_or_compute(                       // new mapper id
+      MappingCacheKey{"other", a, k512x512},
+      [&]() { return mapper.map(a, k512x512); });
+  EXPECT_EQ(cache.stats().misses, 4);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.size(), 4);
+}
+
+TEST(MappingCache, SingleFlightUnderConcurrency) {
+  // 32 concurrent requests for the same key must compute exactly once:
+  // hit/miss counters stay deterministic no matter how the tasks race.
+  const VwSdkMapper mapper;
+  MappingCache cache;
+  const ConvShape shape = ConvShape::square(56, 3, 128, 256);
+  std::atomic<int> computes{0};
+  ThreadPool pool(8);
+  std::vector<std::future<MappingDecision>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&]() {
+      return cache.get_or_compute(
+          MappingCacheKey{mapper.name(), shape, k512x512}, [&]() {
+            ++computes;
+            return mapper.map(shape, k512x512);
+          });
+    }));
+  }
+  const MappingDecision expected = mapper.map(shape, k512x512);
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get(), expected);
+  }
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 31);
+}
+
+TEST(MappingCache, ComputeFailureIsEvictedAndRetried) {
+  const VwSdkMapper mapper;
+  MappingCache cache;
+  const ConvShape shape = ConvShape::square(14, 3, 16, 16);
+  const MappingCacheKey key{mapper.name(), shape, k512x512};
+  EXPECT_THROW(cache.get_or_compute(
+                   key,
+                   []() -> MappingDecision {
+                     throw std::runtime_error("search exploded");
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0);  // evicted, not poisoned
+  const MappingDecision retried = cache.get_or_compute(
+      key, [&]() { return mapper.map(shape, k512x512); });
+  EXPECT_EQ(retried, mapper.map(shape, k512x512));
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST(MappingCache, ClearDropsEntriesKeepsStats) {
+  const VwSdkMapper mapper;
+  MappingCache cache;
+  const ConvShape shape = ConvShape::square(14, 3, 16, 16);
+  (void)cache.map(mapper, shape, k512x512);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0);
+  (void)cache.map(mapper, shape, k512x512);  // recomputes after clear
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().hits, 0);
+}
+
+}  // namespace
+}  // namespace vwsdk

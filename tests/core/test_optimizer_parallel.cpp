@@ -1,0 +1,169 @@
+/// Concurrency determinism of the network-mapping engine: the threaded
+/// optimizer (any thread count, either fan-out mode, cached or not) must
+/// produce byte-identical MappingDecisions and cycle totals to a forced
+/// single-thread run, and the MappingCache counters must be exact.
+
+#include "core/network_optimizer.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/search_trace.h"
+#include "core/vwsdk_mapper.h"
+#include "nn/model_zoo.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+void expect_identical(const NetworkMappingResult& a,
+                      const NetworkMappingResult& b) {
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  EXPECT_EQ(a.network_name, b.network_name);
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.total_cycles(), b.total_cycles());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].decision, b.layers[i].decision)
+        << a.network_name << " layer " << i;
+    EXPECT_EQ(a.layers[i].layer.name, b.layers[i].layer.name);
+  }
+}
+
+TEST(OptimizerParallel, FourThreadsMatchSingleThreadAcrossModelZoo) {
+  const VwSdkMapper mapper;
+  for (const std::string& model : model_names()) {
+    const Network net = model_by_name(model);
+    const NetworkMappingResult sequential = optimize_network(
+        mapper, net, k512x512, OptimizerOptions{.threads = 1});
+    const NetworkMappingResult threaded = optimize_network(
+        mapper, net, k512x512, OptimizerOptions{.threads = 4});
+    expect_identical(sequential, threaded);
+  }
+}
+
+TEST(OptimizerParallel, IntraLayerModeMatchesSingleThread) {
+  const VwSdkMapper mapper;
+  for (const char* model : {"vgg13", "alexnet", "stress"}) {
+    const Network net = model_by_name(model);
+    const NetworkMappingResult sequential = optimize_network(
+        mapper, net, k512x512, OptimizerOptions{.threads = 1});
+    OptimizerOptions options;
+    options.threads = 4;
+    options.intra_layer = true;
+    const NetworkMappingResult intra =
+        optimize_network(mapper, net, k512x512, options);
+    expect_identical(sequential, intra);
+  }
+}
+
+TEST(OptimizerParallel, ExternalPoolAndManyThreadsStayDeterministic) {
+  const VwSdkMapper mapper;
+  ThreadPool pool(8);
+  OptimizerOptions options;
+  options.pool = &pool;
+  const Network net = vgg13_paper();
+  const NetworkMappingResult expected = optimize_network(
+      mapper, net, k512x512, OptimizerOptions{.threads = 1});
+  for (int run = 0; run < 5; ++run) {
+    expect_identical(expected,
+                     optimize_network(mapper, net, k512x512, options));
+  }
+}
+
+TEST(OptimizerParallel, TracedSearchWithPoolMatchesSequentialScanOrder) {
+  const VwSdkMapper mapper;
+  const ConvShape shape = ConvShape::square(56, 3, 128, 256);
+  SearchTrace sequential_trace;
+  const MappingDecision sequential =
+      mapper.map_traced(shape, k512x512, &sequential_trace);
+  ThreadPool pool(4);
+  SearchTrace pooled_trace;
+  const MappingDecision pooled =
+      mapper.map_traced(shape, k512x512, &pooled_trace, &pool);
+  EXPECT_EQ(sequential, pooled);
+  ASSERT_EQ(sequential_trace.steps().size(), pooled_trace.steps().size());
+  for (std::size_t i = 0; i < sequential_trace.steps().size(); ++i) {
+    const SearchStep& a = sequential_trace.steps()[i];
+    const SearchStep& b = pooled_trace.steps()[i];
+    EXPECT_EQ(a.window, b.window) << "step " << i;
+    EXPECT_EQ(a.feasible, b.feasible) << "step " << i;
+    EXPECT_EQ(a.cycles, b.cycles) << "step " << i;
+    EXPECT_EQ(a.improved, b.improved) << "step " << i;
+  }
+}
+
+TEST(OptimizerParallel, CacheReportsExactHitCountOnVgg16) {
+  // VGG-16 lists 13 conv layers over 9 distinct shapes; a fresh cache
+  // must therefore miss 9 times and hit 4, in every threading mode.
+  const VwSdkMapper mapper;
+  const Network net = vgg16();
+  std::set<std::string> distinct;
+  for (const ConvLayerDesc& layer : net.layers()) {
+    distinct.insert(ConvShape::from_layer(layer).to_string());
+  }
+  ASSERT_EQ(distinct.size(), 9u);
+  const Count total = static_cast<Count>(net.layers().size());
+
+  for (const int threads : {1, 4}) {
+    MappingCache cache;
+    OptimizerOptions options;
+    options.threads = threads;
+    options.cache = &cache;
+    const NetworkMappingResult result =
+        optimize_network(mapper, net, k512x512, options);
+    EXPECT_EQ(cache.stats().misses, 9) << threads << " threads";
+    EXPECT_EQ(cache.stats().hits, total - 9) << threads << " threads";
+    EXPECT_EQ(cache.size(), 9) << threads << " threads";
+    expect_identical(result,
+                     optimize_network(mapper, net, k512x512,
+                                      OptimizerOptions{.threads = 1}));
+  }
+}
+
+TEST(OptimizerParallel, SharedCacheSpansComparisonsAndGeometries) {
+  MappingCache cache;
+  OptimizerOptions options;
+  options.threads = 4;
+  options.cache = &cache;
+  const NetworkComparison first = compare_mappers(
+      {"im2col", "sdk", "vw-sdk"}, resnet18_paper(), k512x512, options);
+  const MappingCacheStats after_first = cache.stats();
+  EXPECT_EQ(after_first.misses, 15);  // 5 layers x 3 mappers, no repeats
+  // Same request again: everything hits.
+  const NetworkComparison second = compare_mappers(
+      {"im2col", "sdk", "vw-sdk"}, resnet18_paper(), k512x512, options);
+  EXPECT_EQ(cache.stats().misses, after_first.misses);
+  EXPECT_EQ(cache.stats().hits, after_first.hits + 15);
+  for (std::size_t i = 0; i < first.results.size(); ++i) {
+    expect_identical(first.results[i], second.results[i]);
+  }
+  // A different geometry is a different key: no false sharing.
+  (void)compare_mappers({"vw-sdk"}, resnet18_paper(), {256, 256}, options);
+  EXPECT_EQ(cache.stats().misses, after_first.misses + 5);
+}
+
+TEST(OptimizerParallel, Vgg16PaperTotalSurvivesEveryMode) {
+  // Totals pinned by the sequential engine must not drift in any mode.
+  const VwSdkMapper mapper;
+  const Network net = vgg16();
+  const Cycles expected =
+      optimize_network(mapper, net, k512x512, OptimizerOptions{.threads = 1})
+          .total_cycles();
+  MappingCache cache;
+  OptimizerOptions cached_intra;
+  cached_intra.threads = 4;
+  cached_intra.intra_layer = true;
+  cached_intra.cache = &cache;
+  EXPECT_EQ(
+      optimize_network(mapper, net, k512x512, cached_intra).total_cycles(),
+      expected);
+  EXPECT_EQ(optimize_network(mapper, net, k512x512).total_cycles(),
+            expected);  // default options (auto thread count)
+}
+
+}  // namespace
+}  // namespace vwsdk

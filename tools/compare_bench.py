@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Gate bench results against the checked-in baseline.
+
+Reads every BENCH_*.json in --baseline (normally bench/baseline/) and the
+matching files in --current (normally the build's bench/ directory after
+`ctest -L bench`), then fails when:
+
+  * a current check has pass=false (a paper-value MISMATCH);
+  * a baseline file or baseline check label is missing from the current
+    run (a silently dropped reproduction check);
+  * a bench's total wall time regressed more than --time-tolerance
+    (default 20%) over its baseline, ignoring benches faster than
+    --min-wall-ms in either run (timer noise, not signal).
+
+`--update-baseline` instead copies the current files over the baseline --
+the refresh workflow after an intentional perf change (see README).
+
+Wall times are machine-dependent, so the two gates can be split:
+`--no-time` keeps only the check gates (how CI compares against the
+checked-in bench/baseline/, which was recorded on a different machine);
+`--time-only` keeps only the wall-time gate (how CI compares against
+the previous CI run's JSON, cached per runner class).
+
+Exit code: 0 clean, 1 any failure, 2 usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def bench_files(directory: str) -> dict[str, str]:
+    return {
+        os.path.basename(path): path
+        for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baseline",
+                        help="directory of checked-in expected JSON")
+    parser.add_argument("--current", required=True,
+                        help="directory of freshly produced BENCH_*.json")
+    parser.add_argument("--time-tolerance", type=float, default=0.20,
+                        help="allowed fractional wall-time regression")
+    parser.add_argument("--min-wall-ms", type=float, default=25.0,
+                        help="skip the time gate when both runs are faster")
+    parser.add_argument("--no-time", action="store_true",
+                        help="skip the wall-time gate entirely")
+    parser.add_argument("--time-only", action="store_true",
+                        help="skip the check gates, keep the time gate")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="copy current files over the baseline and exit")
+    args = parser.parse_args()
+
+    current = bench_files(args.current)
+    if not current:
+        print(f"error: no BENCH_*.json under {args.current}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        os.makedirs(args.baseline, exist_ok=True)
+        for name, path in current.items():
+            shutil.copy(path, os.path.join(args.baseline, name))
+            print(f"refreshed {name}")
+        return 0
+
+    baseline = bench_files(args.baseline)
+    if not baseline:
+        print(f"error: no BENCH_*.json under {args.baseline}", file=sys.stderr)
+        return 2
+
+    if args.no_time and args.time_only:
+        print("error: --no-time and --time-only are mutually exclusive",
+              file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+
+    if not args.time_only:
+        for name, cur_path in sorted(current.items()):
+            data = load(cur_path)
+            for check in data.get("checks", []):
+                if not check.get("pass", False):
+                    failures.append(
+                        f"{name}: MISMATCH: {check.get('label')} "
+                        f"(paper={check.get('paper')} "
+                        f"computed={check.get('computed')})")
+
+    for name, base_path in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        base = load(base_path)
+        cur = load(current[name])
+
+        if not args.time_only:
+            base_labels = {c["label"] for c in base.get("checks", [])}
+            cur_labels = {c["label"] for c in cur.get("checks", [])}
+            for dropped in sorted(base_labels - cur_labels):
+                failures.append(
+                    f"{name}: check dropped vs baseline: {dropped}")
+
+        if args.no_time:
+            continue
+        base_ms = float(base.get("summary", {}).get("wall_ms", 0.0))
+        cur_ms = float(cur.get("summary", {}).get("wall_ms", 0.0))
+        if base_ms < args.min_wall_ms and cur_ms < args.min_wall_ms:
+            continue
+        if base_ms > 0 and cur_ms > base_ms * (1.0 + args.time_tolerance):
+            failures.append(
+                f"{name}: wall-time regression: {cur_ms:.1f} ms vs baseline "
+                f"{base_ms:.1f} ms "
+                f"(+{100.0 * (cur_ms / base_ms - 1.0):.0f}%, "
+                f"tolerance {100.0 * args.time_tolerance:.0f}%)")
+
+    checked = len(current)
+    if failures:
+        print(f"compare_bench: {len(failures)} failure(s) across "
+              f"{checked} bench file(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"compare_bench: {checked} bench file(s) clean vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
