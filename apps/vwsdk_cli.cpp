@@ -1,0 +1,426 @@
+/// The `vwsdk` command-line tool: run the paper's mapping algorithms over
+/// arbitrary networks -- model-zoo names or network-spec files (JSON/CSV,
+/// docs/FORMATS.md) -- on arbitrary array geometries, without recompiling.
+///
+///   vwsdk map --net vgg16
+///   vwsdk compare --net resnet18 --array 256x256
+///   vwsdk sweep --nets vgg13,resnet18 --arrays paper --format csv
+///   vwsdk zoo --export vgg16 > vgg16.json
+///
+/// Subcommand reference (flags, exit codes, sample output): docs/CLI.md.
+/// The global --help text below is diffed verbatim against that page by
+/// the `cli.help_matches_doc` ctest, so edit both together.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "vwsdk.h"
+
+namespace {
+
+using namespace vwsdk;
+
+constexpr const char* kDefaultArray = "512x512";
+
+constexpr const char* kGlobalHelp =
+    R"(vwsdk - VW-SDK convolutional weight mapping toolkit
+
+Usage:
+  vwsdk <command> [options]
+  vwsdk <command> --help
+  vwsdk --help | --version
+
+Commands:
+  map      map every layer of one network with one algorithm
+  compare  run several algorithms on one network side by side
+  sweep    cross-product of networks x arrays x algorithms
+  zoo      list built-in networks or export one as a spec file
+
+Networks (--net / --nets) are model-zoo names (vgg13, resnet18, vgg16,
+alexnet, lenet5, stress) or network-spec files in the JSON/CSV formats
+of docs/FORMATS.md.  Array geometries are "RxC" (rows x columns);
+when --array is omitted, the spec's own "array" entry applies, then
+512x512.
+
+Exit codes: 0 success, 1 runtime error, 2 usage error.
+)";
+
+/// Write through `path` ("-" = stdout); throws on an unopenable path.
+void with_output(const std::string& path,
+                 const std::function<void(std::ostream&)>& write) {
+  if (path == "-") {
+    write(std::cout);
+    return;
+  }
+  std::ofstream os(path);
+  VWSDK_REQUIRE(os.good(), cat("cannot open output file \"", path, "\""));
+  write(os);
+  os.flush();
+  if (!os.good()) {
+    throw Error(cat("failed writing output file \"", path, "\""));
+  }
+}
+
+/// Shared options of the network-running subcommands.
+void add_net_options(ArgParser& args) {
+  args.add_option("array", "",
+                  "PIM array geometry RxC (default: the spec's array, "
+                  "else 512x512)");
+  args.add_int_option("threads", 0,
+                      "worker threads (0 = VWSDK_THREADS, then hardware)");
+  args.add_option("out", "-", "output path, '-' = stdout");
+}
+
+/// The geometry a subcommand runs on: --array, then the spec hint, then
+/// the library default.
+ArrayGeometry resolve_geometry(const ArgParser& args,
+                               const NetworkSpec& spec) {
+  std::string text = args.get("array");
+  if (text.empty()) {
+    text = spec.has_array() ? spec.array : kDefaultArray;
+  }
+  return parse_geometry(text);
+}
+
+OptimizerOptions options_from_args(const ArgParser& args) {
+  OptimizerOptions options;
+  options.threads = static_cast<int>(args.get_int("threads"));
+  return options;
+}
+
+void require_no_positional(const ArgParser& args) {
+  VWSDK_REQUIRE(args.positional().empty(),
+                cat("unexpected positional argument \"",
+                    args.positional().front(), "\""));
+}
+
+std::string format_from_args(const ArgParser& args,
+                             const std::vector<std::string>& allowed) {
+  const std::string format = to_lower(args.get("format"));
+  for (const std::string& candidate : allowed) {
+    if (format == candidate) {
+      return format;
+    }
+  }
+  throw InvalidArgument(cat("unknown --format \"", args.get("format"),
+                            "\" (expected ", join(allowed, ", "), ")"));
+}
+
+/// Per-layer table of one result (the `map` view).
+TextTable result_table(const NetworkMappingResult& result) {
+  TextTable table({"#", "layer", "image", "kernel (KxKxICxOC)", "groups",
+                   "mapping (PWxICtxOCt)", "#PW", "cycles"});
+  for (std::size_t i = 0; i < result.layers.size(); ++i) {
+    const LayerMapping& lm = result.layers[i];
+    const ConvLayerDesc& layer = lm.layer;
+    table.add_row(
+        {std::to_string(i + 1), layer.name,
+         cat(layer.ifm_w, "x", layer.ifm_h),
+         cat(layer.kernel_w, "x", layer.kernel_h, "x", layer.in_channels,
+             "x", layer.out_channels),
+         std::to_string(layer.groups), lm.decision.table_entry(),
+         std::to_string(lm.decision.cost.n_parallel_windows),
+         std::to_string(lm.cycles())});
+  }
+  table.add_separator();
+  table.add_row({"", "total", "", "", "", "", "",
+                 std::to_string(result.total_cycles())});
+  return table;
+}
+
+int run_map(int argc, const char* const* argv) {
+  ArgParser args("vwsdk map",
+                 "map every layer of a network with one algorithm");
+  args.add_option("net", "", "model-zoo name or spec file (required)");
+  args.add_option("mapper", "vw-sdk",
+                  "mapping algorithm (im2col, smd, sdk, vw-sdk, "
+                  "vw-sdk-pruned, exhaustive)");
+  args.add_option("format", "table", "output format: table, csv, or json");
+  add_net_options(args);
+  if (!args.parse(argc, argv)) {
+    return kExitOk;
+  }
+  require_no_positional(args);
+  VWSDK_REQUIRE(!args.get("net").empty(), "--net is required");
+  const std::string format =
+      format_from_args(args, {"table", "csv", "json"});
+
+  const NetworkSpec spec = resolve_network_spec(args.get("net"));
+  const ArrayGeometry geometry = resolve_geometry(args, spec);
+  const auto mapper = make_mapper(args.get("mapper"));
+  const NetworkMappingResult result = optimize_network(
+      *mapper, spec.network, geometry, options_from_args(args));
+
+  with_output(args.get("out"), [&](std::ostream& os) {
+    if (format == "csv") {
+      write_result_csv(os, result);
+    } else if (format == "json") {
+      os << to_json(result) << "\n";
+    } else {
+      os << "network: " << spec.network.name() << " ("
+         << spec.network.layer_count() << " layers)\narray: "
+         << geometry.to_string() << "   algorithm: " << result.algorithm
+         << "\n\n"
+         << result_table(result);
+    }
+  });
+  return kExitOk;
+}
+
+int run_compare(int argc, const char* const* argv) {
+  ArgParser args("vwsdk compare",
+                 "run several algorithms on one network side by side");
+  args.add_option("net", "", "model-zoo name or spec file (required)");
+  add_mappers_option(args);
+  args.add_option("format", "table", "output format: table, csv, or json");
+  args.add_option("report", "all",
+                  "table views: table1, speedups, util, or all "
+                  "(format=table only)");
+  add_net_options(args);
+  if (!args.parse(argc, argv)) {
+    return kExitOk;
+  }
+  require_no_positional(args);
+  VWSDK_REQUIRE(!args.get("net").empty(), "--net is required");
+  const std::string format =
+      format_from_args(args, {"table", "csv", "json"});
+  const std::string report = to_lower(args.get("report"));
+  VWSDK_REQUIRE(report == "all" || report == "table1" ||
+                    report == "speedups" || report == "util",
+                cat("unknown --report \"", args.get("report"), "\""));
+
+  const NetworkSpec spec = resolve_network_spec(args.get("net"));
+  const ArrayGeometry geometry = resolve_geometry(args, spec);
+  const std::vector<std::string> mappers = mappers_from_args(args);
+  // Usage errors must fire before the (possibly long) optimization runs
+  // and before --out is opened; a late throw would leave a partial file.
+  VWSDK_REQUIRE(format != "table" ||
+                    (report != "table1" && report != "all") ||
+                    mappers.size() >= 2,
+                "--report table1 needs at least two mappers");
+  const NetworkComparison cmp = compare_mappers(
+      mappers, spec.network, geometry, options_from_args(args));
+
+  with_output(args.get("out"), [&](std::ostream& os) {
+    if (format == "csv") {
+      write_comparison_csv(os, cmp);
+      return;
+    }
+    if (format == "json") {
+      os << to_json(cmp) << "\n";
+      return;
+    }
+    os << "network: " << spec.network.name() << " ("
+       << spec.network.layer_count() << " layers)\narray: "
+       << geometry.to_string() << "   algorithms: " << join(mappers, ", ")
+       << "\n";
+    if (report == "all" || report == "table1") {
+      const std::size_t n = cmp.results.size();
+      os << "\nTable-I-style mapping (" << cmp.results[n - 2].algorithm
+         << " vs " << cmp.results[n - 1].algorithm << "):\n"
+         << render_table1(cmp.results[n - 2], cmp.results[n - 1]);
+    }
+    if (report == "all" || report == "speedups") {
+      os << "\nPer-layer speedups vs " << cmp.results.front().algorithm
+         << ":\n"
+         << render_layer_speedups(cmp);
+    }
+    if (report == "all" || report == "util") {
+      os << "\nUtilization (steady-state convention):\n"
+         << render_utilization(cmp, UtilizationConvention::kSteadyState);
+    }
+  });
+  return kExitOk;
+}
+
+int run_sweep(int argc, const char* const* argv) {
+  ArgParser args("vwsdk sweep",
+                 "cross-product of networks x arrays x algorithms");
+  args.add_option("nets", "vgg13,resnet18",
+                  "comma-separated zoo names / spec files");
+  args.add_option("arrays", "paper",
+                  "comma-separated RxC list, or 'paper' for the paper's "
+                  "five sizes");
+  add_mappers_option(args);
+  args.add_option("format", "table", "output format: table, csv, or json");
+  args.add_int_option("threads", 0,
+                      "worker threads (0 = VWSDK_THREADS, then hardware)");
+  args.add_option("out", "-", "output path, '-' = stdout");
+  args.add_flag("intra-layer",
+                "parallelize inside each layer's search instead of across "
+                "layers");
+  args.add_flag("stats", "print pool/cache statistics to stderr");
+  if (!args.parse(argc, argv)) {
+    return kExitOk;
+  }
+  require_no_positional(args);
+  const std::string format =
+      format_from_args(args, {"table", "csv", "json"});
+  const std::vector<std::string> mappers = mappers_from_args(args);
+
+  std::vector<NetworkSpec> specs;
+  for (const std::string& part : split(args.get("nets"), ',')) {
+    const std::string name = trim(part);
+    if (!name.empty()) {
+      specs.push_back(resolve_network_spec(name));
+    }
+  }
+  VWSDK_REQUIRE(!specs.empty(), "--nets names no network");
+
+  std::vector<ArrayGeometry> geometries;
+  if (to_lower(trim(args.get("arrays"))) == "paper") {
+    geometries = paper_geometries();
+  } else {
+    for (const std::string& part : split(args.get("arrays"), ',')) {
+      const std::string text = trim(part);
+      if (!text.empty()) {
+        geometries.push_back(parse_geometry(text));
+      }
+    }
+  }
+  VWSDK_REQUIRE(!geometries.empty(), "--arrays names no geometry");
+
+  // One pool and one single-flight cache span the whole cross-product:
+  // each (net, array) point fans its layers out across the shared pool,
+  // and repeated (mapper, shape, array) searches -- common when networks
+  // share layer shapes -- are deduplicated across points.
+  ThreadPool pool(
+      ThreadPool::resolve_thread_count(
+          static_cast<int>(args.get_int("threads"))));
+  MappingCache cache;
+  OptimizerOptions options;
+  options.pool = &pool;
+  options.cache = &cache;
+  options.intra_layer = args.get_flag("intra-layer");
+
+  std::vector<NetworkComparison> sweep;
+  sweep.reserve(specs.size() * geometries.size());
+  for (const NetworkSpec& spec : specs) {
+    for (const ArrayGeometry& geometry : geometries) {
+      sweep.push_back(
+          compare_mappers(mappers, spec.network, geometry, options));
+    }
+  }
+
+  with_output(args.get("out"), [&](std::ostream& os) {
+    if (format == "csv") {
+      write_sweep_csv(os, sweep);
+      return;
+    }
+    if (format == "json") {
+      os << "[";
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        os << (i == 0 ? "" : ",") << to_json(sweep[i]);
+      }
+      os << "]\n";
+      return;
+    }
+    std::vector<std::string> headers{"network", "array"};
+    for (const std::string& mapper : mappers) {
+      headers.push_back(cat(mapper, " cycles"));
+    }
+    headers.push_back(cat(mappers.back(), " speedup"));
+    TextTable table(headers);
+    for (const NetworkComparison& cmp : sweep) {
+      std::vector<std::string> row{cmp.results.front().network_name,
+                                   cmp.results.front().geometry.to_string()};
+      for (const NetworkMappingResult& result : cmp.results) {
+        row.push_back(std::to_string(result.total_cycles()));
+      }
+      row.push_back(format_fixed(
+          cmp.speedup(0, static_cast<Count>(cmp.results.size() - 1)), 2));
+      table.add_row(std::move(row));
+    }
+    os << table;
+  });
+
+  if (args.get_flag("stats")) {
+    const MappingCacheStats stats = cache.stats();
+    std::cerr << "sweep: " << specs.size() << " network(s) x "
+              << geometries.size() << " array(s) x " << mappers.size()
+              << " mapper(s), " << pool.size() << " thread(s); cache "
+              << stats.hits << " hit(s) / " << stats.misses
+              << " miss(es), " << cache.size() << " distinct search(es)\n";
+  }
+  return kExitOk;
+}
+
+int run_zoo(int argc, const char* const* argv) {
+  ArgParser args("vwsdk zoo",
+                 "list built-in networks or export one as a spec file");
+  args.add_option("export", "",
+                  "network to export as a spec (zoo name or spec file)");
+  args.add_option("format", "json", "spec format for --export: json or csv");
+  args.add_option("array", "",
+                  "array hint to embed in the exported spec, RxC");
+  args.add_option("out", "-", "output path, '-' = stdout");
+  if (!args.parse(argc, argv)) {
+    return kExitOk;
+  }
+  require_no_positional(args);
+  const std::string format = format_from_args(args, {"json", "csv"});
+
+  if (args.get("export").empty()) {
+    with_output(args.get("out"), [&](std::ostream& os) {
+      TextTable table({"name", "layers", "weights"});
+      for (const std::string& name : model_names()) {
+        const Network net = model_by_name(name);
+        table.add_row({name, std::to_string(net.layer_count()),
+                       with_thousands(net.total_weights())});
+      }
+      os << table;
+    });
+    return kExitOk;
+  }
+
+  const NetworkSpec spec = resolve_network_spec(args.get("export"));
+  std::string array = args.get("array");
+  if (array.empty()) {
+    array = spec.array;
+  }
+  if (!array.empty()) {
+    (void)parse_geometry(array);  // validate the hint before embedding it
+  }
+  with_output(args.get("out"), [&](std::ostream& os) {
+    os << (format == "csv" ? to_spec_csv(spec.network, array)
+                           : to_spec_json(spec.network, array));
+  });
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_cli_main([&]() -> int {
+    if (argc < 2) {
+      // A usage error, so stderr: stdout stays machine-consumable for
+      // scripts that capture it (docs/CLI.md exit-code contract).
+      std::cerr << kGlobalHelp;
+      return kExitUsageError;
+    }
+    const std::string command = argv[1];
+    if (command == "--help" || command == "-h" || command == "help") {
+      std::cout << kGlobalHelp;
+      return kExitOk;
+    }
+    if (command == "--version") {
+      std::cout << "vwsdk " << VWSDK_VERSION << "\n";
+      return kExitOk;
+    }
+    if (command == "map") {
+      return run_map(argc - 1, argv + 1);
+    }
+    if (command == "compare") {
+      return run_compare(argc - 1, argv + 1);
+    }
+    if (command == "sweep") {
+      return run_sweep(argc - 1, argv + 1);
+    }
+    if (command == "zoo") {
+      return run_zoo(argc - 1, argv + 1);
+    }
+    throw InvalidArgument(
+        cat("unknown command \"", command, "\"; run vwsdk --help"));
+  });
+}

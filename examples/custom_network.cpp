@@ -12,17 +12,17 @@
 
 int main(int argc, char** argv) {
   using namespace vwsdk;
-  ArgParser args("custom_network",
-                 "build a custom CNN and simulate it on PIM end to end");
-  args.add_option("array", "128x64", "PIM array geometry, RxC");
-  args.add_option("mapper", "vw-sdk", "mapping algorithm for the pipeline");
-  args.add_int_option("seed", 11, "input/weight generator seed");
-  if (!args.parse(argc, argv)) {
-    return 0;
-  }
+  return run_cli_main([&]() -> int {
+    ArgParser args("custom_network",
+                   "build a custom CNN and simulate it on PIM end to end");
+    add_array_option(args, "128x64");
+    args.add_option("mapper", "vw-sdk", "mapping algorithm for the pipeline");
+    args.add_int_option("seed", 11, "input/weight generator seed");
+    if (!args.parse(argc, argv)) {
+      return kExitOk;
+    }
 
-  try {
-    const ArrayGeometry geometry = parse_geometry(args.get("array"));
+    const ArrayGeometry geometry = array_from_args(args);
 
     // A LeNet-flavoured CNN defined with the builder (sizes tracked
     // automatically; kValid keeps the cost-model convention of the paper).
@@ -67,11 +67,8 @@ int main(int argc, char** argv) {
               << "\n";
     if (!result.all_verified) {
       std::cerr << "PIPELINE VERIFICATION FAILED\n";
-      return 1;
+      return kExitError;
     }
-    return 0;
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
+    return kExitOk;
+  });
 }

@@ -12,24 +12,17 @@
 
 int main(int argc, char** argv) {
   using namespace vwsdk;
-  ArgParser args("design_space_explorer",
-                 "sweep array geometries and trace the window search");
-  args.add_int_option("image", 28, "IFM width/height");
-  args.add_int_option("kernel", 3, "kernel width/height");
-  args.add_int_option("ic", 128, "input channels");
-  args.add_int_option("oc", 128, "output channels");
-  args.add_option("array", "512x512", "geometry for the trace section");
-  args.add_flag("trace", "print every incumbent improvement of the search");
-  if (!args.parse(argc, argv)) {
-    return 0;
-  }
+  return run_cli_main([&]() -> int {
+    ArgParser args("design_space_explorer",
+                   "sweep array geometries and trace the window search");
+    add_shape_options(args, 28, 3, 128, 128);
+    add_array_option(args, "512x512");
+    args.add_flag("trace", "print every incumbent improvement of the search");
+    if (!args.parse(argc, argv)) {
+      return kExitOk;
+    }
 
-  try {
-    const ConvShape shape = ConvShape::square(
-        static_cast<Dim>(args.get_int("image")),
-        static_cast<Dim>(args.get_int("kernel")),
-        static_cast<Dim>(args.get_int("ic")),
-        static_cast<Dim>(args.get_int("oc")));
+    const ConvShape shape = shape_from_args(args);
 
     std::cout << "layer: " << shape.to_string() << "\n\n"
               << "Array-geometry sweep (same cell budget, varying aspect):\n";
@@ -60,7 +53,7 @@ int main(int argc, char** argv) {
     }
     std::cout << sweep;
 
-    const ArrayGeometry geometry = parse_geometry(args.get("array"));
+    const ArrayGeometry geometry = array_from_args(args);
     SearchTrace trace;
     const MappingDecision decision =
         vw.map_traced(shape, geometry, &trace);
@@ -79,9 +72,7 @@ int main(int argc, char** argv) {
     std::cout << "exhaustive oracle agrees: "
               << (reference.cost.total == decision.cost.total ? "yes" : "NO")
               << " (" << reference.cost.total << " cycles)\n";
-    return reference.cost.total == decision.cost.total ? 0 : 1;
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
+    return reference.cost.total == decision.cost.total ? kExitOk
+                                                       : kExitError;
+  });
 }

@@ -12,28 +12,21 @@
 
 int main(int argc, char** argv) {
   using namespace vwsdk;
-  ArgParser args("functional_verification",
-                 "execute a mapping on the crossbar simulator and compare "
-                 "with the reference convolution");
-  args.add_int_option("image", 10, "IFM width/height");
-  args.add_int_option("kernel", 3, "kernel width/height");
-  args.add_int_option("ic", 6, "input channels");
-  args.add_int_option("oc", 8, "output channels");
-  args.add_option("array", "96x48", "PIM array geometry, RxC");
-  args.add_int_option("adc-bits", 0, "ADC resolution (0 = ideal)");
-  args.add_option("noise", "0", "multiplicative device-variation sigma");
-  args.add_int_option("seed", 7, "tensor generator seed");
-  if (!args.parse(argc, argv)) {
-    return 0;
-  }
+  return run_cli_main([&]() -> int {
+    ArgParser args("functional_verification",
+                   "execute a mapping on the crossbar simulator and compare "
+                   "with the reference convolution");
+    add_shape_options(args, 10, 3, 6, 8);
+    add_array_option(args, "96x48");
+    args.add_int_option("adc-bits", 0, "ADC resolution (0 = ideal)");
+    args.add_option("noise", "0", "multiplicative device-variation sigma");
+    args.add_int_option("seed", 7, "tensor generator seed");
+    if (!args.parse(argc, argv)) {
+      return kExitOk;
+    }
 
-  try {
-    const ConvShape shape = ConvShape::square(
-        static_cast<Dim>(args.get_int("image")),
-        static_cast<Dim>(args.get_int("kernel")),
-        static_cast<Dim>(args.get_int("ic")),
-        static_cast<Dim>(args.get_int("oc")));
-    const ArrayGeometry geometry = parse_geometry(args.get("array"));
+    const ConvShape shape = shape_from_args(args);
+    const ArrayGeometry geometry = array_from_args(args);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
     bool all_exact = true;
@@ -73,13 +66,10 @@ int main(int argc, char** argv) {
 
     if (!all_exact) {
       std::cerr << "VERIFICATION FAILED\n";
-      return 1;
+      return kExitError;
     }
     std::cout << "all mappings verified bit-exact against the reference "
                  "convolution\n";
-    return 0;
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
+    return kExitOk;
+  });
 }

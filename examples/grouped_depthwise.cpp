@@ -13,17 +13,17 @@
 
 int main(int argc, char** argv) {
   using namespace vwsdk;
-  ArgParser args("grouped_depthwise",
-                 "depthwise-separable conv blocks on a PIM array");
-  args.add_option("array", "512x512", "PIM array geometry, RxC");
-  args.add_int_option("image", 56, "IFM width/height");
-  args.add_int_option("channels", 128, "channels of the block");
-  if (!args.parse(argc, argv)) {
-    return 0;
-  }
+  return run_cli_main([&]() -> int {
+    ArgParser args("grouped_depthwise",
+                   "depthwise-separable conv blocks on a PIM array");
+    add_array_option(args, "512x512");
+    args.add_int_option("image", 56, "IFM width/height");
+    args.add_int_option("channels", 128, "channels of the block");
+    if (!args.parse(argc, argv)) {
+      return kExitOk;
+    }
 
-  try {
-    const ArrayGeometry geometry = parse_geometry(args.get("array"));
+    const ArrayGeometry geometry = array_from_args(args);
     const Dim image = static_cast<Dim>(args.get_int("image"));
     const Dim channels = static_cast<Dim>(args.get_int("channels"));
 
@@ -94,9 +94,6 @@ int main(int argc, char** argv) {
               << windows_in_pw(depthwise.group_shape(),
                                vw_dw.per_group.cost.window)
               << " outputs/cycle per group)\n";
-    return 0;
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
+    return kExitOk;
+  });
 }

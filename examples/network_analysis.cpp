@@ -11,21 +11,21 @@
 
 int main(int argc, char** argv) {
   using namespace vwsdk;
-  ArgParser args("network_analysis",
-                 "per-layer mapping analysis of a zoo network");
-  args.add_option("model", "resnet18",
-                  "model name (vgg13, resnet18, vgg16, alexnet, lenet5, "
-                  "stress)");
-  args.add_option("array", "512x512", "PIM array geometry, RxC");
-  args.add_flag("csv", "emit CSV instead of tables");
-  args.add_flag("sweep", "also sweep the paper's five array sizes");
-  if (!args.parse(argc, argv)) {
-    return 0;
-  }
+  return run_cli_main([&]() -> int {
+    ArgParser args("network_analysis",
+                   "per-layer mapping analysis of a zoo network");
+    args.add_option("model", "resnet18",
+                    "model name (vgg13, resnet18, vgg16, alexnet, lenet5, "
+                    "stress)");
+    add_array_option(args, "512x512");
+    args.add_flag("csv", "emit CSV instead of tables");
+    args.add_flag("sweep", "also sweep the paper's five array sizes");
+    if (!args.parse(argc, argv)) {
+      return kExitOk;
+    }
 
-  try {
     const Network net = model_by_name(args.get("model"));
-    const ArrayGeometry geometry = parse_geometry(args.get("array"));
+    const ArrayGeometry geometry = array_from_args(args);
     const NetworkComparison cmp =
         compare_mappers({"im2col", "smd", "sdk", "vw-sdk"}, net, geometry);
 
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
                                       3)});
         }
       }
-      return 0;
+      return kExitOk;
     }
 
     std::cout << net.to_string() << "\narray " << geometry.to_string()
@@ -75,9 +75,6 @@ int main(int argc, char** argv) {
       }
       std::cout << sweep;
     }
-    return 0;
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
+    return kExitOk;
+  });
 }

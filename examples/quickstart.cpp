@@ -10,23 +10,16 @@
 
 int main(int argc, char** argv) {
   using namespace vwsdk;
-  ArgParser args("quickstart", "map one conv layer onto a PIM array");
-  args.add_int_option("image", 56, "IFM width/height");
-  args.add_int_option("kernel", 3, "kernel width/height");
-  args.add_int_option("ic", 128, "input channels");
-  args.add_int_option("oc", 256, "output channels");
-  args.add_option("array", "512x512", "PIM array geometry, RxC");
-  if (!args.parse(argc, argv)) {
-    return 0;
-  }
+  return run_cli_main([&]() -> int {
+    ArgParser args("quickstart", "map one conv layer onto a PIM array");
+    add_shape_options(args, 56, 3, 128, 256);
+    add_array_option(args, "512x512");
+    if (!args.parse(argc, argv)) {
+      return kExitOk;
+    }
 
-  try {
-    const ConvShape shape = ConvShape::square(
-        static_cast<Dim>(args.get_int("image")),
-        static_cast<Dim>(args.get_int("kernel")),
-        static_cast<Dim>(args.get_int("ic")),
-        static_cast<Dim>(args.get_int("oc")));
-    const ArrayGeometry geometry = parse_geometry(args.get("array"));
+    const ConvShape shape = shape_from_args(args);
+    const ArrayGeometry geometry = array_from_args(args);
 
     std::cout << "layer: " << shape.to_string() << "\narray: "
               << geometry.to_string() << "\n\n";
@@ -56,9 +49,6 @@ int main(int argc, char** argv) {
               << " output position(s) per cycle with " << best.cost.ic_t
               << " input / " << best.cost.oc_t
               << " output channels per tile.\n";
-    return 0;
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
+    return kExitOk;
+  });
 }

@@ -30,8 +30,13 @@ void CsvWriter::emit(const std::vector<std::string>& cells) {
 }
 
 std::string csv_escape(const std::string& field) {
+  // '#' at the start of a field is quoted too: the network-spec CSV
+  // dialect (nn/network_spec.h) treats '#'-leading *lines* as comments,
+  // so a bare "#..." first cell would vanish on re-parse.  Quoting is
+  // always RFC-4180-legal and keeps every exported field round-trippable.
   const bool needs_quotes =
-      field.find_first_of(",\"\n\r") != std::string::npos;
+      field.find_first_of(",\"\n\r") != std::string::npos ||
+      (!field.empty() && field.front() == '#');
   if (!needs_quotes) {
     return field;
   }

@@ -33,7 +33,9 @@ class CsvWriter {
   Count rows_written_ = 0;
 };
 
-/// Quote a single CSV field per RFC 4180 (only when needed).
+/// Quote a single CSV field per RFC 4180 (only when needed; fields
+/// starting with '#' are also quoted so comment-stripping CSV dialects
+/// round-trip them).
 std::string csv_escape(const std::string& field);
 
 /// Parse one CSV line into fields (handles quoted fields with embedded

@@ -1,0 +1,370 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+namespace {
+
+constexpr long long kMaxExactInt = 1LL << 53;  // doubles are exact below this
+
+/// Nesting bound: the parser recurses per array/object level, so a hostile
+/// "[[[[..." document must fail cleanly instead of overflowing the stack.
+constexpr int kMaxNestingDepth = 256;
+
+}  // namespace
+
+/// Recursive-descent parser over the raw text; tracks offset for
+/// line:column error positions.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    require(pos_ == text_.size(), "trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw InvalidArgument(
+        cat("JSON parse error at ", line, ":", column, ": ", message));
+  }
+
+  void require(bool condition, const std::string& message) const {
+    if (!condition) {
+      fail(message);
+    }
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    require(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    require(pos_ < text_.size() && text_[pos_] == c,
+            cat("expected '", std::string(1, c), "'"));
+    ++pos_;
+  }
+
+  void expect_word(std::string_view word) {
+    require(text_.substr(pos_, word.size()) == word,
+            cat("expected '", std::string(word), "'"));
+    pos_ += word.size();
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{':
+        require(depth_ < kMaxNestingDepth, "nesting too deep");
+        return parse_object();
+      case '[':
+        require(depth_ < kMaxNestingDepth, "nesting too deep");
+        return parse_array();
+      case '"':
+        return parse_string_value();
+      case 't':
+        expect_word("true");
+        return make_bool(true);
+      case 'f':
+        expect_word("false");
+        return make_bool(false);
+      case 'n':
+        expect_word("null");
+        return JsonValue{};
+      default:
+        return parse_number();
+    }
+  }
+
+  static JsonValue make_bool(bool value) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kBool;
+    v.bool_ = value;
+    return v;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    ++depth_;
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    skip_whitespace();
+    if (consume('}')) {
+      --depth_;
+      return v;
+    }
+    while (true) {
+      skip_whitespace();
+      require(peek() == '"', "expected object key string");
+      std::string key = parse_raw_string();
+      for (const JsonValue::Member& member : v.members_) {
+        require(member.first != key, cat("duplicate object key \"", key, "\""));
+      }
+      skip_whitespace();
+      expect(':');
+      v.members_.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (consume(',')) {
+        continue;
+      }
+      expect('}');
+      --depth_;
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    ++depth_;
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    skip_whitespace();
+    if (consume(']')) {
+      --depth_;
+      return v;
+    }
+    while (true) {
+      v.items_.push_back(parse_value());
+      skip_whitespace();
+      if (consume(',')) {
+        continue;
+      }
+      expect(']');
+      --depth_;
+      return v;
+    }
+  }
+
+  JsonValue parse_string_value() {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kString;
+    v.string_ = parse_raw_string();
+    return v;
+  }
+
+  std::string parse_raw_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      require(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        require(pos_ < text_.size(), "unterminated escape");
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            require(pos_ + 4 <= text_.size(), "truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("invalid \\u escape digit");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // needed by any vwsdk format and are rejected).
+            require(code < 0xD800 || code > 0xDFFF,
+                    "surrogate \\u escapes are not supported");
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail(cat("invalid escape '\\", std::string(1, escape), "'"));
+        }
+        continue;
+      }
+      require(static_cast<unsigned char>(c) >= 0x20,
+              "unescaped control character in string");
+      out += c;
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    require(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9',
+            "invalid number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (consume('.')) {
+      require(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9',
+              "digit expected after decimal point");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!consume('+')) {
+        (void)consume('-');
+      }
+      require(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9',
+              "digit expected in exponent");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    // from_chars, not strtod: the conversion must not depend on the
+    // embedding application's LC_NUMERIC locale.
+    const std::string_view token = text_.substr(start, pos_ - start);
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    const auto [end, ec] = std::from_chars(
+        token.data(), token.data() + token.size(), v.number_);
+    require(ec != std::errc::result_out_of_range, "number out of range");
+    require(ec == std::errc{} && end == token.data() + token.size(),
+            "invalid number");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+std::string JsonValue::type_name(Type type) {
+  switch (type) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "unknown";
+}
+
+bool JsonValue::as_bool() const {
+  VWSDK_REQUIRE(is_bool(), cat("expected JSON bool, got ", type_name(type_)));
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  VWSDK_REQUIRE(is_number(),
+                cat("expected JSON number, got ", type_name(type_)));
+  return number_;
+}
+
+long long JsonValue::as_int() const {
+  const double value = as_number();
+  VWSDK_REQUIRE(std::nearbyint(value) == value &&
+                    value >= static_cast<double>(-kMaxExactInt) &&
+                    value <= static_cast<double>(kMaxExactInt),
+                cat("expected integer, got ", value));
+  return static_cast<long long>(value);
+}
+
+const std::string& JsonValue::as_string() const {
+  VWSDK_REQUIRE(is_string(),
+                cat("expected JSON string, got ", type_name(type_)));
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  VWSDK_REQUIRE(is_array(), cat("expected JSON array, got ",
+                                type_name(type_)));
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  VWSDK_REQUIRE(is_object(),
+                cat("expected JSON object, got ", type_name(type_)));
+  return members_;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return find(key) != nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) {
+    throw NotFound(cat("missing JSON key \"", key, "\""));
+  }
+  return *value;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  VWSDK_REQUIRE(is_object(),
+                cat("expected JSON object, got ", type_name(type_)));
+  for (const Member& member : members_) {
+    if (member.first == key) {
+      return &member.second;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace vwsdk

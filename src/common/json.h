@@ -1,0 +1,83 @@
+#pragma once
+
+/// @file json.h
+/// A minimal JSON reader for the library's input formats (network specs,
+/// tooling glue).  Parses the full JSON grammar into an immutable value
+/// tree; object member order is preserved so error messages and exports
+/// stay deterministic.
+///
+/// Scope: *reading* only -- JSON output is produced by the emitters in
+/// core/serialize.h and bench/bench_util.h.  Numbers are stored as
+/// `double`; `as_int()` additionally checks integralness and range, which
+/// is all the spec formats need.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vwsdk {
+
+/// One parsed JSON value (null / bool / number / string / array / object).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Object members in document order.
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  /// Parse a complete JSON document; throws InvalidArgument with a
+  /// line:column position on any syntax error, trailing garbage, or
+  /// nesting deeper than 256 levels (a stack-overflow guard -- inputs
+  /// are user-supplied files).
+  static JsonValue parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw InvalidArgument on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  /// The number as an integer; throws if non-integral or out of range.
+  long long as_int() const;
+  const std::string& as_string() const;
+
+  /// Array elements; throws unless is_array().
+  const std::vector<JsonValue>& items() const;
+
+  /// Object members in document order; throws unless is_object().
+  const std::vector<Member>& members() const;
+
+  /// True if the object has a member `key` (throws unless is_object()).
+  bool has(const std::string& key) const;
+
+  /// Member lookup; throws NotFound for a missing key.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Member lookup returning nullptr for a missing key.
+  const JsonValue* find(const std::string& key) const;
+
+  /// "null", "bool", ... for error messages.
+  static std::string type_name(Type type);
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+}  // namespace vwsdk

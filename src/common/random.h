@@ -11,7 +11,7 @@
 /// bit across runs and platforms.
 ///
 /// Implementation: SplitMix64 for seeding, xoshiro256** for the stream
-/// (public-domain algorithms by Blackman & Vigna).  We avoid <random>'s
+/// (public-domain algorithms by Blackman & Vigna).  We avoid `<random>`'s
 /// distributions because their outputs are not portable across standard
 /// library implementations.
 

@@ -1,0 +1,72 @@
+#include "core/cli_support.h"
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+void add_shape_options(ArgParser& args, Dim image, Dim kernel,
+                       Dim in_channels, Dim out_channels) {
+  args.add_int_option("image", image, "IFM width/height");
+  args.add_int_option("kernel", kernel, "kernel width/height");
+  args.add_int_option("ic", in_channels, "input channels");
+  args.add_int_option("oc", out_channels, "output channels");
+}
+
+ConvShape shape_from_args(const ArgParser& args) {
+  return ConvShape::square(static_cast<Dim>(args.get_int("image")),
+                           static_cast<Dim>(args.get_int("kernel")),
+                           static_cast<Dim>(args.get_int("ic")),
+                           static_cast<Dim>(args.get_int("oc")));
+}
+
+void add_array_option(ArgParser& args,
+                      const std::string& default_geometry) {
+  args.add_option("array", default_geometry, "PIM array geometry, RxC");
+}
+
+ArrayGeometry array_from_args(const ArgParser& args) {
+  return parse_geometry(args.get("array"));
+}
+
+void add_mappers_option(ArgParser& args) {
+  args.add_option("mappers", "im2col,smd,sdk,vw-sdk",
+                  "comma-separated mapping algorithms");
+}
+
+std::vector<std::string> mappers_from_args(const ArgParser& args) {
+  std::vector<std::string> names;
+  for (const std::string& part : split(args.get("mappers"), ',')) {
+    const std::string name = trim(part);
+    if (name.empty()) {
+      continue;
+    }
+    (void)make_mapper(name);  // validate now, fail with the bad name
+    VWSDK_REQUIRE(std::find(names.begin(), names.end(), name) ==
+                      names.end(),
+                  cat("--mappers lists \"", name, "\" twice"));
+    names.push_back(name);
+  }
+  VWSDK_REQUIRE(!names.empty(), "--mappers names no mapper");
+  return names;
+}
+
+int run_cli_main(const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const InvalidArgument& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    return kExitUsageError;
+  } catch (const NotFound& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    return kExitUsageError;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitError;
+  }
+}
+
+}  // namespace vwsdk

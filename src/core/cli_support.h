@@ -1,0 +1,57 @@
+#pragma once
+
+/// @file cli_support.h
+/// Shared command-line glue for the `vwsdk` CLI (apps/) and the example
+/// binaries: the layer-shape / array-geometry / mapper option bundles
+/// every tool was hand-rolling, plus the common "parse, run, report
+/// errors" main-function skeleton with the CLI exit-code convention
+/// (0 success, 1 runtime error, 2 usage error; see docs/CLI.md).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/mapping_decision.h"
+#include "mapping/conv_shape.h"
+#include "pim/array_geometry.h"
+
+namespace vwsdk {
+
+/// Process exit codes shared by every vwsdk command-line tool.
+enum ExitCode : int {
+  kExitOk = 0,         ///< success (including --help)
+  kExitError = 1,      ///< a vwsdk::Error during execution
+  kExitUsageError = 2  ///< malformed flags / unknown subcommand
+};
+
+/// Declare the layer-shape options --image, --kernel, --ic, --oc with the
+/// given defaults.
+void add_shape_options(ArgParser& args, Dim image, Dim kernel,
+                       Dim in_channels, Dim out_channels);
+
+/// The ConvShape described by the options of add_shape_options.
+ConvShape shape_from_args(const ArgParser& args);
+
+/// Declare the --array option (PIM array geometry, "RxC").
+void add_array_option(ArgParser& args, const std::string& default_geometry);
+
+/// The ArrayGeometry parsed from --array.
+ArrayGeometry array_from_args(const ArgParser& args);
+
+/// Declare --mappers, a comma-separated list of mapper names defaulting
+/// to the paper's comparison set "im2col,smd,sdk,vw-sdk".
+void add_mappers_option(ArgParser& args);
+
+/// The mapper names from --mappers, validated against make_mapper
+/// (throws NotFound on an unknown name, InvalidArgument on a duplicate
+/// -- a repeated mapper would make speedup columns ambiguous).
+std::vector<std::string> mappers_from_args(const ArgParser& args);
+
+/// Run `body` (argument parsing included) under the standard error
+/// report: InvalidArgument/NotFound print "usage error: ..." and return
+/// kExitUsageError, other vwsdk::Errors print "error: ..." and return
+/// kExitError.  `body` returns the exit code for the success path.
+int run_cli_main(const std::function<int()>& body);
+
+}  // namespace vwsdk

@@ -10,10 +10,14 @@
 
 namespace vwsdk {
 
+Cycles LayerMapping::cycles() const {
+  return checked_mul(static_cast<Count>(layer.groups), decision.cost.total);
+}
+
 Cycles NetworkMappingResult::total_cycles() const {
   Cycles total = 0;
   for (const LayerMapping& lm : layers) {
-    total = checked_add(total, lm.decision.cost.total);
+    total = checked_add(total, lm.cycles());
   }
   return total;
 }
@@ -21,7 +25,7 @@ Cycles NetworkMappingResult::total_cycles() const {
 Cycles NetworkMappingResult::layer_cycles(Count index) const {
   VWSDK_REQUIRE(index >= 0 && index < static_cast<Count>(layers.size()),
                 cat("layer index ", index, " out of range"));
-  return layers[static_cast<std::size_t>(index)].decision.cost.total;
+  return layers[static_cast<std::size_t>(index)].cycles();
 }
 
 namespace {
@@ -44,6 +48,17 @@ ThreadPool* borrow_or_create_pool(const OptimizerOptions& options,
   }
   owned = std::make_unique<ThreadPool>(threads);
   return owned.get();
+}
+
+/// The shape a layer's mapper actually searches: the full convolution for
+/// dense layers, one group's sub-convolution (IC/G -> OC/G) for grouped
+/// layers -- groups are identical and mapped independently, so the layer
+/// total is G x the per-group cycles (applied in LayerMapping::cycles).
+ConvShape mapping_shape(const ConvLayerDesc& layer) {
+  ConvShape shape = ConvShape::from_layer(layer);
+  shape.in_channels = layer.group_in_channels();
+  shape.out_channels = layer.group_out_channels();
+  return shape;
 }
 
 /// One layer's search: through the cache when one is given, spread over
@@ -105,15 +120,15 @@ NetworkMappingResult optimize_network(const Mapper& mapper,
                       for (Count i = begin; i < end; ++i) {
                         const auto index = static_cast<std::size_t>(i);
                         decisions[index] = map_layer(
-                            mapper, ConvShape::from_layer(layers[index]),
-                            geometry, options, nullptr);
+                            mapper, mapping_shape(layers[index]), geometry,
+                            options, nullptr);
                       }
                     });
   } else {
     ThreadPool* intra_pool = within_layer ? pool : nullptr;
     for (std::size_t i = 0; i < layers.size(); ++i) {
-      decisions[i] = map_layer(mapper, ConvShape::from_layer(layers[i]),
-                               geometry, options, intra_pool);
+      decisions[i] = map_layer(mapper, mapping_shape(layers[i]), geometry,
+                               options, intra_pool);
     }
   }
 

@@ -30,9 +30,18 @@ namespace vwsdk {
 class ThreadPool;
 
 /// One layer's mapping inside a network-level result.
+///
+/// For a grouped layer (layer.groups > 1) `decision` describes ONE group's
+/// independent sub-convolution (IC/G -> OC/G); the groups are identical
+/// and cannot share crossbar columns, so the layer costs G times the
+/// per-group cycles (see core/grouped_conv.h).  `cycles()` is the
+/// layer-level total either way.
 struct LayerMapping {
   ConvLayerDesc layer{};
   MappingDecision decision{};
+
+  /// Layer-level computing cycles: groups x per-group decision cycles.
+  Cycles cycles() const;
 };
 
 /// A mapping algorithm's result over a whole network.

@@ -5,6 +5,20 @@
 
 namespace vwsdk {
 
+namespace {
+
+/// A layer's Table-I cell; grouped layers show the per-group mapping with
+/// an "xG" replication suffix (the convention of core/grouped_conv.h).
+std::string table_cell(const LayerMapping& lm) {
+  std::string entry = lm.decision.table_entry();
+  if (lm.layer.is_grouped()) {
+    entry += cat(" x", lm.layer.groups);
+  }
+  return entry;
+}
+
+}  // namespace
+
 TextTable render_table1(const NetworkMappingResult& first,
                         const NetworkMappingResult& second) {
   VWSDK_REQUIRE(first.layers.size() == second.layers.size(),
@@ -20,8 +34,8 @@ TextTable render_table1(const NetworkMappingResult& first,
                    cat(layer.ifm_w, "x", layer.ifm_h),
                    cat(layer.kernel_w, "x", layer.kernel_h, "x",
                        layer.in_channels, "x", layer.out_channels),
-                   first.layers[i].decision.table_entry(),
-                   second.layers[i].decision.table_entry()});
+                   table_cell(first.layers[i]),
+                   table_cell(second.layers[i])});
   }
   table.add_separator();
   table.add_row({"Total cycles", "", "", std::to_string(first.total_cycles()),

@@ -12,14 +12,17 @@ namespace vwsdk {
 namespace {
 
 const std::vector<std::string> kResultHeader = {
-    "network", "algorithm", "array", "layer", "image", "kernel",
-    "ic",      "oc",        "window", "ic_t", "oc_t",  "n_pw",
-    "ar",      "ac",        "cycles"};
+    "network", "algorithm", "array",  "layer", "image", "kernel",
+    "ic",      "oc",        "groups", "window", "ic_t", "oc_t",
+    "n_pw",    "ar",        "ac",     "cycles"};
 
 std::vector<std::string> layer_row(const NetworkMappingResult& result,
                                    const LayerMapping& lm) {
   const ConvLayerDesc& layer = lm.layer;
   const CycleCost& cost = lm.decision.cost;
+  // For grouped layers the window/tile columns describe ONE group's
+  // sub-convolution; "cycles" is always the layer-level total (G x the
+  // per-group cycles).  See docs/FORMATS.md.
   return {result.network_name,
           result.algorithm,
           result.geometry.to_string(),
@@ -28,17 +31,20 @@ std::vector<std::string> layer_row(const NetworkMappingResult& result,
           cat(layer.kernel_w, "x", layer.kernel_h),
           std::to_string(layer.in_channels),
           std::to_string(layer.out_channels),
+          std::to_string(layer.groups),
           cost.window.to_string(),
           std::to_string(cost.ic_t),
           std::to_string(cost.oc_t),
           std::to_string(cost.n_parallel_windows),
           std::to_string(cost.ar_cycles),
           std::to_string(cost.ac_cycles),
-          std::to_string(cost.total)};
+          std::to_string(lm.cycles())};
 }
 
-/// Minimal JSON string escaping (we only emit identifiers and numbers,
-/// but algorithm names flow through user code).
+/// JSON string escaping.  Names flow in from user spec files, so every
+/// control character must come back out escaped -- the export formats
+/// guarantee that our own JsonValue::parse (and any strict JSON reader)
+/// accepts what we emit.
 std::string json_string(const std::string& value) {
   std::string out = "\"";
   for (const char c : value) {
@@ -52,8 +58,19 @@ std::string json_string(const std::string& value) {
       case '\n':
         out += "\\n";
         break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
       default:
-        out += c;
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += cat("\\u00", "0123456789abcdef"[(c >> 4) & 0xf],
+                     "0123456789abcdef"[c & 0xf]);
+        } else {
+          out += c;
+        }
     }
   }
   out += '"';
@@ -69,12 +86,13 @@ void write_result_csv(std::ostream& os, const NetworkMappingResult& result) {
   }
 }
 
-void write_comparison_csv(std::ostream& os,
-                          const NetworkComparison& comparison) {
+namespace {
+
+/// Rows of one comparison into an already-opened CSV (shared by the
+/// single-comparison and sweep writers).
+void append_comparison_rows(CsvWriter& csv,
+                            const NetworkComparison& comparison) {
   VWSDK_REQUIRE(!comparison.results.empty(), "empty comparison");
-  std::vector<std::string> header = kResultHeader;
-  header.emplace_back("speedup_vs_baseline");
-  CsvWriter csv(os, header);
   const NetworkMappingResult& baseline = comparison.results.front();
   for (const NetworkMappingResult& result : comparison.results) {
     VWSDK_REQUIRE(result.layers.size() == baseline.layers.size(),
@@ -82,11 +100,34 @@ void write_comparison_csv(std::ostream& os,
     for (std::size_t i = 0; i < result.layers.size(); ++i) {
       std::vector<std::string> row = layer_row(result, result.layers[i]);
       const double speedup =
-          static_cast<double>(baseline.layers[i].decision.cost.total) /
-          static_cast<double>(result.layers[i].decision.cost.total);
+          static_cast<double>(baseline.layers[i].cycles()) /
+          static_cast<double>(result.layers[i].cycles());
       row.push_back(format_fixed(speedup, 4));
       csv.write_row(row);
     }
+  }
+}
+
+std::vector<std::string> comparison_header() {
+  std::vector<std::string> header = kResultHeader;
+  header.emplace_back("speedup_vs_baseline");
+  return header;
+}
+
+}  // namespace
+
+void write_comparison_csv(std::ostream& os,
+                          const NetworkComparison& comparison) {
+  VWSDK_REQUIRE(!comparison.results.empty(), "empty comparison");
+  CsvWriter csv(os, comparison_header());
+  append_comparison_rows(csv, comparison);
+}
+
+void write_sweep_csv(std::ostream& os,
+                     const std::vector<NetworkComparison>& sweep) {
+  CsvWriter csv(os, comparison_header());
+  for (const NetworkComparison& comparison : sweep) {
+    append_comparison_rows(csv, comparison);
   }
 }
 
@@ -117,9 +158,118 @@ std::string to_json(const NetworkMappingResult& result) {
       os << ',';
     }
     os << "{\"name\":" << json_string(result.layers[i].layer.name)
+       << ",\"groups\":" << result.layers[i].layer.groups
+       << ",\"cycles\":" << result.layers[i].cycles()
        << ",\"decision\":" << to_json(result.layers[i].decision) << "}";
   }
   os << "],\"total_cycles\":" << result.total_cycles() << "}";
+  return os.str();
+}
+
+std::string to_json(const NetworkComparison& comparison) {
+  VWSDK_REQUIRE(!comparison.results.empty(), "empty comparison");
+  std::ostringstream os;
+  os << "{\"results\":[";
+  for (std::size_t i = 0; i < comparison.results.size(); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    os << to_json(comparison.results[i]);
+  }
+  os << "],\"speedups\":{";
+  for (std::size_t i = 0; i < comparison.results.size(); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    os << json_string(comparison.results[i].algorithm) << ":"
+       << format_fixed(comparison.speedup(0, static_cast<Count>(i)), 4);
+  }
+  os << "}}";
+  return os.str();
+}
+
+namespace {
+
+/// "N" when square, "[w,h]" otherwise (the JSON spec extent grammar).
+std::string json_extent(Dim w, Dim h) {
+  return w == h ? std::to_string(w) : cat("[", w, ",", h, "]");
+}
+
+/// "N" when square, "WxH" otherwise (the CSV spec extent grammar).
+std::string csv_extent(Dim w, Dim h) {
+  return w == h ? std::to_string(w) : cat(w, "x", h);
+}
+
+}  // namespace
+
+std::string to_spec_json(const Network& network, const std::string& array) {
+  VWSDK_REQUIRE(!network.empty(), "cannot export an empty network");
+  std::ostringstream os;
+  os << "{\n  \"name\": " << json_string(network.name()) << ",\n";
+  if (!array.empty()) {
+    os << "  \"array\": " << json_string(array) << ",\n";
+  }
+  os << "  \"layers\": [\n";
+  const std::vector<ConvLayerDesc>& layers = network.layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const ConvLayerDesc& layer = layers[i];
+    os << "    {\"name\": " << json_string(layer.name)
+       << ", \"image\": " << json_extent(layer.ifm_w, layer.ifm_h)
+       << ", \"kernel\": " << json_extent(layer.kernel_w, layer.kernel_h)
+       << ", \"ic\": " << layer.in_channels
+       << ", \"oc\": " << layer.out_channels;
+    if (layer.config.stride_w != 1 || layer.config.stride_h != 1) {
+      os << ", \"stride\": "
+         << json_extent(layer.config.stride_w, layer.config.stride_h);
+    }
+    if (layer.config.pad_w != 0 || layer.config.pad_h != 0) {
+      os << ", \"pad\": "
+         << json_extent(layer.config.pad_w, layer.config.pad_h);
+    }
+    if (layer.is_grouped()) {
+      os << ", \"groups\": " << layer.groups;
+    }
+    os << "}" << (i + 1 < layers.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string to_spec_csv(const Network& network, const std::string& array) {
+  VWSDK_REQUIRE(!network.empty(), "cannot export an empty network");
+  // The spec-CSV dialect is line-based (directives + getline rows) and
+  // trims every cell on parse, so names with line breaks or surrounding
+  // whitespace are unrepresentable -- they would round-trip into a
+  // *different* name.  Fail loudly; the JSON spec format handles them.
+  const auto require_csv_representable = [](const std::string& name,
+                                            const char* what) {
+    VWSDK_REQUIRE(name.find_first_of("\n\r") == std::string::npos &&
+                      trim(name) == name,
+                  cat(what, " \"", name,
+                      "\" has a line break or surrounding whitespace; "
+                      "the CSV spec format cannot represent it (use the "
+                      "JSON spec)"));
+  };
+  require_csv_representable(network.name(), "network name");
+  for (const ConvLayerDesc& layer : network.layers()) {
+    require_csv_representable(layer.name, "layer name");
+  }
+  std::ostringstream os;
+  os << "# network: " << network.name() << "\n";
+  if (!array.empty()) {
+    os << "# array: " << array << "\n";
+  }
+  CsvWriter csv(os, {"name", "image", "kernel", "ic", "oc", "stride", "pad",
+                     "groups"});
+  for (const ConvLayerDesc& layer : network.layers()) {
+    csv.write_row({layer.name, csv_extent(layer.ifm_w, layer.ifm_h),
+                   csv_extent(layer.kernel_w, layer.kernel_h),
+                   std::to_string(layer.in_channels),
+                   std::to_string(layer.out_channels),
+                   csv_extent(layer.config.stride_w, layer.config.stride_h),
+                   csv_extent(layer.config.pad_w, layer.config.pad_h),
+                   std::to_string(layer.groups)});
+  }
   return os.str();
 }
 

@@ -2,9 +2,10 @@
 
 /// @file serialize.h
 /// Machine-readable export of mapping results: CSV for spreadsheets and
-/// replotting, a minimal JSON emitter for tooling.  (Import is limited to
-/// the CSV parser in common/csv.h; the library itself never needs to read
-/// results back.)
+/// replotting, a minimal JSON emitter for tooling, and network-spec
+/// export (the inverse of the loaders in nn/network_spec.h, so any
+/// in-memory network can be saved, edited, and re-run without
+/// recompiling).  All formats are documented in docs/FORMATS.md.
 
 #include <iosfwd>
 #include <string>
@@ -23,6 +24,12 @@ void write_result_csv(std::ostream& os, const NetworkMappingResult& result);
 void write_comparison_csv(std::ostream& os,
                           const NetworkComparison& comparison);
 
+/// A whole sweep (one comparison per network x array point) as a single
+/// CSV stream: one header, then every (network, array, algorithm, layer)
+/// row with its speedup vs. that point's first algorithm.
+void write_sweep_csv(std::ostream& os,
+                     const std::vector<NetworkComparison>& sweep);
+
 /// Compact JSON object for one decision, e.g.
 /// {"algorithm":"vw-sdk","window":"4x3","ic_t":42,"oc_t":256,
 ///  "n_parallel_windows":1458,"ar":4,"ac":1,"cycles":5832}.
@@ -30,5 +37,21 @@ std::string to_json(const MappingDecision& decision);
 
 /// JSON array of per-layer decisions plus the total, for one result.
 std::string to_json(const NetworkMappingResult& result);
+
+/// JSON object for a whole comparison: results side by side plus total
+/// speedups of each algorithm vs. the first.
+std::string to_json(const NetworkComparison& comparison);
+
+/// Network-spec export, the JSON format parsed by
+/// parse_network_spec_json (nn/network_spec.h).  `array` becomes the
+/// spec's geometry hint when non-empty.  Round-tripping through the
+/// parser reproduces the network's mapping decisions exactly.
+std::string to_spec_json(const Network& network,
+                         const std::string& array = "");
+
+/// Network-spec export in the CSV format parsed by
+/// parse_network_spec_csv.
+std::string to_spec_csv(const Network& network,
+                        const std::string& array = "");
 
 }  // namespace vwsdk

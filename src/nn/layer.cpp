@@ -20,6 +20,17 @@ void ConvLayerDesc::validate() const {
   VWSDK_REQUIRE(ifm_w + 2 * config.pad_w >= kernel_w &&
                     ifm_h + 2 * config.pad_h >= kernel_h,
                 cat("layer ", name, ": kernel larger than padded input"));
+  VWSDK_REQUIRE(groups >= 1, cat("layer ", name, ": groups must be >= 1"));
+  VWSDK_REQUIRE(in_channels % groups == 0 && out_channels % groups == 0,
+                cat("layer ", name, ": groups (", groups,
+                    ") must divide IC (", in_channels, ") and OC (",
+                    out_channels, ")"));
+}
+
+Dim ConvLayerDesc::group_in_channels() const { return in_channels / groups; }
+
+Dim ConvLayerDesc::group_out_channels() const {
+  return out_channels / groups;
 }
 
 Dim ConvLayerDesc::ofm_w() const {
@@ -36,12 +47,16 @@ Count ConvLayerDesc::num_windows() const {
 
 Count ConvLayerDesc::weight_count() const {
   return checked_mul(checked_mul(kernel_w, kernel_h),
-                     checked_mul(in_channels, out_channels));
+                     checked_mul(group_in_channels(), out_channels));
 }
 
 std::string ConvLayerDesc::to_string() const {
-  return cat(name, ": ", ifm_w, "x", ifm_h, ", ", kernel_w, "x", kernel_h,
-             "x", in_channels, "x", out_channels);
+  std::string text = cat(name, ": ", ifm_w, "x", ifm_h, ", ", kernel_w, "x",
+                         kernel_h, "x", in_channels, "x", out_channels);
+  if (is_grouped()) {
+    text += cat(" g", groups);
+  }
+  return text;
 }
 
 ConvLayerDesc make_conv_layer(std::string name, Dim image, Dim kernel,

@@ -11,8 +11,9 @@
 namespace vwsdk {
 
 /// A convolutional layer: input feature-map extent, kernel extent, channel
-/// counts, and (extension) stride/padding.  This is a pure *descriptor* --
-/// weights live in tensors, placement lives in mapping plans.
+/// counts, and (extensions) stride/padding and channel groups.  This is a
+/// pure *descriptor* -- weights live in tensors, placement lives in
+/// mapping plans.
 struct ConvLayerDesc {
   std::string name;   ///< human-readable label ("conv3_1", ...)
   Dim ifm_w = 0;      ///< input feature-map width  (I_w)
@@ -22,10 +23,21 @@ struct ConvLayerDesc {
   Dim in_channels = 0;   ///< IC
   Dim out_channels = 0;  ///< OC
   ConvConfig config{};   ///< stride / padding (paper: stride 1, pad 0)
+  /// Channel groups G (extension; see core/grouped_conv.h).  Must divide
+  /// both IC and OC.  G = IC = OC is a depthwise convolution; the paper's
+  /// layers are all dense (G = 1).
+  Dim groups = 1;
 
   /// Validate all extents; throws InvalidArgument with the layer name in
   /// the message on failure.
   void validate() const;
+
+  /// True if the layer is grouped (G > 1).
+  bool is_grouped() const { return groups > 1; }
+
+  /// Channels of one group's independent sub-convolution (IC/G, OC/G).
+  Dim group_in_channels() const;
+  Dim group_out_channels() const;
 
   /// Output extents under `config`.
   Dim ofm_w() const;
@@ -35,7 +47,7 @@ struct ConvLayerDesc {
   /// per output channel.
   Count num_windows() const;
 
-  /// Total weight parameters: K_w * K_h * IC * OC.
+  /// Total weight parameters: K_w * K_h * (IC/G) * OC.
   Count weight_count() const;
 
   /// Compact description, e.g. "conv1: 224x224, 3x3x3x64".

@@ -1,0 +1,290 @@
+#include "nn/network_spec.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "common/string_util.h"
+#include "nn/model_zoo.h"
+
+namespace vwsdk {
+
+namespace {
+
+/// A positive dimension from a JSON integer (range-checked into Dim).
+Dim to_dim(long long value, const std::string& what) {
+  VWSDK_REQUIRE(value > 0 && value <= std::numeric_limits<Dim>::max(),
+                cat(what, ": dimension ", value, " out of range"));
+  return static_cast<Dim>(value);
+}
+
+/// A non-negative dimension (padding may be zero).
+Dim to_dim_or_zero(long long value, const std::string& what) {
+  VWSDK_REQUIRE(value >= 0 && value <= std::numeric_limits<Dim>::max(),
+                cat(what, ": dimension ", value, " out of range"));
+  return static_cast<Dim>(value);
+}
+
+/// A (w, h) extent from a JSON scalar `N` or pair `[w, h]`.
+std::pair<Dim, Dim> json_extent(const JsonValue& value,
+                                const std::string& what, bool allow_zero) {
+  const auto convert = [&](long long raw) {
+    return allow_zero ? to_dim_or_zero(raw, what) : to_dim(raw, what);
+  };
+  if (value.is_array()) {
+    VWSDK_REQUIRE(value.items().size() == 2,
+                  cat(what, ": extent pair must have exactly 2 entries"));
+    return {convert(value.items()[0].as_int()),
+            convert(value.items()[1].as_int())};
+  }
+  const Dim extent = convert(value.as_int());
+  return {extent, extent};
+}
+
+/// A (w, h) extent from a CSV cell "N" or "WxH" (case-insensitive 'x').
+std::pair<Dim, Dim> csv_extent(const std::string& cell,
+                               const std::string& what, bool allow_zero) {
+  const auto convert = [&](const std::string& token) {
+    const long long raw = parse_count(trim(token));
+    return allow_zero ? to_dim_or_zero(raw, what) : to_dim(raw, what);
+  };
+  const std::vector<std::string> parts = split(to_lower(trim(cell)), 'x');
+  if (parts.size() == 2) {
+    return {convert(parts[0]), convert(parts[1])};
+  }
+  VWSDK_REQUIRE(parts.size() == 1,
+                cat(what, ": expected \"N\" or \"WxH\", got \"", cell, "\""));
+  const Dim extent = convert(parts[0]);
+  return {extent, extent};
+}
+
+ConvLayerDesc layer_from_json(const JsonValue& entry, std::size_t index) {
+  const std::string context = cat("spec layer ", index + 1);
+  VWSDK_REQUIRE(entry.is_object(), cat(context, ": expected an object"));
+
+  ConvLayerDesc layer;
+  layer.name = cat("conv", index + 1);
+  for (const JsonValue::Member& member : entry.members()) {
+    const std::string& key = member.first;
+    const JsonValue& value = member.second;
+    if (key == "name") {
+      layer.name = value.as_string();
+    } else if (key == "image") {
+      std::tie(layer.ifm_w, layer.ifm_h) =
+          json_extent(value, cat(context, ".image"), false);
+    } else if (key == "kernel") {
+      std::tie(layer.kernel_w, layer.kernel_h) =
+          json_extent(value, cat(context, ".kernel"), false);
+    } else if (key == "ic") {
+      layer.in_channels = to_dim(value.as_int(), cat(context, ".ic"));
+    } else if (key == "oc") {
+      layer.out_channels = to_dim(value.as_int(), cat(context, ".oc"));
+    } else if (key == "stride") {
+      std::tie(layer.config.stride_w, layer.config.stride_h) =
+          json_extent(value, cat(context, ".stride"), false);
+    } else if (key == "pad") {
+      std::tie(layer.config.pad_w, layer.config.pad_h) =
+          json_extent(value, cat(context, ".pad"), true);
+    } else if (key == "groups") {
+      layer.groups = to_dim(value.as_int(), cat(context, ".groups"));
+    } else {
+      throw InvalidArgument(cat(context, ": unknown key \"", key, "\""));
+    }
+  }
+  for (const char* required : {"image", "kernel", "ic", "oc"}) {
+    VWSDK_REQUIRE(entry.has(required),
+                  cat(context, ": missing required key \"", required, "\""));
+  }
+  layer.validate();
+  return layer;
+}
+
+}  // namespace
+
+NetworkSpec parse_network_spec_json(const std::string& text) {
+  const JsonValue document = JsonValue::parse(text);
+  VWSDK_REQUIRE(document.is_object(),
+                "network spec: top-level JSON value must be an object");
+
+  NetworkSpec spec;
+  std::string name = "network";
+  const JsonValue* layers = nullptr;
+  for (const JsonValue::Member& member : document.members()) {
+    const std::string& key = member.first;
+    if (key == "name") {
+      name = member.second.as_string();
+    } else if (key == "array") {
+      spec.array = member.second.as_string();
+    } else if (key == "layers") {
+      layers = &member.second;
+    } else {
+      throw InvalidArgument(
+          cat("network spec: unknown top-level key \"", key, "\""));
+    }
+  }
+  VWSDK_REQUIRE(layers != nullptr,
+                "network spec: missing required key \"layers\"");
+  VWSDK_REQUIRE(layers->is_array() && !layers->items().empty(),
+                "network spec: \"layers\" must be a non-empty array");
+
+  spec.network = Network(name);
+  for (std::size_t i = 0; i < layers->items().size(); ++i) {
+    spec.network.add_layer(layer_from_json(layers->items()[i], i));
+  }
+  return spec;
+}
+
+NetworkSpec parse_network_spec_csv(const std::string& text) {
+  NetworkSpec spec;
+  std::string name = "network";
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  std::istringstream is(text);
+  std::string raw_line;
+  while (std::getline(is, raw_line)) {
+    const std::string line = trim(raw_line);
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      // Comment; "# network: NAME" and "# array: RxC" are directives.
+      const std::string body = trim(line.substr(1));
+      if (const auto colon = body.find(':'); colon != std::string::npos) {
+        const std::string key = to_lower(trim(body.substr(0, colon)));
+        const std::string value = trim(body.substr(colon + 1));
+        if (key == "network") {
+          name = value;
+        } else if (key == "array") {
+          spec.array = value;
+        }
+      }
+      continue;
+    }
+    if (header.empty()) {
+      for (const std::string& column : csv_parse_line(line)) {
+        const std::string name_lower = to_lower(trim(column));
+        VWSDK_REQUIRE(std::find(header.begin(), header.end(),
+                                name_lower) == header.end(),
+                      cat("network spec CSV: duplicate column \"",
+                          name_lower, "\""));
+        header.push_back(name_lower);
+      }
+    } else {
+      rows.push_back(csv_parse_line(line));
+    }
+  }
+
+  VWSDK_REQUIRE(!header.empty(), "network spec CSV: missing header row");
+  for (const std::string& column : header) {
+    VWSDK_REQUIRE(column == "name" || column == "image" ||
+                      column == "kernel" || column == "ic" ||
+                      column == "oc" || column == "stride" ||
+                      column == "pad" || column == "groups",
+                  cat("network spec CSV: unknown column \"", column, "\""));
+  }
+  for (const char* required : {"image", "kernel", "ic", "oc"}) {
+    VWSDK_REQUIRE(
+        std::find(header.begin(), header.end(), required) != header.end(),
+        cat("network spec CSV: missing required column \"", required, "\""));
+  }
+  VWSDK_REQUIRE(!rows.empty(), "network spec CSV: no layer rows");
+
+  spec.network = Network(name);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    const std::string context = cat("spec layer ", r + 1);
+    VWSDK_REQUIRE(row.size() == header.size(),
+                  cat(context, ": expected ", header.size(), " cells, got ",
+                      row.size()));
+    ConvLayerDesc layer;
+    layer.name = cat("conv", r + 1);
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      const std::string& column = header[c];
+      const std::string cell = trim(row[c]);
+      if (column == "name") {
+        if (!cell.empty()) {
+          layer.name = cell;
+        }
+      } else if (column == "image") {
+        std::tie(layer.ifm_w, layer.ifm_h) =
+            csv_extent(cell, cat(context, ".image"), false);
+      } else if (column == "kernel") {
+        std::tie(layer.kernel_w, layer.kernel_h) =
+            csv_extent(cell, cat(context, ".kernel"), false);
+      } else if (column == "ic") {
+        layer.in_channels = to_dim(parse_count(cell), cat(context, ".ic"));
+      } else if (column == "oc") {
+        layer.out_channels = to_dim(parse_count(cell), cat(context, ".oc"));
+      } else if (column == "stride") {
+        std::tie(layer.config.stride_w, layer.config.stride_h) =
+            csv_extent(cell, cat(context, ".stride"), false);
+      } else if (column == "pad") {
+        std::tie(layer.config.pad_w, layer.config.pad_h) =
+            csv_extent(cell, cat(context, ".pad"), true);
+      } else if (column == "groups") {
+        layer.groups = to_dim(parse_count(cell), cat(context, ".groups"));
+      }
+    }
+    layer.validate();
+    spec.network.add_layer(std::move(layer));
+  }
+  return spec;
+}
+
+NetworkSpec parse_network_spec(const std::string& text) {
+  const std::string body = trim(text);
+  VWSDK_REQUIRE(!body.empty(), "network spec: empty input");
+  if (body.front() == '{') {
+    return parse_network_spec_json(text);
+  }
+  return parse_network_spec_csv(text);
+}
+
+NetworkSpec load_network_spec(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw NotFound(cat("cannot read network spec file \"", path, "\""));
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+
+  const std::string lower = to_lower(path);
+  try {
+    if (lower.ends_with(".json")) {
+      return parse_network_spec_json(text);
+    }
+    if (lower.ends_with(".csv")) {
+      return parse_network_spec_csv(text);
+    }
+    return parse_network_spec(text);
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(cat(path, ": ", e.what()));
+  }
+}
+
+NetworkSpec resolve_network_spec(const std::string& name_or_path) {
+  try {
+    NetworkSpec spec;
+    spec.network = model_by_name(name_or_path);
+    return spec;
+  } catch (const NotFound&) {
+    // Not a zoo name; fall through to the file interpretation.
+  }
+  try {
+    return load_network_spec(name_or_path);
+  } catch (const NotFound&) {
+    throw NotFound(
+        cat("\"", name_or_path, "\" is neither a model-zoo name (",
+            join(model_names(), ", "), ") nor a readable spec file"));
+  }
+}
+
+}  // namespace vwsdk

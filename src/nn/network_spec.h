@@ -1,0 +1,68 @@
+#pragma once
+
+/// @file network_spec.h
+/// Text-format network descriptions, so arbitrary networks run through the
+/// optimizer without recompiling (the `vwsdk` CLI's input format).
+///
+/// Two formats are supported -- JSON and CSV -- both normatively
+/// documented with worked examples in docs/FORMATS.md:
+///
+/// ```json
+/// {"name": "tiny", "array": "512x512",
+///  "layers": [{"name": "conv1", "image": 32, "kernel": 3,
+///              "ic": 3, "oc": 16}]}
+/// ```
+///
+/// ```csv
+/// # network: tiny
+/// # array: 512x512
+/// name,image,kernel,ic,oc
+/// conv1,32,3,3,16
+/// ```
+///
+/// Exporters producing these formats from a Network live in
+/// core/serialize.h (to_spec_json / to_spec_csv); round-tripping any zoo
+/// network through export -> parse -> optimize yields byte-identical
+/// mapping decisions (pinned by tests/nn/test_network_spec.cpp).
+
+#include <string>
+
+#include "nn/network.h"
+
+namespace vwsdk {
+
+/// A parsed network description: the network plus an optional array
+/// geometry hint.  The geometry stays a raw "RxC" string here (parse it
+/// with parse_geometry from pim/array_geometry.h) so the nn module does
+/// not depend on pim.
+struct NetworkSpec {
+  Network network;
+  std::string array;  ///< "RxC" geometry hint; empty when unspecified
+
+  /// True if the spec carried an "array" entry.
+  bool has_array() const { return !array.empty(); }
+};
+
+/// Parse the JSON spec format; throws InvalidArgument (with position
+/// context) on syntax errors, unknown keys, or invalid layer dimensions.
+NetworkSpec parse_network_spec_json(const std::string& text);
+
+/// Parse the CSV spec format; throws InvalidArgument on unknown columns,
+/// missing required columns, or invalid layer dimensions.
+NetworkSpec parse_network_spec_csv(const std::string& text);
+
+/// Parse either format, sniffing from the first non-whitespace character
+/// ('{' selects JSON, anything else CSV).
+NetworkSpec parse_network_spec(const std::string& text);
+
+/// Read `path` and parse it; the extension picks the format (".json" /
+/// ".csv", case-insensitive), otherwise the content is sniffed.  Throws
+/// NotFound if the file cannot be read.
+NetworkSpec load_network_spec(const std::string& path);
+
+/// Resolve `name_or_path`: a model-zoo name (see model_by_name) wins, then
+/// a spec file path.  Zoo networks resolve with an empty array hint.
+/// Throws NotFound naming both failed interpretations.
+NetworkSpec resolve_network_spec(const std::string& name_or_path);
+
+}  // namespace vwsdk

@@ -35,6 +35,11 @@ PipelineResult run_pipeline(const std::vector<StageSpec>& stages,
   for (std::size_t i = 0; i < stages.size(); ++i) {
     const StageSpec& spec = stages[i];
     spec.conv.validate();
+    VWSDK_REQUIRE(spec.conv.groups == 1,
+                  cat("stage ", i + 1,
+                      ": the functional pipeline does not support grouped "
+                      "convolutions yet (layer declares groups=",
+                      spec.conv.groups, ")"));
     const Shape4 expected{1, spec.conv.in_channels, spec.conv.ifm_h,
                           spec.conv.ifm_w};
     VWSDK_REQUIRE(result.output.shape() == expected,

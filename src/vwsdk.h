@@ -15,6 +15,7 @@
 #include "common/cli.h"
 #include "common/csv.h"
 #include "common/error.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/random.h"
@@ -33,6 +34,7 @@
 #include "nn/model_zoo.h"
 #include "nn/network.h"
 #include "nn/network_builder.h"
+#include "nn/network_spec.h"
 
 #include "pim/adc.h"
 #include "pim/array_geometry.h"
@@ -51,6 +53,7 @@
 #include "mapping/utilization.h"
 
 #include "core/bit_sliced_mapper.h"
+#include "core/cli_support.h"
 #include "core/exhaustive_mapper.h"
 #include "core/grouped_conv.h"
 #include "core/im2col_mapper.h"

@@ -33,6 +33,10 @@ TEST(Csv, EscapeQuotesOnlyWhenNeeded) {
   EXPECT_EQ(csv_escape("has,comma"), "\"has,comma\"");
   EXPECT_EQ(csv_escape("has\"quote"), "\"has\"\"quote\"");
   EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  // '#'-leading fields are quoted so comment-stripping dialects (the
+  // network-spec CSV) cannot eat them; '#' elsewhere stays bare.
+  EXPECT_EQ(csv_escape("#1"), "\"#1\"");
+  EXPECT_EQ(csv_escape("a#1"), "a#1");
 }
 
 TEST(Csv, ParseSimpleLine) {

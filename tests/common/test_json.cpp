@@ -1,0 +1,104 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("3.5").as_number(), 3.5);
+  EXPECT_EQ(JsonValue::parse("-42").as_int(), -42);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue v = JsonValue::parse(
+      R"({"name": "net", "layers": [{"image": 224}, {"image": 112}],
+          "deep": {"a": [1, 2, 3]}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("name").as_string(), "net");
+  ASSERT_EQ(v.at("layers").items().size(), 2u);
+  EXPECT_EQ(v.at("layers").items()[1].at("image").as_int(), 112);
+  EXPECT_EQ(v.at("deep").at("a").items()[2].as_int(), 3);
+}
+
+TEST(Json, PreservesMemberOrder) {
+  const JsonValue v = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\nd\te")").as_string(),
+            "a\"b\\c\nd\te");
+  EXPECT_EQ(JsonValue::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, FindAndHas) {
+  const JsonValue v = JsonValue::parse(R"({"a": 1})");
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("b"));
+  EXPECT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("b"), nullptr);
+  EXPECT_THROW(v.at("b"), NotFound);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse(""), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("{"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("[1, ]"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("{'a': 1}"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("01"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("1."), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("nul"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("{} extra"), InvalidArgument);
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  EXPECT_THROW(JsonValue::parse(R"({"a": 1, "a": 2})"), InvalidArgument);
+}
+
+TEST(Json, RejectsExcessiveNestingInsteadOfOverflowing) {
+  // 100k levels would overflow the stack without the depth guard.
+  const std::string deep_array(100000, '[');
+  EXPECT_THROW(JsonValue::parse(deep_array), InvalidArgument);
+  std::string deep_object;
+  for (int i = 0; i < 100000; ++i) {
+    deep_object += "{\"a\":";
+  }
+  EXPECT_THROW(JsonValue::parse(deep_object), InvalidArgument);
+  // 200 levels (within the 256 bound) still parse.
+  const std::string ok = std::string(200, '[') + std::string(200, ']');
+  EXPECT_EQ(JsonValue::parse(ok).items().size(), 1u);
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    JsonValue::parse("{\n  \"a\": ??\n}");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const JsonValue v = JsonValue::parse(R"({"a": [1]})");
+  EXPECT_THROW(v.as_string(), InvalidArgument);
+  EXPECT_THROW(v.at("a").as_int(), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("1.5").as_int(), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("[1]").members(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,68 @@
+#include "core/cli_support.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+/// A parser with the shared option bundles applied to `argv`.
+ArgParser parsed(const std::vector<const char*>& extra) {
+  ArgParser args("test", "cli_support test harness");
+  add_shape_options(args, 28, 3, 64, 128);
+  add_array_option(args, "512x256");
+  add_mappers_option(args);
+  std::vector<const char*> argv{"test"};
+  argv.insert(argv.end(), extra.begin(), extra.end());
+  EXPECT_TRUE(args.parse(static_cast<int>(argv.size()), argv.data()));
+  return args;
+}
+
+TEST(CliSupport, ShapeOptionsDefaultAndParse) {
+  const ConvShape defaults = shape_from_args(parsed({}));
+  EXPECT_EQ(defaults, ConvShape::square(28, 3, 64, 128));
+
+  const ConvShape custom = shape_from_args(
+      parsed({"--image", "10", "--kernel", "5", "--ic", "2", "--oc", "7"}));
+  EXPECT_EQ(custom, ConvShape::square(10, 5, 2, 7));
+}
+
+TEST(CliSupport, ArrayOptionParsesGeometry) {
+  EXPECT_EQ(array_from_args(parsed({})), (ArrayGeometry{512, 256}));
+  EXPECT_EQ(array_from_args(parsed({"--array", "64x32"})),
+            (ArrayGeometry{64, 32}));
+  EXPECT_THROW(array_from_args(parsed({"--array", "garbage"})),
+               InvalidArgument);
+}
+
+TEST(CliSupport, MappersOptionValidatesNames) {
+  EXPECT_EQ(mappers_from_args(parsed({})),
+            (std::vector<std::string>{"im2col", "smd", "sdk", "vw-sdk"}));
+  // Whitespace and empty entries are tolerated.
+  EXPECT_EQ(mappers_from_args(parsed({"--mappers", " vw-sdk ,,sdk"})),
+            (std::vector<std::string>{"vw-sdk", "sdk"}));
+  // Unknown names fail with NotFound, duplicates with InvalidArgument.
+  EXPECT_THROW(mappers_from_args(parsed({"--mappers", "vw-sdk,frob"})),
+               NotFound);
+  EXPECT_THROW(mappers_from_args(parsed({"--mappers", "sdk,sdk"})),
+               InvalidArgument);
+  EXPECT_THROW(mappers_from_args(parsed({"--mappers", " , "})),
+               InvalidArgument);
+}
+
+TEST(CliSupport, RunCliMainMapsExceptionsToExitCodes) {
+  EXPECT_EQ(run_cli_main([] { return kExitOk; }), 0);
+  EXPECT_EQ(run_cli_main([]() -> int { return 7; }), 7);
+  EXPECT_EQ(run_cli_main([]() -> int {
+              throw InvalidArgument("bad flag");
+            }),
+            kExitUsageError);
+  EXPECT_EQ(run_cli_main([]() -> int { throw NotFound("no such model"); }),
+            kExitUsageError);
+  EXPECT_EQ(run_cli_main([]() -> int { throw Error("runtime failure"); }),
+            kExitError);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -30,9 +30,10 @@ TEST(Serialize, ResultCsvRoundTripsThroughParser) {
   ASSERT_EQ(conv4.size(), header.size());
   EXPECT_EQ(conv4[0], "ResNet-18");
   EXPECT_EQ(conv4[3], "conv4");
-  EXPECT_EQ(conv4[8], "4x3");   // window
-  EXPECT_EQ(conv4[9], "42");    // ic_t
-  EXPECT_EQ(conv4[14], "504");  // cycles
+  EXPECT_EQ(conv4[8], "1");     // groups
+  EXPECT_EQ(conv4[9], "4x3");   // window
+  EXPECT_EQ(conv4[10], "42");   // ic_t
+  EXPECT_EQ(conv4[15], "504");  // cycles
 }
 
 TEST(Serialize, ComparisonCsvHasSpeedups) {
@@ -80,6 +81,10 @@ TEST(Serialize, JsonEscapesSpecialCharacters) {
   decision.algorithm = "weird\"name\\with\nstuff";
   const std::string json = to_json(decision);
   EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"), std::string::npos);
+
+  decision.algorithm = "tab\tand\rctrl\x01";
+  EXPECT_NE(to_json(decision).find("tab\\tand\\rctrl\\u0001"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,306 @@
+#include "nn/network_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "core/grouped_conv.h"
+#include "core/serialize.h"
+#include "nn/model_zoo.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+/// Decisions and totals of `network` under vw-sdk (the round-trip
+/// equality payload).
+NetworkMappingResult vw_result(const Network& network) {
+  return optimize_network(*make_mapper("vw-sdk"), network, k512x512);
+}
+
+void expect_identical_results(const NetworkMappingResult& a,
+                              const NetworkMappingResult& b) {
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  EXPECT_EQ(a.network_name, b.network_name);
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].layer, b.layers[i].layer);
+    EXPECT_EQ(a.layers[i].decision, b.layers[i].decision);
+  }
+  EXPECT_EQ(a.total_cycles(), b.total_cycles());
+}
+
+TEST(NetworkSpec, JsonRoundTripsEveryZooNetwork) {
+  for (const std::string& name : model_names()) {
+    SCOPED_TRACE(name);
+    const Network original = model_by_name(name);
+    const NetworkSpec parsed =
+        parse_network_spec_json(to_spec_json(original, "512x512"));
+    EXPECT_EQ(parsed.array, "512x512");
+    expect_identical_results(vw_result(original),
+                             vw_result(parsed.network));
+  }
+}
+
+TEST(NetworkSpec, CsvRoundTripsEveryZooNetwork) {
+  for (const std::string& name : model_names()) {
+    SCOPED_TRACE(name);
+    const Network original = model_by_name(name);
+    const NetworkSpec parsed =
+        parse_network_spec_csv(to_spec_csv(original, "256x128"));
+    EXPECT_EQ(parsed.array, "256x128");
+    expect_identical_results(vw_result(original),
+                             vw_result(parsed.network));
+  }
+}
+
+TEST(NetworkSpec, JsonParsesAllLayerFields) {
+  const NetworkSpec spec = parse_network_spec_json(R"({
+    "name": "full",
+    "array": "128x64",
+    "layers": [
+      {"name": "c1", "image": [20, 10], "kernel": [5, 3],
+       "ic": 4, "oc": 8, "stride": 2, "pad": [1, 0], "groups": 2}
+    ]
+  })");
+  ASSERT_EQ(spec.network.layer_count(), 1);
+  const ConvLayerDesc& layer = spec.network.layer(0);
+  EXPECT_EQ(layer.name, "c1");
+  EXPECT_EQ(layer.ifm_w, 20);
+  EXPECT_EQ(layer.ifm_h, 10);
+  EXPECT_EQ(layer.kernel_w, 5);
+  EXPECT_EQ(layer.kernel_h, 3);
+  EXPECT_EQ(layer.in_channels, 4);
+  EXPECT_EQ(layer.out_channels, 8);
+  EXPECT_EQ(layer.config.stride_w, 2);
+  EXPECT_EQ(layer.config.stride_h, 2);
+  EXPECT_EQ(layer.config.pad_w, 1);
+  EXPECT_EQ(layer.config.pad_h, 0);
+  EXPECT_EQ(layer.groups, 2);
+  EXPECT_EQ(spec.array, "128x64");
+}
+
+TEST(NetworkSpec, DefaultsApplyWhenOmitted) {
+  const NetworkSpec spec = parse_network_spec_json(
+      R"({"layers": [{"image": 8, "kernel": 3, "ic": 2, "oc": 4}]})");
+  EXPECT_EQ(spec.network.name(), "network");
+  EXPECT_FALSE(spec.has_array());
+  const ConvLayerDesc& layer = spec.network.layer(0);
+  EXPECT_EQ(layer.name, "conv1");
+  EXPECT_EQ(layer.config.stride_w, 1);
+  EXPECT_EQ(layer.config.pad_w, 0);
+  EXPECT_EQ(layer.groups, 1);
+}
+
+TEST(NetworkSpec, CsvDirectivesAndOptionalColumns) {
+  const NetworkSpec spec = parse_network_spec_csv(
+      "# a plain comment, ignored\n"
+      "# network: csv-net\n"
+      "# array: 64x32\n"
+      "image,kernel,ic,oc,groups\n"
+      "16,3,4,8,1\n"
+      "14x7,3x1,8,8,8\n");
+  EXPECT_EQ(spec.network.name(), "csv-net");
+  EXPECT_EQ(spec.array, "64x32");
+  ASSERT_EQ(spec.network.layer_count(), 2);
+  EXPECT_EQ(spec.network.layer(0).name, "conv1");
+  EXPECT_EQ(spec.network.layer(1).ifm_w, 14);
+  EXPECT_EQ(spec.network.layer(1).ifm_h, 7);
+  EXPECT_EQ(spec.network.layer(1).kernel_h, 1);
+  EXPECT_EQ(spec.network.layer(1).groups, 8);
+}
+
+TEST(NetworkSpec, AwkwardLayerNamesSurviveBothRoundTrips) {
+  // '#'-leading names collide with the CSV comment syntax (the exporter
+  // must quote them); tabs exercise the JSON control-character escaping.
+  Network net("awkward");
+  ConvLayerDesc layer = make_conv_layer("#1", 8, 3, 2, 4);
+  net.add_layer(layer);
+  layer.name = "tab\tname";
+  net.add_layer(layer);
+
+  const NetworkSpec from_csv = parse_network_spec_csv(to_spec_csv(net));
+  ASSERT_EQ(from_csv.network.layer_count(), 2);
+  EXPECT_EQ(from_csv.network.layer(0).name, "#1");
+
+  const NetworkSpec from_json = parse_network_spec_json(to_spec_json(net));
+  ASSERT_EQ(from_json.network.layer_count(), 2);
+  EXPECT_EQ(from_json.network.layer(1).name, "tab\tname");
+
+  // Line breaks are unrepresentable in the line-based CSV dialect: the
+  // exporter must refuse them (the JSON round trip above handles them).
+  layer.name = "multi\nline";
+  Network broken("nl");
+  broken.add_layer(layer);
+  EXPECT_THROW(to_spec_csv(broken), InvalidArgument);
+  // Surrounding whitespace would be trimmed away on re-parse, silently
+  // renaming the layer -- the exporter must refuse that too.
+  layer.name = " padded ";
+  Network padded("ws");
+  padded.add_layer(layer);
+  EXPECT_THROW(to_spec_csv(padded), InvalidArgument);
+  EXPECT_EQ(parse_network_spec_json(to_spec_json(broken))
+                .network.layer(0)
+                .name,
+            "multi\nline");
+}
+
+TEST(NetworkSpec, SniffSelectsFormat) {
+  EXPECT_EQ(parse_network_spec(
+                R"(  {"layers": [{"image": 8, "kernel": 3,
+                     "ic": 2, "oc": 4}]})")
+                .network.layer_count(),
+            1);
+  EXPECT_EQ(parse_network_spec("image,kernel,ic,oc\n8,3,2,4\n")
+                .network.layer_count(),
+            1);
+}
+
+TEST(NetworkSpec, GroupedLayerCostsGroupsTimesSubConv) {
+  // A depthwise layer must cost G x the per-group sub-convolution and
+  // match the established grouped-conv path (core/grouped_conv.h).
+  const NetworkSpec spec = parse_network_spec_json(R"({
+    "layers": [{"image": 30, "kernel": 3, "ic": 16, "oc": 16,
+                "groups": 16}]})");
+  const NetworkMappingResult result = vw_result(spec.network);
+  const GroupedConvShape grouped{ConvShape::square(30, 3, 16, 16), 16};
+  const GroupedDecision reference =
+      map_grouped(*make_mapper("vw-sdk"), grouped, k512x512);
+  EXPECT_EQ(result.layers[0].decision.cost.total,
+            reference.per_group.cost.total);
+  EXPECT_EQ(result.layers[0].cycles(), reference.total_cycles);
+  EXPECT_EQ(result.total_cycles(), reference.total_cycles);
+}
+
+TEST(NetworkSpec, MalformedJsonSpecsThrow) {
+  // Syntax error.
+  EXPECT_THROW(parse_network_spec_json("{"), InvalidArgument);
+  // Wrong top-level type.
+  EXPECT_THROW(parse_network_spec_json("[1,2]"), InvalidArgument);
+  // Unknown top-level key.
+  EXPECT_THROW(parse_network_spec_json(
+                   R"({"layerz": [{"image": 8, "kernel": 3,
+                       "ic": 2, "oc": 4}]})"),
+               InvalidArgument);
+  // Missing layers.
+  EXPECT_THROW(parse_network_spec_json(R"({"name": "x"})"),
+               InvalidArgument);
+  // Empty layers.
+  EXPECT_THROW(parse_network_spec_json(R"({"layers": []})"),
+               InvalidArgument);
+  // Missing required layer key.
+  EXPECT_THROW(parse_network_spec_json(
+                   R"({"layers": [{"image": 8, "kernel": 3, "ic": 2}]})"),
+               InvalidArgument);
+  // Unknown layer key (typo guard).
+  EXPECT_THROW(parse_network_spec_json(
+                   R"({"layers": [{"image": 8, "kernel": 3, "ic": 2,
+                       "oc": 4, "striide": 2}]})"),
+               InvalidArgument);
+  // Non-integral dimension.
+  EXPECT_THROW(parse_network_spec_json(
+                   R"({"layers": [{"image": 8.5, "kernel": 3, "ic": 2,
+                       "oc": 4}]})"),
+               InvalidArgument);
+  // Zero/negative dimensions.
+  EXPECT_THROW(parse_network_spec_json(
+                   R"({"layers": [{"image": 0, "kernel": 3, "ic": 2,
+                       "oc": 4}]})"),
+               InvalidArgument);
+  // Kernel larger than image (layer validation).
+  EXPECT_THROW(parse_network_spec_json(
+                   R"({"layers": [{"image": 2, "kernel": 3, "ic": 2,
+                       "oc": 4}]})"),
+               InvalidArgument);
+  // Groups not dividing the channels.
+  EXPECT_THROW(parse_network_spec_json(
+                   R"({"layers": [{"image": 8, "kernel": 3, "ic": 6,
+                       "oc": 4, "groups": 4}]})"),
+               InvalidArgument);
+  // Malformed extent pair.
+  EXPECT_THROW(parse_network_spec_json(
+                   R"({"layers": [{"image": [8, 8, 8], "kernel": 3,
+                       "ic": 2, "oc": 4}]})"),
+               InvalidArgument);
+}
+
+TEST(NetworkSpec, MalformedCsvSpecsThrow) {
+  // No header / no rows.
+  EXPECT_THROW(parse_network_spec_csv(""), InvalidArgument);
+  EXPECT_THROW(parse_network_spec_csv("image,kernel,ic,oc\n"),
+               InvalidArgument);
+  // Unknown column.
+  EXPECT_THROW(
+      parse_network_spec_csv("image,kernel,ic,oc,colour\n8,3,2,4,red\n"),
+      InvalidArgument);
+  // Duplicate column (the last occurrence must not silently win).
+  EXPECT_THROW(
+      parse_network_spec_csv("image,image,kernel,ic,oc\n8,16,3,2,4\n"),
+      InvalidArgument);
+  // Missing required column.
+  EXPECT_THROW(parse_network_spec_csv("image,kernel,ic\n8,3,2\n"),
+               InvalidArgument);
+  // Ragged row.
+  EXPECT_THROW(parse_network_spec_csv("image,kernel,ic,oc\n8,3,2\n"),
+               InvalidArgument);
+  // Garbage cell.
+  EXPECT_THROW(parse_network_spec_csv("image,kernel,ic,oc\n8,three,2,4\n"),
+               InvalidArgument);
+  // Bad extent cell.
+  EXPECT_THROW(
+      parse_network_spec_csv("image,kernel,ic,oc\n8x4x2,3,2,4\n"),
+      InvalidArgument);
+}
+
+TEST(NetworkSpec, LoadDispatchesOnExtensionAndReportsMissingFiles) {
+  const std::string dir = ::testing::TempDir();
+  const std::string json_path = dir + "/spec_test.json";
+  {
+    std::ofstream os(json_path);
+    os << to_spec_json(lenet5(), "128x128");
+  }
+  const NetworkSpec loaded = load_network_spec(json_path);
+  EXPECT_EQ(loaded.array, "128x128");
+  expect_identical_results(vw_result(lenet5()),
+                           vw_result(loaded.network));
+  std::remove(json_path.c_str());
+
+  EXPECT_THROW(load_network_spec(dir + "/definitely_missing.json"),
+               NotFound);
+
+  // Parse errors surface the file path.
+  const std::string bad_path = dir + "/spec_bad.json";
+  {
+    std::ofstream os(bad_path);
+    os << "{broken";
+  }
+  try {
+    load_network_spec(bad_path);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("spec_bad.json"),
+              std::string::npos);
+  }
+  std::remove(bad_path.c_str());
+}
+
+TEST(NetworkSpec, ResolvePrefersZooThenFile) {
+  const NetworkSpec zoo = resolve_network_spec("vgg13");
+  EXPECT_EQ(zoo.network.name(), "VGG-13");
+  EXPECT_FALSE(zoo.has_array());
+
+  try {
+    resolve_network_spec("neither-a-model-nor-a-file");
+    FAIL() << "expected NotFound";
+  } catch (const NotFound& e) {
+    // The message must name both interpretations for the CLI user.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("model-zoo"), std::string::npos);
+    EXPECT_NE(what.find("spec file"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Keep docs/CLI.md honest: the usage block between the
+`<!-- vwsdk-help:begin -->` / `<!-- vwsdk-help:end -->` markers must be
+byte-identical to the live output of `vwsdk --help`.
+
+Registered as the ctest `cli.help_matches_doc` (label "cli").
+"""
+
+import argparse
+import difflib
+import re
+import subprocess
+import sys
+
+
+def doc_help_block(doc_path: str) -> str:
+    """The fenced code block between the help markers, fence lines stripped."""
+    with open(doc_path, encoding="utf-8") as f:
+        text = f.read()
+    match = re.search(
+        r"<!-- vwsdk-help:begin -->\n```text\n(.*?)```\n<!-- vwsdk-help:end -->",
+        text,
+        re.DOTALL,
+    )
+    if not match:
+        sys.exit(
+            f"{doc_path}: no '<!-- vwsdk-help:begin -->' ```text block found"
+        )
+    return match.group(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", required=True, help="path to the vwsdk binary")
+    parser.add_argument("--doc", required=True, help="path to docs/CLI.md")
+    args = parser.parse_args()
+
+    run = subprocess.run(
+        [args.cli, "--help"], capture_output=True, text=True, timeout=60
+    )
+    if run.returncode != 0:
+        sys.exit(f"`vwsdk --help` exited {run.returncode}: {run.stderr}")
+
+    documented = doc_help_block(args.doc)
+    if run.stdout == documented:
+        print("OK: docs/CLI.md usage block matches `vwsdk --help`")
+        return 0
+
+    print(f"{args.doc} usage block is stale; diff (doc -> binary):")
+    sys.stdout.writelines(
+        difflib.unified_diff(
+            documented.splitlines(keepends=True),
+            run.stdout.splitlines(keepends=True),
+            fromfile="docs/CLI.md",
+            tofile="vwsdk --help",
+        )
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

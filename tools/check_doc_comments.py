@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Lint the Doxygen ///-comments of the public headers without needing
+Doxygen installed (the real `docs` build runs in CI with
+WARN_AS_ERROR; this linter catches the same mechanical mistakes locally
+and is registered as the ctest `docs.comment_lint`, label "docs").
+
+Checks, per src/**/*.h:
+  1. the header carries a `/// @file <name>` comment whose name matches
+     the actual filename;
+  2. every `@param NAME` names a parameter that appears in the
+     declaration following the comment block (catches renames);
+  3. `@param` / `@return` / `@tparam` are not used in non-Doxygen (`//`)
+     comments where Doxygen would silently drop them;
+  4. no stray Doxygen block uses an unknown @command (typo guard over
+     the small command vocabulary this codebase uses);
+  5. no bare `<word>` token in comment text (Doxygen reads it as an
+     unsupported HTML tag and warns; write `` `<word>` `` instead).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+KNOWN_COMMANDS = {
+    "file", "param", "return", "returns", "tparam", "brief", "note",
+    "warning", "see", "code", "endcode", "p", "a", "c", "ref",
+}
+
+FAILURES: list[str] = []
+
+
+def fail(path: Path, line_number: int, message: str) -> None:
+    FAILURES.append(f"{path}:{line_number}: {message}")
+
+
+def declaration_after(lines: list[str], index: int) -> str:
+    """The declaration text following a comment block: subsequent lines
+    until a ';' or '{' terminator (comment lines skipped), flattened."""
+    collected: list[str] = []
+    for line in lines[index:index + 20]:
+        stripped = line.strip()
+        if stripped.startswith("///") or stripped.startswith("//"):
+            continue
+        collected.append(stripped)
+        if ";" in stripped or "{" in stripped:
+            break
+    return " ".join(collected)
+
+
+def check_header(path: Path) -> None:
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+
+    file_tags = re.findall(r"///\s*@file\s+(\S+)", text)
+    if not file_tags:
+        fail(path, 1, "missing '/// @file' comment")
+    elif file_tags[0] != path.name:
+        fail(path, 1, f"@file says '{file_tags[0]}', file is '{path.name}'")
+
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        is_doxygen = stripped.startswith("///")
+        is_comment = stripped.startswith("//")
+        for command in re.findall(r"[@\\](\w+)", stripped):
+            if not is_comment:
+                continue  # @ inside code (e.g. a string literal)
+            if command in KNOWN_COMMANDS:
+                if not is_doxygen and not stripped.startswith("//!"):
+                    fail(path, i + 1,
+                         f"'@{command}' in a plain '//' comment -- Doxygen "
+                         "drops it; use '///'")
+            elif is_doxygen and re.search(rf"^///\s*[@\\]{command}\b",
+                                          stripped):
+                fail(path, i + 1, f"unknown Doxygen command '@{command}'")
+
+        if is_doxygen:
+            # Comment text after ///, code spans removed: a bare <word>
+            # would reach Doxygen's HTML-tag parser and warn.
+            comment_text = re.sub(r"`[^`]*`", "", stripped.lstrip("/<"))
+            html_like = re.search(r"<[A-Za-z_][\w:]*>", comment_text)
+            if html_like:
+                fail(path, i + 1,
+                     f"bare '{html_like.group(0)}' reads as an HTML tag to "
+                     "Doxygen; wrap it in backticks")
+
+        match = re.search(r"///.*[@\\]param\s+(?:\[[^\]]*\]\s*)?(\w+)",
+                          stripped)
+        if match and not is_doxygen:
+            continue
+        if match:
+            name = match.group(1)
+            # Find the declaration this comment block ends at.
+            j = i + 1
+            while j < len(lines) and lines[j].strip().startswith("///"):
+                j += 1
+            declaration = declaration_after(lines, j)
+            if not re.search(rf"\b{re.escape(name)}\b", declaration):
+                fail(path, i + 1,
+                     f"@param '{name}' does not match the declaration "
+                     f"below: {declaration[:80]!r}")
+
+
+def main() -> int:
+    roots = [Path(arg) for arg in sys.argv[1:]] or [Path("src")]
+    headers = sorted(h for root in roots for h in root.rglob("*.h"))
+    if not headers:
+        sys.exit(f"no headers found under {roots}")
+    for header in headers:
+        check_header(header)
+    for failure in FAILURES:
+        print(failure)
+    print(f"check_doc_comments: {len(headers)} header(s), "
+          f"{len(FAILURES)} problem(s)")
+    return 1 if FAILURES else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the `vwsdk` CLI (ctest `cli.smoke`, label
+"cli").  Everything asserted here is machine-independent:
+
+* every subcommand runs and honours the documented exit codes
+  (0 success, 1 runtime error, 2 usage error);
+* `map` / `compare` on a zoo *name* and on the spec file exported by
+  `vwsdk zoo --export` produce byte-identical output (the spec
+  round-trip, in both JSON and CSV spec formats);
+* the paper's Table-I totals on the 512x512 array are reproduced;
+* `sweep` runs a non-zoo spec file (grouped layers included) through the
+  cross-product and emits well-formed CSV and JSON.
+"""
+
+import argparse
+import csv
+import io
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+FAILURES: list[str] = []
+
+
+def check(condition: bool, label: str) -> None:
+    print(f"  [{'OK' if condition else 'FAIL'}] {label}")
+    if not condition:
+        FAILURES.append(label)
+
+
+class Cli:
+    def __init__(self, binary: str):
+        self.binary = binary
+
+    def run(self, *args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [self.binary, *args], capture_output=True, text=True, timeout=300
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", required=True, help="path to the vwsdk binary")
+    args = parser.parse_args()
+    cli = Cli(args.cli)
+    tmp = Path(tempfile.mkdtemp(prefix="vwsdk_cli_smoke_"))
+
+    # --- exit codes -----------------------------------------------------
+    check(cli.run("--help").returncode == 0, "--help exits 0")
+    check(cli.run("--version").returncode == 0, "--version exits 0")
+    no_command = cli.run()
+    check(
+        no_command.returncode == 2 and no_command.stdout == ""
+        and "Usage" in no_command.stderr,
+        "no command exits 2 with help on stderr, stdout clean",
+    )
+    check(cli.run("frobnicate").returncode == 2, "unknown command exits 2")
+    check(
+        cli.run("map", "--net", "vgg16", "--bogus").returncode == 2,
+        "unknown flag exits 2",
+    )
+    check(
+        cli.run("map", "--net", "no-such-model").returncode == 2,
+        "unresolvable --net exits 2",
+    )
+    for sub in ("map", "compare", "sweep", "zoo"):
+        check(cli.run(sub, "--help").returncode == 0, f"{sub} --help exits 0")
+
+    # --- zoo listing ----------------------------------------------------
+    zoo = cli.run("zoo")
+    check(zoo.returncode == 0, "zoo exits 0")
+    check("vgg16" in zoo.stdout and "resnet18" in zoo.stdout,
+          "zoo lists the models")
+
+    # --- paper Table-I totals via the CLI -------------------------------
+    for net, mapper, expected in (
+        ("vgg13", "sdk", 114697),
+        ("vgg13", "vw-sdk", 77102),
+        ("resnet18", "sdk", 7240),
+        ("resnet18", "vw-sdk", 4294),
+    ):
+        out = cli.run("map", "--net", net, "--mapper", mapper,
+                      "--array", "512x512", "--format", "json")
+        total = json.loads(out.stdout)["total_cycles"]
+        check(
+            out.returncode == 0 and total == expected,
+            f"map {net}/{mapper} total {total} == paper {expected}",
+        )
+
+    # --- spec round trip: zoo name vs exported spec file ----------------
+    for spec_format in ("json", "csv"):
+        spec_path = tmp / f"vgg16.{spec_format}"
+        export = cli.run("zoo", "--export", "vgg16",
+                         "--format", spec_format, "--out", str(spec_path))
+        check(export.returncode == 0, f"zoo --export vgg16 ({spec_format})")
+        by_name = cli.run("map", "--net", "vgg16", "--format", "json")
+        by_spec = cli.run("map", "--net", str(spec_path), "--format", "json")
+        check(
+            by_name.returncode == 0
+            and by_name.stdout == by_spec.stdout
+            and by_name.stdout.strip(),
+            f"map via {spec_format} spec is byte-identical to zoo name",
+        )
+    by_name = cli.run("compare", "--net", "vgg16", "--format", "csv")
+    by_spec = cli.run("compare", "--net", str(tmp / "vgg16.json"),
+                      "--format", "csv")
+    check(
+        by_name.returncode == 0 and by_name.stdout == by_spec.stdout,
+        "compare via spec is byte-identical to zoo name",
+    )
+
+    # --- sweep over a custom (non-zoo) spec file ------------------------
+    custom = tmp / "custom.json"
+    custom.write_text(json.dumps({
+        "name": "smoke-net",
+        "array": "256x256",
+        "layers": [
+            {"name": "c1", "image": 32, "kernel": 3, "ic": 8, "oc": 16},
+            {"name": "dw", "image": 30, "kernel": 3, "ic": 16, "oc": 16,
+             "groups": 16},
+            {"name": "pw", "image": 28, "kernel": 1, "ic": 16, "oc": 32},
+        ],
+    }))
+    mappers = ["im2col", "vw-sdk"]
+    sweep_csv = cli.run("sweep", "--nets", f"{custom},vgg13",
+                        "--arrays", "128x128,256x256",
+                        "--mappers", ",".join(mappers), "--format", "csv")
+    check(sweep_csv.returncode == 0, "sweep (csv) exits 0")
+    rows = list(csv.DictReader(io.StringIO(sweep_csv.stdout)))
+    expected_rows = len(mappers) * 2 * (3 + 10)  # mappers x arrays x layers
+    check(len(rows) == expected_rows,
+          f"sweep csv has {expected_rows} rows (got {len(rows)})")
+    check(
+        all(float(r["speedup_vs_baseline"]) > 0 for r in rows),
+        "sweep csv speedups parse as positive floats",
+    )
+    check(
+        any(r["network"] == "smoke-net" and r["groups"] == "16"
+            for r in rows),
+        "sweep csv carries the grouped layer",
+    )
+
+    sweep_json = cli.run("sweep", "--nets", str(custom),
+                         "--arrays", "64x64,128x128",
+                         "--mappers", ",".join(mappers),
+                         "--format", "json", "--stats")
+    check(sweep_json.returncode == 0, "sweep (json) exits 0")
+    points = json.loads(sweep_json.stdout)
+    check(
+        len(points) == 2
+        and all(len(p["results"]) == len(mappers) for p in points),
+        "sweep json has one comparison per array point",
+    )
+    check("cache" in sweep_json.stderr, "sweep --stats reports the cache")
+
+    # --- malformed specs fail cleanly -----------------------------------
+    bad = tmp / "bad.json"
+    bad.write_text('{"name": "x", "layers": [{"image": 8}]}')
+    run = cli.run("map", "--net", str(bad))
+    check(
+        run.returncode == 2 and "kernel" in run.stderr,
+        "spec missing required keys exits 2 naming the key",
+    )
+    garbage = tmp / "garbage.json"
+    garbage.write_text("{not json")
+    check(
+        cli.run("map", "--net", str(garbage)).returncode == 2,
+        "unparseable spec exits 2",
+    )
+    deep = tmp / "deep.json"
+    deep.write_text("[" * 100000 + "]" * 100000)
+    check(
+        cli.run("map", "--net", str(deep)).returncode == 2,
+        "deeply nested spec exits 2 (no stack overflow)",
+    )
+
+    # Usage errors fire before --out is opened: no partial file.
+    unwritten = tmp / "must_not_exist.txt"
+    run = cli.run("compare", "--net", "lenet5", "--mappers", "vw-sdk",
+                  "--out", str(unwritten))
+    check(
+        run.returncode == 2 and not unwritten.exists(),
+        "early usage error leaves no partial --out file",
+    )
+
+    # --- --out writes files ---------------------------------------------
+    out_path = tmp / "result.csv"
+    run = cli.run("map", "--net", "resnet18", "--format", "csv",
+                  "--out", str(out_path))
+    check(
+        run.returncode == 0 and out_path.read_text().startswith("network,"),
+        "--out writes the CSV file",
+    )
+
+    print(f"\ncli_smoke: {len(FAILURES)} failure(s)")
+    return 1 if FAILURES else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
