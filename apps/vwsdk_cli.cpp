@@ -23,8 +23,13 @@ using namespace vwsdk;
 
 constexpr const char* kDefaultArray = "512x512";
 
-constexpr const char* kGlobalHelp =
-    R"(vwsdk - VW-SDK convolutional weight mapping toolkit
+/// The global help text.  The algorithm and objective lists are derived
+/// from MapperRegistry / objective_names() at runtime, so registering a
+/// new mapper updates the help (and the `cli.help_matches_doc` ctest
+/// then forces docs/CLI.md to follow).
+std::string global_help() {
+  return cat(
+      R"(vwsdk - VW-SDK convolutional weight mapping toolkit
 
 Usage:
   vwsdk <command> [options]
@@ -35,6 +40,7 @@ Commands:
   map      map every layer of one network with one algorithm
   compare  run several algorithms on one network side by side
   sweep    cross-product of networks x arrays x algorithms
+  mappers  list the registered mapping algorithms
   zoo      list built-in networks or export one as a spec file
 
 Networks (--net / --nets) are model-zoo names (vgg13, resnet18, vgg16,
@@ -43,8 +49,16 @@ of docs/FORMATS.md.  Array geometries are "RxC" (rows x columns);
 when --array is omitted, the spec's own "array" entry applies, then
 512x512.
 
+Mapping algorithms (--mapper / --mappers; `vwsdk mappers` describes them):
+  )",
+      MapperRegistry::instance().known_names(), R"(
+Search objectives (--objective; see docs/OBJECTIVES.md):
+  )",
+      join(objective_names(), ", "), R"(
+
 Exit codes: 0 success, 1 runtime error, 2 usage error.
-)";
+)");
+}
 
 /// Write through `path` ("-" = stdout); throws on an unopenable path.
 void with_output(const std::string& path,
@@ -67,6 +81,7 @@ void add_net_options(ArgParser& args) {
   args.add_option("array", "",
                   "PIM array geometry RxC (default: the spec's array, "
                   "else 512x512)");
+  add_objective_option(args);
   args.add_int_option("threads", 0,
                       "worker threads (0 = VWSDK_THREADS, then hardware)");
   args.add_option("out", "-", "output path, '-' = stdout");
@@ -86,6 +101,9 @@ ArrayGeometry resolve_geometry(const ArgParser& args,
 OptimizerOptions options_from_args(const ArgParser& args) {
   OptimizerOptions options;
   options.threads = static_cast<int>(args.get_int("threads"));
+  // The built-in objectives are process-lifetime singletons, so the
+  // pointer stays valid for the whole run.
+  options.objective = &objective_from_args(args);
   return options;
 }
 
@@ -107,25 +125,42 @@ std::string format_from_args(const ArgParser& args,
                             "\" (expected ", join(allowed, ", "), ")"));
 }
 
-/// Per-layer table of one result (the `map` view).
+/// Per-layer table of one result (the `map` view).  Under a non-cycles
+/// objective the score column appears after the cycles; the default
+/// cycles view is unchanged.
 TextTable result_table(const NetworkMappingResult& result) {
-  TextTable table({"#", "layer", "image", "kernel (KxKxICxOC)", "groups",
-                   "mapping (PWxICtxOCt)", "#PW", "cycles"});
+  const bool scored = result.objective != cycles_objective().name();
+  const std::string unit = objective_by_name(result.objective).unit();
+  std::vector<std::string> headers{"#", "layer", "image",
+                                   "kernel (KxKxICxOC)", "groups",
+                                   "mapping (PWxICtxOCt)", "#PW", "cycles"};
+  if (scored) {
+    headers.push_back(cat(result.objective, " (", unit, ")"));
+  }
+  TextTable table(headers);
   for (std::size_t i = 0; i < result.layers.size(); ++i) {
     const LayerMapping& lm = result.layers[i];
     const ConvLayerDesc& layer = lm.layer;
-    table.add_row(
-        {std::to_string(i + 1), layer.name,
-         cat(layer.ifm_w, "x", layer.ifm_h),
-         cat(layer.kernel_w, "x", layer.kernel_h, "x", layer.in_channels,
-             "x", layer.out_channels),
-         std::to_string(layer.groups), lm.decision.table_entry(),
-         std::to_string(lm.decision.cost.n_parallel_windows),
-         std::to_string(lm.cycles())});
+    std::vector<std::string> row{
+        std::to_string(i + 1), layer.name,
+        cat(layer.ifm_w, "x", layer.ifm_h),
+        cat(layer.kernel_w, "x", layer.kernel_h, "x", layer.in_channels,
+            "x", layer.out_channels),
+        std::to_string(layer.groups), lm.decision.table_entry(),
+        std::to_string(lm.decision.cost.n_parallel_windows),
+        std::to_string(lm.cycles())};
+    if (scored) {
+      row.push_back(format_fixed(lm.score(), 1));
+    }
+    table.add_row(std::move(row));
   }
   table.add_separator();
-  table.add_row({"", "total", "", "", "", "", "",
-                 std::to_string(result.total_cycles())});
+  std::vector<std::string> total{"", "total", "", "", "", "", "",
+                                 std::to_string(result.total_cycles())};
+  if (scored) {
+    total.push_back(format_fixed(result.total_score(), 1));
+  }
+  table.add_row(std::move(total));
   return table;
 }
 
@@ -134,8 +169,8 @@ int run_map(int argc, const char* const* argv) {
                  "map every layer of a network with one algorithm");
   args.add_option("net", "", "model-zoo name or spec file (required)");
   args.add_option("mapper", "vw-sdk",
-                  "mapping algorithm (im2col, smd, sdk, vw-sdk, "
-                  "vw-sdk-pruned, exhaustive)");
+                  cat("mapping algorithm (",
+                      MapperRegistry::instance().known_names(), ")"));
   args.add_option("format", "table", "output format: table, csv, or json");
   add_net_options(args);
   if (!args.parse(argc, argv)) {
@@ -160,9 +195,11 @@ int run_map(int argc, const char* const* argv) {
     } else {
       os << "network: " << spec.network.name() << " ("
          << spec.network.layer_count() << " layers)\narray: "
-         << geometry.to_string() << "   algorithm: " << result.algorithm
-         << "\n\n"
-         << result_table(result);
+         << geometry.to_string() << "   algorithm: " << result.algorithm;
+      if (result.objective != cycles_objective().name()) {
+        os << "   objective: " << result.objective;
+      }
+      os << "\n\n" << result_table(result);
     }
   });
   return kExitOk;
@@ -213,8 +250,11 @@ int run_compare(int argc, const char* const* argv) {
     }
     os << "network: " << spec.network.name() << " ("
        << spec.network.layer_count() << " layers)\narray: "
-       << geometry.to_string() << "   algorithms: " << join(mappers, ", ")
-       << "\n";
+       << geometry.to_string() << "   algorithms: " << join(mappers, ", ");
+    if (cmp.results.front().objective != cycles_objective().name()) {
+      os << "   objective: " << cmp.results.front().objective;
+    }
+    os << "\n";
     if (report == "all" || report == "table1") {
       const std::size_t n = cmp.results.size();
       os << "\nTable-I-style mapping (" << cmp.results[n - 2].algorithm
@@ -244,6 +284,7 @@ int run_sweep(int argc, const char* const* argv) {
                   "five sizes");
   add_mappers_option(args);
   args.add_option("format", "table", "output format: table, csv, or json");
+  add_objective_option(args);
   args.add_int_option("threads", 0,
                       "worker threads (0 = VWSDK_THREADS, then hardware)");
   args.add_option("out", "-", "output path, '-' = stdout");
@@ -293,6 +334,7 @@ int run_sweep(int argc, const char* const* argv) {
   options.pool = &pool;
   options.cache = &cache;
   options.intra_layer = args.get_flag("intra-layer");
+  options.objective = &objective_from_args(args);
 
   std::vector<NetworkComparison> sweep;
   sweep.reserve(specs.size() * geometries.size());
@@ -346,6 +388,42 @@ int run_sweep(int argc, const char* const* argv) {
   return kExitOk;
 }
 
+int run_mappers(int argc, const char* const* argv) {
+  ArgParser args("vwsdk mappers", "list the registered mapping algorithms");
+  args.add_option("out", "-", "output path, '-' = stdout");
+  if (!args.parse(argc, argv)) {
+    return kExitOk;
+  }
+  require_no_positional(args);
+
+  const MapperRegistry& registry = MapperRegistry::instance();
+  with_output(args.get("out"), [&](std::ostream& os) {
+    TextTable table(
+        {"name", "aliases", "capabilities", "description"});
+    for (const std::string& name : registry.names()) {
+      const MapperInfo& info = registry.info(name);
+      std::vector<std::string> caps;
+      if (info.capabilities.objective_aware) {
+        caps.emplace_back("objective-aware");
+      }
+      if (info.capabilities.parallel_search) {
+        caps.emplace_back("parallel");
+      }
+      if (info.capabilities.exhaustive) {
+        caps.emplace_back("exhaustive");
+      }
+      if (!info.capabilities.grouped) {
+        caps.emplace_back("no-grouped");
+      }
+      table.add_row({info.name, join(info.aliases, ", "),
+                     caps.empty() ? "-" : join(caps, ", "),
+                     info.description});
+    }
+    os << table;
+  });
+  return kExitOk;
+}
+
 int run_zoo(int argc, const char* const* argv) {
   ArgParser args("vwsdk zoo",
                  "list built-in networks or export one as a spec file");
@@ -396,12 +474,12 @@ int main(int argc, char** argv) {
     if (argc < 2) {
       // A usage error, so stderr: stdout stays machine-consumable for
       // scripts that capture it (docs/CLI.md exit-code contract).
-      std::cerr << kGlobalHelp;
+      std::cerr << global_help();
       return kExitUsageError;
     }
     const std::string command = argv[1];
     if (command == "--help" || command == "-h" || command == "help") {
-      std::cout << kGlobalHelp;
+      std::cout << global_help();
       return kExitOk;
     }
     if (command == "--version") {
@@ -416,6 +494,9 @@ int main(int argc, char** argv) {
     }
     if (command == "sweep") {
       return run_sweep(argc - 1, argv + 1);
+    }
+    if (command == "mappers") {
+      return run_mappers(argc - 1, argv + 1);
     }
     if (command == "zoo") {
       return run_zoo(argc - 1, argv + 1);

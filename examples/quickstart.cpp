@@ -49,6 +49,28 @@ int main(int argc, char** argv) {
               << " output position(s) per cycle with " << best.cost.ic_t
               << " input / " << best.cost.oc_t
               << " output channels per tile.\n";
+
+    // The same search under the energy objective (docs/OBJECTIVES.md):
+    // on conversion-bound layers it can prefer a different window.
+    MappingContext energy_context{shape, geometry};
+    energy_context.objective = &energy_objective();
+    const MappingDecision frugal =
+        make_mapper("vw-sdk")->map(energy_context);
+    if (frugal.cost.window == best.cost.window) {
+      std::cout << "The energy objective agrees with the cycle search "
+                   "on this layer ("
+                << format_fixed(frugal.score / 1e6, 2) << " uJ).\n";
+    } else {
+      std::cout << "Under the energy objective it would pick "
+                << frugal.cost.window.to_string() << " instead: "
+                << frugal.cost.total << " cycles but "
+                << format_fixed(frugal.score / 1e6, 2) << " uJ vs "
+                << format_fixed(energy_objective().score(shape, geometry,
+                                                         best.cost) /
+                                    1e6,
+                                2)
+                << " uJ.\n";
+    }
     return kExitOk;
   });
 }

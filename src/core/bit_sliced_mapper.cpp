@@ -1,5 +1,9 @@
 #include "core/bit_sliced_mapper.h"
 
+#include "common/error.h"
+#include "common/string_util.h"
+#include "core/mapper_registry.h"
+
 namespace vwsdk {
 
 BitSlicedVwSdkMapper::BitSlicedVwSdkMapper(BitSlicingConfig config)
@@ -8,12 +12,26 @@ BitSlicedVwSdkMapper::BitSlicedVwSdkMapper(BitSlicingConfig config)
 }
 
 MappingDecision BitSlicedVwSdkMapper::map(
-    const ConvShape& shape, const ArrayGeometry& geometry) const {
-  shape.validate();
-  geometry.validate();
+    const MappingContext& context) const {
+  context.validate();
+  const Objective& objective = context.scoring();
+  // Energy/EDP scoring runs the analytic activity model, which does not
+  // know about slicing: a sliced cost's AC accounting breaks its
+  // invariants (negative residual columns).  With the degenerate
+  // 1-slice/1-step config every cost equals the plain model's, so
+  // objective scoring is sound; otherwise refuse loudly rather than
+  // return a wrong energy figure.
+  VWSDK_REQUIRE(objective.cycle_lower_bound_admissible() ||
+                    (config_.slices() == 1 && config_.input_steps() == 1),
+                cat("vw-sdk-bitsliced can score the '", objective.name(),
+                    "' objective only with the default 1-slice/1-step "
+                    "config (the activity model is slicing-unaware)"));
+  const ConvShape& shape = context.shape;
+  const ArrayGeometry& geometry = context.geometry;
 
   MappingDecision decision;
   decision.algorithm = name();
+  decision.objective = objective.name();
   decision.shape = shape;
   decision.geometry = geometry;
   decision.cost = im2col_cost_bitsliced(shape, geometry, config_);
@@ -31,7 +49,22 @@ MappingDecision BitSlicedVwSdkMapper::map(
       }
     }
   }
+  decision.score = objective.score(shape, geometry, decision.cost);
   return decision;
 }
+
+namespace detail {
+
+void register_bit_sliced_mapper(MapperRegistry& registry) {
+  registry.add(MapperInfo{
+      "vw-sdk-bitsliced",
+      {"bitsliced"},
+      "Algorithm 1 with bit-slicing-aware costs (default 8-bit config)",
+      MapperCapabilities{},
+      70,
+      []() { return std::make_unique<BitSlicedVwSdkMapper>(); }});
+}
+
+}  // namespace detail
 
 }  // namespace vwsdk

@@ -12,15 +12,22 @@
 namespace vwsdk {
 
 /// VW-SDK search with bit-slicing costs.  With the default config this is
-/// exactly VwSdkMapper (tested).
+/// exactly VwSdkMapper (tested).  The search always minimizes the
+/// bit-slicing-aware cycle count -- the analytic activity model behind
+/// the energy/EDP objectives does not know about slicing, so a
+/// non-cycles context objective is accepted only under the degenerate
+/// 1-slice/1-step config (where every cost equals the plain model's and
+/// the score is exact); sliced configs reject it with InvalidArgument
+/// rather than report a wrong energy figure.
 class BitSlicedVwSdkMapper final : public Mapper {
  public:
+  using Mapper::map;
+
   BitSlicedVwSdkMapper() = default;
   explicit BitSlicedVwSdkMapper(BitSlicingConfig config);
 
   std::string name() const override { return "vw-sdk-bitsliced"; }
-  MappingDecision map(const ConvShape& shape,
-                      const ArrayGeometry& geometry) const override;
+  MappingDecision map(const MappingContext& context) const override;
 
   const BitSlicingConfig& config() const { return config_; }
 

@@ -1,10 +1,12 @@
 #include "core/cli_support.h"
 
 #include <algorithm>
+#include <exception>
 #include <iostream>
 
 #include "common/error.h"
 #include "common/string_util.h"
+#include "core/mapper_registry.h"
 
 namespace vwsdk {
 
@@ -34,24 +36,39 @@ ArrayGeometry array_from_args(const ArgParser& args) {
 
 void add_mappers_option(ArgParser& args) {
   args.add_option("mappers", "im2col,smd,sdk,vw-sdk",
-                  "comma-separated mapping algorithms");
+                  cat("comma-separated mapping algorithms (",
+                      MapperRegistry::instance().known_names(), ")"));
 }
 
 std::vector<std::string> mappers_from_args(const ArgParser& args) {
+  const MapperRegistry& registry = MapperRegistry::instance();
   std::vector<std::string> names;
   for (const std::string& part : split(args.get("mappers"), ',')) {
     const std::string name = trim(part);
     if (name.empty()) {
       continue;
     }
-    (void)make_mapper(name);  // validate now, fail with the bad name
-    VWSDK_REQUIRE(std::find(names.begin(), names.end(), name) ==
+    // Canonicalize through the registry (validates now, fails with the
+    // bad name) so an alias duplicate like "vw-sdk,vwsdk" is caught too
+    // -- a repeated mapper would make speedup columns ambiguous.
+    const std::string canonical = registry.info(name).name;
+    VWSDK_REQUIRE(std::find(names.begin(), names.end(), canonical) ==
                       names.end(),
-                  cat("--mappers lists \"", name, "\" twice"));
-    names.push_back(name);
+                  cat("--mappers lists \"", canonical, "\" twice"));
+    names.push_back(canonical);
   }
   VWSDK_REQUIRE(!names.empty(), "--mappers names no mapper");
   return names;
+}
+
+void add_objective_option(ArgParser& args) {
+  args.add_option("objective", "cycles",
+                  cat("search objective (", join(objective_names(), ", "),
+                      ")"));
+}
+
+const Objective& objective_from_args(const ArgParser& args) {
+  return objective_by_name(args.get("objective"));
 }
 
 int run_cli_main(const std::function<int()>& body) {
@@ -65,6 +82,14 @@ int run_cli_main(const std::function<int()>& body) {
     return kExitUsageError;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
+    return kExitError;
+  } catch (const std::exception& e) {
+    // Not one of ours (std::bad_alloc, a filesystem throw, ...): still a
+    // clean exit-code-1 failure, never a terminate().
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitError;
+  } catch (...) {
+    std::cerr << "error: unknown exception\n";
     return kExitError;
   }
 }

@@ -2,10 +2,11 @@
 
 /// @file cli_support.h
 /// Shared command-line glue for the `vwsdk` CLI (apps/) and the example
-/// binaries: the layer-shape / array-geometry / mapper option bundles
-/// every tool was hand-rolling, plus the common "parse, run, report
-/// errors" main-function skeleton with the CLI exit-code convention
-/// (0 success, 1 runtime error, 2 usage error; see docs/CLI.md).
+/// binaries: the layer-shape / array-geometry / mapper / objective
+/// option bundles every tool was hand-rolling, plus the common "parse,
+/// run, report errors" main-function skeleton with the CLI exit-code
+/// convention (0 success, 1 runtime error, 2 usage error; see
+/// docs/CLI.md).
 
 #include <functional>
 #include <string>
@@ -14,6 +15,7 @@
 #include "common/cli.h"
 #include "core/mapping_decision.h"
 #include "mapping/conv_shape.h"
+#include "mapping/objective.h"
 #include "pim/array_geometry.h"
 
 namespace vwsdk {
@@ -21,7 +23,7 @@ namespace vwsdk {
 /// Process exit codes shared by every vwsdk command-line tool.
 enum ExitCode : int {
   kExitOk = 0,         ///< success (including --help)
-  kExitError = 1,      ///< a vwsdk::Error during execution
+  kExitError = 1,      ///< a runtime error (vwsdk::Error or any exception)
   kExitUsageError = 2  ///< malformed flags / unknown subcommand
 };
 
@@ -40,18 +42,29 @@ void add_array_option(ArgParser& args, const std::string& default_geometry);
 ArrayGeometry array_from_args(const ArgParser& args);
 
 /// Declare --mappers, a comma-separated list of mapper names defaulting
-/// to the paper's comparison set "im2col,smd,sdk,vw-sdk".
+/// to the paper's comparison set "im2col,smd,sdk,vw-sdk".  The help text
+/// lists the registered names (MapperRegistry::instance()).
 void add_mappers_option(ArgParser& args);
 
-/// The mapper names from --mappers, validated against make_mapper
-/// (throws NotFound on an unknown name, InvalidArgument on a duplicate
-/// -- a repeated mapper would make speedup columns ambiguous).
+/// The mapper names from --mappers, validated against
+/// MapperRegistry::instance() (throws NotFound listing the registered
+/// names on an unknown name, InvalidArgument on a duplicate -- a
+/// repeated mapper would make speedup columns ambiguous).
 std::vector<std::string> mappers_from_args(const ArgParser& args);
+
+/// Declare --objective, the search objective name, defaulting to
+/// "cycles"; the help text lists the built-in objectives.
+void add_objective_option(ArgParser& args);
+
+/// The Objective parsed from --objective (throws NotFound listing the
+/// known objectives).  The reference is a process-lifetime singleton.
+const Objective& objective_from_args(const ArgParser& args);
 
 /// Run `body` (argument parsing included) under the standard error
 /// report: InvalidArgument/NotFound print "usage error: ..." and return
-/// kExitUsageError, other vwsdk::Errors print "error: ..." and return
-/// kExitError.  `body` returns the exit code for the success path.
+/// kExitUsageError; any other exception -- vwsdk::Error or otherwise --
+/// prints "error: ..." and returns kExitError instead of terminating
+/// the process.  `body` returns the exit code for the success path.
 int run_cli_main(const std::function<int()>& body);
 
 }  // namespace vwsdk

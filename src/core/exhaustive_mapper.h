@@ -5,7 +5,8 @@
 ///
 /// Evaluates *every* admissible window (including the kernel-sized one
 /// with channel-granular tiling) plus the element-granular im2col mapping,
-/// and returns the global minimum.  Because the element-granular im2col
+/// and returns the global optimum under the context's objective.  Under
+/// the default cycles objective: because the element-granular im2col
 /// cost never exceeds the channel-granular kernel-window cost (a channel
 /// tile is a restricted row split), the optimum over this superset equals
 /// the optimum Algorithm 1 reports -- the property test
@@ -18,23 +19,17 @@
 
 namespace vwsdk {
 
-/// Brute-force oracle mapper (global minimum, im2col tie-break first).
+/// Brute-force oracle mapper (global optimum, im2col tie-break first).
 class ExhaustiveMapper final : public Mapper {
  public:
+  using Mapper::map;
+
   std::string name() const override { return "exhaustive"; }
-  MappingDecision map(const ConvShape& shape,
-                      const ArrayGeometry& geometry) const override;
 
-  /// Evaluates all windows over `pool`, then reduces them in scan order;
-  /// returns exactly map()'s decision.
-  MappingDecision map_parallel(const ConvShape& shape,
-                               const ArrayGeometry& geometry,
-                               ThreadPool& pool) const override;
-
- private:
-  MappingDecision map_impl(const ConvShape& shape,
-                           const ArrayGeometry& geometry,
-                           ThreadPool* pool) const;
+  /// Evaluates all windows, scoring each through `context.scoring()`;
+  /// with `context.pool` the costs are computed over the pool and then
+  /// reduced in scan order, returning exactly the sequential decision.
+  MappingDecision map(const MappingContext& context) const override;
 };
 
 }  // namespace vwsdk

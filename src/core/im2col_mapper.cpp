@@ -1,15 +1,35 @@
 #include "core/im2col_mapper.h"
 
+#include "core/mapper_registry.h"
+
 namespace vwsdk {
 
-MappingDecision Im2colMapper::map(const ConvShape& shape,
-                                  const ArrayGeometry& geometry) const {
+MappingDecision Im2colMapper::map(const MappingContext& context) const {
+  context.validate();
+  const Objective& objective = context.scoring();
   MappingDecision decision;
   decision.algorithm = name();
-  decision.shape = shape;
-  decision.geometry = geometry;
-  decision.cost = im2col_cost(shape, geometry);
+  decision.objective = objective.name();
+  decision.shape = context.shape;
+  decision.geometry = context.geometry;
+  decision.cost = im2col_cost(context.shape, context.geometry);
+  decision.score =
+      objective.score(context.shape, context.geometry, decision.cost);
   return decision;
 }
+
+namespace detail {
+
+void register_im2col_mapper(MapperRegistry& registry) {
+  registry.add(MapperInfo{
+      "im2col",
+      {},
+      "one kernel window per cycle (ref [4], the paper's baseline)",
+      MapperCapabilities{},
+      10,
+      []() { return std::make_unique<Im2colMapper>(); }});
+}
+
+}  // namespace detail
 
 }  // namespace vwsdk

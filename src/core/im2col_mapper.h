@@ -8,12 +8,15 @@
 
 namespace vwsdk {
 
-/// Baseline mapper: always chooses the kernel-sized window.
+/// Baseline mapper: always chooses the kernel-sized window.  The mapping
+/// is fixed, so the context's objective only prices it (the score), it
+/// never changes the choice.
 class Im2colMapper final : public Mapper {
  public:
+  using Mapper::map;
+
   std::string name() const override { return "im2col"; }
-  MappingDecision map(const ConvShape& shape,
-                      const ArrayGeometry& geometry) const override;
+  MappingDecision map(const MappingContext& context) const override;
 };
 
 }  // namespace vwsdk

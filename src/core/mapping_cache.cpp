@@ -17,6 +17,7 @@ void hash_combine(std::size_t& seed, std::size_t value) {
 std::size_t MappingCache::KeyHash::operator()(
     const MappingCacheKey& key) const {
   std::size_t seed = std::hash<std::string>{}(key.mapper);
+  hash_combine(seed, std::hash<std::string>{}(key.objective));
   const ConvShape& s = key.shape;
   for (const Dim dim :
        {s.ifm_w, s.ifm_h, s.kernel_w, s.kernel_h, s.in_channels,
@@ -70,9 +71,17 @@ MappingDecision MappingCache::get_or_compute(
 MappingDecision MappingCache::map(const Mapper& mapper,
                                   const ConvShape& shape,
                                   const ArrayGeometry& geometry) {
+  return map(mapper, MappingContext{shape, geometry});
+}
+
+MappingDecision MappingCache::map(const Mapper& mapper,
+                                  const MappingContext& context) {
+  // cache_key(), not name(): a custom-parameter EnergyObjective must not
+  // share entries with the default-parameter singleton of the same name.
   return get_or_compute(
-      MappingCacheKey{mapper.name(), shape, geometry},
-      [&]() { return mapper.map(shape, geometry); });
+      MappingCacheKey{mapper.name(), context.shape, context.geometry,
+                      context.scoring().cache_key()},
+      [&]() { return mapper.map(context); });
 }
 
 MappingCacheStats MappingCache::stats() const {

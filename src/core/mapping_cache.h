@@ -2,7 +2,7 @@
 
 /// @file mapping_cache.h
 /// Thread-safe memoization of mapping searches, keyed by
-/// (mapper id, ConvShape, ArrayGeometry).
+/// (mapper id, ConvShape, ArrayGeometry, objective).
 ///
 /// Real networks repeat conv shapes heavily (VGG-16's 13 conv layers
 /// collapse to 9 distinct shapes), so the network optimizer searches each
@@ -28,11 +28,18 @@
 
 namespace vwsdk {
 
-/// Cache key: one mapping search.
+/// Cache key: one mapping search.  The objective is part of the key --
+/// the same (mapper, shape, array) triple can legitimately map to
+/// different windows under cycles and under energy, and mixing them
+/// would silently serve one objective's optimum to the other.
 struct MappingCacheKey {
   std::string mapper;       ///< Mapper::name()
   ConvShape shape{};        ///< the layer
   ArrayGeometry geometry{}; ///< the array
+  /// Objective::cache_key() -- the name plus, for parameterized
+  /// objectives, their parameters, so e.g. two EnergyObjectives with
+  /// different EnergyParams never share an entry.
+  std::string objective = "cycles";
 
   bool operator==(const MappingCacheKey&) const = default;
 };
@@ -56,9 +63,15 @@ class MappingCache {
       const MappingCacheKey& key,
       const std::function<MappingDecision()>& compute);
 
-  /// Convenience: memoized `mapper.map(shape, geometry)`.
+  /// Convenience: memoized `mapper.map(shape, geometry)` under the
+  /// default context (cycles objective).
   MappingDecision map(const Mapper& mapper, const ConvShape& shape,
                       const ArrayGeometry& geometry);
+
+  /// Convenience: memoized `mapper.map(context)`, keyed by the
+  /// context's shape, geometry, and objective.  The context's own
+  /// `cache` field is ignored (this cache serves the request).
+  MappingDecision map(const Mapper& mapper, const MappingContext& context);
 
   /// Lifetime counters; hits + misses equals requests served.
   MappingCacheStats stats() const;

@@ -1,13 +1,7 @@
 #include "core/mapping_decision.h"
 
-#include "common/error.h"
 #include "common/string_util.h"
-#include "core/exhaustive_mapper.h"
-#include "core/im2col_mapper.h"
-#include "core/pruned_mapper.h"
-#include "core/sdk_mapper.h"
-#include "core/smd_mapper.h"
-#include "core/vwsdk_mapper.h"
+#include "core/mapper_registry.h"
 
 namespace vwsdk {
 
@@ -27,33 +21,29 @@ std::string MappingDecision::table_entry() const {
 }
 
 std::string MappingDecision::to_string() const {
-  return cat(algorithm, ": ", table_entry(), " -> ", cost.total, " cycles (",
-             cost.to_string(), ")");
+  std::string text = cat(algorithm, ": ", table_entry(), " -> ", cost.total,
+                         " cycles (", cost.to_string(), ")");
+  if (!objective.empty() && objective != cycles_objective().name()) {
+    text += cat(" [", objective, " score ", format_fixed(score, 1), "]");
+  }
+  return text;
+}
+
+MappingDecision Mapper::map(const ConvShape& shape,
+                            const ArrayGeometry& geometry) const {
+  return map(MappingContext{shape, geometry});
+}
+
+MappingDecision Mapper::map_parallel(const ConvShape& shape,
+                                     const ArrayGeometry& geometry,
+                                     ThreadPool& pool) const {
+  MappingContext context{shape, geometry};
+  context.pool = &pool;
+  return map(context);
 }
 
 std::unique_ptr<Mapper> make_mapper(const std::string& name) {
-  const std::string key = to_lower(trim(name));
-  if (key == "im2col") {
-    return std::make_unique<Im2colMapper>();
-  }
-  if (key == "smd") {
-    return std::make_unique<SmdMapper>();
-  }
-  if (key == "sdk") {
-    return std::make_unique<SdkMapper>();
-  }
-  if (key == "vw-sdk" || key == "vwsdk") {
-    return std::make_unique<VwSdkMapper>();
-  }
-  if (key == "exhaustive") {
-    return std::make_unique<ExhaustiveMapper>();
-  }
-  if (key == "vw-sdk-pruned" || key == "pruned") {
-    return std::make_unique<PrunedVwSdkMapper>();
-  }
-  throw NotFound(cat("unknown mapper '", name,
-                     "'; known: im2col, smd, sdk, vw-sdk, vw-sdk-pruned, "
-                     "exhaustive"));
+  return MapperRegistry::instance().create(name);
 }
 
 }  // namespace vwsdk

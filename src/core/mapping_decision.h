@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "core/mapping_context.h"
 #include "mapping/cost_model.h"
 #include "pim/array_geometry.h"
 
@@ -17,6 +18,8 @@ class ThreadPool;
 /// A mapper's chosen mapping for one (layer, array) pair.
 struct MappingDecision {
   std::string algorithm;    ///< producer name ("im2col", "sdk", "vw-sdk", ...)
+  std::string objective;    ///< scoring objective name ("cycles", "energy", ...)
+  double score = 0.0;       ///< the chosen mapping's score under `objective`
   ConvShape shape{};        ///< the layer
   ArrayGeometry geometry{}; ///< the array
   CycleCost cost{};         ///< full cycle breakdown of the chosen mapping
@@ -30,7 +33,8 @@ struct MappingDecision {
   /// printing convention: fallback rows print the full K x K x IC x OC.
   std::string table_entry() const;
 
-  /// One-line description.
+  /// One-line description.  For the cycles objective this is unchanged
+  /// from the pre-objective API; other objectives append their score.
   std::string to_string() const;
 
   /// Field-wise equality; the parallel-determinism tests rely on the
@@ -40,6 +44,13 @@ struct MappingDecision {
 };
 
 /// Interface of a mapping algorithm.
+///
+/// The primary entry point is context-based: `map(const MappingContext&)`
+/// receives the layer, the array, the scoring objective, and (for search
+/// mappers) an optional pool and trace.  The two-argument `map` and
+/// `map_parallel` are non-virtual compatibility shims equivalent to a
+/// default context (cycles objective) -- they are what the pre-context
+/// API looked like, and every historical call site still works.
 class Mapper {
  public:
   virtual ~Mapper() = default;
@@ -47,26 +58,31 @@ class Mapper {
   /// Short stable identifier ("im2col", "smd", "sdk", "vw-sdk", ...).
   virtual std::string name() const = 0;
 
-  /// Choose a mapping for `shape` on `geometry`.
-  virtual MappingDecision map(const ConvShape& shape,
-                              const ArrayGeometry& geometry) const = 0;
+  /// Choose a mapping under `context`.  Implementations must score
+  /// candidates through `context.scoring()` (search mappers) and may
+  /// fan candidate evaluation out over `context.pool`; the decision is
+  /// identical at any pool size.
+  virtual MappingDecision map(const MappingContext& context) const = 0;
 
-  /// As map(), free to spread candidate evaluation over `pool`.  The
-  /// result must be identical to map()'s -- parallelism may change the
-  /// wall time, never the decision.  The default ignores the pool;
-  /// search-based mappers override it.  Must not be called from a task
-  /// already running on `pool` (see thread_pool.h).
-  virtual MappingDecision map_parallel(const ConvShape& shape,
-                                       const ArrayGeometry& geometry,
-                                       ThreadPool& pool) const {
-    (void)pool;
-    return map(shape, geometry);
-  }
+  /// Compatibility shim: map `shape` on `geometry` under the default
+  /// context (cycles objective, sequential).
+  MappingDecision map(const ConvShape& shape,
+                      const ArrayGeometry& geometry) const;
+
+  /// Compatibility shim: as the two-argument map(), free to spread
+  /// candidate evaluation over `pool`.  The result is identical to
+  /// map()'s -- parallelism may change the wall time, never the
+  /// decision.  Must not be called from a task already running on
+  /// `pool` (see thread_pool.h).
+  MappingDecision map_parallel(const ConvShape& shape,
+                               const ArrayGeometry& geometry,
+                               ThreadPool& pool) const;
 };
 
-/// Construct any registered mapper by name; throws NotFound.
-/// Known names: "im2col", "smd", "sdk", "vw-sdk", "vw-sdk-pruned",
-/// "exhaustive".
+/// Construct any registered mapper by name or alias (case-insensitive);
+/// throws NotFound listing the known names.  Thin shim over
+/// MapperRegistry::instance() (core/mapper_registry.h), which is the
+/// single source of mapper names.
 std::unique_ptr<Mapper> make_mapper(const std::string& name);
 
 }  // namespace vwsdk

@@ -14,10 +14,22 @@ Cycles LayerMapping::cycles() const {
   return checked_mul(static_cast<Count>(layer.groups), decision.cost.total);
 }
 
+double LayerMapping::score() const {
+  return static_cast<double>(layer.groups) * decision.score;
+}
+
 Cycles NetworkMappingResult::total_cycles() const {
   Cycles total = 0;
   for (const LayerMapping& lm : layers) {
     total = checked_add(total, lm.cycles());
+  }
+  return total;
+}
+
+double NetworkMappingResult::total_score() const {
+  double total = 0.0;
+  for (const LayerMapping& lm : layers) {
+    total += lm.score();
   }
   return total;
 }
@@ -67,17 +79,14 @@ MappingDecision map_layer(const Mapper& mapper, const ConvShape& shape,
                           const ArrayGeometry& geometry,
                           const OptimizerOptions& options,
                           ThreadPool* intra_pool) {
-  const auto compute = [&]() {
-    if (intra_pool != nullptr) {
-      return mapper.map_parallel(shape, geometry, *intra_pool);
-    }
-    return mapper.map(shape, geometry);
-  };
+  MappingContext context{shape, geometry};
+  context.objective = options.objective;
+  context.pool = intra_pool;
+  context.cache = options.cache;
   if (options.cache != nullptr) {
-    return options.cache->get_or_compute(
-        MappingCacheKey{mapper.name(), shape, geometry}, compute);
+    return options.cache->map(mapper, context);
   }
-  return compute();
+  return mapper.map(context);
 }
 
 }  // namespace
@@ -135,6 +144,9 @@ NetworkMappingResult optimize_network(const Mapper& mapper,
   NetworkMappingResult result;
   result.network_name = network.name();
   result.algorithm = mapper.name();
+  result.objective = options.objective != nullptr
+                         ? options.objective->name()
+                         : cycles_objective().name();
   result.geometry = geometry;
   result.layers.reserve(layers.size());
   for (std::size_t i = 0; i < layers.size(); ++i) {

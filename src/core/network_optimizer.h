@@ -42,17 +42,29 @@ struct LayerMapping {
 
   /// Layer-level computing cycles: groups x per-group decision cycles.
   Cycles cycles() const;
+
+  /// Layer-level objective score: groups x per-group decision score
+  /// (the groups are identical, so cycles and energy both scale
+  /// linearly; for EDP this is the sum of the groups' products, a
+  /// consistent search metric even though it is not the layer's literal
+  /// EDP).
+  double score() const;
 };
 
 /// A mapping algorithm's result over a whole network.
 struct NetworkMappingResult {
   std::string network_name;
   std::string algorithm;
+  std::string objective;  ///< scoring objective the layers were mapped under
   ArrayGeometry geometry{};
   std::vector<LayerMapping> layers;
 
   /// Sum of per-layer computing cycles (the paper's "Total cycles").
   Cycles total_cycles() const;
+
+  /// Sum of per-layer objective scores (equals total_cycles() under the
+  /// default cycles objective).
+  double total_score() const;
 
   /// Cycles of layer `index`.
   Cycles layer_cycles(Count index) const;
@@ -75,9 +87,14 @@ struct OptimizerOptions {
 
   /// false (default): map layers concurrently, each layer's search
   /// sequential.  true: map layers in order, parallelizing each layer's
-  /// candidate evaluation via Mapper::map_parallel -- better for
+  /// candidate evaluation through the context's pool -- better for
   /// few-layer networks with large search spaces.
   bool intra_layer = false;
+
+  /// Search objective every layer's candidates are scored under;
+  /// nullptr means cycles_objective() (the paper's search, bit-exact).
+  /// The caller keeps ownership.
+  const Objective* objective = nullptr;
 };
 
 /// Map every layer of `network` with `mapper` on `geometry` using the
@@ -105,7 +122,8 @@ struct NetworkComparison {
                        Count layer_index) const;
 };
 
-/// Run each mapper in `mapper_names` (see make_mapper) over the network.
+/// Run each mapper in `mapper_names` (resolved through the
+/// MapperRegistry, see core/mapper_registry.h) over the network.
 NetworkComparison compare_mappers(const std::vector<std::string>& mapper_names,
                                   const Network& network,
                                   const ArrayGeometry& geometry);

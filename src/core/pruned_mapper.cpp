@@ -1,23 +1,36 @@
 #include "core/pruned_mapper.h"
 
+#include "core/mapper_registry.h"
+
 namespace vwsdk {
 
-MappingDecision PrunedVwSdkMapper::map(const ConvShape& shape,
-                                       const ArrayGeometry& geometry) const {
-  return map_with_stats(shape, geometry, nullptr);
+MappingDecision PrunedVwSdkMapper::map(const MappingContext& context) const {
+  return map_impl(context, nullptr);
 }
 
 MappingDecision PrunedVwSdkMapper::map_with_stats(
     const ConvShape& shape, const ArrayGeometry& geometry,
     PruneStats* stats) const {
-  shape.validate();
-  geometry.validate();
+  return map_impl(MappingContext{shape, geometry}, stats);
+}
+
+MappingDecision PrunedVwSdkMapper::map_impl(const MappingContext& context,
+                                            PruneStats* stats) const {
+  context.validate();
+  const Objective& objective = context.scoring();
+  const ConvShape& shape = context.shape;
+  const ArrayGeometry& geometry = context.geometry;
+  // Prune 3 compares raw cycle counts against the incumbent's score,
+  // which is only sound when the score *is* the cycle count.
+  const bool cycle_bound = objective.cycle_lower_bound_admissible();
 
   MappingDecision decision;
   decision.algorithm = name();
+  decision.objective = objective.name();
   decision.shape = shape;
   decision.geometry = geometry;
   decision.cost = im2col_cost(shape, geometry);
+  decision.score = objective.score(shape, geometry, decision.cost);
 
   for (Dim h = shape.kernel_h; h <= shape.padded_h(); h += shape.stride_h) {
     // Prune 1 (outer form): if even the narrowest window is row-
@@ -54,7 +67,8 @@ MappingDecision PrunedVwSdkMapper::map_with_stats(
       }
       // Prune 3: cycles >= N_PW; no improvement possible if the bound
       // already meets the incumbent.
-      if (num_parallel_windows(shape, pw) >= decision.cost.total) {
+      if (cycle_bound &&
+          num_parallel_windows(shape, pw) >= decision.cost.total) {
         if (stats != nullptr) {
           ++stats->lb_skipped;
         }
@@ -64,12 +78,32 @@ MappingDecision PrunedVwSdkMapper::map_with_stats(
       if (stats != nullptr) {
         ++stats->evaluated;
       }
-      if (candidate.feasible && decision.cost.total > candidate.total) {
-        decision.cost = candidate;
+      if (candidate.feasible) {
+        const double candidate_score =
+            objective.score(shape, geometry, candidate);
+        if (objective.better(candidate_score, decision.score)) {
+          decision.cost = candidate;
+          decision.score = candidate_score;
+        }
       }
     }
   }
   return decision;
 }
+
+namespace detail {
+
+void register_pruned_mapper(MapperRegistry& registry) {
+  registry.add(MapperInfo{
+      "vw-sdk-pruned",
+      {"pruned"},
+      "Algorithm 1 with exactness-preserving search-space prunes",
+      MapperCapabilities{/*objective_aware=*/true, /*parallel_search=*/false,
+                         /*exhaustive=*/false, /*grouped=*/true},
+      50,
+      []() { return std::make_unique<PrunedVwSdkMapper>(); }});
+}
+
+}  // namespace detail
 
 }  // namespace vwsdk

@@ -17,6 +17,12 @@
 ///  3. Lower-bound cut: cycles >= N_PW (AR, AC >= 1), and N_PW shrinks as
 ///     the window grows; evaluating the cheap N_PW before the full cost
 ///     skips candidates that cannot beat the incumbent.
+///
+/// Prunes 1 and 2 are feasibility facts, valid under every objective.
+/// Prune 3 reasons about raw cycle counts, so it only fires when the
+/// context's objective declares `cycle_lower_bound_admissible()`; under
+/// energy/EDP the mapper degrades to the feasibility prunes and stays
+/// exact.
 
 #include "core/mapping_decision.h"
 
@@ -33,14 +39,19 @@ struct PruneStats {
 /// Exact-result pruned implementation of Algorithm 1.
 class PrunedVwSdkMapper final : public Mapper {
  public:
-  std::string name() const override { return "vw-sdk-pruned"; }
-  MappingDecision map(const ConvShape& shape,
-                      const ArrayGeometry& geometry) const override;
+  using Mapper::map;
 
-  /// As map(), also reporting pruning statistics.
+  std::string name() const override { return "vw-sdk-pruned"; }
+  MappingDecision map(const MappingContext& context) const override;
+
+  /// As the two-argument map(), also reporting pruning statistics.
   MappingDecision map_with_stats(const ConvShape& shape,
                                  const ArrayGeometry& geometry,
                                  PruneStats* stats) const;
+
+ private:
+  MappingDecision map_impl(const MappingContext& context,
+                           PruneStats* stats) const;
 };
 
 }  // namespace vwsdk

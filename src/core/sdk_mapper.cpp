@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/math_util.h"
+#include "core/mapper_registry.h"
 
 namespace vwsdk {
 
@@ -42,22 +43,40 @@ Dim SdkMapper::chosen_gamma(const ConvShape& shape,
   return gamma;
 }
 
-MappingDecision SdkMapper::map(const ConvShape& shape,
-                               const ArrayGeometry& geometry) const {
+MappingDecision SdkMapper::map(const MappingContext& context) const {
+  const Objective& objective = context.scoring();
   MappingDecision decision;
   decision.algorithm = name();
-  decision.shape = shape;
-  decision.geometry = geometry;
+  decision.objective = objective.name();
+  decision.shape = context.shape;
+  decision.geometry = context.geometry;
 
-  const Dim gamma = chosen_gamma(shape, geometry);
+  const Dim gamma = chosen_gamma(context.shape, context.geometry);
   if (gamma <= 1) {
-    decision.cost = im2col_cost(shape, geometry);
-    return decision;
+    decision.cost = im2col_cost(context.shape, context.geometry);
+  } else {
+    const ParallelWindow pw{
+        context.shape.kernel_w + (gamma - 1) * context.shape.stride_w,
+        context.shape.kernel_h + (gamma - 1) * context.shape.stride_h};
+    decision.cost = sdk_cost(context.shape, context.geometry, pw);
   }
-  const ParallelWindow pw{shape.kernel_w + (gamma - 1) * shape.stride_w,
-                          shape.kernel_h + (gamma - 1) * shape.stride_h};
-  decision.cost = sdk_cost(shape, geometry, pw);
+  decision.score =
+      objective.score(context.shape, context.geometry, decision.cost);
   return decision;
 }
+
+namespace detail {
+
+void register_sdk_mapper(MapperRegistry& registry) {
+  registry.add(MapperInfo{
+      "sdk",
+      {},
+      "square-window SDK: maximal whole-channel duplication (ref [2])",
+      MapperCapabilities{},
+      30,
+      []() { return std::make_unique<SdkMapper>(); }});
+}
+
+}  // namespace detail
 
 }  // namespace vwsdk

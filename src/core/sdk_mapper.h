@@ -29,12 +29,15 @@
 
 namespace vwsdk {
 
-/// The reconstructed SDK-based baseline algorithm of ref [2].
+/// The reconstructed SDK-based baseline algorithm of ref [2].  The γ
+/// rule is the published algorithm (cycle-driven by construction), so
+/// the context's objective only prices the result, it never changes γ.
 class SdkMapper final : public Mapper {
  public:
+  using Mapper::map;
+
   std::string name() const override { return "sdk"; }
-  MappingDecision map(const ConvShape& shape,
-                      const ArrayGeometry& geometry) const override;
+  MappingDecision map(const MappingContext& context) const override;
 
   /// The chosen duplication factor γ (1 = im2col fallback); exposed for
   /// tests and the ablation bench.

@@ -19,6 +19,8 @@ struct SearchStep {
   bool feasible = false;
   Cycles cycles = 0;     ///< valid when feasible
   bool improved = false; ///< strictly better than the incumbent when visited
+  double score = 0.0;    ///< objective score, valid when feasible (equals
+                         ///< `cycles` under the default cycles objective)
 };
 
 /// Recording of one search run.

@@ -12,9 +12,9 @@ namespace vwsdk {
 namespace {
 
 const std::vector<std::string> kResultHeader = {
-    "network", "algorithm", "array",  "layer", "image", "kernel",
-    "ic",      "oc",        "groups", "window", "ic_t", "oc_t",
-    "n_pw",    "ar",        "ac",     "cycles"};
+    "network", "algorithm", "array",  "layer",  "image", "kernel",
+    "ic",      "oc",        "groups", "window", "ic_t",  "oc_t",
+    "n_pw",    "ar",        "ac",     "cycles", "objective", "score"};
 
 std::vector<std::string> layer_row(const NetworkMappingResult& result,
                                    const LayerMapping& lm) {
@@ -38,7 +38,9 @@ std::vector<std::string> layer_row(const NetworkMappingResult& result,
           std::to_string(cost.n_parallel_windows),
           std::to_string(cost.ar_cycles),
           std::to_string(cost.ac_cycles),
-          std::to_string(lm.cycles())};
+          std::to_string(lm.cycles()),
+          lm.decision.objective,
+          format_fixed(lm.score(), 4)};
 }
 
 /// JSON string escaping.  Names flow in from user spec files, so every
@@ -142,6 +144,8 @@ std::string to_json(const MappingDecision& decision) {
      << ",\"n_parallel_windows\":" << cost.n_parallel_windows
      << ",\"ar\":" << cost.ar_cycles << ",\"ac\":" << cost.ac_cycles
      << ",\"cycles\":" << cost.total
+     << ",\"objective\":" << json_string(decision.objective)
+     << ",\"score\":" << format_fixed(decision.score, 4)
      << ",\"im2col_fallback\":"
      << (decision.is_im2col_fallback() ? "true" : "false") << "}";
   return os.str();
@@ -151,6 +155,7 @@ std::string to_json(const NetworkMappingResult& result) {
   std::ostringstream os;
   os << "{\"network\":" << json_string(result.network_name)
      << ",\"algorithm\":" << json_string(result.algorithm)
+     << ",\"objective\":" << json_string(result.objective)
      << ",\"array\":" << json_string(result.geometry.to_string())
      << ",\"layers\":[";
   for (std::size_t i = 0; i < result.layers.size(); ++i) {
@@ -162,7 +167,8 @@ std::string to_json(const NetworkMappingResult& result) {
        << ",\"cycles\":" << result.layers[i].cycles()
        << ",\"decision\":" << to_json(result.layers[i].decision) << "}";
   }
-  os << "],\"total_cycles\":" << result.total_cycles() << "}";
+  os << "],\"total_cycles\":" << result.total_cycles()
+     << ",\"total_score\":" << format_fixed(result.total_score(), 4) << "}";
   return os.str();
 }
 

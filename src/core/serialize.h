@@ -15,8 +15,8 @@
 namespace vwsdk {
 
 /// One CSV row per layer:
-/// network,algorithm,array,layer,image,kernel,ic,oc,window,ic_t,oc_t,
-/// n_pw,ar,ac,cycles
+/// network,algorithm,array,layer,image,kernel,ic,oc,groups,window,ic_t,
+/// oc_t,n_pw,ar,ac,cycles,objective,score
 void write_result_csv(std::ostream& os, const NetworkMappingResult& result);
 
 /// All algorithms side by side, one CSV row per (layer, algorithm), with
@@ -32,7 +32,8 @@ void write_sweep_csv(std::ostream& os,
 
 /// Compact JSON object for one decision, e.g.
 /// {"algorithm":"vw-sdk","window":"4x3","ic_t":42,"oc_t":256,
-///  "n_parallel_windows":1458,"ar":4,"ac":1,"cycles":5832}.
+///  "n_parallel_windows":1458,"ar":4,"ac":1,"cycles":5832,
+///  "objective":"cycles","score":5832.0000,...}.
 std::string to_json(const MappingDecision& decision);
 
 /// JSON array of per-layer decisions plus the total, for one result.

@@ -1,15 +1,35 @@
 #include "core/smd_mapper.h"
 
+#include "core/mapper_registry.h"
+
 namespace vwsdk {
 
-MappingDecision SmdMapper::map(const ConvShape& shape,
-                               const ArrayGeometry& geometry) const {
+MappingDecision SmdMapper::map(const MappingContext& context) const {
+  context.validate();
+  const Objective& objective = context.scoring();
   MappingDecision decision;
   decision.algorithm = name();
-  decision.shape = shape;
-  decision.geometry = geometry;
-  decision.cost = smd_cost(shape, geometry);
+  decision.objective = objective.name();
+  decision.shape = context.shape;
+  decision.geometry = context.geometry;
+  decision.cost = smd_cost(context.shape, context.geometry);
+  decision.score =
+      objective.score(context.shape, context.geometry, decision.cost);
   return decision;
 }
+
+namespace detail {
+
+void register_smd_mapper(MapperRegistry& registry) {
+  registry.add(MapperInfo{
+      "smd",
+      {},
+      "sub-matrix duplication: block-diagonal im2col copies (ref [6])",
+      MapperCapabilities{},
+      20,
+      []() { return std::make_unique<SmdMapper>(); }});
+}
+
+}  // namespace detail
 
 }  // namespace vwsdk

@@ -10,12 +10,15 @@
 
 namespace vwsdk {
 
-/// Baseline mapper implementing sub-matrix duplication.
+/// Baseline mapper implementing sub-matrix duplication.  The mapping is
+/// fixed (maximal duplication), so the context's objective only prices
+/// it, it never changes the choice.
 class SmdMapper final : public Mapper {
  public:
+  using Mapper::map;
+
   std::string name() const override { return "smd"; }
-  MappingDecision map(const ConvShape& shape,
-                      const ArrayGeometry& geometry) const override;
+  MappingDecision map(const MappingContext& context) const override;
 };
 
 }  // namespace vwsdk

@@ -3,33 +3,24 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/mapper_registry.h"
 
 namespace vwsdk {
 
-MappingDecision VwSdkMapper::map(const ConvShape& shape,
-                                 const ArrayGeometry& geometry) const {
-  return map_traced(shape, geometry, nullptr);
-}
-
-MappingDecision VwSdkMapper::map_parallel(const ConvShape& shape,
-                                          const ArrayGeometry& geometry,
-                                          ThreadPool& pool) const {
-  return map_traced(shape, geometry, nullptr, &pool);
-}
-
-MappingDecision VwSdkMapper::map_traced(const ConvShape& shape,
-                                        const ArrayGeometry& geometry,
-                                        SearchTrace* trace,
-                                        ThreadPool* pool) const {
-  shape.validate();
-  geometry.validate();
+MappingDecision VwSdkMapper::map(const MappingContext& context) const {
+  context.validate();
+  const Objective& objective = context.scoring();
+  const ConvShape& shape = context.shape;
+  const ArrayGeometry& geometry = context.geometry;
 
   MappingDecision decision;
   decision.algorithm = name();
+  decision.objective = objective.name();
   decision.shape = shape;
   decision.geometry = geometry;
   // Step 1 of Algorithm 1: initialize with im2col.
   decision.cost = im2col_cost(shape, geometry);
+  decision.score = objective.score(shape, geometry, decision.cost);
 
   // Steps 2-16: every candidate in scan order (PW_h outer, PW_w inner),
   // skipping the kernel window the initialization covers.  With a pool,
@@ -41,32 +32,71 @@ MappingDecision VwSdkMapper::map_traced(const ConvShape& shape,
   const std::vector<ParallelWindow> windows =
       enumerate_windows(shape, /*include_kernel=*/false);
 
+  // `candidate_score` is the objective score of a feasible candidate
+  // (0.0 for infeasible ones); precomputed by the caller so the pooled
+  // path can evaluate scores in parallel too.
   const auto consider = [&](const ParallelWindow& pw,
-                            const CycleCost& candidate) {
+                            const CycleCost& candidate,
+                            double candidate_score) {
+    // The strict comparison keeps the first minimum.
     const bool improved =
-        candidate.feasible && decision.cost.total > candidate.total;
-    if (trace != nullptr) {
-      trace->record(SearchStep{pw, candidate.feasible,
-                               candidate.feasible ? candidate.total : 0,
-                               improved});
+        candidate.feasible &&
+        objective.better(candidate_score, decision.score);
+    if (context.trace != nullptr) {
+      context.trace->record(SearchStep{pw, candidate.feasible,
+                                       candidate.feasible ? candidate.total
+                                                          : 0,
+                                       improved, candidate_score});
     }
     if (improved) {
-      decision.cost = candidate;  // strict '>' keeps the first minimum
+      decision.cost = candidate;
+      decision.score = candidate_score;
     }
   };
 
-  if (pool != nullptr && pool->size() > 1) {
-    const std::vector<CycleCost> costs = vw_costs(shape, geometry, windows,
-                                                  pool);
+  if (context.pool != nullptr && context.pool->size() > 1) {
+    const std::vector<CycleCost> costs =
+        vw_costs(shape, geometry, windows, context.pool);
+    const std::vector<double> scores =
+        score_costs(objective, shape, geometry, costs, *context.pool);
     for (std::size_t i = 0; i < windows.size(); ++i) {
-      consider(windows[i], costs[i]);
+      consider(windows[i], costs[i], scores[i]);
     }
   } else {
     for (const ParallelWindow& pw : windows) {
-      consider(pw, vw_cost(shape, geometry, pw));
+      const CycleCost candidate = vw_cost(shape, geometry, pw);
+      consider(pw, candidate,
+               candidate.feasible
+                   ? objective.score(shape, geometry, candidate)
+                   : 0.0);
     }
   }
   return decision;
 }
+
+MappingDecision VwSdkMapper::map_traced(const ConvShape& shape,
+                                        const ArrayGeometry& geometry,
+                                        SearchTrace* trace,
+                                        ThreadPool* pool) const {
+  MappingContext context{shape, geometry};
+  context.trace = trace;
+  context.pool = pool;
+  return map(context);
+}
+
+namespace detail {
+
+void register_vwsdk_mapper(MapperRegistry& registry) {
+  registry.add(MapperInfo{
+      "vw-sdk",
+      {"vwsdk"},
+      "variable-window SDK search, Algorithm 1 (the paper's proposal)",
+      MapperCapabilities{/*objective_aware=*/true, /*parallel_search=*/true,
+                         /*exhaustive=*/false, /*grouped=*/true},
+      40,
+      []() { return std::make_unique<VwSdkMapper>(); }});
+}
+
+}  // namespace detail
 
 }  // namespace vwsdk

@@ -1,13 +1,15 @@
 #pragma once
 
 /// @file vwsdk_mapper.h
-/// VW-SDK: the paper's Algorithm 1.
+/// VW-SDK: the paper's Algorithm 1, generalized over search objectives.
 ///
 /// Initialize the incumbent with the im2col mapping, then scan every
 /// parallel-window shape (PW_w, PW_h) with PW_h = K_h .. I_h (outer loop)
 /// and PW_w = K_w .. I_w (inner loop), skipping (K_w, K_h) itself (that is
 /// the im2col initialization), evaluating the channel-tiled cost of
-/// Eq. (8) and keeping the *first* strict minimum in scan order.
+/// Eq. (8) and keeping the *first* candidate strictly better under the
+/// context's objective.  With the default cycles objective this is
+/// exactly the paper's minimum-cycles scan, bit for bit.
 ///
 /// The first-minimum tie-break is observable in the paper's own results:
 /// VGG-13 conv5 reports a 4x3 window although 4x4 ties it at 5832 cycles;
@@ -24,22 +26,22 @@ namespace vwsdk {
 /// The proposed variable-window SDK mapping algorithm.
 class VwSdkMapper final : public Mapper {
  public:
+  using Mapper::map;
+
   std::string name() const override { return "vw-sdk"; }
 
-  MappingDecision map(const ConvShape& shape,
-                      const ArrayGeometry& geometry) const override;
+  /// Algorithm 1 under `context`: candidates are scored by
+  /// `context.scoring()`, optionally evaluated over `context.pool`
+  /// (costs may be *computed* out of order; the reduction is always
+  /// sequential in scan order, so the first-minimum tie-break and the
+  /// recorded `context.trace` are identical to the single-threaded
+  /// scan), and every candidate is recorded into `context.trace` when
+  /// one is given.
+  MappingDecision map(const MappingContext& context) const override;
 
-  /// Evaluates the window candidates over `pool`, then reduces them in
-  /// scan order; returns exactly map()'s decision.
-  MappingDecision map_parallel(const ConvShape& shape,
-                               const ArrayGeometry& geometry,
-                               ThreadPool& pool) const override;
-
-  /// As map(), optionally recording every candidate into `trace` (pass
-  /// nullptr to skip recording) and optionally evaluating candidates
-  /// over `pool`.  The trace is identical either way: candidates are
-  /// recorded during the sequential scan-order reduction, never in
-  /// completion order.
+  /// Compatibility shim: as the two-argument map(), recording every
+  /// candidate into `trace` (pass nullptr to skip recording) and
+  /// optionally evaluating candidates over `pool`.
   MappingDecision map_traced(const ConvShape& shape,
                              const ArrayGeometry& geometry,
                              SearchTrace* trace,

@@ -4,19 +4,16 @@
 /// Analytic latency/energy estimation for a mapping decision -- the bridge
 /// from cycle counts (the paper's metric) to time and energy (the paper's
 /// motivation), without running the functional simulator.
+///
+/// The underlying per-cycle activity model lives in mapping/activity.h
+/// (`analytic_activity`), where the search objectives also use it; this
+/// header adds the per-layer estimate on top.
 
 #include "core/mapping_decision.h"
+#include "mapping/activity.h"
 #include "pim/energy_model.h"
 
 namespace vwsdk {
-
-/// Analytic per-execution activity of a mapping: for every scheduled cycle
-/// it accumulates the bound rows, bound columns, and programmed cells of
-/// the tile being computed.  Matches ExecutionResult::activity exactly
-/// (tested), but costs O(tiles) instead of O(MACs).
-EnergyReport analytic_activity(const ConvShape& shape,
-                               const ArrayGeometry& geometry,
-                               const CycleCost& cost);
 
 /// Latency and energy of one layer's inference under a mapping.
 struct LatencyEstimate {

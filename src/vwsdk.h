@@ -42,9 +42,11 @@
 #include "pim/energy_model.h"
 #include "pim/noise.h"
 
+#include "mapping/activity.h"
 #include "mapping/bit_slicing.h"
 #include "mapping/conv_shape.h"
 #include "mapping/cost_model.h"
+#include "mapping/objective.h"
 #include "mapping/layout_render.h"
 #include "mapping/mapping_plan.h"
 #include "mapping/parallel_window.h"
@@ -57,7 +59,9 @@
 #include "core/exhaustive_mapper.h"
 #include "core/grouped_conv.h"
 #include "core/im2col_mapper.h"
+#include "core/mapper_registry.h"
 #include "core/mapping_cache.h"
+#include "core/mapping_context.h"
 #include "core/mapping_decision.h"
 #include "core/network_optimizer.h"
 #include "core/pruned_mapper.h"

@@ -1,5 +1,8 @@
 #include "core/cli_support.h"
 
+#include <new>
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "common/error.h"
@@ -13,6 +16,7 @@ ArgParser parsed(const std::vector<const char*>& extra) {
   add_shape_options(args, 28, 3, 64, 128);
   add_array_option(args, "512x256");
   add_mappers_option(args);
+  add_objective_option(args);
   std::vector<const char*> argv{"test"};
   argv.insert(argv.end(), extra.begin(), extra.end());
   EXPECT_TRUE(args.parse(static_cast<int>(argv.size()), argv.data()));
@@ -42,13 +46,43 @@ TEST(CliSupport, MappersOptionValidatesNames) {
   // Whitespace and empty entries are tolerated.
   EXPECT_EQ(mappers_from_args(parsed({"--mappers", " vw-sdk ,,sdk"})),
             (std::vector<std::string>{"vw-sdk", "sdk"}));
-  // Unknown names fail with NotFound, duplicates with InvalidArgument.
+  // Aliases resolve to the canonical registry name.
+  EXPECT_EQ(mappers_from_args(parsed({"--mappers", "vwsdk,pruned"})),
+            (std::vector<std::string>{"vw-sdk", "vw-sdk-pruned"}));
+  // Unknown names fail with NotFound, duplicates with InvalidArgument --
+  // including a duplicate smuggled in through an alias.
   EXPECT_THROW(mappers_from_args(parsed({"--mappers", "vw-sdk,frob"})),
                NotFound);
   EXPECT_THROW(mappers_from_args(parsed({"--mappers", "sdk,sdk"})),
                InvalidArgument);
+  EXPECT_THROW(mappers_from_args(parsed({"--mappers", "vw-sdk,vwsdk"})),
+               InvalidArgument);
   EXPECT_THROW(mappers_from_args(parsed({"--mappers", " , "})),
                InvalidArgument);
+}
+
+TEST(CliSupport, MappersErrorNamesTheRegistryList) {
+  // The "known: ..." list is registry-derived, not hand-maintained.
+  try {
+    (void)mappers_from_args(parsed({"--mappers", "vw-sdk,frob"}));
+    FAIL() << "expected NotFound";
+  } catch (const NotFound& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("known:"), std::string::npos) << message;
+    EXPECT_NE(message.find("im2col"), std::string::npos) << message;
+    EXPECT_NE(message.find("vw-sdk-bitsliced"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(CliSupport, ObjectiveOptionResolvesTheSingletons) {
+  EXPECT_EQ(&objective_from_args(parsed({})), &cycles_objective());
+  EXPECT_EQ(&objective_from_args(parsed({"--objective", "energy"})),
+            &energy_objective());
+  EXPECT_EQ(&objective_from_args(parsed({"--objective", " EDP "})),
+            &edp_objective());
+  EXPECT_THROW(objective_from_args(parsed({"--objective", "joules"})),
+               NotFound);
 }
 
 TEST(CliSupport, RunCliMainMapsExceptionsToExitCodes) {
@@ -62,6 +96,17 @@ TEST(CliSupport, RunCliMainMapsExceptionsToExitCodes) {
             kExitUsageError);
   EXPECT_EQ(run_cli_main([]() -> int { throw Error("runtime failure"); }),
             kExitError);
+}
+
+TEST(CliSupport, RunCliMainCatchesForeignExceptions) {
+  // A non-vwsdk exception must report and exit 1, never terminate().
+  EXPECT_EQ(run_cli_main([]() -> int {
+              throw std::runtime_error("filesystem exploded");
+            }),
+            kExitError);
+  EXPECT_EQ(run_cli_main([]() -> int { throw std::bad_alloc(); }),
+            kExitError);
+  EXPECT_EQ(run_cli_main([]() -> int { throw 42; }), kExitError);
 }
 
 }  // namespace

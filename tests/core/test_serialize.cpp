@@ -25,15 +25,19 @@ TEST(Serialize, ResultCsvRoundTripsThroughParser) {
   ASSERT_EQ(lines.size(), 6u);  // header + 5 layers
   const auto header = csv_parse_line(lines[0]);
   EXPECT_EQ(header.front(), "network");
-  EXPECT_EQ(header.back(), "cycles");
+  EXPECT_EQ(header[15], "cycles");
+  EXPECT_EQ(header[16], "objective");
+  EXPECT_EQ(header.back(), "score");
   const auto conv4 = csv_parse_line(lines[4]);
   ASSERT_EQ(conv4.size(), header.size());
   EXPECT_EQ(conv4[0], "ResNet-18");
   EXPECT_EQ(conv4[3], "conv4");
-  EXPECT_EQ(conv4[8], "1");     // groups
-  EXPECT_EQ(conv4[9], "4x3");   // window
-  EXPECT_EQ(conv4[10], "42");   // ic_t
-  EXPECT_EQ(conv4[15], "504");  // cycles
+  EXPECT_EQ(conv4[8], "1");          // groups
+  EXPECT_EQ(conv4[9], "4x3");        // window
+  EXPECT_EQ(conv4[10], "42");        // ic_t
+  EXPECT_EQ(conv4[15], "504");       // cycles
+  EXPECT_EQ(conv4[16], "cycles");    // objective
+  EXPECT_EQ(conv4[17], "504.0000");  // score == cycles by default
 }
 
 TEST(Serialize, ComparisonCsvHasSpeedups) {
@@ -60,7 +64,26 @@ TEST(Serialize, DecisionJsonContainsAllFields) {
   EXPECT_NE(json.find("\"window\":\"4x3\""), std::string::npos);
   EXPECT_NE(json.find("\"ic_t\":42"), std::string::npos);
   EXPECT_NE(json.find("\"cycles\":5832"), std::string::npos);
+  EXPECT_NE(json.find("\"objective\":\"cycles\""), std::string::npos);
+  EXPECT_NE(json.find("\"score\":5832.0000"), std::string::npos);
   EXPECT_NE(json.find("\"im2col_fallback\":false"), std::string::npos);
+}
+
+TEST(Serialize, EnergyObjectiveFlowsIntoCsvAndJson) {
+  OptimizerOptions options;
+  options.objective = &energy_objective();
+  const NetworkMappingResult result = optimize_network(
+      *make_mapper("vw-sdk"), resnet18_paper(), k512x512, options);
+
+  std::ostringstream os;
+  write_result_csv(os, result);
+  const std::vector<std::string> lines = split(trim(os.str()), '\n');
+  const auto row = csv_parse_line(lines[1]);
+  EXPECT_EQ(row[16], "energy");
+
+  const std::string json = to_json(result);
+  EXPECT_NE(json.find("\"objective\":\"energy\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_score\":"), std::string::npos);
 }
 
 TEST(Serialize, NetworkJsonHasLayersAndTotal) {

@@ -75,6 +75,104 @@ TEST(EnergyModel, ValidationRejectsNegatives) {
   EXPECT_THROW(report.energy_pj(params), InvalidArgument);
 }
 
+TEST(EnergyModel, ValidationRejectsEachNegativeFieldIndependently) {
+  const auto rejects = [](auto set_field) {
+    EnergyParams params;
+    set_field(params);
+    EXPECT_THROW(params.validate(), InvalidArgument);
+  };
+  rejects([](EnergyParams& p) { p.dac_pj_per_row = -0.1; });
+  rejects([](EnergyParams& p) { p.adc_pj_per_col = -0.1; });
+  rejects([](EnergyParams& p) { p.cell_pj_per_mac = -0.1; });
+  rejects([](EnergyParams& p) { p.cycle_ns = -0.1; });
+  // Zero is allowed everywhere (a free component, not an invalid one).
+  EnergyParams zeros;
+  zeros.dac_pj_per_row = 0.0;
+  zeros.adc_pj_per_col = 0.0;
+  zeros.cell_pj_per_mac = 0.0;
+  zeros.cycle_ns = 0.0;
+  EXPECT_NO_THROW(zeros.validate());
+}
+
+TEST(EnergyModel, DefaultConstantsAreProportionallyHonest) {
+  // The model's documented contract: ADC >> DAC >> cell, so energy
+  // tracks conversions, which tracks cycles (§II-B).
+  const EnergyParams defaults;
+  EXPECT_GT(defaults.adc_pj_per_col, defaults.dac_pj_per_row);
+  EXPECT_GT(defaults.dac_pj_per_row, defaults.cell_pj_per_mac);
+  // Per-event: one column read costs more than one row drive costs more
+  // than one cell MAC, by an order of magnitude each.
+  EXPECT_GE(defaults.adc_pj_per_col / defaults.dac_pj_per_row, 2.0);
+  EXPECT_GE(defaults.dac_pj_per_row / defaults.cell_pj_per_mac, 100.0);
+}
+
+TEST(EnergyModel, EnergyIsProportionalInEachActivityComponent) {
+  const EnergyParams params = unit_params();
+  EnergyReport report;
+  report.row_activations = 7;
+  EXPECT_DOUBLE_EQ(report.energy_pj(params), 7.0 * params.dac_pj_per_row);
+  report.row_activations = 0;
+  report.col_reads = 7;
+  EXPECT_DOUBLE_EQ(report.energy_pj(params), 7.0 * params.adc_pj_per_col);
+  report.col_reads = 0;
+  report.cell_macs = 7;
+  EXPECT_DOUBLE_EQ(report.energy_pj(params), 7.0 * params.cell_pj_per_mac);
+}
+
+TEST(EnergyModel, FullArrayVsActiveOnlyAccounting) {
+  // Full-array accounting fires every converter every cycle; it depends
+  // only on (cycles, geometry, cell_macs), never on the per-cycle
+  // active counts -- and it upper-bounds the active-only accounting
+  // whenever the active counts fit the geometry.
+  const EnergyParams params = unit_params();
+  EnergyReport report;
+  report.cycles = 10;
+  report.row_activations = 100;  // 10 rows/cycle of the 64 available
+  report.col_reads = 50;         // 5 cols/cycle of the 32 available
+  report.cell_macs = 200;
+
+  const double full = report.full_array_energy_pj(params, 64, 32);
+  EXPECT_DOUBLE_EQ(full, 10.0 * (64.0 * params.dac_pj_per_row +
+                                 32.0 * params.adc_pj_per_col) +
+                             200.0 * params.cell_pj_per_mac);
+  EXPECT_GT(full, report.energy_pj(params));
+
+  // Changing the active counts moves energy_pj but not the full-array
+  // figure (the converters fire regardless).
+  EnergyReport busier = report;
+  busier.row_activations *= 2;
+  busier.col_reads *= 2;
+  EXPECT_DOUBLE_EQ(busier.full_array_energy_pj(params, 64, 32), full);
+  EXPECT_GT(busier.energy_pj(params), report.energy_pj(params));
+
+  EXPECT_THROW(report.full_array_energy_pj(params, 0, 32), InvalidArgument);
+  EXPECT_THROW(report.full_array_energy_pj(params, 64, 0), InvalidArgument);
+}
+
+TEST(EnergyModel, AccumulateMergesIntoRunningTotals) {
+  EnergyReport total;
+  EnergyReport a;
+  a.cycles = 3;
+  a.row_activations = 10;
+  a.col_reads = 20;
+  a.cell_macs = 30;
+  EnergyReport b;
+  b.cycles = 4;
+  b.row_activations = 1;
+  b.col_reads = 2;
+  b.cell_macs = 3;
+  total.accumulate(a);
+  total.accumulate(b);
+  EXPECT_EQ(total.cycles, 7);
+  EXPECT_EQ(total.row_activations, 11);
+  EXPECT_EQ(total.col_reads, 22);
+  EXPECT_EQ(total.cell_macs, 33);
+  // Accumulation and pricing commute: E(a+b) = E(a) + E(b).
+  const EnergyParams params = unit_params();
+  EXPECT_DOUBLE_EQ(total.energy_pj(params),
+                   a.energy_pj(params) + b.energy_pj(params));
+}
+
 TEST(EnergyModel, ToStringMentionsKeyNumbers) {
   EnergyReport report;
   report.cycles = 42;

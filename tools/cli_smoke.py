@@ -9,7 +9,11 @@
   round-trip, in both JSON and CSV spec formats);
 * the paper's Table-I totals on the 512x512 array are reproduced;
 * `sweep` runs a non-zoo spec file (grouped layers included) through the
-  cross-product and emits well-formed CSV and JSON.
+  cross-product and emits well-formed CSV and JSON;
+* `--objective energy` / `edp` run end to end (and energy provably
+  changes a VGG-13 window choice vs. the default cycles search);
+* `mappers` lists the registry, and unknown mappers/objectives are
+  usage errors naming the known sets.
 """
 
 import argparse
@@ -65,8 +69,23 @@ def main() -> int:
         cli.run("map", "--net", "no-such-model").returncode == 2,
         "unresolvable --net exits 2",
     )
-    for sub in ("map", "compare", "sweep", "zoo"):
+    for sub in ("map", "compare", "sweep", "mappers", "zoo"):
         check(cli.run(sub, "--help").returncode == 0, f"{sub} --help exits 0")
+
+    # --- mapper registry listing ----------------------------------------
+    mappers_out = cli.run("mappers")
+    check(mappers_out.returncode == 0, "mappers exits 0")
+    check(
+        all(name in mappers_out.stdout
+            for name in ("im2col", "vw-sdk", "exhaustive", "objective-aware")),
+        "mappers lists the registered algorithms and capabilities",
+    )
+    unknown_mapper = cli.run("map", "--net", "vgg13", "--mapper", "frob")
+    check(
+        unknown_mapper.returncode == 2 and "known:" in unknown_mapper.stderr
+        and "vw-sdk" in unknown_mapper.stderr,
+        "unknown --mapper exits 2 listing the registry names",
+    )
 
     # --- zoo listing ----------------------------------------------------
     zoo = cli.run("zoo")
@@ -88,6 +107,47 @@ def main() -> int:
             out.returncode == 0 and total == expected,
             f"map {net}/{mapper} total {total} == paper {expected}",
         )
+
+    # --- search objectives ----------------------------------------------
+    by_cycles = cli.run("map", "--net", "vgg13", "--format", "json")
+    by_energy = cli.run("map", "--net", "vgg13", "--objective", "energy",
+                        "--format", "json")
+    check(by_cycles.returncode == 0, "map (default objective) exits 0")
+    check(by_energy.returncode == 0, "map --objective energy exits 0")
+    if by_cycles.returncode != 0 or by_energy.returncode != 0:
+        print(f"\ncli_smoke: {len(FAILURES)} failure(s)")
+        return 1
+    cycles_doc = json.loads(by_cycles.stdout)
+    energy_doc = json.loads(by_energy.stdout)
+    check(
+        cycles_doc["objective"] == "cycles"
+        and energy_doc["objective"] == "energy",
+        "result JSON carries the objective",
+    )
+    windows = {
+        doc["objective"]: [l["decision"]["window"] for l in doc["layers"]]
+        for doc in (cycles_doc, energy_doc)
+    }
+    check(
+        windows["cycles"] != windows["energy"],
+        "energy objective picks different VGG-13 windows than cycles",
+    )
+    edp = cli.run("map", "--net", "vgg13", "--objective", "edp",
+                  "--format", "json")
+    check(
+        edp.returncode == 0 and json.loads(edp.stdout)["total_score"] > 0,
+        "map --objective edp exits 0 with a positive score",
+    )
+    check(
+        cli.run("compare", "--net", "resnet18", "--objective", "energy",
+                "--format", "csv").returncode == 0,
+        "compare --objective energy exits 0",
+    )
+    bad_objective = cli.run("map", "--net", "vgg13", "--objective", "frob")
+    check(
+        bad_objective.returncode == 2 and "known:" in bad_objective.stderr,
+        "unknown --objective exits 2 listing the known objectives",
+    )
 
     # --- spec round trip: zoo name vs exported spec file ----------------
     for spec_format in ("json", "csv"):
