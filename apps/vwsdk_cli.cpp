@@ -13,6 +13,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 #include "vwsdk.h"
@@ -40,6 +41,7 @@ Commands:
   map      map every layer of one network with one algorithm
   compare  run several algorithms on one network side by side
   sweep    cross-product of networks x arrays x algorithms
+  chip     pipeline one network across one or more PIM chips
   mappers  list the registered mapping algorithms
   zoo      list built-in networks or export one as a spec file
 
@@ -388,6 +390,128 @@ int run_sweep(int argc, const char* const* argv) {
   return kExitOk;
 }
 
+/// The chip plan's table rendering.  The score column appears only for
+/// non-cycles objectives (under cycles the score IS the makespan), the
+/// same convention as `map`'s table.
+TextTable chip_table(const ChipPlan& plan) {
+  const bool scored = plan.objective != cycles_objective().name();
+  std::vector<std::string> headers{"chip",  "layer",         "groups",
+                                   "tiles", "arrays",        "serial",
+                                   "makespan"};
+  if (scored) {
+    headers.push_back(
+        cat(plan.objective, " (",
+            objective_by_name(plan.objective).unit(), ")"));
+  }
+  TextTable table(headers);
+  for (std::size_t chip = 0; chip < plan.chips.size(); ++chip) {
+    for (const LayerAllocation& layer : plan.chips[chip].layers) {
+      std::vector<std::string> row{
+          std::to_string(chip + 1), layer.layer_name,
+          std::to_string(layer.groups), std::to_string(layer.tiles),
+          std::to_string(layer.arrays),
+          std::to_string(layer.serial_cycles),
+          std::to_string(layer.makespan)};
+      if (scored) {
+        row.push_back(format_fixed(layer.score, 1));
+      }
+      table.add_row(std::move(row));
+    }
+    if (chip + 1 < plan.chips.size()) {
+      table.add_separator();
+    }
+  }
+  return table;
+}
+
+int run_chip(int argc, const char* const* argv) {
+  ArgParser args("vwsdk chip",
+                 "pipeline one network across one or more PIM chips");
+  args.add_option("net", "",
+                  "model-zoo name or spec file (required; --network is an "
+                  "alias)");
+  args.add_option("network", "", "alias for --net");
+  args.add_option("mapper", "vw-sdk",
+                  cat("mapping algorithm (",
+                      MapperRegistry::instance().known_names(), ")"));
+  args.add_int_option("arrays", 0,
+                      "crossbar arrays per chip (required, >= 1)");
+  args.add_int_option("chips", 0,
+                      "chip budget (0 = as many as the demand needs)");
+  args.add_int_option("batch", 1,
+                      "inferences streamed through the pipeline");
+  args.add_option("format", "table", "output format: table, csv, or json");
+  add_net_options(args);
+  if (!args.parse(argc, argv)) {
+    return kExitOk;
+  }
+  require_no_positional(args);
+  VWSDK_REQUIRE(args.get("net").empty() || args.get("network").empty(),
+                "give --net or --network, not both");
+  const std::string net =
+      args.get("net").empty() ? args.get("network") : args.get("net");
+  VWSDK_REQUIRE(!net.empty(), "--net is required");
+  const std::string format =
+      format_from_args(args, {"table", "csv", "json"});
+  constexpr long long kDimMax = std::numeric_limits<Dim>::max();
+  const Dim arrays =
+      static_cast<Dim>(int_in_range(args, "arrays", 1, kDimMax));
+  const Dim chips =
+      static_cast<Dim>(int_in_range(args, "chips", 0, kDimMax));
+  // A billion streamed inferences is far beyond any plausible run and
+  // keeps (batch-1) * interval clear of Cycles overflow, so oversize
+  // values fail here naming the flag instead of deep in checked_mul.
+  const Count batch = int_in_range(args, "batch", 1, 1000000000);
+
+  const NetworkSpec spec = resolve_network_spec(net);
+  const ArrayGeometry geometry = resolve_geometry(args, spec);
+  const auto mapper = make_mapper(args.get("mapper"));
+  const NetworkMappingResult result = optimize_network(
+      *mapper, spec.network, geometry, options_from_args(args));
+
+  ChipPlanOptions plan_options;
+  plan_options.arrays_per_chip = arrays;
+  plan_options.max_chips = chips;
+  plan_options.objective = &objective_from_args(args);
+  const ChipPlan plan = plan_chips(result, plan_options);
+  if (!plan.feasible) {
+    // An explicit planning failure, not a zeroed report: the reason goes
+    // to stderr under the exit-1 contract (JSON consumers can instead
+    // call the library's to_json, which carries feasible/reason).
+    throw Error(plan.infeasible_reason);
+  }
+
+  with_output(args.get("out"), [&](std::ostream& os) {
+    if (format == "csv") {
+      write_chip_csv(os, plan);
+    } else if (format == "json") {
+      os << to_json(plan, batch) << "\n";
+    } else {
+      os << "network: " << spec.network.name() << " ("
+         << spec.network.layer_count() << " layers)\narray: "
+         << geometry.to_string() << "   algorithm: " << plan.algorithm;
+      if (plan.objective != cycles_objective().name()) {
+        os << "   objective: " << plan.objective;
+      }
+      os << "\nchips: " << plan.chips.size() << " x " << plan.arrays_per_chip
+         << " arrays (" << plan.arrays_used() << " used, resident demand "
+         << resident_array_demand(result) << ")\ninterval: "
+         << plan.interval() << " cycles   fill latency: "
+         << plan.fill_latency() << " cycles\nspeedup: "
+         << format_fixed(plan.speedup(), 2)
+         << "x vs one array   balance: "
+         << format_fixed(plan.balance(), 2) << "\nbatch " << batch << ": "
+         << plan.batch_cycles(batch) << " cycles ("
+         << format_fixed(static_cast<double>(plan.batch_cycles(batch)) /
+                             static_cast<double>(batch),
+                         1)
+         << " cycles/inference)\n\n"
+         << chip_table(plan);
+    }
+  });
+  return kExitOk;
+}
+
 int run_mappers(int argc, const char* const* argv) {
   ArgParser args("vwsdk mappers", "list the registered mapping algorithms");
   args.add_option("out", "-", "output path, '-' = stdout");
@@ -494,6 +618,9 @@ int main(int argc, char** argv) {
     }
     if (command == "sweep") {
       return run_sweep(argc - 1, argv + 1);
+    }
+    if (command == "chip") {
+      return run_chip(argc - 1, argv + 1);
     }
     if (command == "mappers") {
       return run_mappers(argc - 1, argv + 1);

@@ -7,10 +7,17 @@
 /// the chip level -- equal or better pipeline interval at every chip
 /// size -- at a modest extra resident-array demand (its channel tiles use
 /// more, smaller tiles than im2col's dense columns).
+///
+/// Further sections cover the planner's objective-aware allocation
+/// (cycles/edp water-fill, energy honestly stays at the resident floor),
+/// multi-chip sharding when the demand exceeds one chip, and the batched
+/// throughput model (fill + (B-1) x interval).
 
+#include <algorithm>
 #include <iostream>
 
 #include "bench_util.h"
+#include "common/math_util.h"
 #include "common/table.h"
 #include "nn/model_zoo.h"
 #include "sim/chip_allocator.h"
@@ -73,5 +80,95 @@ int main() {
 
   std::cout << "\nallocation detail at 64 arrays:\n"
             << allocate_chip(vw, 64).to_string();
+
+  reporter.section("Objective-aware allocation -- 256 arrays");
+  // Cycles water-fills to the makespan floor; energy is honest about
+  // parallelism buying no conversions (stays at the resident demand);
+  // EDP prices delay linearly and water-fills like cycles does.
+  const ChipAllocation by_cycles = allocate_chip(vw, 256);
+  const ChipAllocation by_energy =
+      allocate_chip(vw, 256, &energy_objective());
+  const ChipAllocation by_edp = allocate_chip(vw, 256, &edp_objective());
+  std::cout << "arrays used at 256: cycles " << by_cycles.arrays_used()
+            << ", energy " << by_energy.arrays_used() << ", edp "
+            << by_edp.arrays_used() << "\n";
+  reporter.expect_eq("energy allocation stays at the resident demand", 23,
+                     by_energy.arrays_used());
+  reporter.expect_true("edp water-fills beyond the resident demand",
+                       by_edp.arrays_used() > 23);
+  reporter.expect_true(
+      "edp interval beats the resident-floor (energy) interval",
+      by_edp.bottleneck() < by_energy.bottleneck());
+  reporter.expect_true(
+      "no allocated stage wastes arrays on a ceil plateau",
+      [&] {
+        for (const ChipAllocation* chip : {&by_cycles, &by_edp}) {
+          for (const LayerAllocation& layer : chip->layers) {
+            if (layer.arrays > layer.tiles &&
+                ceil_div(layer.serial_cycles, layer.makespan) !=
+                    layer.arrays) {
+              return false;
+            }
+          }
+        }
+        return true;
+      }());
+
+  reporter.section("Multi-chip sharding -- VGG-13, 16 arrays per chip");
+  const NetworkMappingResult vgg =
+      optimize_network(*make_mapper("vw-sdk"), vgg13_paper(), {512, 512});
+  ChipPlanOptions shard_options;
+  shard_options.arrays_per_chip = 16;
+  const ChipPlan sharded = plan_chips(vgg, shard_options);
+  std::cout << sharded.to_string();
+  reporter.expect_true("demand > one chip produces a feasible plan",
+                       sharded.feasible);
+  reporter.expect_eq("VGG-13 resident demand", 52,
+                     resident_array_demand(vgg));
+  reporter.expect_eq("chips of 16 arrays needed", 5,
+                     static_cast<Count>(sharded.chips.size()));
+  reporter.expect_true(
+      "every chip's resident demand fits its budget",
+      [&] {
+        for (const ChipAllocation& chip : sharded.chips) {
+          Count demand = 0;
+          for (const LayerAllocation& layer : chip.layers) {
+            demand += layer.tiles;
+          }
+          if (demand > shard_options.arrays_per_chip) {
+            return false;
+          }
+        }
+        return true;
+      }());
+  reporter.expect_true("plan interval is the max chip interval",
+                       [&] {
+                         Cycles worst = 0;
+                         for (const ChipAllocation& chip : sharded.chips) {
+                           worst = std::max(worst, chip.bottleneck());
+                         }
+                         return sharded.interval() == worst;
+                       }());
+
+  reporter.section("Batched throughput -- ResNet-18, 64-array chip");
+  ChipPlanOptions batch_options;
+  batch_options.arrays_per_chip = 64;
+  const ChipPlan pipelined = plan_chips(vw, batch_options);
+  std::cout << "fill " << pipelined.fill_latency() << " cycles, interval "
+            << pipelined.interval() << "; batch 64: "
+            << pipelined.batch_cycles(64) << " cycles\n";
+  reporter.expect_true("a batch of one pays exactly the fill latency",
+                       pipelined.batch_cycles(1) ==
+                           pipelined.fill_latency());
+  reporter.expect_true(
+      "steady state amortizes toward the interval",
+      [&] {
+        const double per_inference =
+            static_cast<double>(pipelined.batch_cycles(256)) / 256.0;
+        const double interval =
+            static_cast<double>(pipelined.interval());
+        return per_inference >= interval &&
+               per_inference < 1.1 * interval;
+      }());
   return reporter.finish();
 }

@@ -71,6 +71,18 @@ const Objective& objective_from_args(const ArgParser& args) {
   return objective_by_name(args.get("objective"));
 }
 
+long long int_in_range(const ArgParser& args, const std::string& name,
+                       long long minimum, long long maximum) {
+  const long long value = args.get_int(name);
+  VWSDK_REQUIRE(value >= minimum,
+                cat("--", name, " must be >= ", minimum, " (got ", value,
+                    ")"));
+  VWSDK_REQUIRE(value <= maximum,
+                cat("--", name, " must be <= ", maximum, " (got ", value,
+                    ")"));
+  return value;
+}
+
 int run_cli_main(const std::function<int()>& body) {
   try {
     return body();

@@ -9,6 +9,7 @@
 /// docs/CLI.md).
 
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,15 @@ void add_objective_option(ArgParser& args);
 /// The Objective parsed from --objective (throws NotFound listing the
 /// known objectives).  The reference is a process-lifetime singleton.
 const Objective& objective_from_args(const ArgParser& args);
+
+/// The integer option `name`, validated to lie in [minimum, maximum];
+/// throws InvalidArgument naming the flag and the violated bound.  The
+/// CLI's count-valued flags (--arrays, --chips, --batch, ...) share
+/// this so their usage errors read alike; callers narrowing to Dim pass
+/// its max so out-of-range input fails loudly instead of wrapping.
+long long int_in_range(
+    const ArgParser& args, const std::string& name, long long minimum,
+    long long maximum = std::numeric_limits<long long>::max());
 
 /// Run `body` (argument parsing included) under the standard error
 /// report: InvalidArgument/NotFound print "usage error: ..." and return

@@ -194,6 +194,90 @@ std::string to_json(const NetworkComparison& comparison) {
   return os.str();
 }
 
+void write_chip_csv(std::ostream& os, const ChipPlan& plan) {
+  VWSDK_REQUIRE(plan.feasible,
+                cat("cannot serialize an infeasible chip plan as CSV (",
+                    plan.infeasible_reason, "); use the JSON form"));
+  CsvWriter csv(os, {"network", "algorithm", "objective", "array",
+                     "arrays_per_chip", "chip", "layer", "groups", "tiles",
+                     "arrays", "serial_cycles", "makespan", "score",
+                     "interval", "fill_latency", "speedup", "balance"});
+  const std::string interval = std::to_string(plan.interval());
+  const std::string fill = std::to_string(plan.fill_latency());
+  const std::string speedup = format_fixed(plan.speedup(), 4);
+  const std::string balance = format_fixed(plan.balance(), 4);
+  for (std::size_t chip = 0; chip < plan.chips.size(); ++chip) {
+    for (const LayerAllocation& layer : plan.chips[chip].layers) {
+      csv.write_row({plan.network_name, plan.algorithm, plan.objective,
+                     plan.geometry.to_string(),
+                     std::to_string(plan.arrays_per_chip),
+                     std::to_string(chip + 1), layer.layer_name,
+                     std::to_string(layer.groups),
+                     std::to_string(layer.tiles),
+                     std::to_string(layer.arrays),
+                     std::to_string(layer.serial_cycles),
+                     std::to_string(layer.makespan),
+                     format_fixed(layer.score, 4), interval, fill, speedup,
+                     balance});
+    }
+  }
+}
+
+std::string to_json(const ChipPlan& plan, Count batch) {
+  VWSDK_REQUIRE(batch >= 1, "batch needs at least one inference");
+  std::ostringstream os;
+  os << "{\"network\":" << json_string(plan.network_name)
+     << ",\"algorithm\":" << json_string(plan.algorithm)
+     << ",\"objective\":" << json_string(plan.objective)
+     << ",\"array\":" << json_string(plan.geometry.to_string())
+     << ",\"arrays_per_chip\":" << plan.arrays_per_chip
+     << ",\"feasible\":" << (plan.feasible ? "true" : "false");
+  if (!plan.feasible) {
+    os << ",\"reason\":" << json_string(plan.infeasible_reason) << "}";
+    return os.str();
+  }
+  os << ",\"chips\":[";
+  for (std::size_t i = 0; i < plan.chips.size(); ++i) {
+    const ChipAllocation& chip = plan.chips[i];
+    if (i != 0) {
+      os << ',';
+    }
+    os << "{\"arrays\":" << chip.total_arrays
+       << ",\"arrays_used\":" << chip.arrays_used()
+       << ",\"interval\":" << chip.bottleneck()
+       << ",\"fill_latency\":" << chip.fill_latency()
+       << ",\"balance\":" << format_fixed(chip.balance(), 4)
+       << ",\"layers\":[";
+    for (std::size_t j = 0; j < chip.layers.size(); ++j) {
+      const LayerAllocation& layer = chip.layers[j];
+      if (j != 0) {
+        os << ',';
+      }
+      os << "{\"name\":" << json_string(layer.layer_name)
+         << ",\"groups\":" << layer.groups << ",\"tiles\":" << layer.tiles
+         << ",\"arrays\":" << layer.arrays
+         << ",\"serial_cycles\":" << layer.serial_cycles
+         << ",\"makespan\":" << layer.makespan
+         << ",\"score\":" << format_fixed(layer.score, 4) << "}";
+    }
+    os << "]}";
+  }
+  os << "],\"interval\":" << plan.interval()
+     << ",\"fill_latency\":" << plan.fill_latency()
+     << ",\"serial_cycles\":" << plan.serial_cycles()
+     << ",\"arrays_used\":" << plan.arrays_used()
+     << ",\"speedup\":" << format_fixed(plan.speedup(), 4)
+     << ",\"balance\":" << format_fixed(plan.balance(), 4)
+     << ",\"batch\":" << batch
+     << ",\"batch_cycles\":" << plan.batch_cycles(batch)
+     << ",\"cycles_per_inference\":"
+     << format_fixed(static_cast<double>(plan.batch_cycles(batch)) /
+                         static_cast<double>(batch),
+                     4)
+     << "}";
+  return os.str();
+}
+
 namespace {
 
 /// "N" when square, "[w,h]" otherwise (the JSON spec extent grammar).

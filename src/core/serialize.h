@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/network_optimizer.h"
+#include "sim/chip_allocator.h"
 
 namespace vwsdk {
 
@@ -42,6 +43,22 @@ std::string to_json(const NetworkMappingResult& result);
 /// JSON object for a whole comparison: results side by side plus total
 /// speedups of each algorithm vs. the first.
 std::string to_json(const NetworkComparison& comparison);
+
+/// One CSV row per (chip, layer) of a feasible chip plan:
+/// network,algorithm,objective,array,arrays_per_chip,chip,layer,groups,
+/// tiles,arrays,serial_cycles,makespan,score,interval,fill_latency,
+/// speedup,balance (the last four are plan-level, repeated on every
+/// row).  Throws InvalidArgument on an infeasible plan -- there is no
+/// row schema for "no plan exists"; check `feasible` (or use the JSON
+/// form, which carries the reason) first.
+void write_chip_csv(std::ostream& os, const ChipPlan& plan);
+
+/// JSON object for a chip plan: identity + per-chip layer allocations +
+/// plan-level interval/fill/speedup/balance and the `batch`-inference
+/// latency model.  Infeasible plans serialize as
+/// {"feasible":false,"reason":...} with the identity fields -- explicit,
+/// never zeroed metrics.
+std::string to_json(const ChipPlan& plan, Count batch = 1);
 
 /// Network-spec export, the JSON format parsed by
 /// parse_network_spec_json (nn/network_spec.h).  `array` becomes the

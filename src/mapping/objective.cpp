@@ -42,6 +42,10 @@ class CyclesObjective final : public Objective {
     return static_cast<double>(cost.total);
   }
   bool cycle_lower_bound_admissible() const override { return true; }
+  double stage_score(const ConvShape&, const ArrayGeometry&,
+                     const CycleCost&, Dim, Cycles makespan) const override {
+    return static_cast<double>(makespan);
+  }
 };
 
 }  // namespace
@@ -82,6 +86,18 @@ double EdpObjective::score(const ConvShape& shape,
 
 std::string EdpObjective::cache_key() const {
   return params_cache_key(name(), params_);
+}
+
+double EdpObjective::stage_score(const ConvShape& shape,
+                                 const ArrayGeometry& geometry,
+                                 const CycleCost& cost, Dim groups,
+                                 Cycles makespan) const {
+  // Energy is the full per-inference conversion count (all G groups);
+  // delay is the parallel stage latency, not the serial cycle count.
+  const double energy =
+      static_cast<double>(groups) *
+      analytic_activity(shape, geometry, cost).energy_pj(params_);
+  return energy * static_cast<double>(makespan) * params_.cycle_ns;
 }
 
 const Objective& cycles_objective() {

@@ -82,6 +82,24 @@ class Objective {
   /// to another (the built-in energy/edp objectives embed their
   /// EnergyParams).
   virtual std::string cache_key() const { return name(); }
+
+  /// Score of one *pipeline stage* inside a chip-level allocation
+  /// (sim/chip_allocator.h): the stage's per-inference work is `groups`
+  /// identical copies of `cost` (a grouped layer runs G independent
+  /// sub-convolutions), dispatched over enough arrays that the stage
+  /// finishes in `makespan` cycles.  Lower is better.  The default
+  /// prices the work itself (groups x score) and ignores the makespan
+  /// -- correct for objectives parallelism cannot improve (energy:
+  /// replication divides time, never conversions).  Latency-priced
+  /// objectives override it: `cycles` scores the makespan directly and
+  /// `edp` re-prices its delay factor with the parallel makespan.
+  virtual double stage_score(const ConvShape& shape,
+                             const ArrayGeometry& geometry,
+                             const CycleCost& cost, Dim groups,
+                             Cycles makespan) const {
+    (void)makespan;
+    return static_cast<double>(groups) * score(shape, geometry, cost);
+  }
 };
 
 /// The paper's objective: minimize CycleCost::total.  Scoring through it
@@ -148,6 +166,9 @@ class EdpObjective final : public Objective {
   double score(const ConvShape& shape, const ArrayGeometry& geometry,
                const CycleCost& cost) const override;
   std::string cache_key() const override;
+  double stage_score(const ConvShape& shape, const ArrayGeometry& geometry,
+                     const CycleCost& cost, Dim groups,
+                     Cycles makespan) const override;
 
   const EnergyParams& params() const { return params_; }
 

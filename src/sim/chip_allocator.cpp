@@ -1,12 +1,56 @@
 #include "sim/chip_allocator.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.h"
 #include "common/math_util.h"
 #include "common/string_util.h"
 
 namespace vwsdk {
+
+namespace {
+
+/// Layer-level resident tile demand: G x AR x AC (every group programs
+/// its own tiles; groups cannot share crossbar columns).
+Count layer_tiles(const LayerMapping& lm) {
+  return checked_mul(static_cast<Count>(lm.layer.groups),
+                     checked_mul(lm.decision.cost.ar_cycles,
+                                 lm.decision.cost.ac_cycles));
+}
+
+/// Re-price one stage at `arrays`: replicated dispatch for the makespan,
+/// the objective for the score.
+void price_stage(const Objective& scoring, const LayerMapping& lm,
+                 Dim arrays, LayerAllocation& stage) {
+  stage.arrays = arrays;
+  stage.makespan = dispatch_layer(lm.decision, arrays,
+                                  /*allow_replication=*/true,
+                                  lm.layer.groups)
+                       .makespan;
+  stage.score =
+      scoring.stage_score(lm.decision.shape, lm.decision.geometry,
+                          lm.decision.cost, lm.layer.groups, stage.makespan);
+}
+
+/// Fold one chip's stage makespans into a running [lo, hi] range.
+void widen_makespan_range(const std::vector<LayerAllocation>& layers,
+                          Cycles& lo, Cycles& hi) {
+  for (const LayerAllocation& layer : layers) {
+    lo = std::min(lo, layer.makespan);
+    hi = std::max(hi, layer.makespan);
+  }
+}
+
+/// min/max makespan balance from a folded range (0 when empty/zeroed).
+double balance_of_range(Cycles lo, Cycles hi) {
+  if (hi == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(lo) / static_cast<double>(hi);
+}
+
+}  // namespace
 
 Cycles ChipAllocation::bottleneck() const {
   Cycles worst = 0;
@@ -32,15 +76,22 @@ Dim ChipAllocation::arrays_used() const {
   return used;
 }
 
+double ChipAllocation::balance() const {
+  Cycles lo = std::numeric_limits<Cycles>::max();
+  Cycles hi = 0;
+  widen_makespan_range(layers, lo, hi);
+  return balance_of_range(lo, hi);
+}
+
 std::string ChipAllocation::to_string() const {
   if (!feasible) {
-    return cat("chip of ", total_arrays,
-               " arrays: INFEASIBLE (resident weights need more arrays)");
+    return cat("chip of ", total_arrays, " arrays: INFEASIBLE (",
+               infeasible_reason, ")");
   }
   std::string out = cat("chip of ", total_arrays, " arrays, ",
                         arrays_used(), " used; pipeline interval ",
                         bottleneck(), " cycles, fill latency ",
-                        fill_latency(), ":\n");
+                        fill_latency(), " (objective ", objective, "):\n");
   for (const LayerAllocation& layer : layers) {
     out += cat("  ", layer.layer_name, ": ", layer.arrays, " arrays (",
                layer.tiles, " tiles), makespan ", layer.makespan, "\n");
@@ -51,24 +102,30 @@ std::string ChipAllocation::to_string() const {
 Count resident_array_demand(const NetworkMappingResult& result) {
   Count demand = 0;
   for (const LayerMapping& lm : result.layers) {
-    demand = checked_add(
-        demand, checked_mul(lm.decision.cost.ar_cycles,
-                            lm.decision.cost.ac_cycles));
+    demand = checked_add(demand, layer_tiles(lm));
   }
   return demand;
 }
 
 ChipAllocation allocate_chip(const NetworkMappingResult& result,
-                             Dim total_arrays) {
+                             Dim total_arrays, const Objective* objective) {
   VWSDK_REQUIRE(total_arrays >= 1, "chip needs at least one array");
   VWSDK_REQUIRE(!result.layers.empty(), "cannot allocate an empty network");
+  const Objective& scoring =
+      objective != nullptr ? *objective : cycles_objective();
 
   ChipAllocation allocation;
   allocation.total_arrays = total_arrays;
+  allocation.objective = scoring.name();
 
   const Count demand = resident_array_demand(result);
   if (demand > total_arrays) {
     allocation.feasible = false;
+    allocation.infeasible_reason =
+        cat("resident weights need ", demand, " arrays but the chip has ",
+            total_arrays,
+            "; weights would be reprogrammed every inference (shard across "
+            "chips with plan_chips)");
     return allocation;
   }
   allocation.feasible = true;
@@ -77,38 +134,216 @@ ChipAllocation allocate_chip(const NetworkMappingResult& result,
   for (const LayerMapping& lm : result.layers) {
     LayerAllocation layer;
     layer.layer_name = lm.layer.name;
-    layer.tiles = checked_mul(lm.decision.cost.ar_cycles,
-                              lm.decision.cost.ac_cycles);
-    layer.arrays = static_cast<Dim>(layer.tiles);
-    layer.makespan =
-        dispatch_layer(lm.decision, layer.arrays, /*allow_replication=*/true)
-            .makespan;
+    layer.groups = lm.layer.groups;
+    layer.tiles = layer_tiles(lm);
+    layer.serial_cycles = lm.cycles();
+    price_stage(scoring, lm, static_cast<Dim>(layer.tiles), layer);
     allocation.layers.push_back(std::move(layer));
   }
 
-  // Greedy water-filling: every spare array goes to the bottleneck stage.
+  // Water-filling: every spare array goes to the worst-scoring stage,
+  // jumping straight to the array count that actually lowers its
+  // makespan (replicated makespans are ceil(serial / arrays), so they
+  // sit on plateaus -- one-at-a-time incrementing would burn arrays
+  // without improving anything).  A stage that cannot improve -- at its
+  // makespan floor, its jump beyond the remaining spares, or its score
+  // allocation-invariant (energy) -- is *saturated* and the filling
+  // moves on to the next-worst stage: under a non-cycles objective the
+  // max-score stage need not be the max-makespan stage, so stopping
+  // outright would strand spares that still shorten the interval.
+  // (Saturation is permanent: spares only shrink, and a stage's own
+  // breakpoints do not depend on the other stages.)
   Dim spare = total_arrays - static_cast<Dim>(demand);
+  std::vector<char> saturated(allocation.layers.size(), 0);
   while (spare > 0) {
-    std::size_t worst = 0;
-    for (std::size_t i = 1; i < allocation.layers.size(); ++i) {
-      if (allocation.layers[i].makespan >
-          allocation.layers[worst].makespan) {
+    std::size_t worst = allocation.layers.size();
+    for (std::size_t i = 0; i < allocation.layers.size(); ++i) {
+      if (saturated[i] != 0) {
+        continue;
+      }
+      if (worst == allocation.layers.size() ||
+          allocation.layers[i].score > allocation.layers[worst].score) {
         worst = i;
       }
     }
-    LayerAllocation& layer = allocation.layers[worst];
-    const Cycles before = layer.makespan;
-    layer.arrays += 1;
-    layer.makespan = dispatch_layer(result.layers[worst].decision,
-                                    layer.arrays,
-                                    /*allow_replication=*/true)
-                         .makespan;
-    --spare;
-    if (layer.makespan == before && layer.makespan <= 1) {
-      break;  // bottleneck can no longer improve; stop burning arrays
+    if (worst == allocation.layers.size()) {
+      break;  // every stage saturated: nothing more to improve
     }
+    LayerAllocation& stage = allocation.layers[worst];
+    if (stage.makespan <= 1) {
+      saturated[worst] = 1;  // at the floor
+      continue;
+    }
+    // Smallest array count with ceil(serial / arrays) < current makespan.
+    const Count needed = ceil_div(stage.serial_cycles, stage.makespan - 1);
+    const Count delta = needed - stage.arrays;
+    VWSDK_ASSERT(delta > 0, "water-filling breakpoint did not advance");
+    if (delta > spare) {
+      saturated[worst] = 1;  // cannot improve within the remaining budget
+      continue;
+    }
+    LayerAllocation candidate = stage;
+    price_stage(scoring, result.layers[worst], static_cast<Dim>(needed),
+                candidate);
+    if (!(candidate.score < stage.score)) {
+      saturated[worst] = 1;  // allocation-invariant objective here
+      continue;
+    }
+    stage = candidate;
+    spare -= static_cast<Dim>(delta);
   }
   return allocation;
+}
+
+Cycles ChipPlan::interval() const {
+  Cycles worst = 0;
+  for (const ChipAllocation& chip : chips) {
+    worst = std::max(worst, chip.bottleneck());
+  }
+  return worst;
+}
+
+Cycles ChipPlan::fill_latency() const {
+  Cycles total = 0;
+  for (const ChipAllocation& chip : chips) {
+    total = checked_add(total, chip.fill_latency());
+  }
+  return total;
+}
+
+Cycles ChipPlan::serial_cycles() const {
+  Cycles total = 0;
+  for (const ChipAllocation& chip : chips) {
+    for (const LayerAllocation& layer : chip.layers) {
+      total = checked_add(total, layer.serial_cycles);
+    }
+  }
+  return total;
+}
+
+Dim ChipPlan::arrays_used() const {
+  Dim used = 0;
+  for (const ChipAllocation& chip : chips) {
+    used += chip.arrays_used();
+  }
+  return used;
+}
+
+double ChipPlan::speedup() const {
+  const Cycles worst = interval();
+  if (!feasible || worst == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(serial_cycles()) / static_cast<double>(worst);
+}
+
+double ChipPlan::balance() const {
+  Cycles lo = std::numeric_limits<Cycles>::max();
+  Cycles hi = 0;
+  for (const ChipAllocation& chip : chips) {
+    widen_makespan_range(chip.layers, lo, hi);
+  }
+  return balance_of_range(lo, hi);
+}
+
+Cycles ChipPlan::batch_cycles(Count batch) const {
+  VWSDK_REQUIRE(batch >= 1, "batch needs at least one inference");
+  VWSDK_REQUIRE(feasible,
+                cat("no batch latency for an infeasible plan (",
+                    infeasible_reason, ")"));
+  return checked_add(fill_latency(),
+                     checked_mul(batch - 1, interval()));
+}
+
+std::string ChipPlan::to_string() const {
+  if (!feasible) {
+    return cat("chip plan for ", network_name, " (", algorithm,
+               "): INFEASIBLE (", infeasible_reason, ")");
+  }
+  std::string out =
+      cat("chip plan for ", network_name, " (", algorithm, ", objective ",
+          objective, "): ", chips.size(), " chip(s) of ", arrays_per_chip,
+          " arrays, ", arrays_used(), " used; interval ", interval(),
+          " cycles, fill latency ", fill_latency(), ", speedup ",
+          format_fixed(speedup(), 2), "x, balance ",
+          format_fixed(balance(), 2), "\n");
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    out += cat("chip ", i + 1, ": ", chips[i].to_string());
+  }
+  return out;
+}
+
+ChipPlan plan_chips(const NetworkMappingResult& result,
+                    const ChipPlanOptions& options) {
+  VWSDK_REQUIRE(options.arrays_per_chip >= 1,
+                "each chip needs at least one array");
+  VWSDK_REQUIRE(options.max_chips >= 0,
+                "max_chips must be >= 0 (0 = unbounded)");
+  VWSDK_REQUIRE(!result.layers.empty(), "cannot plan an empty network");
+  const Objective& scoring = options.objective != nullptr
+                                 ? *options.objective
+                                 : cycles_objective();
+
+  ChipPlan plan;
+  plan.network_name = result.network_name;
+  plan.algorithm = result.algorithm;
+  plan.objective = scoring.name();
+  plan.geometry = result.geometry;
+  plan.arrays_per_chip = options.arrays_per_chip;
+
+  // Greedy contiguous packing: each chip takes layers in network order
+  // until the next one's resident tiles no longer fit.  For contiguous
+  // segments this greedy is optimal in chip count.
+  std::vector<std::pair<std::size_t, std::size_t>> segments;  // [begin, end)
+  std::size_t begin = 0;
+  Count used = 0;
+  for (std::size_t i = 0; i < result.layers.size(); ++i) {
+    const Count tiles = layer_tiles(result.layers[i]);
+    if (tiles > options.arrays_per_chip) {
+      plan.feasible = false;
+      plan.infeasible_reason =
+          cat("layer \"", result.layers[i].layer.name, "\" alone needs ",
+              tiles, " resident arrays but a chip has ",
+              options.arrays_per_chip,
+              "; no sharding of whole layers can fit it");
+      return plan;
+    }
+    if (used + tiles > options.arrays_per_chip) {
+      segments.emplace_back(begin, i);
+      begin = i;
+      used = 0;
+    }
+    used += tiles;
+  }
+  segments.emplace_back(begin, result.layers.size());
+
+  if (options.max_chips > 0 &&
+      segments.size() > static_cast<std::size_t>(options.max_chips)) {
+    plan.feasible = false;
+    plan.infeasible_reason =
+        cat("resident weights need ", segments.size(), " chips of ",
+            options.arrays_per_chip, " arrays (total demand ",
+            resident_array_demand(result), ") but the budget is ",
+            options.max_chips, " chip(s)");
+    return plan;
+  }
+  plan.feasible = true;
+
+  for (const auto& [seg_begin, seg_end] : segments) {
+    NetworkMappingResult shard;
+    shard.network_name = result.network_name;
+    shard.algorithm = result.algorithm;
+    shard.objective = result.objective;
+    shard.geometry = result.geometry;
+    shard.layers.assign(
+        result.layers.begin() + static_cast<std::ptrdiff_t>(seg_begin),
+        result.layers.begin() + static_cast<std::ptrdiff_t>(seg_end));
+    ChipAllocation chip =
+        allocate_chip(shard, options.arrays_per_chip, &scoring);
+    VWSDK_ASSERT(chip.feasible, "packed segment must fit its chip");
+    plan.chips.push_back(std::move(chip));
+  }
+  return plan;
 }
 
 }  // namespace vwsdk

@@ -1,27 +1,47 @@
 #pragma once
 
 /// @file chip_allocator.h
-/// Chip-level pipeline allocation (extension; the whole-network view of
+/// Chip-level pipeline planning (extension; the whole-network view of
 /// PIM inference that ref [1] (PipeLayer) motivates in the paper's intro).
 ///
 /// A PIM chip holds `total_arrays` crossbars.  Pipelined inference keeps
-/// EVERY layer's weights resident: layer L needs at least its AR*AC tiles
-/// worth of arrays (one array per tile -- an array is one programming).
-/// Remaining arrays are distributed to shorten the slowest stage, because
-/// a pipeline's throughput is set by its bottleneck:
+/// EVERY layer's weights resident: layer L needs at least its tiles
+/// worth of arrays -- G x AR x AC for a grouped layer, one array per
+/// tile programming.  Remaining arrays are distributed to shorten the
+/// slowest stage, because a pipeline's throughput is set by its
+/// bottleneck:
 ///
 ///     pipeline interval = max over layers of layer makespan
 ///     throughput        = 1 / interval   (inferences per interval)
 ///
-/// Allocation: give each layer its mandatory tiles, then greedily hand
-/// each spare array to the current bottleneck stage (exact for this
-/// monotone makespan model).  Replicated-weights dispatch is used for
-/// counts beyond a layer's tile count (see sim/dispatch.h).
+/// Allocation: give each layer its mandatory tiles, then water-fill the
+/// spare arrays into the current bottleneck stage, jumping straight to
+/// the array count that actually improves it (replicated-dispatch
+/// makespans sit on ceil-division plateaus; see sim/dispatch.h).  A
+/// stage that cannot improve -- at its makespan floor, its next jump
+/// beyond the remaining spares, or its score allocation-invariant --
+/// saturates, and the filling moves to the next-worst stage; never is
+/// an array spent without lowering some stage's makespan.  Stages are
+/// scored through a search Objective (mapping/objective.h): `cycles`
+/// scores the stage makespan (the classic greedy, exact for this
+/// monotone model), `edp` re-prices its delay factor with the parallel
+/// makespan, and `energy` is allocation-invariant -- spare arrays
+/// cannot reduce conversions, so the allocation honestly stays at the
+/// resident floor.
+///
+/// When the resident demand exceeds one chip, `plan_chips` shards the
+/// network: contiguous layer segments are packed greedily onto as few
+/// chips as possible (each segment's demand fits its chip), every chip
+/// water-fills its own spares, and the chain behaves as one long
+/// pipeline -- interval = max stage makespan anywhere, fill latency =
+/// sum of stage makespans.  Batched inference streams B inputs through
+/// that pipeline in fill + (B-1) x interval cycles.
 
 #include <string>
 #include <vector>
 
 #include "core/network_optimizer.h"
+#include "mapping/objective.h"
 #include "sim/dispatch.h"
 
 namespace vwsdk {
@@ -29,19 +49,25 @@ namespace vwsdk {
 /// One layer's share of the chip.
 struct LayerAllocation {
   std::string layer_name;
-  Count tiles = 0;      ///< AR*AC: arrays required to keep weights resident
-  Dim arrays = 0;       ///< arrays allocated (>= tiles when feasible)
-  Cycles makespan = 0;  ///< stage latency with this allocation
+  Dim groups = 1;           ///< channel groups G (1 for dense layers)
+  Count tiles = 0;          ///< G*AR*AC: arrays keeping the weights resident
+  Dim arrays = 0;           ///< arrays allocated (>= tiles when feasible)
+  Cycles serial_cycles = 0; ///< single-array layer cycles (G x per-group)
+  Cycles makespan = 0;      ///< stage latency with this allocation
+  double score = 0.0;       ///< objective stage score at this allocation
 };
 
-/// A whole network pinned onto one chip.
+/// A whole network (or one shard of it) pinned onto one chip.
 struct ChipAllocation {
   Dim total_arrays = 0;
   bool feasible = false;  ///< false if Σ tiles > total_arrays (weights
                           ///< would need reprogramming every inference)
+  std::string infeasible_reason;  ///< why, when !feasible (else empty)
+  std::string objective;          ///< stage-scoring objective name
   std::vector<LayerAllocation> layers;
 
-  /// Pipeline interval: the slowest stage's makespan (0 if infeasible).
+  /// Pipeline interval: the slowest stage's makespan.  0 if infeasible
+  /// (no valid schedule exists -- NOT a free pipeline; check `feasible`).
   Cycles bottleneck() const;
 
   /// Sum of stage makespans: the latency of one inference flowing through.
@@ -50,14 +76,76 @@ struct ChipAllocation {
   /// Arrays actually used.
   Dim arrays_used() const;
 
+  /// Stage balance: min / max stage makespan (1 = perfectly balanced
+  /// pipeline, 0 if infeasible).
+  double balance() const;
+
   std::string to_string() const;
 };
 
-/// Minimum arrays for resident weights: Σ over layers of AR*AC tiles.
+/// Minimum arrays for resident weights: Σ over layers of G*AR*AC tiles.
 Count resident_array_demand(const NetworkMappingResult& result);
 
-/// Allocate `total_arrays` arrays across the network's layers.
+/// Allocate `total_arrays` arrays across the network's layers, scoring
+/// stages with `objective` (null = cycles, the classic makespan greedy).
 ChipAllocation allocate_chip(const NetworkMappingResult& result,
-                             Dim total_arrays);
+                             Dim total_arrays,
+                             const Objective* objective = nullptr);
+
+/// How plan_chips shards and scores a network.
+struct ChipPlanOptions {
+  Dim arrays_per_chip = 0;  ///< required, >= 1
+  Dim max_chips = 0;        ///< chip budget; 0 = as many as demand needs
+  const Objective* objective = nullptr;  ///< stage scoring; null = cycles
+};
+
+/// A network pipelined across one or more identical chips.
+struct ChipPlan {
+  std::string network_name;
+  std::string algorithm;
+  std::string objective;     ///< stage-scoring objective name
+  ArrayGeometry geometry{};  ///< crossbar geometry of every array
+  Dim arrays_per_chip = 0;
+  bool feasible = false;
+  std::string infeasible_reason;  ///< why, when !feasible (else empty)
+  std::vector<ChipAllocation> chips;  ///< contiguous layer segments, in order
+
+  /// Steady-state pipeline interval: max stage makespan across chips.
+  Cycles interval() const;
+
+  /// Latency of one inference flowing through every stage of every chip.
+  Cycles fill_latency() const;
+
+  /// Single-array serial cycles of one inference (Σ layer serial cycles).
+  Cycles serial_cycles() const;
+
+  /// Arrays actually used across all chips.
+  Dim arrays_used() const;
+
+  /// Steady-state throughput speedup vs one array running the network
+  /// serially: serial_cycles / interval.  0 if infeasible.
+  double speedup() const;
+
+  /// Stage balance across every stage of every chip: min / max stage
+  /// makespan (1 = perfectly balanced, 0 if infeasible).
+  double balance() const;
+
+  /// Batched-inference latency: `batch` inputs streamed through the
+  /// pipeline take fill_latency + (batch-1) * interval cycles -- the
+  /// first inference pays the fill, every further one the steady-state
+  /// interval.  Requires batch >= 1 and a feasible plan.
+  Cycles batch_cycles(Count batch) const;
+
+  std::string to_string() const;
+};
+
+/// Shard `result` across chips of `options.arrays_per_chip` arrays:
+/// greedy contiguous packing onto the fewest chips whose per-chip
+/// resident demand fits, then per-chip spare-array water-filling under
+/// `options.objective`.  Infeasible (explicitly, with the reason set)
+/// when one layer alone exceeds a chip or the packing needs more than
+/// `options.max_chips` chips.
+ChipPlan plan_chips(const NetworkMappingResult& result,
+                    const ChipPlanOptions& options);
 
 }  // namespace vwsdk

@@ -30,6 +30,9 @@ double DispatchResult::balance() const {
 }
 
 std::string DispatchResult::to_string() const {
+  if (makespan == 0) {
+    return cat("dispatch over ", array_count, " arrays: empty schedule");
+  }
   return cat("dispatch over ", array_count, " arrays",
              replicated ? " (replicated)" : "", ": makespan ", makespan,
              " of ", serial_cycles, " serial cycles, speedup ",
@@ -38,24 +41,25 @@ std::string DispatchResult::to_string() const {
 }
 
 DispatchResult dispatch_layer(const MappingDecision& decision,
-                              Dim array_count, bool allow_replication) {
+                              Dim array_count, bool allow_replication,
+                              Dim groups) {
   VWSDK_REQUIRE(array_count >= 1, "need at least one array");
+  VWSDK_REQUIRE(groups >= 1, "groups must be >= 1");
   VWSDK_REQUIRE(decision.cost.feasible, "cannot dispatch infeasible mapping");
 
   DispatchResult result;
   result.array_count = array_count;
-  result.serial_cycles = decision.cost.total;
+  result.serial_cycles = checked_mul(groups, decision.cost.total);
   result.replicated = allow_replication;
   result.per_array_busy.assign(static_cast<std::size_t>(array_count), 0);
 
-  const Count tiles =
-      checked_mul(decision.cost.ar_cycles, decision.cost.ac_cycles);
-  const Cycles per_tile_work =
-      decision.cost.total / tiles;  // N_PW (or window chunks for SMD)
+  const Count tiles = checked_mul(
+      groups,
+      checked_mul(decision.cost.ar_cycles, decision.cost.ac_cycles));
 
   if (allow_replication) {
     // Work is freely divisible: split all tile-jobs evenly.
-    const Cycles total = decision.cost.total;
+    const Cycles total = result.serial_cycles;
     const Cycles share = ceil_div(total, array_count);
     Cycles remaining = total;
     for (Cycles& busy : result.per_array_busy) {
@@ -69,10 +73,15 @@ DispatchResult dispatch_layer(const MappingDecision& decision,
     return result;
   }
 
-  // Static ownership: tile i lives on array i mod P.
+  // Static ownership: tile i lives on array i mod P.  Per-tile work is
+  // serial / tiles (= N_PW for windowed mappings); a remainder (window
+  // chunking that does not divide the tiles evenly) is spread one cycle
+  // at a time over the leading tiles, never silently truncated.
+  const Cycles per_tile_work = result.serial_cycles / tiles;
+  const Cycles remainder = result.serial_cycles % tiles;
   for (Count tile = 0; tile < tiles; ++tile) {
     result.per_array_busy[static_cast<std::size_t>(tile % array_count)] +=
-        per_tile_work;
+        per_tile_work + (tile < remainder ? 1 : 0);
   }
   result.makespan =
       *std::max_element(result.per_array_busy.begin(),

@@ -11,6 +11,10 @@
 /// assignment gives makespan = ceil(T / P) * N_PW.  If weight replication
 /// is allowed (the same tile programmed on several arrays), the window
 /// grid itself can also be split, giving ceil(T * N_PW / P).
+///
+/// A grouped layer (groups > 1) dispatches G identical copies of its
+/// per-group mapping: G x AR x AC tiles and G x the serial cycles, one
+/// independent sub-convolution per group (see core/grouped_conv.h).
 
 #include <string>
 #include <vector>
@@ -22,26 +26,36 @@ namespace vwsdk {
 /// Outcome of dispatching one layer's mapping onto a pool of arrays.
 struct DispatchResult {
   Dim array_count = 0;
-  Cycles serial_cycles = 0;   ///< single-array total (= cost.total)
+  Cycles serial_cycles = 0;   ///< single-array total (= groups * cost.total)
   Cycles makespan = 0;        ///< parallel completion time
   std::vector<Cycles> per_array_busy;  ///< busy cycles per array
   bool replicated = false;    ///< weight replication allowed?
 
-  /// Parallel speedup: serial / makespan.
+  /// Parallel speedup: serial / makespan.  Requires a non-empty
+  /// schedule (makespan > 0); default-constructed results throw.
   double speedup() const;
 
   /// Load balance: min busy / max busy over non-idle arrays (1 = perfect).
   double balance() const;
 
+  /// One-line summary.  Total: an empty (default-constructed) schedule
+  /// prints as such instead of throwing through speedup().
   std::string to_string() const;
 };
 
 /// Statically assign the mapping's tiles round-robin over `array_count`
 /// arrays.  With `allow_replication` the window grid is also partitioned,
 /// so arrays can share one tile's work at the cost of programming the
-/// tile's weights multiple times.
+/// tile's weights multiple times.  `groups` scales the layer to G
+/// identical sub-convolutions (grouped/depthwise layers); the decision
+/// stays the per-group mapping.  A serial total that does not divide
+/// evenly over the tiles (SMD-style window chunking) spreads its
+/// remainder one cycle at a time over the leading tiles, so the busy
+/// cycles always sum to the serial total and the makespan is never
+/// under-reported by integer truncation.
 DispatchResult dispatch_layer(const MappingDecision& decision,
                               Dim array_count,
-                              bool allow_replication = false);
+                              bool allow_replication = false,
+                              Dim groups = 1);
 
 }  // namespace vwsdk

@@ -1,7 +1,10 @@
 #include "sim/pipeline.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/string_util.h"
+#include "core/grouped_conv.h"
 #include "mapping/plan_builder.h"
 #include "tensor/pooling.h"
 #include "tensor/tensor_ops.h"
@@ -21,6 +24,22 @@ std::string PipelineResult::summary() const {
   return out;
 }
 
+namespace {
+
+/// Merge one group's verification into the stage-level report (counts
+/// add, matches AND together, the worst error wins).
+void accumulate_verification(VerificationReport& stage,
+                             const VerificationReport& group) {
+  stage.exact_match = stage.exact_match && group.exact_match;
+  stage.max_abs_error = std::max(stage.max_abs_error, group.max_abs_error);
+  stage.executed_cycles += group.executed_cycles;
+  stage.analytic_cycles += group.analytic_cycles;
+  stage.cycles_match = stage.cycles_match && group.cycles_match;
+  stage.programmed_cells += group.programmed_cells;
+}
+
+}  // namespace
+
 PipelineResult run_pipeline(const std::vector<StageSpec>& stages,
                             const Tensord& input, const Mapper& mapper,
                             const ArrayGeometry& geometry,
@@ -35,11 +54,7 @@ PipelineResult run_pipeline(const std::vector<StageSpec>& stages,
   for (std::size_t i = 0; i < stages.size(); ++i) {
     const StageSpec& spec = stages[i];
     spec.conv.validate();
-    VWSDK_REQUIRE(spec.conv.groups == 1,
-                  cat("stage ", i + 1,
-                      ": the functional pipeline does not support grouped "
-                      "convolutions yet (layer declares groups=",
-                      spec.conv.groups, ")"));
+    const Dim groups = spec.conv.groups;
     const Shape4 expected{1, spec.conv.in_channels, spec.conv.ifm_h,
                           spec.conv.ifm_w};
     VWSDK_REQUIRE(result.output.shape() == expected,
@@ -47,32 +62,85 @@ PipelineResult run_pipeline(const std::vector<StageSpec>& stages,
                       expected.to_string(), " but got ",
                       result.output.shape().to_string()));
 
-    // Deterministic integer weights for this stage.
+    // Deterministic integer weights for this stage, grouped-conv layout
+    // (OC, IC/G, K_h, K_w): output channel oc convolves input channels
+    // [(oc / (OC/G)) * IC/G, ...) of its own group only.
     Rng rng(weight_seed + i);
     Tensord weights =
-        Tensord::weights(spec.conv.out_channels, spec.conv.in_channels,
-                         spec.conv.kernel_h, spec.conv.kernel_w);
+        Tensord::weights(spec.conv.out_channels,
+                         spec.conv.group_in_channels(), spec.conv.kernel_h,
+                         spec.conv.kernel_w);
     fill_random_int(weights, rng, 3);
 
-    const ConvShape shape = ConvShape::from_layer(spec.conv);
+    // One group's sub-convolution (== the full layer when G = 1).  The
+    // groups are identical, so a single mapping and plan serves all of
+    // them; each group then runs -- and verifies against the dense
+    // reference -- independently on its own channel slice.
+    GroupedConvShape grouped;
+    grouped.base = ConvShape::from_layer(spec.conv);
+    grouped.groups = groups;
+    const ConvShape shape = grouped.group_shape();
     StageResult stage;
     stage.decision = mapper.map(shape, geometry);
     const MappingPlan plan =
         build_plan_for_cost(shape, geometry, stage.decision.cost);
-    stage.verification =
-        verify_mapping(plan, result.output, weights, options);
+
+    const Dim group_ic = spec.conv.group_in_channels();
+    const Dim group_oc = spec.conv.group_out_channels();
+    Tensord feature_map;
+    if (groups > 1) {
+      // Preallocate the layer-level OFM the groups scatter into; dense
+      // stages take the executed OFM by move instead.
+      feature_map = Tensord::feature_map(
+          spec.conv.out_channels, spec.conv.ofm_h(), spec.conv.ofm_w());
+    }
+    for (Dim g = 0; g < groups; ++g) {
+      // Dense stages skip the slicing entirely -- the single "group" IS
+      // the layer, so the tensors pass through unchanged.
+      Tensord sliced_ifm;
+      Tensord sliced_weights;
+      const Tensord* group_ifm = &result.output;
+      const Tensord* group_weights = &weights;
+      if (groups > 1) {
+        sliced_ifm = slice_channels(result.output, g * group_ic, group_ic);
+        sliced_weights = slice_outer(weights, g * group_oc, group_oc);
+        group_ifm = &sliced_ifm;
+        group_weights = &sliced_weights;
+      }
+      const VerificationReport verification =
+          verify_mapping(plan, *group_ifm, *group_weights, options);
+      if (g == 0) {
+        stage.verification = verification;
+      } else {
+        accumulate_verification(stage.verification, verification);
+      }
+      // Re-execute to obtain the group's OFM (the verifier already ran
+      // the plan; run once more for the tensor -- clarity over speed).
+      ExecutionResult executed =
+          execute_plan(plan, *group_ifm, *group_weights, options);
+      result.activity.accumulate(executed.activity);
+      if (groups > 1) {
+        write_channels(feature_map, executed.ofm, g * group_oc);
+      } else {
+        feature_map = std::move(executed.ofm);
+      }
+    }
+    if (groups > 1) {
+      stage.verification.summary = cat(
+          groups, " groups x [", stage.decision.cost.to_string(), "]: ",
+          stage.verification.exact_match ? "EXACT match" : "mismatch",
+          " (max_abs_err=", stage.verification.max_abs_error, "), cycles ",
+          stage.verification.executed_cycles, "/",
+          stage.verification.analytic_cycles,
+          stage.verification.cycles_match ? " (match)" : " (MISMATCH)");
+    }
     result.all_verified =
         result.all_verified && stage.verification.exact_match &&
         stage.verification.cycles_match;
     result.total_cycles =
         result.total_cycles + stage.verification.executed_cycles;
 
-    // Re-execute post-ops on the verified OFM (the verifier already ran
-    // the plan; run once more to obtain the tensor -- clarity over speed).
-    const ExecutionResult executed =
-        execute_plan(plan, result.output, weights, options);
-    result.activity.accumulate(executed.activity);
-    Tensord feature_map = executed.ofm;
+    // Digital post-ops on the assembled layer-level feature map.
     if (spec.relu) {
       feature_map = relu(feature_map);
     }

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.h"
+#include "common/math_util.h"
 #include "nn/model_zoo.h"
 
 namespace vwsdk {
@@ -93,6 +96,257 @@ TEST(ChipAllocator, Validation) {
   EXPECT_THROW(allocate_chip(vw_resnet(), 0), InvalidArgument);
   NetworkMappingResult empty;
   EXPECT_THROW(allocate_chip(empty, 64), InvalidArgument);
+}
+
+TEST(ChipAllocator, InfeasibleIsExplicit) {
+  const ChipAllocation allocation = allocate_chip(vw_resnet(), 16);
+  EXPECT_FALSE(allocation.feasible);
+  EXPECT_NE(allocation.infeasible_reason.find("23 arrays"),
+            std::string::npos)
+      << allocation.infeasible_reason;
+  EXPECT_NE(allocation.to_string().find(allocation.infeasible_reason),
+            std::string::npos);
+}
+
+TEST(ChipAllocator, StopsAtTheBottleneckFloor) {
+  // LeNet-5 on 128x128: tiny serial totals.  A huge chip must stop once
+  // every stage is at makespan 1 (the floor), with each stage holding
+  // exactly ceil(serial / 1) arrays -- the old one-array-at-a-time
+  // greedy kept burning spares on the plateau.
+  const NetworkMappingResult result =
+      optimize_network(*make_mapper("vw-sdk"), lenet5(), {128, 128});
+  const ChipAllocation allocation = allocate_chip(result, 1000);
+  ASSERT_TRUE(allocation.feasible);
+  EXPECT_EQ(allocation.bottleneck(), 1);
+  for (const LayerAllocation& layer : allocation.layers) {
+    EXPECT_EQ(layer.arrays, static_cast<Dim>(layer.serial_cycles))
+        << layer.layer_name;  // exactly ceil(serial / 1), nothing beyond
+  }
+  EXPECT_LT(allocation.arrays_used(), 1000);
+}
+
+TEST(ChipAllocator, PlateauJumpsNeverWasteArrays) {
+  // Every allocated array count must be exactly the smallest that
+  // achieves the stage's makespan: ceil(serial / makespan) == arrays.
+  const NetworkMappingResult result = vw_resnet();
+  for (const Dim arrays : {23, 32, 64, 128, 256, 400}) {
+    const ChipAllocation allocation = allocate_chip(result, arrays);
+    ASSERT_TRUE(allocation.feasible) << arrays;
+    for (const LayerAllocation& layer : allocation.layers) {
+      if (layer.arrays == static_cast<Dim>(layer.tiles)) {
+        continue;  // the mandatory floor, not a water-filling choice
+      }
+      EXPECT_EQ(ceil_div(layer.serial_cycles, layer.makespan),
+                layer.arrays)
+          << layer.layer_name << " at chip size " << arrays;
+    }
+  }
+}
+
+TEST(ChipAllocator, CyclesObjectiveIsTheDefault) {
+  const NetworkMappingResult result = vw_resnet();
+  const ChipAllocation implicit = allocate_chip(result, 100);
+  const ChipAllocation explicit_cycles =
+      allocate_chip(result, 100, &cycles_objective());
+  EXPECT_EQ(implicit.objective, "cycles");
+  ASSERT_EQ(implicit.layers.size(), explicit_cycles.layers.size());
+  for (std::size_t i = 0; i < implicit.layers.size(); ++i) {
+    EXPECT_EQ(implicit.layers[i].arrays, explicit_cycles.layers[i].arrays);
+    EXPECT_EQ(implicit.layers[i].makespan,
+              explicit_cycles.layers[i].makespan);
+  }
+}
+
+TEST(ChipAllocator, EnergyObjectiveKeepsTheResidentFloor) {
+  // Spare arrays divide time, never conversions: under the energy
+  // objective water-filling cannot improve any stage score, so the
+  // allocation honestly stays at the mandatory tiles.
+  const NetworkMappingResult result = vw_resnet();
+  const ChipAllocation allocation =
+      allocate_chip(result, 256, &energy_objective());
+  ASSERT_TRUE(allocation.feasible);
+  EXPECT_EQ(allocation.objective, "energy");
+  EXPECT_EQ(allocation.arrays_used(),
+            static_cast<Dim>(resident_array_demand(result)));
+}
+
+TEST(ChipAllocator, EdpObjectiveStillShrinksTheBottleneck) {
+  const NetworkMappingResult result = vw_resnet();
+  const ChipAllocation minimal = allocate_chip(result, 23, &edp_objective());
+  const ChipAllocation roomy = allocate_chip(result, 256, &edp_objective());
+  ASSERT_TRUE(minimal.feasible && roomy.feasible);
+  EXPECT_GT(roomy.arrays_used(), minimal.arrays_used());
+  EXPECT_LT(roomy.bottleneck(), minimal.bottleneck());
+  // EDP prices delay linearly, so every stage's score shrank too.
+  for (std::size_t i = 0; i < roomy.layers.size(); ++i) {
+    EXPECT_LE(roomy.layers[i].score, minimal.layers[i].score);
+  }
+}
+
+TEST(ChipAllocator, SaturationLeavesNoImprovableStage) {
+  // Convergence under latency-priced objectives: when the allocator
+  // stops, no stage's next ceil-division breakpoint fits the leftover
+  // spares.  (A plain "stop when the max-score stage saturates" would
+  // strand spares under edp, whose max-score stage need not be the
+  // max-makespan stage.)
+  const NetworkMappingResult result = vw_resnet();
+  for (const Objective* objective :
+       {&cycles_objective(), &edp_objective()}) {
+    for (const Dim arrays : {32, 64, 256}) {
+      const ChipAllocation allocation =
+          allocate_chip(result, arrays, objective);
+      ASSERT_TRUE(allocation.feasible);
+      const Dim leftover = arrays - allocation.arrays_used();
+      for (const LayerAllocation& layer : allocation.layers) {
+        if (layer.makespan <= 1) {
+          continue;  // at the floor; nothing to improve
+        }
+        const Count needed =
+            ceil_div(layer.serial_cycles, layer.makespan - 1);
+        EXPECT_GT(needed - layer.arrays, leftover)
+            << layer.layer_name << " under " << objective->name()
+            << " at chip size " << arrays;
+      }
+    }
+  }
+}
+
+TEST(ChipAllocator, GroupedLayerDemandScalesWithGroups) {
+  // A depthwise layer keeps G copies of its per-group tiles resident.
+  Network net("grouped-net");
+  net.add_layer(make_conv_layer("dense", 16, 3, 8, 8));
+  ConvLayerDesc dw = make_conv_layer("dw", 14, 3, 8, 8);
+  dw.groups = 8;
+  net.add_layer(dw);
+  const NetworkMappingResult result =
+      optimize_network(*make_mapper("vw-sdk"), net, {128, 128});
+  Count expected = 0;
+  for (const LayerMapping& lm : result.layers) {
+    expected += static_cast<Count>(lm.layer.groups) *
+                lm.decision.cost.ar_cycles * lm.decision.cost.ac_cycles;
+  }
+  EXPECT_EQ(resident_array_demand(result), expected);
+  EXPECT_GT(result.layers[1].layer.groups, 1);
+  const ChipAllocation allocation =
+      allocate_chip(result, static_cast<Dim>(expected));
+  ASSERT_TRUE(allocation.feasible);
+  EXPECT_EQ(allocation.layers[1].tiles,
+            8 * result.layers[1].decision.cost.ar_cycles *
+                result.layers[1].decision.cost.ac_cycles);
+  EXPECT_EQ(allocation.layers[1].serial_cycles, result.layers[1].cycles());
+}
+
+TEST(ChipPlan, SingleChipMatchesAllocateChip) {
+  const NetworkMappingResult result = vw_resnet();
+  ChipPlanOptions options;
+  options.arrays_per_chip = 64;
+  const ChipPlan plan = plan_chips(result, options);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.chips.size(), 1u);
+  const ChipAllocation direct = allocate_chip(result, 64);
+  EXPECT_EQ(plan.interval(), direct.bottleneck());
+  EXPECT_EQ(plan.fill_latency(), direct.fill_latency());
+  EXPECT_EQ(plan.arrays_used(), direct.arrays_used());
+  EXPECT_EQ(plan.serial_cycles(), result.total_cycles());
+}
+
+TEST(ChipPlan, ShardsWhenDemandExceedsOneChip) {
+  // ResNet-18 VW-SDK demand is 23 (largest layer 9); chips of 12 arrays
+  // must shard.
+  const NetworkMappingResult result = vw_resnet();
+  ChipPlanOptions options;
+  options.arrays_per_chip = 12;
+  const ChipPlan plan = plan_chips(result, options);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GT(plan.chips.size(), 1u);
+
+  // Sharding invariants: every chip's resident demand fits its budget,
+  // the chips cover the layers contiguously in network order, and the
+  // plan interval is the max chip interval.
+  std::vector<std::string> names;
+  Cycles worst = 0;
+  for (const ChipAllocation& chip : plan.chips) {
+    Count demand = 0;
+    for (const LayerAllocation& layer : chip.layers) {
+      demand += layer.tiles;
+      names.push_back(layer.layer_name);
+    }
+    EXPECT_LE(demand, 12);
+    EXPECT_LE(chip.arrays_used(), 12);
+    worst = std::max(worst, chip.bottleneck());
+  }
+  EXPECT_EQ(plan.interval(), worst);
+  ASSERT_EQ(names.size(), result.layers.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], result.layers[i].layer.name);
+  }
+}
+
+TEST(ChipPlan, OversizeLayerIsExplicitlyInfeasible) {
+  const NetworkMappingResult result = vw_resnet();
+  ChipPlanOptions options;
+  options.arrays_per_chip = 4;  // conv4 needs 7, conv5 needs 9
+  const ChipPlan plan = plan_chips(result, options);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.infeasible_reason.find("conv4"), std::string::npos)
+      << plan.infeasible_reason;
+  EXPECT_NE(plan.to_string().find("INFEASIBLE"), std::string::npos);
+  EXPECT_THROW(plan.batch_cycles(1), Error);
+}
+
+TEST(ChipPlan, ChipBudgetIsRespected) {
+  const NetworkMappingResult result = vw_resnet();
+  ChipPlanOptions options;
+  options.arrays_per_chip = 12;
+  options.max_chips = 1;  // demand 23 needs several 12-array chips
+  const ChipPlan plan = plan_chips(result, options);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.infeasible_reason.find("1 chip"), std::string::npos)
+      << plan.infeasible_reason;
+
+  options.max_chips = 8;  // roomy budget: the planner uses what it needs
+  const ChipPlan roomy = plan_chips(result, options);
+  ASSERT_TRUE(roomy.feasible);
+  EXPECT_LT(roomy.chips.size(), 8u);
+}
+
+TEST(ChipPlan, BatchedThroughputModel) {
+  const NetworkMappingResult result = vw_resnet();
+  ChipPlanOptions options;
+  options.arrays_per_chip = 64;
+  const ChipPlan plan = plan_chips(result, options);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.batch_cycles(1), plan.fill_latency());
+  EXPECT_EQ(plan.batch_cycles(16),
+            plan.fill_latency() + 15 * plan.interval());
+  // Steady state: the amortized per-inference cost approaches the
+  // interval from above as the batch grows.
+  const double at_8 = static_cast<double>(plan.batch_cycles(8)) / 8.0;
+  const double at_64 = static_cast<double>(plan.batch_cycles(64)) / 64.0;
+  EXPECT_GT(at_8, at_64);
+  EXPECT_GE(at_64, static_cast<double>(plan.interval()));
+  EXPECT_THROW(plan.batch_cycles(0), InvalidArgument);
+}
+
+TEST(ChipPlan, SpeedupAndBalanceAreReported) {
+  const NetworkMappingResult result = vw_resnet();
+  ChipPlanOptions options;
+  options.arrays_per_chip = 64;
+  const ChipPlan plan = plan_chips(result, options);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GT(plan.speedup(), 1.0);
+  EXPECT_GT(plan.balance(), 0.0);
+  EXPECT_LE(plan.balance(), 1.0);
+  EXPECT_NE(plan.to_string().find("speedup"), std::string::npos);
+}
+
+TEST(ChipPlan, Validation) {
+  const NetworkMappingResult result = vw_resnet();
+  ChipPlanOptions options;  // arrays_per_chip unset
+  EXPECT_THROW(plan_chips(result, options), InvalidArgument);
+  options.arrays_per_chip = 8;
+  options.max_chips = -1;
+  EXPECT_THROW(plan_chips(result, options), InvalidArgument);
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.h"
+#include "common/math_util.h"
 #include "core/vwsdk_mapper.h"
 
 namespace vwsdk {
@@ -71,6 +74,65 @@ TEST(Dispatch, BusyCyclesSumToSerial) {
     }
     EXPECT_EQ(total, result.serial_cycles) << arrays << " arrays";
   }
+}
+
+/// A hand-built decision whose serial total does NOT divide evenly over
+/// its tiles (SMD-style window chunking); real windowed costs always
+/// divide, so this exercises the remainder path directly.
+MappingDecision uneven_decision(Cycles total, Cycles ar, Cycles ac) {
+  MappingDecision decision;
+  decision.cost.feasible = true;
+  decision.cost.total = total;
+  decision.cost.ar_cycles = ar;
+  decision.cost.ac_cycles = ac;
+  return decision;
+}
+
+TEST(Dispatch, RemainderSpreadsOverLeadingTiles) {
+  // 10 cycles over 3 tiles: per-tile loads 4/3/3, never 3/3/3 (which
+  // would under-report the makespan by truncation).
+  const DispatchResult result = dispatch_layer(uneven_decision(10, 3, 1), 3);
+  EXPECT_EQ(result.makespan, 4);
+  ASSERT_EQ(result.per_array_busy.size(), 3u);
+  EXPECT_EQ(result.per_array_busy[0], 4);
+  EXPECT_EQ(result.per_array_busy[1], 3);
+  EXPECT_EQ(result.per_array_busy[2], 3);
+}
+
+TEST(Dispatch, RemainderBusyCyclesStillSumToSerial) {
+  for (const Dim arrays : {1, 2, 3, 5}) {
+    const DispatchResult result =
+        dispatch_layer(uneven_decision(11, 3, 1), arrays);
+    Cycles sum = 0;
+    for (const Cycles busy : result.per_array_busy) {
+      sum += busy;
+    }
+    EXPECT_EQ(sum, 11) << arrays << " arrays";
+    EXPECT_GE(result.makespan, ceil_div(11, std::min<Count>(arrays, 3)))
+        << arrays << " arrays";
+  }
+}
+
+TEST(Dispatch, GroupedLayerScalesTilesAndSerial) {
+  // VGG-13 conv5's mapping treated as one group of a G = 4 layer:
+  // 4 x 4 tiles and 4 x 5832 serial cycles.
+  const MappingDecision decision = conv5_decision();
+  const DispatchResult grouped =
+      dispatch_layer(decision, 16, /*allow_replication=*/false,
+                     /*groups=*/4);
+  EXPECT_EQ(grouped.serial_cycles, 4 * 5832);
+  // 16 tiles on 16 arrays: one tile each, makespan = N_PW.
+  EXPECT_EQ(grouped.makespan, 1458);
+  const DispatchResult replicated =
+      dispatch_layer(decision, 16, /*allow_replication=*/true,
+                     /*groups=*/4);
+  EXPECT_EQ(replicated.makespan, ceil_div(4 * 5832, 16));
+}
+
+TEST(Dispatch, ToStringIsTotalOnEmptySchedule) {
+  const DispatchResult empty{};
+  EXPECT_NE(empty.to_string().find("empty schedule"), std::string::npos);
+  EXPECT_THROW(empty.speedup(), Error);  // speedup itself still refuses
 }
 
 TEST(Dispatch, Validation) {

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "core/im2col_mapper.h"
 #include "core/vwsdk_mapper.h"
+#include "tensor/conv_ref.h"
 #include "tensor/tensor_ops.h"
 
 namespace vwsdk {
@@ -93,6 +94,121 @@ TEST(Pipeline, PoolWithoutStrideRejected) {
   std::vector<StageSpec> stages = tiny_cnn();
   stages[0].pool_stride = 0;
   EXPECT_THROW(run_pipeline(stages, tiny_input(), VwSdkMapper(), kSmall),
+               InvalidArgument);
+}
+
+/// The dense grouped-conv reference: per-group direct convolution of the
+/// channel slices, concatenated output-channel-wise.  Weights follow the
+/// pipeline's deterministic generation for stage `stage_index`.
+Tensord grouped_reference(const ConvLayerDesc& conv, const Tensord& input,
+                          Count stage_index, std::uint64_t weight_seed) {
+  Rng rng(weight_seed + static_cast<std::uint64_t>(stage_index));
+  Tensord weights =
+      Tensord::weights(conv.out_channels, conv.group_in_channels(),
+                       conv.kernel_h, conv.kernel_w);
+  fill_random_int(weights, rng, 3);
+  Tensord reference = Tensord::feature_map(conv.out_channels, conv.ofm_h(),
+                                           conv.ofm_w());
+  const Dim icg = conv.group_in_channels();
+  const Dim ocg = conv.group_out_channels();
+  for (Dim g = 0; g < conv.groups; ++g) {
+    const Tensord group = conv2d_direct(
+        slice_channels(input, g * icg, icg),
+        slice_outer(weights, g * ocg, ocg), conv.config);
+    write_channels(reference, group, g * ocg);
+  }
+  return reference;
+}
+
+TEST(Pipeline, DepthwiseStageMatchesDenseReference) {
+  // Depthwise: G = IC = OC = 4, one channel per group.
+  std::vector<StageSpec> stages;
+  StageSpec s;
+  s.conv = make_conv_layer("dw", 8, 3, 4, 4);
+  s.conv.groups = 4;
+  s.relu = false;
+  stages.push_back(s);
+
+  Rng rng(11);
+  Tensord input = Tensord::feature_map(4, 8, 8);
+  fill_random_int(input, rng, 3);
+
+  const PipelineResult result =
+      run_pipeline(stages, input, VwSdkMapper(), kSmall);
+  EXPECT_TRUE(result.all_verified) << result.summary();
+  EXPECT_EQ(result.output.shape(), (Shape4{1, 4, 6, 6}));
+  EXPECT_TRUE(exactly_equal(result.output,
+                            grouped_reference(s.conv, input, 0, 42)));
+  // 4 groups x the per-group analytic cycles.
+  EXPECT_EQ(result.total_cycles,
+            4 * result.stages[0].decision.cost.total);
+}
+
+TEST(Pipeline, GroupedStageMatchesDenseReference) {
+  // groups = 4 with more than one channel per group (IC/G = 2, OC/G = 3).
+  std::vector<StageSpec> stages;
+  StageSpec s;
+  s.conv = make_conv_layer("g4", 9, 3, 8, 12);
+  s.conv.groups = 4;
+  s.relu = false;
+  stages.push_back(s);
+
+  Rng rng(13);
+  Tensord input = Tensord::feature_map(8, 9, 9);
+  fill_random_int(input, rng, 3);
+
+  const PipelineResult result =
+      run_pipeline(stages, input, VwSdkMapper(), kSmall);
+  EXPECT_TRUE(result.all_verified) << result.summary();
+  EXPECT_EQ(result.output.shape(), (Shape4{1, 12, 7, 7}));
+  EXPECT_TRUE(exactly_equal(result.output,
+                            grouped_reference(s.conv, input, 0, 42)));
+  EXPECT_NE(result.summary().find("stage 1"), std::string::npos);
+}
+
+TEST(Pipeline, GroupedStagesChainWithDenseOnes) {
+  // MobileNet-style block: dense 3x3, depthwise 3x3, pointwise 1x1.
+  std::vector<StageSpec> stages;
+  StageSpec dense;
+  dense.conv = make_conv_layer("conv", 10, 3, 2, 6);
+  dense.relu = true;
+  stages.push_back(dense);
+  StageSpec dw;
+  dw.conv = make_conv_layer("dw", 8, 3, 6, 6);
+  dw.conv.groups = 6;
+  dw.relu = true;
+  stages.push_back(dw);
+  StageSpec pw;
+  pw.conv = make_conv_layer("pw", 6, 1, 6, 8);
+  pw.relu = false;
+  stages.push_back(pw);
+
+  Rng rng(17);
+  Tensord input = Tensord::feature_map(2, 10, 10);
+  fill_random_int(input, rng, 3);
+
+  const PipelineResult result =
+      run_pipeline(stages, input, VwSdkMapper(), kSmall);
+  EXPECT_TRUE(result.all_verified) << result.summary();
+  ASSERT_EQ(result.stages.size(), 3u);
+  EXPECT_EQ(result.stages[1].output_shape, (Shape4{1, 6, 6, 6}));
+  EXPECT_EQ(result.output.shape(), (Shape4{1, 8, 6, 6}));
+  // The depthwise stage's verification sums all six groups' cycles.
+  EXPECT_EQ(result.stages[1].verification.analytic_cycles,
+            6 * result.stages[1].decision.cost.total);
+  EXPECT_NE(result.summary().find("6 groups x ["), std::string::npos);
+}
+
+TEST(Pipeline, GroupsMustDivideChannels) {
+  std::vector<StageSpec> stages;
+  StageSpec s;
+  s.conv = make_conv_layer("bad", 8, 3, 4, 6);
+  s.conv.groups = 4;  // 4 does not divide OC = 6
+  stages.push_back(s);
+  Rng rng(3);
+  Tensord input = Tensord::feature_map(4, 8, 8);
+  fill_random_int(input, rng, 3);
+  EXPECT_THROW(run_pipeline(stages, input, VwSdkMapper(), kSmall),
                InvalidArgument);
 }
 

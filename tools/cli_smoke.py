@@ -10,6 +10,9 @@
 * the paper's Table-I totals on the 512x512 array are reproduced;
 * `sweep` runs a non-zoo spec file (grouped layers included) through the
   cross-product and emits well-formed CSV and JSON;
+* `chip` plans a pipelined chip allocation end to end (single chip,
+  multi-chip sharding when the demand exceeds one chip, the `--network`
+  alias, objective-aware allocation, and the batch throughput model);
 * `--objective energy` / `edp` run end to end (and energy provably
   changes a VGG-13 window choice vs. the default cycles search);
 * `mappers` lists the registry, and unknown mappers/objectives are
@@ -69,7 +72,7 @@ def main() -> int:
         cli.run("map", "--net", "no-such-model").returncode == 2,
         "unresolvable --net exits 2",
     )
-    for sub in ("map", "compare", "sweep", "mappers", "zoo"):
+    for sub in ("map", "compare", "sweep", "chip", "mappers", "zoo"):
         check(cli.run(sub, "--help").returncode == 0, f"{sub} --help exits 0")
 
     # --- mapper registry listing ----------------------------------------
@@ -214,6 +217,104 @@ def main() -> int:
         "sweep json has one comparison per array point",
     )
     check("cache" in sweep_json.stderr, "sweep --stats reports the cache")
+
+    # --- chip: the pipeline planner end to end --------------------------
+    chip = cli.run("chip", "--net", "resnet18", "--arrays", "64",
+                   "--batch", "16", "--format", "json")
+    check(chip.returncode == 0, "chip (single chip, json) exits 0")
+    plan = json.loads(chip.stdout)
+    check(
+        plan["feasible"] and len(plan["chips"]) == 1
+        and plan["interval"] > 0 and plan["speedup"] > 1.0,
+        "chip json carries a feasible single-chip plan with speedup",
+    )
+    check(
+        plan["batch"] == 16
+        and plan["batch_cycles"]
+        == plan["fill_latency"] + 15 * plan["interval"],
+        "chip batch cycles follow fill + (B-1) x interval",
+    )
+    by_alias = cli.run("chip", "--network", "resnet18", "--arrays", "64",
+                       "--batch", "16", "--format", "json")
+    check(
+        by_alias.returncode == 0 and by_alias.stdout == chip.stdout,
+        "--network is an exact alias for --net",
+    )
+
+    # Demand (23 arrays for ResNet-18 vw-sdk) > 12-array chips: the
+    # planner shards instead of reporting a bare infeasible.
+    sharded = cli.run("chip", "--net", "resnet18", "--arrays", "12",
+                      "--format", "json")
+    check(sharded.returncode == 0, "chip (multi-chip) exits 0")
+    sharded_plan = json.loads(sharded.stdout)
+    check(
+        sharded_plan["feasible"] and len(sharded_plan["chips"]) > 1
+        and sharded_plan["interval"]
+        == max(c["interval"] for c in sharded_plan["chips"]),
+        "demand > one chip shards into a valid multi-chip plan",
+    )
+    check(
+        all(sum(l["tiles"] for l in c["layers"]) <= 12
+            for c in sharded_plan["chips"]),
+        "every chip's resident demand fits its 12-array budget",
+    )
+
+    for objective in ("cycles", "energy", "edp"):
+        run = cli.run("chip", "--net", "vgg13", "--arrays", "64",
+                      "--objective", objective, "--format", "json")
+        ok = run.returncode == 0
+        if ok:
+            doc = json.loads(run.stdout)
+            ok = doc["objective"] == objective and doc["feasible"]
+        check(ok, f"chip --objective {objective} exits 0 with the objective")
+
+    chip_csv = cli.run("chip", "--net", "vgg13", "--arrays", "64",
+                       "--format", "csv")
+    check(chip_csv.returncode == 0, "chip (csv) exits 0")
+    chip_rows = list(csv.DictReader(io.StringIO(chip_csv.stdout)))
+    check(
+        len(chip_rows) == 10
+        and all(int(r["arrays"]) >= int(r["tiles"]) for r in chip_rows)
+        and len({r["interval"] for r in chip_rows}) == 1,
+        "chip csv has one row per layer with arrays >= tiles",
+    )
+    chip_table = cli.run("chip", "--net", "resnet18", "--arrays", "64")
+    check(
+        chip_table.returncode == 0 and "interval" in chip_table.stdout
+        and "speedup" in chip_table.stdout,
+        "chip table reports interval and speedup",
+    )
+
+    # A grouped (depthwise) spec flows through the planner: its resident
+    # demand counts G copies of the per-group tiles.
+    grouped_chip = cli.run("chip", "--net", str(custom), "--arrays", "32",
+                           "--format", "json")
+    check(grouped_chip.returncode == 0, "chip on a grouped spec exits 0")
+    grouped_plan = json.loads(grouped_chip.stdout)
+    dw = [l for c in grouped_plan["chips"] for l in c["layers"]
+          if l["name"] == "dw"]
+    check(
+        len(dw) == 1 and dw[0]["groups"] == 16
+        and dw[0]["tiles"] % 16 == 0,
+        "grouped layer keeps G x per-group tiles resident",
+    )
+
+    check(
+        cli.run("chip", "--net", "resnet18").returncode == 2,
+        "chip without --arrays exits 2",
+    )
+    overflow = cli.run("chip", "--net", "resnet18",
+                       "--arrays", "4294967360")  # 2^32 + 64
+    check(
+        overflow.returncode == 2 and "--arrays" in overflow.stderr,
+        "an --arrays value beyond Dim exits 2 instead of wrapping",
+    )
+    capped = cli.run("chip", "--net", "resnet18", "--arrays", "12",
+                     "--chips", "1")
+    check(
+        capped.returncode == 1 and "chip" in capped.stderr,
+        "an impossible chip budget exits 1 naming the reason",
+    )
 
     # --- malformed specs fail cleanly -----------------------------------
     bad = tmp / "bad.json"
