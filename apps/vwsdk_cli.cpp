@@ -42,6 +42,7 @@ Commands:
   compare  run several algorithms on one network side by side
   sweep    cross-product of networks x arrays x algorithms
   chip     pipeline one network across one or more PIM chips
+  verify   functionally verify mapped layers on the crossbar simulator
   mappers  list the registered mapping algorithms
   zoo      list built-in networks or export one as a spec file
 
@@ -512,6 +513,84 @@ int run_chip(int argc, const char* const* argv) {
   return kExitOk;
 }
 
+/// `vwsdk verify`: map each layer, build the plan, execute it on the
+/// crossbar simulator with deterministic integer tensors, and compare
+/// the OFM against the selected reference backend.  Grouped layers
+/// verify one group's sub-convolution (all groups are identical).
+/// Any mismatch -- OFM or cycle count -- exits 1 after the table.
+int run_verify(int argc, const char* const* argv) {
+  ArgParser args("vwsdk verify",
+                 "functionally verify mapped layers on the crossbar "
+                 "simulator");
+  args.add_option("net", "", "model-zoo name or spec file (required)");
+  args.add_option("mapper", "vw-sdk",
+                  cat("mapping algorithm (",
+                      MapperRegistry::instance().known_names(), ")"));
+  add_ref_backend_option(args);
+  args.add_int_option("seed", 42, "seed for the integer test tensors");
+  args.add_option("array", "",
+                  "PIM array geometry RxC (default: the spec's array, "
+                  "else 512x512)");
+  args.add_option("out", "-", "output path, '-' = stdout");
+  if (!args.parse(argc, argv)) {
+    return kExitOk;
+  }
+  require_no_positional(args);
+  VWSDK_REQUIRE(!args.get("net").empty(), "--net is required");
+
+  const NetworkSpec spec = resolve_network_spec(args.get("net"));
+  const ArrayGeometry geometry = resolve_geometry(args, spec);
+  const auto mapper = make_mapper(args.get("mapper"));
+  ExecutionOptions options;
+  // Resolve now: an unknown backend is a usage error before any layer
+  // runs, and the header names the canonical backend.
+  options.ref_backend = ref_backend_from_args(args);
+  const auto seed =
+      static_cast<std::uint64_t>(int_in_range(args, "seed", 0));
+
+  bool all_verified = true;
+  TextTable table({"#", "layer", "groups", "mapping (PWxICtxOCt)", "exact",
+                   "cycles (run/analytic)", "max_abs_err"});
+  const std::vector<ConvLayerDesc>& layers = spec.network.layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const ConvLayerDesc& layer = layers[i];
+    layer.validate();
+    GroupedConvShape grouped;
+    grouped.base = ConvShape::from_layer(layer);
+    grouped.groups = layer.groups;
+    const ConvShape shape = grouped.group_shape();
+    const MappingDecision decision = mapper->map(shape, geometry);
+    const MappingPlan plan =
+        build_plan_for_cost(shape, geometry, decision.cost);
+    const VerificationReport report =
+        verify_mapping_random(plan, seed + i, 4, options);
+    const bool ok = report.exact_match && report.cycles_match;
+    all_verified = all_verified && ok;
+    table.add_row({std::to_string(i + 1), layer.name,
+                   std::to_string(layer.groups), decision.table_entry(),
+                   report.exact_match ? "yes" : "NO",
+                   cat(report.executed_cycles, "/", report.analytic_cycles,
+                       report.cycles_match ? "" : " MISMATCH"),
+                   format_fixed(report.max_abs_error, 3)});
+  }
+
+  with_output(args.get("out"), [&](std::ostream& os) {
+    os << "network: " << spec.network.name() << " ("
+       << spec.network.layer_count() << " layers)\narray: "
+       << geometry.to_string() << "   algorithm: " << args.get("mapper")
+       << "   backend: " << options.ref_backend << "\n\n" << table << "\n"
+       << (all_verified
+               ? "all layers verified EXACT against the reference backend"
+               : "verification FAILED (see table)")
+       << "\n";
+  });
+  if (!all_verified) {
+    std::cerr << "error: functional verification failed\n";
+    return kExitError;
+  }
+  return kExitOk;
+}
+
 int run_mappers(int argc, const char* const* argv) {
   ArgParser args("vwsdk mappers", "list the registered mapping algorithms");
   args.add_option("out", "-", "output path, '-' = stdout");
@@ -621,6 +700,9 @@ int main(int argc, char** argv) {
     }
     if (command == "chip") {
       return run_chip(argc - 1, argv + 1);
+    }
+    if (command == "verify") {
+      return run_verify(argc - 1, argv + 1);
     }
     if (command == "mappers") {
       return run_mappers(argc - 1, argv + 1);

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdlib>
 #include <exception>
+#include <set>
 #include <string>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace vwsdk {
@@ -19,22 +21,41 @@ int clamp_threads(long long value) {
       std::clamp<long long>(value, 1, kMaxThreads));
 }
 
+// A mis-typed VWSDK_THREADS should degrade, not abort a mapping run --
+// but it must not degrade *silently* either, or a fat-fingered value
+// quietly changes every wall time.  Warn once per distinct bad value
+// (default_thread_count is called per pool construction; repeating the
+// warning every time would drown the log).
+void warn_bad_threads_env(const char* value, int fallback) {
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (!warned.insert(value).second) {
+    return;
+  }
+  log_warn("VWSDK_THREADS=\"", value,
+           "\" is not a positive integer; using ", fallback,
+           " worker thread(s) instead");
+}
+
 }  // namespace
 
 int ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hardware = clamp_threads(hw == 0 ? 1 : static_cast<long long>(hw));
   if (const char* env = std::getenv("VWSDK_THREADS")) {
     try {
       const long long parsed = parse_count(env);
       if (parsed > 0) {
         return clamp_threads(parsed);
       }
+      warn_bad_threads_env(env, hardware);  // "0"
     } catch (const InvalidArgument&) {
-      // Unparseable VWSDK_THREADS falls through to the hardware default;
-      // a mis-typed env var should degrade, not abort a mapping run.
+      // Garbage, a sign, or overflow: parse_count rejects them all.
+      warn_bad_threads_env(env, hardware);
     }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return clamp_threads(hw == 0 ? 1 : static_cast<long long>(hw));
+  return hardware;
 }
 
 int ThreadPool::resolve_thread_count(int requested) {

@@ -19,6 +19,9 @@
 /// Thread count resolution (`default_thread_count`): the `VWSDK_THREADS`
 /// environment variable when set to a positive integer, otherwise
 /// `std::thread::hardware_concurrency()`; always clamped to [1, 256].
+/// An unparseable or non-positive `VWSDK_THREADS` degrades to the
+/// hardware default and logs a one-time warning (per distinct bad
+/// value) naming the value and the fallback.
 
 #include <condition_variable>
 #include <functional>

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/string_util.h"
 #include "core/mapper_registry.h"
+#include "tensor/exec_backend.h"
 
 namespace vwsdk {
 
@@ -69,6 +70,17 @@ void add_objective_option(ArgParser& args) {
 
 const Objective& objective_from_args(const ArgParser& args) {
   return objective_by_name(args.get("objective"));
+}
+
+void add_ref_backend_option(ArgParser& args) {
+  args.add_option("ref-backend", "",
+                  cat("reference execution backend (",
+                      BackendRegistry::instance().known_names(),
+                      "; default: VWSDK_REF_BACKEND, then gemm)"));
+}
+
+std::string ref_backend_from_args(const ArgParser& args) {
+  return resolve_ref_backend(args.get("ref-backend"));
 }
 
 long long int_in_range(const ArgParser& args, const std::string& name,

@@ -57,6 +57,17 @@ std::vector<std::string> mappers_from_args(const ArgParser& args);
 /// "cycles"; the help text lists the built-in objectives.
 void add_objective_option(ArgParser& args);
 
+/// Declare --ref-backend, the reference execution backend a functional
+/// verification compares against; the help text lists the registered
+/// backends (BackendRegistry::instance()).  Empty (the default) defers
+/// to the `VWSDK_REF_BACKEND` environment variable, then "gemm".
+void add_ref_backend_option(ArgParser& args);
+
+/// The canonical backend name from --ref-backend, resolved through
+/// resolve_ref_backend (throws NotFound listing the registered names on
+/// an unknown name).
+std::string ref_backend_from_args(const ArgParser& args);
+
 /// The Objective parsed from --objective (throws NotFound listing the
 /// known objectives).  The reference is a process-lifetime singleton.
 const Objective& objective_from_args(const ArgParser& args);

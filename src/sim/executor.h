@@ -13,6 +13,8 @@
 /// if the plan (placement, schedule, tiling) is wrong in any way, the
 /// produced OFM will not match the reference convolution.
 
+#include <string>
+
 #include "mapping/mapping_plan.h"
 #include "pim/adc.h"
 #include "pim/energy_model.h"
@@ -28,6 +30,12 @@ struct ExecutionOptions {
   std::uint64_t noise_seed = 1;     ///< seed for the noise model
   bool validate_plan = true;        ///< run plan_validate first
   bool check_overlap_consistency = true;  ///< recomputed outputs must agree
+
+  /// Reference backend verification compares the execution against: a
+  /// BackendRegistry name or alias; empty resolves through the
+  /// `VWSDK_REF_BACKEND` environment variable, then "gemm" (see
+  /// tensor/exec_backend.h).  The "scalar" oracle is always available.
+  std::string ref_backend;
 };
 
 /// What an execution produced and what it cost.

@@ -51,6 +51,12 @@ PipelineResult run_pipeline(const std::vector<StageSpec>& stages,
   result.output = input;
   result.all_verified = true;
 
+  // One backend scratch buffer spans the whole run: the groups of a
+  // stage (and often consecutive stages) share im2col dimensions, so
+  // the reference backend reuses one allocation instead of growing a
+  // fresh buffer per group.
+  ConvWorkspace workspace;
+
   for (std::size_t i = 0; i < stages.size(); ++i) {
     const StageSpec& spec = stages[i];
     spec.conv.validate();
@@ -107,17 +113,19 @@ PipelineResult run_pipeline(const std::vector<StageSpec>& stages,
         group_ifm = &sliced_ifm;
         group_weights = &sliced_weights;
       }
+      // One execution per group: verify against the selected reference
+      // backend and keep the executed OFM for the layer feature map.
+      ExecutionResult executed =
+          execute_plan(plan, *group_ifm, *group_weights, options);
+      const Tensord reference = reference_convolution(
+          plan, *group_ifm, *group_weights, options, &workspace);
       const VerificationReport verification =
-          verify_mapping(plan, *group_ifm, *group_weights, options);
+          verify_execution(plan, executed, reference);
       if (g == 0) {
         stage.verification = verification;
       } else {
         accumulate_verification(stage.verification, verification);
       }
-      // Re-execute to obtain the group's OFM (the verifier already ran
-      // the plan; run once more for the tensor -- clarity over speed).
-      ExecutionResult executed =
-          execute_plan(plan, *group_ifm, *group_weights, options);
       result.activity.accumulate(executed.activity);
       if (groups > 1) {
         write_channels(feature_map, executed.ofm, g * group_oc);

@@ -48,12 +48,15 @@ struct PipelineResult {
 /// Run `stages` starting from `input`.  Weights for stage i are generated
 /// deterministically from `weight_seed` + i (integer-valued, grouped
 /// layout (OC, IC/G, K_h, K_w)).  Each stage's conv descriptor must match
-/// the incoming tensor's shape (validated).  Every stage is verified
-/// against the reference conv before its post-ops are applied.  Grouped
+/// the incoming tensor's shape (validated).  Every stage is verified --
+/// against the reference backend `options.ref_backend` selects (see
+/// tensor/exec_backend.h) -- before its post-ops are applied.  Grouped
 /// stages (groups > 1, depthwise included) run one group at a time on
 /// their channel slices -- a single per-group mapping/plan serves every
-/// group -- and concatenate the group OFMs channel-wise; each group is
-/// verified against the dense reference convolution of its slice.
+/// group, each group executes exactly once, and one backend workspace is
+/// reused across all groups and stages -- and concatenate the group OFMs
+/// channel-wise; each group is verified against the dense reference
+/// convolution of its slice.
 PipelineResult run_pipeline(const std::vector<StageSpec>& stages,
                             const Tensord& input, const Mapper& mapper,
                             const ArrayGeometry& geometry,

@@ -1,23 +1,27 @@
 #include "sim/verifier.h"
 
 #include "common/string_util.h"
-#include "tensor/conv_ref.h"
 #include "tensor/tensor_ops.h"
 
 namespace vwsdk {
 
-VerificationReport verify_mapping(const MappingPlan& plan, const Tensord& ifm,
-                                  const Tensord& weights,
-                                  const ExecutionOptions& options) {
-  const ExecutionResult executed = execute_plan(plan, ifm, weights, options);
-
+Tensord reference_convolution(const MappingPlan& plan, const Tensord& ifm,
+                              const Tensord& weights,
+                              const ExecutionOptions& options,
+                              ConvWorkspace* workspace) {
   ConvConfig config;
   config.stride_w = plan.shape.stride_w;
   config.stride_h = plan.shape.stride_h;
   config.pad_w = plan.shape.pad_w;
   config.pad_h = plan.shape.pad_h;
-  const Tensord reference = conv2d_direct(ifm, weights, config);
+  const RefBackend& backend =
+      BackendRegistry::instance().get(resolve_ref_backend(options.ref_backend));
+  return backend.conv2d(ifm, weights, config, workspace);
+}
 
+VerificationReport verify_execution(const MappingPlan& plan,
+                                    const ExecutionResult& executed,
+                                    const Tensord& reference) {
   VerificationReport report;
   report.executed_cycles = executed.cycles;
   report.analytic_cycles = plan.cost.total;
@@ -32,6 +36,15 @@ VerificationReport verify_mapping(const MappingPlan& plan, const Tensord& ifm,
           report.executed_cycles, "/", report.analytic_cycles,
           report.cycles_match ? " (match)" : " (MISMATCH)");
   return report;
+}
+
+VerificationReport verify_mapping(const MappingPlan& plan, const Tensord& ifm,
+                                  const Tensord& weights,
+                                  const ExecutionOptions& options) {
+  const ExecutionResult executed = execute_plan(plan, ifm, weights, options);
+  const Tensord reference =
+      reference_convolution(plan, ifm, weights, options);
+  return verify_execution(plan, executed, reference);
 }
 
 VerificationReport verify_mapping_random(const MappingPlan& plan,

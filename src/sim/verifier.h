@@ -1,13 +1,16 @@
 #pragma once
 
 /// @file verifier.h
-/// End-to-end verification of a mapping: execute the plan on the crossbar
-/// simulator and compare with the reference direct convolution.
+/// End-to-end verification of a mapping: execute the plan on the
+/// crossbar simulator and compare with a reference convolution computed
+/// by the execution backend ExecutionOptions::ref_backend selects
+/// (tensor/exec_backend.h; default "gemm", with "scalar" as the oracle).
 
 #include <string>
 
 #include "mapping/mapping_plan.h"
 #include "sim/executor.h"
+#include "tensor/exec_backend.h"
 
 namespace vwsdk {
 
@@ -22,9 +25,27 @@ struct VerificationReport {
   std::string summary;         ///< one-line human-readable result
 };
 
-/// Execute `plan` on (ifm, weights) and compare with conv2d_direct.
-/// With ideal ADC and no noise and integer-valued tensors the match is
-/// exact; with quantization/noise only max_abs_error is meaningful.
+/// The reference OFM for `plan` on (ifm, weights), computed by the
+/// backend `options.ref_backend` resolves to with the plan's
+/// stride/padding.  `workspace` is optional backend scratch, reusable
+/// across calls (the pipeline shares one across groups and stages).
+Tensord reference_convolution(const MappingPlan& plan, const Tensord& ifm,
+                              const Tensord& weights,
+                              const ExecutionOptions& options = {},
+                              ConvWorkspace* workspace = nullptr);
+
+/// Build the report comparing an already-run execution against an
+/// already-computed reference OFM.  Callers that need the executed
+/// tensor itself (the pipeline does) use this to verify without running
+/// the plan twice.
+VerificationReport verify_execution(const MappingPlan& plan,
+                                    const ExecutionResult& executed,
+                                    const Tensord& reference);
+
+/// Execute `plan` on (ifm, weights) and compare with the reference
+/// backend.  With ideal ADC and no noise and integer-valued tensors the
+/// match is exact; with quantization/noise only max_abs_error is
+/// meaningful.
 VerificationReport verify_mapping(const MappingPlan& plan, const Tensord& ifm,
                                   const Tensord& weights,
                                   const ExecutionOptions& options = {});

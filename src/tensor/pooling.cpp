@@ -16,8 +16,13 @@ Tensord pool2d(const Tensord& ifm, Dim window, Dim stride, Reducer reduce,
   const Shape4& in = ifm.shape();
   VWSDK_REQUIRE(in.d0 == 1, "pooling expects batch 1");
   VWSDK_REQUIRE(window > 0 && stride > 0, "pooling window/stride must be > 0");
+  VWSDK_REQUIRE(stride <= window,
+                "pooling stride larger than window would skip input "
+                "rows/columns entirely");
   VWSDK_REQUIRE(in.d2 >= window && in.d3 >= window,
                 "pooling window larger than input");
+  // Floor semantics (documented in pooling.h): trailing rows/columns
+  // short of a full window are dropped.
   const Dim oh = (in.d2 - window) / stride + 1;
   const Dim ow = (in.d3 - window) / stride + 1;
   Tensord out = Tensord::feature_map(in.d1, oh, ow);

@@ -12,12 +12,21 @@
 
 namespace vwsdk {
 
-/// Max pooling with a square window and equal stride (the VGG pattern:
-/// window 2, stride 2).  Input (1, C, H, W) -> (1, C, H/stride, W/stride)
-/// using floor semantics; requires H, W >= window.
+/// Max pooling with a square window (the VGG pattern: window 2,
+/// stride 2).  Input (1, C, H, W) -> (1, C, OH, OW) with
+/// OH = floor((H - window) / stride) + 1 (likewise OW) -- floor
+/// semantics: when (H - window) % stride != 0 the trailing rows (and
+/// columns) that cannot fill a complete window are dropped, never
+/// partially pooled.  E.g. a 5x5 input with window 2, stride 2 pools to
+/// 2x2; row and column 4 do not contribute.  Pinned by
+/// tests/tensor/test_pooling.cpp so the truncation can never regress
+/// silently.  Requires H, W >= window, window > 0, and
+/// 0 < stride <= window (a larger stride would skip input entirely --
+/// rejected rather than silently dropping interior data).
 Tensord max_pool2d(const Tensord& ifm, Dim window, Dim stride);
 
-/// Average pooling, same geometry rules as max_pool2d.
+/// Average pooling, same geometry rules (and floor semantics) as
+/// max_pool2d; every output averages a full window x window patch.
 Tensord avg_pool2d(const Tensord& ifm, Dim window, Dim stride);
 
 /// Element-wise ReLU (returns a new tensor).

@@ -25,6 +25,8 @@
 #include "common/types.h"
 
 #include "tensor/conv_ref.h"
+#include "tensor/exec_backend.h"
+#include "tensor/gemm_backend.h"
 #include "tensor/im2col_ref.h"
 #include "tensor/pooling.h"
 #include "tensor/tensor.h"

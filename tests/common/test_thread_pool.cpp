@@ -8,8 +8,57 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
+
 namespace vwsdk {
 namespace {
+
+/// RAII: capture warnings into a vector, restore logger defaults after.
+class WarningCapture {
+ public:
+  WarningCapture() {
+    messages_.clear();
+    Logger::instance().set_sink([](LogLevel level, const std::string& msg) {
+      if (level == LogLevel::kWarn) {
+        messages_.push_back(msg);
+      }
+    });
+  }
+  ~WarningCapture() {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::kInfo);
+  }
+
+  static const std::vector<std::string>& messages() { return messages_; }
+
+ private:
+  static std::vector<std::string> messages_;
+};
+
+std::vector<std::string> WarningCapture::messages_;
+
+/// RAII: restore the prior VWSDK_THREADS value (the sanitizer CI job
+/// exports one globally; clobbering it would change later tests).
+class ThreadsEnvGuard {
+ public:
+  ThreadsEnvGuard() {
+    if (const char* prev = std::getenv("VWSDK_THREADS")) {
+      had_value_ = true;
+      saved_ = prev;
+    }
+  }
+  ~ThreadsEnvGuard() {
+    if (had_value_) {
+      setenv("VWSDK_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("VWSDK_THREADS");
+    }
+  }
+
+ private:
+  bool had_value_ = false;
+  std::string saved_;
+};
 
 TEST(ThreadPool, RunsSubmittedTasksAndReturnsResults) {
   ThreadPool pool(4);
@@ -97,6 +146,7 @@ TEST(ThreadPool, ResolveThreadCountClampsAndPassesThrough) {
 }
 
 TEST(ThreadPool, DefaultThreadCountHonoursEnvVar) {
+  ThreadsEnvGuard env_guard;
   ASSERT_EQ(setenv("VWSDK_THREADS", "3", 1), 0);
   EXPECT_EQ(ThreadPool::default_thread_count(), 3);
   ASSERT_EQ(setenv("VWSDK_THREADS", "0", 1), 0);
@@ -104,6 +154,61 @@ TEST(ThreadPool, DefaultThreadCountHonoursEnvVar) {
   ASSERT_EQ(setenv("VWSDK_THREADS", "not-a-number", 1), 0);
   EXPECT_GE(ThreadPool::default_thread_count(), 1);  // degrades, no throw
   ASSERT_EQ(unsetenv("VWSDK_THREADS"), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+}
+
+// The degrade path must not be silent: each distinct bad value warns
+// exactly once, naming the value and the fallback.  The bad values here
+// must be unique to this test -- the once-per-value memory is
+// process-wide, so a value another test already fed through
+// default_thread_count would not warn again.
+TEST(ThreadPool, BadEnvValueWarnsOncePerDistinctValue) {
+  ThreadsEnvGuard env_guard;
+  WarningCapture capture;
+  const auto warnings = []() { return WarningCapture::messages().size(); };
+
+  // Unparseable garbage.
+  ASSERT_EQ(setenv("VWSDK_THREADS", "abc", 1), 0);
+  const int fallback = ThreadPool::default_thread_count();
+  EXPECT_GE(fallback, 1);
+  ASSERT_EQ(warnings(), 1u);
+  EXPECT_NE(WarningCapture::messages()[0].find("abc"), std::string::npos);
+  EXPECT_NE(WarningCapture::messages()[0].find(std::to_string(fallback)),
+            std::string::npos);
+
+  // Repeating the same bad value does not warn again.
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  EXPECT_EQ(warnings(), 1u);
+
+  // Non-positive ("0" is already consumed by the env-var test above,
+  // so use a zero spelling unique to this test).
+  ASSERT_EQ(setenv("VWSDK_THREADS", "00", 1), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  ASSERT_EQ(warnings(), 2u);
+  EXPECT_NE(WarningCapture::messages()[1].find("\"00\""), std::string::npos);
+
+  // Negative (parse_count rejects the sign).
+  ASSERT_EQ(setenv("VWSDK_THREADS", "-2", 1), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  ASSERT_EQ(warnings(), 3u);
+  EXPECT_NE(WarningCapture::messages()[2].find("-2"), std::string::npos);
+
+  // Overflow (parse_count rejects values past long long).
+  ASSERT_EQ(setenv("VWSDK_THREADS", "99999999999999999999", 1), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  ASSERT_EQ(warnings(), 4u);
+  EXPECT_NE(WarningCapture::messages()[3].find("99999999999999999999"),
+            std::string::npos);
+
+  // A good value never warns.
+  ASSERT_EQ(setenv("VWSDK_THREADS", "2", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 2);
+  EXPECT_EQ(warnings(), 4u);
+
+  // The literal "0" also degrades cleanly.  Its warning count is not
+  // asserted: the env-var test above may have already consumed the
+  // once-per-value slot for "0" in this process.
+  ASSERT_EQ(setenv("VWSDK_THREADS", "0", 1), 0);
   EXPECT_GE(ThreadPool::default_thread_count(), 1);
 }
 

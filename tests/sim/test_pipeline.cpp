@@ -212,6 +212,31 @@ TEST(Pipeline, GroupsMustDivideChannels) {
                InvalidArgument);
 }
 
+// The whole pipeline (dense + grouped stages, pooling, relu) must be
+// indifferent to which reference backend verifies it: on the integer
+// tensors the pipeline generates, scalar and gemm agree bitwise.
+TEST(Pipeline, ReferenceBackendChoiceDoesNotChangeResults) {
+  std::vector<StageSpec> stages = tiny_cnn();
+  StageSpec dw;
+  dw.conv = make_conv_layer("dw", 3, 3, 6, 6);
+  dw.conv.groups = 6;
+  dw.relu = false;
+  stages.push_back(dw);
+
+  ExecutionOptions scalar_opts;
+  scalar_opts.ref_backend = "scalar";
+  ExecutionOptions gemm_opts;
+  gemm_opts.ref_backend = "gemm";
+  const PipelineResult via_scalar = run_pipeline(
+      stages, tiny_input(), VwSdkMapper(), kSmall, scalar_opts);
+  const PipelineResult via_gemm = run_pipeline(
+      stages, tiny_input(), VwSdkMapper(), kSmall, gemm_opts);
+  EXPECT_TRUE(via_scalar.all_verified) << via_scalar.summary();
+  EXPECT_TRUE(via_gemm.all_verified) << via_gemm.summary();
+  EXPECT_TRUE(exactly_equal(via_scalar.output, via_gemm.output));
+  EXPECT_EQ(via_scalar.summary(), via_gemm.summary());
+}
+
 TEST(Pipeline, SummaryListsStages) {
   const PipelineResult result =
       run_pipeline(tiny_cnn(), tiny_input(), VwSdkMapper(), kSmall);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "mapping/plan_builder.h"
 #include "tensor/tensor_ops.h"
 
@@ -54,6 +55,50 @@ TEST(Verifier, ExplicitTensorsOverload) {
   const VerificationReport report = verify_mapping(plan, ifm, weights);
   EXPECT_TRUE(report.exact_match);
   EXPECT_EQ(report.analytic_cycles, plan.cost.total);
+}
+
+// The reference backend is selectable; on integer tensors the scalar
+// oracle and the gemm engine must yield identical reports.
+TEST(Verifier, BackendSelectionAgreesAcrossBackends) {
+  const ConvShape shape = ConvShape::square(8, 3, 4, 6);
+  const MappingPlan plan = build_plan_for_window(shape, kSmall, {4, 3});
+  ExecutionOptions scalar_opts;
+  scalar_opts.ref_backend = "scalar";
+  ExecutionOptions gemm_opts;
+  gemm_opts.ref_backend = "gemm";
+  const VerificationReport via_scalar =
+      verify_mapping_random(plan, 42, 4, scalar_opts);
+  const VerificationReport via_gemm =
+      verify_mapping_random(plan, 42, 4, gemm_opts);
+  EXPECT_TRUE(via_scalar.exact_match);
+  EXPECT_TRUE(via_gemm.exact_match);
+  EXPECT_EQ(via_scalar.summary, via_gemm.summary);
+}
+
+TEST(Verifier, UnknownBackendThrowsNotFound) {
+  const ConvShape shape = ConvShape::square(6, 3, 2, 3);
+  const MappingPlan plan = build_im2col_plan(shape, kSmall);
+  ExecutionOptions options;
+  options.ref_backend = "no-such-backend";
+  EXPECT_THROW(verify_mapping_random(plan, 1, 1, options), NotFound);
+}
+
+TEST(Verifier, ReferenceConvolutionReusesWorkspace) {
+  const ConvShape shape = ConvShape::square(6, 3, 2, 3);
+  const MappingPlan plan = build_im2col_plan(shape, kSmall);
+  Rng rng(5);
+  Tensord ifm = Tensord::feature_map(2, 6, 6);
+  Tensord weights = Tensord::weights(3, 2, 3, 3);
+  fill_random_int(ifm, rng, 2);
+  fill_random_int(weights, rng, 2);
+  ConvWorkspace workspace;
+  const Tensord first = reference_convolution(plan, ifm, weights, {},
+                                              &workspace);
+  // A second call through the now-sized workspace must not perturb
+  // the result.
+  const Tensord second = reference_convolution(plan, ifm, weights, {},
+                                               &workspace);
+  EXPECT_TRUE(exactly_equal(first, second));
 }
 
 }  // namespace

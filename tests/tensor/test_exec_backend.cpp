@@ -1,0 +1,297 @@
+#include "tensor/exec_backend.h"
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "nn/model_zoo.h"
+#include "tensor/gemm_backend.h"
+#include "tensor/tensor_ops.h"
+
+namespace vwsdk {
+namespace {
+
+/// RAII: restore the prior value of an environment variable.
+class EnvGuard {
+ public:
+  explicit EnvGuard(std::string name) : name_(std::move(name)) {
+    if (const char* prev = std::getenv(name_.c_str())) {
+      had_value_ = true;
+      saved_ = prev;
+    }
+  }
+  ~EnvGuard() {
+    if (had_value_) {
+      setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_value_ = false;
+  std::string saved_;
+};
+
+TEST(BackendRegistry, BuiltinsAreRegistered) {
+  const BackendRegistry& registry = BackendRegistry::instance();
+  EXPECT_GE(registry.size(), 2);
+  // The oracle sorts first, the fast default second.
+  const std::vector<std::string> names = registry.names();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_EQ(names[0], "scalar");
+  EXPECT_EQ(names[1], "gemm");
+  EXPECT_TRUE(registry.contains("scalar"));
+  EXPECT_TRUE(registry.contains("gemm"));
+  // Aliases and case-insensitive lookup.
+  EXPECT_TRUE(registry.contains("direct"));
+  EXPECT_TRUE(registry.contains("im2col-gemm"));
+  EXPECT_TRUE(registry.contains("  GEMM "));
+  EXPECT_EQ(registry.info("DIRECT").name, "scalar");
+}
+
+TEST(BackendRegistry, UnknownNameThrowsListingKnown) {
+  const BackendRegistry& registry = BackendRegistry::instance();
+  try {
+    registry.get("no-such-backend");
+    FAIL() << "expected NotFound";
+  } catch (const NotFound& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("no-such-backend"), std::string::npos);
+    EXPECT_NE(message.find("scalar"), std::string::npos);
+    EXPECT_NE(message.find("gemm"), std::string::npos);
+  }
+}
+
+TEST(BackendRegistry, AddValidatesNamesAndDuplicates) {
+  BackendRegistry registry;
+  RefBackendInfo info;
+  info.name = "mine";
+  info.instance = []() -> const RefBackend& {
+    static const ScalarBackend backend;
+    return backend;
+  };
+  registry.add(info);
+  EXPECT_TRUE(registry.contains("MINE"));
+  // Duplicate canonical name (case-insensitive).
+  EXPECT_THROW(registry.add(info), InvalidArgument);
+  // Missing instance function.
+  RefBackendInfo broken;
+  broken.name = "broken";
+  EXPECT_THROW(registry.add(broken), InvalidArgument);
+  // An alias colliding with an existing name.
+  RefBackendInfo aliased = info;
+  aliased.name = "other";
+  aliased.aliases = {"Mine"};
+  EXPECT_THROW(registry.add(aliased), InvalidArgument);
+  // An alias repeated within one registration.
+  RefBackendInfo repeated = info;
+  repeated.name = "third";
+  repeated.aliases = {"x", "x"};
+  EXPECT_THROW(registry.add(repeated), InvalidArgument);
+}
+
+TEST(BackendResolution, ExplicitThenEnvThenDefault) {
+  EnvGuard guard("VWSDK_REF_BACKEND");
+  unsetenv("VWSDK_REF_BACKEND");
+  EXPECT_EQ(resolve_ref_backend(), "gemm");
+  EXPECT_EQ(resolve_ref_backend("scalar"), "scalar");
+  EXPECT_EQ(resolve_ref_backend(" Direct "), "scalar");  // alias, trimmed
+
+  ASSERT_EQ(setenv("VWSDK_REF_BACKEND", "scalar", 1), 0);
+  EXPECT_EQ(resolve_ref_backend(), "scalar");
+  // An explicit request wins over the environment.
+  EXPECT_EQ(resolve_ref_backend("gemm"), "gemm");
+  // Empty environment value falls through to the default.
+  ASSERT_EQ(setenv("VWSDK_REF_BACKEND", "", 1), 0);
+  EXPECT_EQ(resolve_ref_backend(), "gemm");
+  // Unknown names throw, explicit or from the environment.
+  ASSERT_EQ(setenv("VWSDK_REF_BACKEND", "bogus", 1), 0);
+  EXPECT_THROW(resolve_ref_backend(), NotFound);
+  EXPECT_THROW(resolve_ref_backend("bogus"), NotFound);
+}
+
+/// One parity case: both backends on the same integer tensors must
+/// produce bitwise-identical OFMs.
+struct ParityCase {
+  Dim ih = 0, iw = 0, kh = 0, kw = 0, ic = 0, oc = 0;
+  ConvConfig config{};
+
+  std::string label() const {
+    return cat(ih, "x", iw, " k", kh, "x", kw, " ic", ic, " oc", oc, " s",
+               config.stride_h, "x", config.stride_w, " p", config.pad_h,
+               "x", config.pad_w);
+  }
+};
+
+void expect_parity(const ParityCase& c, const RefBackend& gemm,
+                   ConvWorkspace* workspace, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensord ifm = Tensord::feature_map(c.ic, c.ih, c.iw);
+  Tensord weights = Tensord::weights(c.oc, c.ic, c.kh, c.kw);
+  fill_random_int(ifm, rng, 3);
+  fill_random_int(weights, rng, 3);
+  const Tensord oracle = conv2d_direct(ifm, weights, c.config);
+  const Tensord fast = gemm.conv2d(ifm, weights, c.config, workspace);
+  EXPECT_TRUE(exactly_equal(oracle, fast)) << c.label();
+}
+
+/// Shrink a zoo layer to a Debug-friendly parity case that keeps its
+/// interesting structure: the kernel, stride, and padding are preserved
+/// exactly; the spatial extent is capped at kernel + 9 (still multiple
+/// windows per axis, still exercises every padding row); the per-group
+/// channel counts are capped at 24 (full-size zoo layers reach billions
+/// of MACs -- minutes of scalar time per layer in Debug -- without
+/// covering any additional backend code path).
+ParityCase capped_case(const ConvLayerDesc& layer) {
+  ParityCase c;
+  c.kh = layer.kernel_h;
+  c.kw = layer.kernel_w;
+  c.ih = std::min(layer.ifm_h, static_cast<Dim>(layer.kernel_h + 9));
+  c.iw = std::min(layer.ifm_w, static_cast<Dim>(layer.kernel_w + 9));
+  c.ic = std::min(layer.group_in_channels(), Dim{24});
+  c.oc = std::min(layer.group_out_channels(), Dim{24});
+  c.config = layer.config;
+  return c;
+}
+
+// gemm vs scalar on (the capped per-group sub-convolution of) every
+// distinct layer shape in the model zoo -- stride, padding, grouped and
+// depthwise layers included, which is exactly the shape population the
+// verification paths run.
+TEST(BackendParity, EveryZooLayerShape) {
+  const RefBackend& gemm = BackendRegistry::instance().get("gemm");
+  ConvWorkspace workspace;  // shared across cases, like the pipeline
+  std::set<std::string> seen;
+  std::uint64_t seed = 100;
+  for (const std::string& model : model_names()) {
+    const Network network = model_by_name(model);
+    for (const ConvLayerDesc& layer : network.layers()) {
+      const ParityCase c = capped_case(layer);
+      if (!seen.insert(c.label()).second) {
+        continue;  // networks share layer shapes; test each once
+      }
+      expect_parity(c, gemm, &workspace, seed++);
+    }
+  }
+  EXPECT_GE(seen.size(), 10u);
+}
+
+// The stride/pad/kernel sandwich the zoo does not cover, workspace
+// shared across wildly different shapes to prove resize correctness.
+TEST(BackendParity, StridePadKernelSandwich) {
+  const RefBackend& gemm = BackendRegistry::instance().get("gemm");
+  ConvWorkspace workspace;
+  std::uint64_t seed = 500;
+  for (const Dim kernel : {1, 3, 5}) {
+    for (const Dim stride : {1, 2, 3}) {
+      for (const Dim pad : {0, 1, 2}) {
+        ParityCase c;
+        c.ih = 11;
+        c.iw = 13;  // non-square
+        c.kh = kernel;
+        c.kw = kernel;
+        c.ic = 6;
+        c.oc = 8;
+        c.config.stride_h = stride;
+        c.config.stride_w = stride;
+        c.config.pad_h = pad;
+        c.config.pad_w = pad;
+        expect_parity(c, gemm, &workspace, seed++);
+      }
+    }
+  }
+  // Asymmetric stride/padding, rectangular kernel.
+  ParityCase c;
+  c.ih = 14;
+  c.iw = 9;
+  c.kh = 3;
+  c.kw = 5;
+  c.ic = 5;
+  c.oc = 7;
+  c.config.stride_h = 2;
+  c.config.stride_w = 1;
+  c.config.pad_h = 0;
+  c.config.pad_w = 2;
+  expect_parity(c, gemm, &workspace, seed);
+}
+
+// Grouped execution the way the pipeline runs it: slice each group's
+// channels, convolve through both backends (gemm reusing one workspace
+// across groups), scatter into the layer OFM, compare layer-level.
+TEST(BackendParity, GroupedAndDepthwiseSlices) {
+  const RefBackend& gemm = BackendRegistry::instance().get("gemm");
+  ConvWorkspace workspace;
+  std::uint64_t seed = 900;
+  for (const Dim groups : {2, 4, 8}) {  // 8 groups of 1 ic = depthwise
+    const Dim ic = 8, oc = 8, image = 9, kernel = 3;
+    const Dim group_ic = ic / groups, group_oc = oc / groups;
+    Rng rng(seed++);
+    Tensord ifm = Tensord::feature_map(ic, image, image);
+    Tensord weights = Tensord::weights(oc, group_ic, kernel, kernel);
+    fill_random_int(ifm, rng, 3);
+    fill_random_int(weights, rng, 3);
+    Tensord via_scalar = Tensord::feature_map(oc, image - kernel + 1,
+                                              image - kernel + 1);
+    Tensord via_gemm = via_scalar;
+    for (Dim g = 0; g < groups; ++g) {
+      const Tensord group_ifm = slice_channels(ifm, g * group_ic, group_ic);
+      const Tensord group_weights = slice_outer(weights, g * group_oc,
+                                                group_oc);
+      write_channels(via_scalar, conv2d_direct(group_ifm, group_weights),
+                     g * group_oc);
+      write_channels(via_gemm,
+                     gemm.conv2d(group_ifm, group_weights, ConvConfig{},
+                                 &workspace),
+                     g * group_oc);
+    }
+    EXPECT_TRUE(exactly_equal(via_scalar, via_gemm))
+        << groups << " groups";
+  }
+}
+
+// Bitwise determinism across thread counts: each output row is
+// computed wholly by one worker in ascending-k order, so the pool size
+// must not change a single bit.  The case is sized past the backend's
+// inline cutoff so the pool actually runs.
+TEST(GemmBackend, DeterministicAcrossThreadCounts) {
+  Rng rng(4242);
+  Tensord ifm = Tensord::feature_map(8, 16, 16);
+  Tensord weights = Tensord::weights(16, 8, 3, 3);
+  fill_random_int(ifm, rng, 3);
+  fill_random_int(weights, rng, 3);
+  const ConvConfig config;
+
+  const GemmBackend one(1);
+  const GemmBackend four(4);
+  const GemmBackend sixteen(16);
+  EXPECT_EQ(one.threads(), 1);
+  EXPECT_EQ(four.threads(), 4);
+  EXPECT_EQ(sixteen.threads(), 16);
+  const Tensord base = one.conv2d(ifm, weights, config, nullptr);
+  EXPECT_TRUE(exactly_equal(base, four.conv2d(ifm, weights, config,
+                                              nullptr)));
+  EXPECT_TRUE(exactly_equal(base, sixteen.conv2d(ifm, weights, config,
+                                                 nullptr)));
+  // ...and identical to the oracle, threads notwithstanding.
+  EXPECT_TRUE(exactly_equal(base, conv2d_direct(ifm, weights, config)));
+}
+
+// VWSDK_THREADS feeds the same constructor path the tests above pin
+// explicitly, so env-selected thread counts inherit the determinism.
+TEST(GemmBackend, DefaultThreadCountFollowsEnv) {
+  EnvGuard guard("VWSDK_THREADS");
+  ASSERT_EQ(setenv("VWSDK_THREADS", "4", 1), 0);
+  const GemmBackend backend;
+  EXPECT_EQ(backend.threads(), 4);
+}
+
+}  // namespace
+}  // namespace vwsdk

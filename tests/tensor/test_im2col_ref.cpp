@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/random.h"
+#include "tensor/exec_backend.h"
 #include "tensor/tensor_ops.h"
 
 namespace vwsdk {
@@ -81,8 +82,16 @@ TEST_P(Im2colEquivalence, AgreesWithDirect) {
   config.stride_h = c.stride;
   config.pad_w = c.pad;
   config.pad_h = c.pad;
-  EXPECT_TRUE(exactly_equal(conv2d_direct(ifm, w, config),
-                            conv2d_im2col(ifm, w, config)));
+  const Tensord direct = conv2d_direct(ifm, w, config);
+  EXPECT_TRUE(exactly_equal(direct, conv2d_im2col(ifm, w, config)));
+  // Every registered execution backend must agree bitwise on the same
+  // integer tensors -- the registry's core contract.
+  const BackendRegistry& registry = BackendRegistry::instance();
+  for (const std::string& name : registry.names()) {
+    EXPECT_TRUE(exactly_equal(
+        direct, registry.get(name).conv2d(ifm, w, config, nullptr)))
+        << "backend " << name;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

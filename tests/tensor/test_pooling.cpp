@@ -60,6 +60,36 @@ TEST(Pooling, Validation) {
   EXPECT_THROW(avg_pool2d(ifm, 2, 0), InvalidArgument);
 }
 
+TEST(Pooling, StrideLargerThanWindowRejected) {
+  // stride > window would skip interior rows/columns entirely; the
+  // header documents this as rejected rather than silently lossy.
+  const Tensord ifm = Tensord::feature_map(1, 6, 6);
+  EXPECT_THROW(max_pool2d(ifm, 2, 3), InvalidArgument);
+  EXPECT_THROW(avg_pool2d(ifm, 1, 2), InvalidArgument);
+}
+
+// Pin the documented floor semantics: when (input - window) % stride
+// != 0 the trailing rows/columns short of a full window are dropped.
+// 5x5 with window 2, stride 2: floor((5-2)/2)+1 = 2 outputs per axis;
+// row and column 4 never contribute.
+TEST(Pooling, FloorSemanticsDropTrailingRowsAndColumns) {
+  Tensord ifm = Tensord::feature_map(1, 5, 5);
+  fill_sequential(ifm);  // element (y, x) holds 5*y + x; max is 24
+  const Tensord out = max_pool2d(ifm, 2, 2);
+  ASSERT_EQ(out.shape(), (Shape4{1, 1, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0), 6.0);    // max of rows 0-1, cols 0-1
+  EXPECT_EQ(out.at(0, 0, 1), 8.0);    // cols 2-3; col 4 dropped
+  EXPECT_EQ(out.at(0, 1, 0), 16.0);   // rows 2-3; row 4 dropped
+  EXPECT_EQ(out.at(0, 1, 1), 18.0);   // never 24: (4,4) is truncated
+
+  // Same truncation for average pooling: every output averages a full
+  // window, no partial-window denominators.
+  const Tensord avg = avg_pool2d(ifm, 2, 2);
+  ASSERT_EQ(avg.shape(), (Shape4{1, 1, 2, 2}));
+  EXPECT_EQ(avg.at(0, 0, 0), 3.0);    // (0+1+5+6)/4
+  EXPECT_EQ(avg.at(0, 1, 1), 15.0);   // (12+13+17+18)/4
+}
+
 TEST(Relu, ClampsNegatives) {
   Tensord t = Tensord::feature_map(1, 1, 3);
   t.at(0, 0, 0) = -1.0;

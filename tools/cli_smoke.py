@@ -15,6 +15,9 @@
   alias, objective-aware allocation, and the batch throughput model);
 * `--objective energy` / `edp` run end to end (and energy provably
   changes a VGG-13 window choice vs. the default cycles search);
+* `verify` functionally verifies mapped layers on the crossbar
+  simulator, with byte-identical reports under the `scalar` and `gemm`
+  execution backends and usage errors for unknown `--ref-backend`s;
 * `mappers` lists the registry, and unknown mappers/objectives are
   usage errors naming the known sets.
 """
@@ -23,6 +26,7 @@ import argparse
 import csv
 import io
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -42,8 +46,15 @@ class Cli:
         self.binary = binary
 
     def run(self, *args: str) -> subprocess.CompletedProcess:
+        # Hermetic: the sanitizer CI job exports VWSDK_REF_BACKEND to
+        # matrix the whole suite over backends, but this smoke asserts
+        # the CLI's own documented defaults, so the inherited selection
+        # must not leak in (the flag is exercised explicitly below).
+        env = {k: v for k, v in os.environ.items()
+               if k != "VWSDK_REF_BACKEND"}
         return subprocess.run(
-            [self.binary, *args], capture_output=True, text=True, timeout=300
+            [self.binary, *args], capture_output=True, text=True,
+            timeout=300, env=env,
         )
 
 
@@ -72,7 +83,8 @@ def main() -> int:
         cli.run("map", "--net", "no-such-model").returncode == 2,
         "unresolvable --net exits 2",
     )
-    for sub in ("map", "compare", "sweep", "chip", "mappers", "zoo"):
+    for sub in ("map", "compare", "sweep", "chip", "verify", "mappers",
+                "zoo"):
         check(cli.run(sub, "--help").returncode == 0, f"{sub} --help exits 0")
 
     # --- mapper registry listing ----------------------------------------
@@ -314,6 +326,39 @@ def main() -> int:
     check(
         capped.returncode == 1 and "chip" in capped.stderr,
         "an impossible chip budget exits 1 naming the reason",
+    )
+
+    # --- verify: functional verification via the execution backends ----
+    verify = cli.run("verify", "--net", "lenet5", "--array", "64x64")
+    check(
+        verify.returncode == 0
+        and "all layers verified EXACT" in verify.stdout
+        and "backend: gemm" in verify.stdout,
+        "verify lenet5 exits 0 reporting EXACT under the default backend",
+    )
+    by_scalar = cli.run("verify", "--net", "lenet5", "--array", "64x64",
+                        "--ref-backend", "scalar")
+    by_gemm = cli.run("verify", "--net", "lenet5", "--array", "64x64",
+                      "--ref-backend", "gemm")
+    check(
+        by_scalar.returncode == 0 and by_gemm.returncode == 0
+        and by_scalar.stdout.replace("backend: scalar", "backend: gemm")
+        == by_gemm.stdout,
+        "verify reports are identical under the scalar and gemm backends",
+    )
+    grouped_verify = cli.run("verify", "--net", str(custom),
+                             "--array", "128x128")
+    check(
+        grouped_verify.returncode == 0
+        and "all layers verified EXACT" in grouped_verify.stdout,
+        "verify handles a grouped (depthwise) spec",
+    )
+    bad_backend = cli.run("verify", "--net", "lenet5",
+                          "--ref-backend", "frob")
+    check(
+        bad_backend.returncode == 2 and "known:" in bad_backend.stderr
+        and "gemm" in bad_backend.stderr,
+        "unknown --ref-backend exits 2 listing the registered backends",
     )
 
     # --- malformed specs fail cleanly -----------------------------------
