@@ -6,6 +6,13 @@
 ///   vwsdk compare --net resnet18 --array 256x256
 ///   vwsdk sweep --nets vgg13,resnet18 --arrays paper --format csv
 ///   vwsdk zoo --export vgg16 > vgg16.json
+///   vwsdk serve --max-inflight 8
+///
+/// Every subcommand is a thin shell over serve/service.h's ServiceApi:
+/// flags become a query, the service answers it, and the shell picks the
+/// rendering -- which is why `vwsdk serve` (the NDJSON daemon over the
+/// same service) returns byte-identical payloads to the one-shot
+/// `--format json` invocations.
 ///
 /// Subcommand reference (flags, exit codes, sample output): docs/CLI.md.
 /// The global --help text below is diffed verbatim against that page by
@@ -21,47 +28,6 @@
 namespace {
 
 using namespace vwsdk;
-
-constexpr const char* kDefaultArray = "512x512";
-
-/// The global help text.  The algorithm and objective lists are derived
-/// from MapperRegistry / objective_names() at runtime, so registering a
-/// new mapper updates the help (and the `cli.help_matches_doc` ctest
-/// then forces docs/CLI.md to follow).
-std::string global_help() {
-  return cat(
-      R"(vwsdk - VW-SDK convolutional weight mapping toolkit
-
-Usage:
-  vwsdk <command> [options]
-  vwsdk <command> --help
-  vwsdk --help | --version
-
-Commands:
-  map      map every layer of one network with one algorithm
-  compare  run several algorithms on one network side by side
-  sweep    cross-product of networks x arrays x algorithms
-  chip     pipeline one network across one or more PIM chips
-  verify   functionally verify mapped layers on the crossbar simulator
-  mappers  list the registered mapping algorithms
-  zoo      list built-in networks or export one as a spec file
-
-Networks (--net / --nets) are model-zoo names (vgg13, resnet18, vgg16,
-alexnet, lenet5, stress) or network-spec files in the JSON/CSV formats
-of docs/FORMATS.md.  Array geometries are "RxC" (rows x columns);
-when --array is omitted, the spec's own "array" entry applies, then
-512x512.
-
-Mapping algorithms (--mapper / --mappers; `vwsdk mappers` describes them):
-  )",
-      MapperRegistry::instance().known_names(), R"(
-Search objectives (--objective; see docs/OBJECTIVES.md):
-  )",
-      join(objective_names(), ", "), R"(
-
-Exit codes: 0 success, 1 runtime error, 2 usage error.
-)");
-}
 
 /// Write through `path` ("-" = stdout); throws on an unopenable path.
 void with_output(const std::string& path,
@@ -88,26 +54,20 @@ void add_net_options(ArgParser& args) {
   args.add_int_option("threads", 0,
                       "worker threads (0 = VWSDK_THREADS, then hardware)");
   args.add_option("out", "-", "output path, '-' = stdout");
+  args.add_flag("stats", "print pool/cache statistics to stderr");
 }
 
-/// The geometry a subcommand runs on: --array, then the spec hint, then
-/// the library default.
-ArrayGeometry resolve_geometry(const ArgParser& args,
-                               const NetworkSpec& spec) {
-  std::string text = args.get("array");
-  if (text.empty()) {
-    text = spec.has_array() ? spec.array : kDefaultArray;
+/// The one ServiceApi behind a one-shot subcommand run.
+ServiceApi service_from_args(const ArgParser& args) {
+  return ServiceApi(static_cast<int>(args.get_int("threads")));
+}
+
+/// The `--stats` stderr line, printed after the subcommand's output so
+/// scripts capturing stdout stay unaffected.
+void maybe_print_stats(const ArgParser& args, const ServiceApi& api) {
+  if (args.get_flag("stats")) {
+    std::cerr << stats_line(api.stats()) << "\n";
   }
-  return parse_geometry(text);
-}
-
-OptimizerOptions options_from_args(const ArgParser& args) {
-  OptimizerOptions options;
-  options.threads = static_cast<int>(args.get_int("threads"));
-  // The built-in objectives are process-lifetime singletons, so the
-  // pointer stays valid for the whole run.
-  options.objective = &objective_from_args(args);
-  return options;
 }
 
 void require_no_positional(const ArgParser& args) {
@@ -184,11 +144,13 @@ int run_map(int argc, const char* const* argv) {
   const std::string format =
       format_from_args(args, {"table", "csv", "json"});
 
-  const NetworkSpec spec = resolve_network_spec(args.get("net"));
-  const ArrayGeometry geometry = resolve_geometry(args, spec);
-  const auto mapper = make_mapper(args.get("mapper"));
-  const NetworkMappingResult result = optimize_network(
-      *mapper, spec.network, geometry, options_from_args(args));
+  MapQuery query;
+  query.net = args.get("net");
+  query.mapper = args.get("mapper");
+  query.array = args.get("array");
+  query.objective = args.get("objective");
+  ServiceApi api = service_from_args(args);
+  const NetworkMappingResult result = api.map(query);
 
   with_output(args.get("out"), [&](std::ostream& os) {
     if (format == "csv") {
@@ -196,15 +158,17 @@ int run_map(int argc, const char* const* argv) {
     } else if (format == "json") {
       os << to_json(result) << "\n";
     } else {
-      os << "network: " << spec.network.name() << " ("
-         << spec.network.layer_count() << " layers)\narray: "
-         << geometry.to_string() << "   algorithm: " << result.algorithm;
+      os << "network: " << result.network_name << " ("
+         << result.layers.size() << " layers)\narray: "
+         << result.geometry.to_string() << "   algorithm: "
+         << result.algorithm;
       if (result.objective != cycles_objective().name()) {
         os << "   objective: " << result.objective;
       }
       os << "\n\n" << result_table(result);
     }
   });
+  maybe_print_stats(args, api);
   return kExitOk;
 }
 
@@ -230,8 +194,6 @@ int run_compare(int argc, const char* const* argv) {
                     report == "speedups" || report == "util",
                 cat("unknown --report \"", args.get("report"), "\""));
 
-  const NetworkSpec spec = resolve_network_spec(args.get("net"));
-  const ArrayGeometry geometry = resolve_geometry(args, spec);
   const std::vector<std::string> mappers = mappers_from_args(args);
   // Usage errors must fire before the (possibly long) optimization runs
   // and before --out is opened; a late throw would leave a partial file.
@@ -239,8 +201,14 @@ int run_compare(int argc, const char* const* argv) {
                     (report != "table1" && report != "all") ||
                     mappers.size() >= 2,
                 "--report table1 needs at least two mappers");
-  const NetworkComparison cmp = compare_mappers(
-      mappers, spec.network, geometry, options_from_args(args));
+
+  CompareQuery query;
+  query.net = args.get("net");
+  query.mappers = mappers;
+  query.array = args.get("array");
+  query.objective = args.get("objective");
+  ServiceApi api = service_from_args(args);
+  const NetworkComparison cmp = api.compare(query);
 
   with_output(args.get("out"), [&](std::ostream& os) {
     if (format == "csv") {
@@ -251,9 +219,10 @@ int run_compare(int argc, const char* const* argv) {
       os << to_json(cmp) << "\n";
       return;
     }
-    os << "network: " << spec.network.name() << " ("
-       << spec.network.layer_count() << " layers)\narray: "
-       << geometry.to_string() << "   algorithms: " << join(mappers, ", ");
+    os << "network: " << cmp.results.front().network_name << " ("
+       << cmp.results.front().layers.size() << " layers)\narray: "
+       << cmp.results.front().geometry.to_string() << "   algorithms: "
+       << join(mappers, ", ");
     if (cmp.results.front().objective != cycles_objective().name()) {
       os << "   objective: " << cmp.results.front().objective;
     }
@@ -274,6 +243,7 @@ int run_compare(int argc, const char* const* argv) {
          << render_utilization(cmp, UtilizationConvention::kSteadyState);
     }
   });
+  maybe_print_stats(args, api);
   return kExitOk;
 }
 
@@ -325,17 +295,16 @@ int run_sweep(int argc, const char* const* argv) {
   }
   VWSDK_REQUIRE(!geometries.empty(), "--arrays names no geometry");
 
-  // One pool and one single-flight cache span the whole cross-product:
-  // each (net, array) point fans its layers out across the shared pool,
-  // and repeated (mapper, shape, array) searches -- common when networks
-  // share layer shapes -- are deduplicated across points.
-  ThreadPool pool(
-      ThreadPool::resolve_thread_count(
-          static_cast<int>(args.get_int("threads"))));
-  MappingCache cache;
+  // The service's pool and single-flight cache span the whole
+  // cross-product: each (net, array) point fans its layers out across
+  // the shared pool, and repeated (mapper, shape, array) searches --
+  // common when networks share layer shapes -- are deduplicated across
+  // points.  The sweep composes its own OptimizerOptions (for
+  // --intra-layer) instead of calling api.compare per point.
+  ServiceApi api = service_from_args(args);
   OptimizerOptions options;
-  options.pool = &pool;
-  options.cache = &cache;
+  options.pool = &api.pool();
+  options.cache = &api.cache();
   options.intra_layer = args.get_flag("intra-layer");
   options.objective = &objective_from_args(args);
 
@@ -381,12 +350,10 @@ int run_sweep(int argc, const char* const* argv) {
   });
 
   if (args.get_flag("stats")) {
-    const MappingCacheStats stats = cache.stats();
     std::cerr << "sweep: " << specs.size() << " network(s) x "
               << geometries.size() << " array(s) x " << mappers.size()
-              << " mapper(s), " << pool.size() << " thread(s); cache "
-              << stats.hits << " hit(s) / " << stats.misses
-              << " miss(es), " << cache.size() << " distinct search(es)\n";
+              << " mapper(s), " << api.pool().size() << " thread(s); "
+              << cache_stats_fragment(api.stats()) << "\n";
   }
   return kExitOk;
 }
@@ -455,32 +422,27 @@ int run_chip(int argc, const char* const* argv) {
   const std::string format =
       format_from_args(args, {"table", "csv", "json"});
   constexpr long long kDimMax = std::numeric_limits<Dim>::max();
-  const Dim arrays =
+
+  ChipQuery query;
+  query.net = net;
+  query.mapper = args.get("mapper");
+  query.array = args.get("array");
+  query.objective = args.get("objective");
+  // Validate against the flag names here so usage errors read
+  // "--arrays must be >= 1", then let the service re-check its own
+  // preconditions (the serve daemon relies on those).
+  query.arrays_per_chip =
       static_cast<Dim>(int_in_range(args, "arrays", 1, kDimMax));
-  const Dim chips =
+  query.max_chips =
       static_cast<Dim>(int_in_range(args, "chips", 0, kDimMax));
   // A billion streamed inferences is far beyond any plausible run and
   // keeps (batch-1) * interval clear of Cycles overflow, so oversize
   // values fail here naming the flag instead of deep in checked_mul.
-  const Count batch = int_in_range(args, "batch", 1, 1000000000);
-
-  const NetworkSpec spec = resolve_network_spec(net);
-  const ArrayGeometry geometry = resolve_geometry(args, spec);
-  const auto mapper = make_mapper(args.get("mapper"));
-  const NetworkMappingResult result = optimize_network(
-      *mapper, spec.network, geometry, options_from_args(args));
-
-  ChipPlanOptions plan_options;
-  plan_options.arrays_per_chip = arrays;
-  plan_options.max_chips = chips;
-  plan_options.objective = &objective_from_args(args);
-  const ChipPlan plan = plan_chips(result, plan_options);
-  if (!plan.feasible) {
-    // An explicit planning failure, not a zeroed report: the reason goes
-    // to stderr under the exit-1 contract (JSON consumers can instead
-    // call the library's to_json, which carries feasible/reason).
-    throw Error(plan.infeasible_reason);
-  }
+  query.batch = int_in_range(args, "batch", 1, 1000000000);
+  ServiceApi api = service_from_args(args);
+  const ChipResult chip = api.chip(query);
+  const ChipPlan& plan = chip.plan;
+  const Count batch = query.batch;
 
   with_output(args.get("out"), [&](std::ostream& os) {
     if (format == "csv") {
@@ -488,15 +450,16 @@ int run_chip(int argc, const char* const* argv) {
     } else if (format == "json") {
       os << to_json(plan, batch) << "\n";
     } else {
-      os << "network: " << spec.network.name() << " ("
-         << spec.network.layer_count() << " layers)\narray: "
-         << geometry.to_string() << "   algorithm: " << plan.algorithm;
+      os << "network: " << chip.mapping.network_name << " ("
+         << chip.mapping.layers.size() << " layers)\narray: "
+         << chip.mapping.geometry.to_string() << "   algorithm: "
+         << plan.algorithm;
       if (plan.objective != cycles_objective().name()) {
         os << "   objective: " << plan.objective;
       }
       os << "\nchips: " << plan.chips.size() << " x " << plan.arrays_per_chip
          << " arrays (" << plan.arrays_used() << " used, resident demand "
-         << resident_array_demand(result) << ")\ninterval: "
+         << resident_array_demand(chip.mapping) << ")\ninterval: "
          << plan.interval() << " cycles   fill latency: "
          << plan.fill_latency() << " cycles\nspeedup: "
          << format_fixed(plan.speedup(), 2)
@@ -510,14 +473,33 @@ int run_chip(int argc, const char* const* argv) {
          << chip_table(plan);
     }
   });
+  maybe_print_stats(args, api);
   return kExitOk;
+}
+
+/// The per-layer table of a verification result (the `verify` view).
+TextTable verify_table(const NetworkVerifyResult& result) {
+  TextTable table({"#", "layer", "groups", "mapping (PWxICtxOCt)", "exact",
+                   "cycles (run/analytic)", "max_abs_err"});
+  for (std::size_t i = 0; i < result.layers.size(); ++i) {
+    const LayerVerification& lv = result.layers[i];
+    table.add_row({std::to_string(i + 1), lv.layer.name,
+                   std::to_string(lv.layer.groups),
+                   lv.decision.table_entry(),
+                   lv.report.exact_match ? "yes" : "NO",
+                   cat(lv.report.executed_cycles, "/",
+                       lv.report.analytic_cycles,
+                       lv.report.cycles_match ? "" : " MISMATCH"),
+                   format_fixed(lv.report.max_abs_error, 3)});
+  }
+  return table;
 }
 
 /// `vwsdk verify`: map each layer, build the plan, execute it on the
 /// crossbar simulator with deterministic integer tensors, and compare
 /// the OFM against the selected reference backend.  Grouped layers
 /// verify one group's sub-convolution (all groups are identical).
-/// Any mismatch -- OFM or cycle count -- exits 1 after the table.
+/// Any mismatch -- OFM or cycle count -- exits 1 after the output.
 int run_verify(int argc, const char* const* argv) {
   ArgParser args("vwsdk verify",
                  "functionally verify mapped layers on the crossbar "
@@ -531,60 +513,42 @@ int run_verify(int argc, const char* const* argv) {
   args.add_option("array", "",
                   "PIM array geometry RxC (default: the spec's array, "
                   "else 512x512)");
+  args.add_option("format", "table", "output format: table or json");
   args.add_option("out", "-", "output path, '-' = stdout");
+  args.add_flag("stats", "print pool/cache statistics to stderr");
   if (!args.parse(argc, argv)) {
     return kExitOk;
   }
   require_no_positional(args);
   VWSDK_REQUIRE(!args.get("net").empty(), "--net is required");
+  const std::string format = format_from_args(args, {"table", "json"});
 
-  const NetworkSpec spec = resolve_network_spec(args.get("net"));
-  const ArrayGeometry geometry = resolve_geometry(args, spec);
-  const auto mapper = make_mapper(args.get("mapper"));
-  ExecutionOptions options;
-  // Resolve now: an unknown backend is a usage error before any layer
-  // runs, and the header names the canonical backend.
-  options.ref_backend = ref_backend_from_args(args);
-  const auto seed =
-      static_cast<std::uint64_t>(int_in_range(args, "seed", 0));
-
-  bool all_verified = true;
-  TextTable table({"#", "layer", "groups", "mapping (PWxICtxOCt)", "exact",
-                   "cycles (run/analytic)", "max_abs_err"});
-  const std::vector<ConvLayerDesc>& layers = spec.network.layers();
-  for (std::size_t i = 0; i < layers.size(); ++i) {
-    const ConvLayerDesc& layer = layers[i];
-    layer.validate();
-    GroupedConvShape grouped;
-    grouped.base = ConvShape::from_layer(layer);
-    grouped.groups = layer.groups;
-    const ConvShape shape = grouped.group_shape();
-    const MappingDecision decision = mapper->map(shape, geometry);
-    const MappingPlan plan =
-        build_plan_for_cost(shape, geometry, decision.cost);
-    const VerificationReport report =
-        verify_mapping_random(plan, seed + i, 4, options);
-    const bool ok = report.exact_match && report.cycles_match;
-    all_verified = all_verified && ok;
-    table.add_row({std::to_string(i + 1), layer.name,
-                   std::to_string(layer.groups), decision.table_entry(),
-                   report.exact_match ? "yes" : "NO",
-                   cat(report.executed_cycles, "/", report.analytic_cycles,
-                       report.cycles_match ? "" : " MISMATCH"),
-                   format_fixed(report.max_abs_error, 3)});
-  }
+  VerifyQuery query;
+  query.net = args.get("net");
+  query.mapper = args.get("mapper");
+  query.array = args.get("array");
+  query.ref_backend = args.get("ref-backend");
+  query.seed = static_cast<std::uint64_t>(int_in_range(args, "seed", 0));
+  ServiceApi api(0);
+  const NetworkVerifyResult result = api.verify(query);
 
   with_output(args.get("out"), [&](std::ostream& os) {
-    os << "network: " << spec.network.name() << " ("
-       << spec.network.layer_count() << " layers)\narray: "
-       << geometry.to_string() << "   algorithm: " << args.get("mapper")
-       << "   backend: " << options.ref_backend << "\n\n" << table << "\n"
-       << (all_verified
+    if (format == "json") {
+      os << to_json(result) << "\n";
+      return;
+    }
+    os << "network: " << result.network_name << " ("
+       << result.layers.size() << " layers)\narray: "
+       << result.geometry.to_string() << "   algorithm: "
+       << result.algorithm << "   backend: " << result.backend << "\n\n"
+       << verify_table(result) << "\n"
+       << (result.all_verified()
                ? "all layers verified EXACT against the reference backend"
                : "verification FAILED (see table)")
        << "\n";
   });
-  if (!all_verified) {
+  maybe_print_stats(args, api);
+  if (!result.all_verified()) {
     std::cerr << "error: functional verification failed\n";
     return kExitError;
   }
@@ -593,14 +557,20 @@ int run_verify(int argc, const char* const* argv) {
 
 int run_mappers(int argc, const char* const* argv) {
   ArgParser args("vwsdk mappers", "list the registered mapping algorithms");
+  args.add_option("format", "table", "output format: table or json");
   args.add_option("out", "-", "output path, '-' = stdout");
   if (!args.parse(argc, argv)) {
     return kExitOk;
   }
   require_no_positional(args);
+  const std::string format = format_from_args(args, {"table", "json"});
 
   const MapperRegistry& registry = MapperRegistry::instance();
   with_output(args.get("out"), [&](std::ostream& os) {
+    if (format == "json") {
+      os << to_json(registry) << "\n";
+      return;
+    }
     TextTable table(
         {"name", "aliases", "capabilities", "description"});
     for (const std::string& name : registry.names()) {
@@ -670,47 +640,97 @@ int run_zoo(int argc, const char* const* argv) {
   return kExitOk;
 }
 
+int run_serve(int argc, const char* const* argv) {
+  ArgParser args("vwsdk serve",
+                 "answer NDJSON requests on stdin or a Unix socket as a "
+                 "long-running daemon (protocol: docs/SERVE.md)");
+  args.add_option("socket", "",
+                  "Unix domain socket path (default: serve stdin/stdout)");
+  args.add_int_option("max-inflight", 4,
+                      "requests executing at once (>= 1)");
+  args.add_int_option("max-queue", 16,
+                      "accepted requests waiting beyond that (>= 0)");
+  args.add_int_option("threads", 0,
+                      "worker threads (0 = VWSDK_THREADS, then hardware)");
+  if (!args.parse(argc, argv)) {
+    return kExitOk;
+  }
+  require_no_positional(args);
+
+  ServeOptions options;
+  options.socket_path = args.get("socket");
+  options.max_inflight =
+      static_cast<int>(int_in_range(args, "max-inflight", 1, 1024));
+  options.max_queue =
+      static_cast<int>(int_in_range(args, "max-queue", 0, 1 << 20));
+  options.threads = static_cast<int>(args.get_int("threads"));
+  return run_server(options);
+}
+
+/// The global help text.  The command list is derived from the
+/// SubcommandSet and the algorithm / objective lists from
+/// MapperRegistry / objective_names() at runtime, so registering a new
+/// subcommand or mapper updates the help (and the `cli.help_matches_doc`
+/// ctest then forces docs/CLI.md to follow).
+std::string global_help(const SubcommandSet& commands) {
+  return cat(
+      R"(vwsdk - VW-SDK convolutional weight mapping toolkit
+
+Usage:
+  vwsdk <command> [options]
+  vwsdk <command> --help
+  vwsdk --help | --version
+
+Commands:
+)",
+      commands.command_list(), R"(
+Networks (--net / --nets) are model-zoo names (vgg13, resnet18, vgg16,
+alexnet, lenet5, stress) or network-spec files in the JSON/CSV formats
+of docs/FORMATS.md.  Array geometries are "RxC" (rows x columns);
+when --array is omitted, the spec's own "array" entry applies, then
+512x512.
+
+Mapping algorithms (--mapper / --mappers; `vwsdk mappers` describes them):
+  )",
+      MapperRegistry::instance().known_names(), R"(
+Search objectives (--objective; see docs/OBJECTIVES.md):
+  )",
+      join(objective_names(), ", "), R"(
+
+Exit codes: 0 success, 1 runtime error, 2 usage error.
+)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   return run_cli_main([&]() -> int {
-    if (argc < 2) {
-      // A usage error, so stderr: stdout stays machine-consumable for
-      // scripts that capture it (docs/CLI.md exit-code contract).
-      std::cerr << global_help();
-      return kExitUsageError;
-    }
-    const std::string command = argv[1];
-    if (command == "--help" || command == "-h" || command == "help") {
-      std::cout << global_help();
-      return kExitOk;
-    }
-    if (command == "--version") {
-      std::cout << "vwsdk " << VWSDK_VERSION << "\n";
-      return kExitOk;
-    }
-    if (command == "map") {
-      return run_map(argc - 1, argv + 1);
-    }
-    if (command == "compare") {
-      return run_compare(argc - 1, argv + 1);
-    }
-    if (command == "sweep") {
-      return run_sweep(argc - 1, argv + 1);
-    }
-    if (command == "chip") {
-      return run_chip(argc - 1, argv + 1);
-    }
-    if (command == "verify") {
-      return run_verify(argc - 1, argv + 1);
-    }
-    if (command == "mappers") {
-      return run_mappers(argc - 1, argv + 1);
-    }
-    if (command == "zoo") {
-      return run_zoo(argc - 1, argv + 1);
-    }
-    throw InvalidArgument(
-        cat("unknown command \"", command, "\"; run vwsdk --help"));
+    SubcommandSet commands;
+    commands.add({"map",
+                  "map every layer of one network with one algorithm",
+                  run_map});
+    commands.add({"compare",
+                  "run several algorithms on one network side by side",
+                  run_compare});
+    commands.add({"sweep", "cross-product of networks x arrays x algorithms",
+                  run_sweep});
+    commands.add({"chip",
+                  "pipeline one network across one or more PIM chips",
+                  run_chip});
+    commands.add({"verify",
+                  "functionally verify mapped layers on the crossbar "
+                  "simulator",
+                  run_verify});
+    commands.add({"mappers", "list the registered mapping algorithms",
+                  run_mappers});
+    commands.add({"zoo",
+                  "list built-in networks or export one as a spec file",
+                  run_zoo});
+    commands.add({"serve",
+                  "answer NDJSON requests as a long-running daemon",
+                  run_serve});
+    return commands.dispatch(
+        argc, argv, [&] { return global_help(commands); },
+        cat("vwsdk ", VWSDK_VERSION));
   });
 }

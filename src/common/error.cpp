@@ -30,3 +30,63 @@ void throw_internal_error(const char* expr, const char* file, int line,
 }
 
 }  // namespace vwsdk::detail
+
+namespace vwsdk {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kInternal:
+      return "internal";
+    case ErrorCode::kRuntime:
+      return "runtime";
+    case ErrorCode::kBadRequest:
+      return "bad_request";
+    case ErrorCode::kUnknownOp:
+      return "unknown_op";
+    case ErrorCode::kTooLarge:
+      return "too_large";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+  }
+  return "runtime";  // unreachable for valid enumerators
+}
+
+ErrorCode classify_exception(const std::exception& e) {
+  // Order matters: the most derived categories first (InvalidArgument,
+  // NotFound, and InternalError all derive from Error).
+  if (dynamic_cast<const InvalidArgument*>(&e) != nullptr) {
+    return ErrorCode::kInvalidArgument;
+  }
+  if (dynamic_cast<const NotFound*>(&e) != nullptr) {
+    return ErrorCode::kNotFound;
+  }
+  if (dynamic_cast<const InternalError*>(&e) != nullptr) {
+    return ErrorCode::kInternal;
+  }
+  return ErrorCode::kRuntime;
+}
+
+bool is_usage_error(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kNotFound:
+    case ErrorCode::kBadRequest:
+    case ErrorCode::kUnknownOp:
+    case ErrorCode::kTooLarge:
+      return true;
+    case ErrorCode::kInternal:
+    case ErrorCode::kRuntime:
+    case ErrorCode::kOverloaded:
+    case ErrorCode::kShuttingDown:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace vwsdk

@@ -40,6 +40,42 @@ class NotFound : public Error {
   explicit NotFound(const std::string& what_arg) : Error(what_arg) {}
 };
 
+/// Stable machine-readable error categories, shared by every error
+/// surface: the CLI maps them to process exit codes (0/1/2, see
+/// core/cli_support.h) and `vwsdk serve` embeds their names in JSON
+/// error responses -- the same failure always carries the same code on
+/// both surfaces.  The table is documented in docs/SERVE.md and the
+/// names are a compatibility contract: never renumber or rename, only
+/// append.
+enum class ErrorCode {
+  // Categories of the exception hierarchy above.
+  kInvalidArgument,  ///< InvalidArgument: a violated API/usage precondition
+  kNotFound,         ///< NotFound: a name/file/option that does not exist
+  kInternal,         ///< InternalError: a library bug, not a caller error
+  kRuntime,          ///< any other failure (I/O, infeasible plan, ...)
+  // Request-level categories raised by the serve protocol layer
+  // (serve/protocol.h); they never surface from library calls.
+  kBadRequest,   ///< malformed request line (bad JSON, bad/missing fields)
+  kUnknownOp,    ///< a well-formed request naming an unregistered op
+  kTooLarge,     ///< request line beyond the protocol size limit
+  kOverloaded,   ///< rejected by admission control, retry later
+  kShuttingDown  ///< arrived after drain began; the daemon is exiting
+};
+
+/// The stable wire name of `code` ("invalid_argument", "overloaded", ...).
+const char* error_code_name(ErrorCode code);
+
+/// Classify a caught exception into its ErrorCode category:
+/// InvalidArgument / NotFound / InternalError map to their own codes and
+/// everything else (vwsdk::Error or any std::exception) to kRuntime.
+ErrorCode classify_exception(const std::exception& e);
+
+/// True for the codes that mean "the caller asked for something wrong"
+/// (kInvalidArgument, kNotFound, and the serve request-level codes
+/// except kOverloaded/kShuttingDown); the CLI turns these into exit
+/// code 2 and everything else into exit code 1.
+bool is_usage_error(ErrorCode code);
+
 namespace detail {
 [[noreturn]] void throw_invalid_argument(const char* expr, const char* file,
                                          int line, const std::string& message);

@@ -18,6 +18,38 @@ constexpr int kMaxNestingDepth = 256;
 
 }  // namespace
 
+std::string json_quote(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += cat("\\u00", "0123456789abcdef"[(c >> 4) & 0xf],
+                     "0123456789abcdef"[c & 0xf]);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
 /// Recursive-descent parser over the raw text; tracks offset for
 /// line:column error positions.
 class JsonParser {

@@ -6,10 +6,12 @@
 /// tree; object member order is preserved so error messages and exports
 /// stay deterministic.
 ///
-/// Scope: *reading* only -- JSON output is produced by the emitters in
-/// core/serialize.h and bench/bench_util.h.  Numbers are stored as
-/// `double`; `as_int()` additionally checks integralness and range, which
-/// is all the spec formats need.
+/// Scope: reading, plus the one emit primitive every writer needs --
+/// `json_quote` (string escaping).  Structured JSON output is produced
+/// by the emitters in core/serialize.h, serve/protocol.h, and
+/// bench/bench_util.h.  Numbers are stored as `double`; `as_int()`
+/// additionally checks integralness and range, which is all the spec
+/// formats need.
 
 #include <string>
 #include <string_view>
@@ -19,6 +21,12 @@
 #include "common/types.h"
 
 namespace vwsdk {
+
+/// `value` as a quoted JSON string literal: every quote, backslash, and
+/// control character escaped so strict readers (JsonValue::parse
+/// included) accept what the emitters produce.  The one JSON *writing*
+/// primitive the library shares across its emitters.
+std::string json_quote(const std::string& value);
 
 /// One parsed JSON value (null / bool / number / string / array / object).
 class JsonValue {

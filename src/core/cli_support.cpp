@@ -95,27 +95,91 @@ long long int_in_range(const ArgParser& args, const std::string& name,
   return value;
 }
 
+int exit_code_for(ErrorCode code) {
+  return is_usage_error(code) ? kExitUsageError : kExitError;
+}
+
 int run_cli_main(const std::function<int()>& body) {
   try {
     return body();
-  } catch (const InvalidArgument& e) {
-    std::cerr << "usage error: " << e.what() << "\n";
-    return kExitUsageError;
-  } catch (const NotFound& e) {
-    std::cerr << "usage error: " << e.what() << "\n";
-    return kExitUsageError;
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return kExitError;
   } catch (const std::exception& e) {
-    // Not one of ours (std::bad_alloc, a filesystem throw, ...): still a
-    // clean exit-code-1 failure, never a terminate().
-    std::cerr << "error: " << e.what() << "\n";
-    return kExitError;
+    // One classification -- classify_exception -- decides both the
+    // stderr prefix and the exit code, the same category mapping the
+    // serve daemon embeds as error codes in its JSON responses.
+    // Non-vwsdk exceptions (std::bad_alloc, a filesystem throw, ...)
+    // classify as runtime: still a clean exit-code-1 failure, never a
+    // terminate().
+    const ErrorCode code = classify_exception(e);
+    std::cerr << (is_usage_error(code) ? "usage error: " : "error: ")
+              << e.what() << "\n";
+    return exit_code_for(code);
   } catch (...) {
     std::cerr << "error: unknown exception\n";
     return kExitError;
   }
+}
+
+void SubcommandSet::add(Subcommand command) {
+  VWSDK_REQUIRE(!command.name.empty(), "subcommand needs a name");
+  VWSDK_REQUIRE(command.handler != nullptr,
+                cat("subcommand \"", command.name, "\" needs a handler"));
+  VWSDK_REQUIRE(find(command.name) == nullptr,
+                cat("subcommand \"", command.name, "\" registered twice"));
+  commands_.push_back(std::move(command));
+}
+
+const Subcommand* SubcommandSet::find(const std::string& name) const {
+  for (const Subcommand& command : commands_) {
+    if (command.name == name) {
+      return &command;
+    }
+  }
+  return nullptr;
+}
+
+std::string SubcommandSet::command_list() const {
+  std::size_t width = 0;
+  for (const Subcommand& command : commands_) {
+    width = std::max(width, command.name.size());
+  }
+  std::string out;
+  for (const Subcommand& command : commands_) {
+    out += cat("  ", command.name,
+               std::string(width - command.name.size() + 2, ' '),
+               command.summary, "\n");
+  }
+  return out;
+}
+
+int SubcommandSet::dispatch(
+    int argc, const char* const* argv,
+    const std::function<std::string()>& global_help,
+    const std::string& version_line) const {
+  if (argc < 2) {
+    // A usage error, so stderr: stdout stays machine-consumable for
+    // scripts that capture it (docs/CLI.md exit-code contract).
+    std::cerr << global_help();
+    return kExitUsageError;
+  }
+  const std::string name = argv[1];
+  if (name == "--help" || name == "-h" || name == "help") {
+    std::cout << global_help();
+    return kExitOk;
+  }
+  if (name == "--version") {
+    std::cout << version_line << "\n";
+    return kExitOk;
+  }
+  if (const Subcommand* command = find(name)) {
+    return command->handler(argc - 1, argv + 1);
+  }
+  std::vector<std::string> names;
+  names.reserve(commands_.size());
+  for (const Subcommand& command : commands_) {
+    names.push_back(command.name);
+  }
+  throw InvalidArgument(cat("unknown command \"", name, "\" (known: ",
+                            join(names, ", "), "); run vwsdk --help"));
 }
 
 }  // namespace vwsdk

@@ -81,11 +81,62 @@ long long int_in_range(
     const ArgParser& args, const std::string& name, long long minimum,
     long long maximum = std::numeric_limits<long long>::max());
 
+/// The exit code of an error category: kExitUsageError for the
+/// usage-shaped codes (is_usage_error, common/error.h), kExitError for
+/// everything else -- the single mapping both run_cli_main and the
+/// serve daemon's exit paths derive from (docs/SERVE.md documents the
+/// full code table).
+int exit_code_for(ErrorCode code);
+
 /// Run `body` (argument parsing included) under the standard error
-/// report: InvalidArgument/NotFound print "usage error: ..." and return
-/// kExitUsageError; any other exception -- vwsdk::Error or otherwise --
-/// prints "error: ..." and returns kExitError instead of terminating
-/// the process.  `body` returns the exit code for the success path.
+/// report: the caught exception is classified through
+/// classify_exception (common/error.h); usage-shaped categories print
+/// "usage error: ..." and return kExitUsageError, everything else --
+/// vwsdk::Error or otherwise -- prints "error: ..." and returns
+/// kExitError instead of terminating the process.  `body` returns the
+/// exit code for the success path.
 int run_cli_main(const std::function<int()>& body);
+
+/// One entry of a CLI's subcommand table: the name it dispatches on,
+/// the one-line summary the global help derives, and the handler that
+/// receives argv rebased so argv[0] is the subcommand itself.
+struct Subcommand {
+  std::string name;     ///< dispatch key ("map", "serve", ...)
+  std::string summary;  ///< one line for the global help's command list
+  std::function<int(int argc, const char* const* argv)> handler;
+};
+
+/// A declarative subcommand table: the single source the dispatch loop,
+/// the global help's command list, and the unknown-command error all
+/// derive from, so registering a subcommand is one `add` call (the same
+/// pattern MapperRegistry applies to mapper names).
+class SubcommandSet {
+ public:
+  /// Register a subcommand; throws InvalidArgument on an empty
+  /// name/handler or a duplicate name.
+  void add(Subcommand command);
+
+  /// The registered subcommands in registration order.
+  const std::vector<Subcommand>& commands() const { return commands_; }
+
+  /// The entry `name` dispatches to, or nullptr.
+  const Subcommand* find(const std::string& name) const;
+
+  /// The aligned command list embedded in the global help, one
+  /// "  name   summary" line per subcommand in registration order.
+  std::string command_list() const;
+
+  /// Dispatch argv: no argument prints `global_help()` to stderr (exit
+  /// 2); --help/-h/help print it to stdout and --version prints
+  /// `version_line` (exit 0); a registered name runs its handler on the
+  /// rebased argv; anything else throws InvalidArgument naming the
+  /// known commands.
+  int dispatch(int argc, const char* const* argv,
+               const std::function<std::string()>& global_help,
+               const std::string& version_line) const;
+
+ private:
+  std::vector<Subcommand> commands_;
+};
 
 }  // namespace vwsdk

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/error.h"
 #include "common/string_util.h"
 
@@ -41,42 +42,6 @@ std::vector<std::string> layer_row(const NetworkMappingResult& result,
           std::to_string(lm.cycles()),
           lm.decision.objective,
           format_fixed(lm.score(), 4)};
-}
-
-/// JSON string escaping.  Names flow in from user spec files, so every
-/// control character must come back out escaped -- the export formats
-/// guarantee that our own JsonValue::parse (and any strict JSON reader)
-/// accepts what we emit.
-std::string json_string(const std::string& value) {
-  std::string out = "\"";
-  for (const char c : value) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += cat("\\u00", "0123456789abcdef"[(c >> 4) & 0xf],
-                     "0123456789abcdef"[c & 0xf]);
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
 }
 
 }  // namespace
@@ -136,15 +101,15 @@ void write_sweep_csv(std::ostream& os,
 std::string to_json(const MappingDecision& decision) {
   const CycleCost& cost = decision.cost;
   std::ostringstream os;
-  os << "{\"algorithm\":" << json_string(decision.algorithm)
-     << ",\"array\":" << json_string(decision.geometry.to_string())
-     << ",\"layer\":" << json_string(decision.shape.to_string())
-     << ",\"window\":" << json_string(cost.window.to_string())
+  os << "{\"algorithm\":" << json_quote(decision.algorithm)
+     << ",\"array\":" << json_quote(decision.geometry.to_string())
+     << ",\"layer\":" << json_quote(decision.shape.to_string())
+     << ",\"window\":" << json_quote(cost.window.to_string())
      << ",\"ic_t\":" << cost.ic_t << ",\"oc_t\":" << cost.oc_t
      << ",\"n_parallel_windows\":" << cost.n_parallel_windows
      << ",\"ar\":" << cost.ar_cycles << ",\"ac\":" << cost.ac_cycles
      << ",\"cycles\":" << cost.total
-     << ",\"objective\":" << json_string(decision.objective)
+     << ",\"objective\":" << json_quote(decision.objective)
      << ",\"score\":" << format_fixed(decision.score, 4)
      << ",\"im2col_fallback\":"
      << (decision.is_im2col_fallback() ? "true" : "false") << "}";
@@ -153,16 +118,16 @@ std::string to_json(const MappingDecision& decision) {
 
 std::string to_json(const NetworkMappingResult& result) {
   std::ostringstream os;
-  os << "{\"network\":" << json_string(result.network_name)
-     << ",\"algorithm\":" << json_string(result.algorithm)
-     << ",\"objective\":" << json_string(result.objective)
-     << ",\"array\":" << json_string(result.geometry.to_string())
+  os << "{\"network\":" << json_quote(result.network_name)
+     << ",\"algorithm\":" << json_quote(result.algorithm)
+     << ",\"objective\":" << json_quote(result.objective)
+     << ",\"array\":" << json_quote(result.geometry.to_string())
      << ",\"layers\":[";
   for (std::size_t i = 0; i < result.layers.size(); ++i) {
     if (i != 0) {
       os << ',';
     }
-    os << "{\"name\":" << json_string(result.layers[i].layer.name)
+    os << "{\"name\":" << json_quote(result.layers[i].layer.name)
        << ",\"groups\":" << result.layers[i].layer.groups
        << ",\"cycles\":" << result.layers[i].cycles()
        << ",\"decision\":" << to_json(result.layers[i].decision) << "}";
@@ -187,7 +152,7 @@ std::string to_json(const NetworkComparison& comparison) {
     if (i != 0) {
       os << ',';
     }
-    os << json_string(comparison.results[i].algorithm) << ":"
+    os << json_quote(comparison.results[i].algorithm) << ":"
        << format_fixed(comparison.speedup(0, static_cast<Count>(i)), 4);
   }
   os << "}}";
@@ -226,14 +191,14 @@ void write_chip_csv(std::ostream& os, const ChipPlan& plan) {
 std::string to_json(const ChipPlan& plan, Count batch) {
   VWSDK_REQUIRE(batch >= 1, "batch needs at least one inference");
   std::ostringstream os;
-  os << "{\"network\":" << json_string(plan.network_name)
-     << ",\"algorithm\":" << json_string(plan.algorithm)
-     << ",\"objective\":" << json_string(plan.objective)
-     << ",\"array\":" << json_string(plan.geometry.to_string())
+  os << "{\"network\":" << json_quote(plan.network_name)
+     << ",\"algorithm\":" << json_quote(plan.algorithm)
+     << ",\"objective\":" << json_quote(plan.objective)
+     << ",\"array\":" << json_quote(plan.geometry.to_string())
      << ",\"arrays_per_chip\":" << plan.arrays_per_chip
      << ",\"feasible\":" << (plan.feasible ? "true" : "false");
   if (!plan.feasible) {
-    os << ",\"reason\":" << json_string(plan.infeasible_reason) << "}";
+    os << ",\"reason\":" << json_quote(plan.infeasible_reason) << "}";
     return os.str();
   }
   os << ",\"chips\":[";
@@ -253,7 +218,7 @@ std::string to_json(const ChipPlan& plan, Count batch) {
       if (j != 0) {
         os << ',';
       }
-      os << "{\"name\":" << json_string(layer.layer_name)
+      os << "{\"name\":" << json_quote(layer.layer_name)
          << ",\"groups\":" << layer.groups << ",\"tiles\":" << layer.tiles
          << ",\"arrays\":" << layer.arrays
          << ",\"serial_cycles\":" << layer.serial_cycles
@@ -292,18 +257,72 @@ std::string csv_extent(Dim w, Dim h) {
 
 }  // namespace
 
+std::string to_json(const NetworkVerifyResult& result) {
+  std::ostringstream os;
+  os << "{\"network\":" << json_quote(result.network_name)
+     << ",\"algorithm\":" << json_quote(result.algorithm)
+     << ",\"backend\":" << json_quote(result.backend)
+     << ",\"array\":" << json_quote(result.geometry.to_string())
+     << ",\"seed\":" << result.seed << ",\"layers\":[";
+  for (std::size_t i = 0; i < result.layers.size(); ++i) {
+    const LayerVerification& lv = result.layers[i];
+    if (i != 0) {
+      os << ',';
+    }
+    os << "{\"name\":" << json_quote(lv.layer.name)
+       << ",\"groups\":" << lv.layer.groups
+       << ",\"decision\":" << to_json(lv.decision)
+       << ",\"exact\":" << (lv.report.exact_match ? "true" : "false")
+       << ",\"executed_cycles\":" << lv.report.executed_cycles
+       << ",\"analytic_cycles\":" << lv.report.analytic_cycles
+       << ",\"cycles_match\":" << (lv.report.cycles_match ? "true" : "false")
+       << ",\"max_abs_error\":" << format_fixed(lv.report.max_abs_error, 4)
+       << "}";
+  }
+  os << "],\"all_verified\":" << (result.all_verified() ? "true" : "false")
+     << "}";
+  return os.str();
+}
+
+std::string to_json(const MapperRegistry& registry) {
+  std::ostringstream os;
+  os << "{\"mappers\":[";
+  const std::vector<std::string> names = registry.names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const MapperInfo& info = registry.info(names[i]);
+    if (i != 0) {
+      os << ',';
+    }
+    os << "{\"name\":" << json_quote(info.name) << ",\"aliases\":[";
+    for (std::size_t j = 0; j < info.aliases.size(); ++j) {
+      os << (j == 0 ? "" : ",") << json_quote(info.aliases[j]);
+    }
+    os << "],\"description\":" << json_quote(info.description)
+       << ",\"capabilities\":{\"objective_aware\":"
+       << (info.capabilities.objective_aware ? "true" : "false")
+       << ",\"parallel_search\":"
+       << (info.capabilities.parallel_search ? "true" : "false")
+       << ",\"exhaustive\":"
+       << (info.capabilities.exhaustive ? "true" : "false")
+       << ",\"grouped\":" << (info.capabilities.grouped ? "true" : "false")
+       << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 std::string to_spec_json(const Network& network, const std::string& array) {
   VWSDK_REQUIRE(!network.empty(), "cannot export an empty network");
   std::ostringstream os;
-  os << "{\n  \"name\": " << json_string(network.name()) << ",\n";
+  os << "{\n  \"name\": " << json_quote(network.name()) << ",\n";
   if (!array.empty()) {
-    os << "  \"array\": " << json_string(array) << ",\n";
+    os << "  \"array\": " << json_quote(array) << ",\n";
   }
   os << "  \"layers\": [\n";
   const std::vector<ConvLayerDesc>& layers = network.layers();
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const ConvLayerDesc& layer = layers[i];
-    os << "    {\"name\": " << json_string(layer.name)
+    os << "    {\"name\": " << json_quote(layer.name)
        << ", \"image\": " << json_extent(layer.ifm_w, layer.ifm_h)
        << ", \"kernel\": " << json_extent(layer.kernel_w, layer.kernel_h)
        << ", \"ic\": " << layer.in_channels

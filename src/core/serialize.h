@@ -10,8 +10,10 @@
 #include <iosfwd>
 #include <string>
 
+#include "core/mapper_registry.h"
 #include "core/network_optimizer.h"
 #include "sim/chip_allocator.h"
+#include "sim/verifier.h"
 
 namespace vwsdk {
 
@@ -59,6 +61,19 @@ void write_chip_csv(std::ostream& os, const ChipPlan& plan);
 /// {"feasible":false,"reason":...} with the identity fields -- explicit,
 /// never zeroed metrics.
 std::string to_json(const ChipPlan& plan, Count batch = 1);
+
+/// JSON object for a network verification: identity (network,
+/// algorithm, backend, array, seed), one entry per layer with its
+/// decision and simulator-vs-reference outcome, and the overall
+/// `all_verified` verdict.  The payload `vwsdk verify --format json`
+/// prints and the serve `verify` op returns.
+std::string to_json(const NetworkVerifyResult& result);
+
+/// JSON object listing a registry's mappers -- name, aliases,
+/// description, capability flags -- in the registry's canonical order.
+/// The payload `vwsdk mappers --format json` prints and the serve
+/// `mappers` op returns.
+std::string to_json(const MapperRegistry& registry);
 
 /// Network-spec export, the JSON format parsed by
 /// parse_network_spec_json (nn/network_spec.h).  `array` becomes the

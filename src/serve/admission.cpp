@@ -1,0 +1,86 @@
+#include "serve/admission.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+AdmissionQueue::AdmissionQueue(int max_inflight, int max_queue)
+    : max_inflight_(max_inflight), max_queue_(max_queue) {
+  VWSDK_REQUIRE(max_inflight >= 1,
+                cat("max_inflight must be >= 1 (got ", max_inflight, ")"));
+  VWSDK_REQUIRE(max_queue >= 0,
+                cat("max_queue must be >= 0 (got ", max_queue, ")"));
+  workers_.reserve(static_cast<std::size_t>(max_inflight));
+  for (int i = 0; i < max_inflight; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AdmissionQueue::~AdmissionQueue() { drain(); }
+
+bool AdmissionQueue::try_submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int outstanding = static_cast<int>(queue_.size()) + busy_;
+    if (draining_ || outstanding >= max_inflight_ + max_queue_) {
+      ++rejected_;
+      return false;
+    }
+    ++accepted_;
+    queue_.push(std::move(task));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+void AdmissionQueue::drain() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;
+    idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+AdmissionStats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionStats stats;
+  stats.busy = busy_;
+  stats.queued = static_cast<int>(queue_.size());
+  stats.accepted = accepted_;
+  stats.rejected = rejected_;
+  return stats;
+}
+
+void AdmissionQueue::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // draining and nothing left to run
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++busy_;
+    }
+    task();  // task() catches its own exceptions (server.cpp); a throw
+             // here would terminate, which the dispatch wrapper prevents
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --busy_;
+    }
+    idle_.notify_all();
+  }
+}
+
+}  // namespace vwsdk

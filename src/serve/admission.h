@@ -1,0 +1,80 @@
+#pragma once
+
+/// @file admission.h
+/// Bounded admission control for `vwsdk serve`: a fixed crew of request
+/// workers plus a bounded waiting queue.  A request beyond both bounds
+/// is *rejected immediately* (try_submit returns false and the server
+/// answers `overloaded`) rather than queued without limit or blocked --
+/// the daemon stays responsive no matter how fast a client writes.
+///
+/// These workers only parse, dispatch, and serialize; the heavy mapping
+/// searches fan out into the ServiceApi's own ThreadPool underneath.
+/// Keeping the two pools separate preserves the pool's non-reentrancy
+/// contract (common/thread_pool.h): a request worker may block on pool
+/// futures, a pool task never blocks on another.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vwsdk {
+
+/// A snapshot of the queue's counters.
+struct AdmissionStats {
+  int busy = 0;           ///< workers currently running a request
+  int queued = 0;         ///< accepted requests waiting for a worker
+  Count accepted = 0;     ///< requests admitted since startup
+  Count rejected = 0;     ///< requests refused as overloaded
+};
+
+/// The bounded request executor: at most `max_inflight` requests run at
+/// once and at most `max_queue` more wait; everything beyond is
+/// rejected at submit time.
+class AdmissionQueue {
+ public:
+  /// Start `max_inflight` worker threads (>= 1) over a waiting queue of
+  /// `max_queue` slots (>= 0).
+  AdmissionQueue(int max_inflight, int max_queue);
+
+  /// Drains: finishes every accepted task, then joins the workers.
+  ~AdmissionQueue();
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admit `task` if capacity allows: true and the task will run; false
+  /// and the task was refused (never partially started).  After drain()
+  /// every submit is refused.
+  bool try_submit(std::function<void()> task);
+
+  /// Stop admitting, run every already-accepted task to completion, and
+  /// join the workers.  Idempotent; safe to call concurrently with
+  /// submits (they are refused once draining begins).
+  void drain();
+
+  /// Current counters (busy/queued are instantaneous, the totals
+  /// monotonic).
+  AdmissionStats stats() const;
+
+ private:
+  void worker_loop();
+
+  const int max_inflight_;
+  const int max_queue_;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::condition_variable idle_;
+  int busy_ = 0;
+  Count accepted_ = 0;
+  Count rejected_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace vwsdk

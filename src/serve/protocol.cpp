@@ -1,0 +1,302 @@
+#include "serve/protocol.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/json.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+namespace {
+
+/// Typed field access over one request object.  Every mismatch throws
+/// ProtocolError with the already-recovered id so the client can
+/// correlate the failure.
+class FieldReader {
+ public:
+  FieldReader(const JsonValue& object, std::string id)
+      : object_(object), id_(std::move(id)) {}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ProtocolError(ErrorCode::kBadRequest, message, id_);
+  }
+
+  std::string get_string(const std::string& key, std::string fallback) const {
+    const JsonValue* value = object_.find(key);
+    if (value == nullptr) {
+      return fallback;
+    }
+    if (!value->is_string()) {
+      fail(cat("field \"", key, "\" must be a string, got ",
+               JsonValue::type_name(value->type())));
+    }
+    return value->as_string();
+  }
+
+  std::string require_string(const std::string& key) const {
+    if (object_.find(key) == nullptr) {
+      fail(cat("missing required field \"", key, "\""));
+    }
+    const std::string value = get_string(key, "");
+    if (value.empty()) {
+      fail(cat("field \"", key, "\" must not be empty"));
+    }
+    return value;
+  }
+
+  long long get_int(const std::string& key, long long fallback,
+                    long long min, long long max) const {
+    const JsonValue* value = object_.find(key);
+    if (value == nullptr) {
+      return fallback;
+    }
+    long long parsed = 0;
+    try {
+      parsed = value->as_int();
+    } catch (const std::exception&) {
+      fail(cat("field \"", key, "\" must be an integer, got ",
+               JsonValue::type_name(value->type())));
+    }
+    if (parsed < min || parsed > max) {
+      fail(cat("field \"", key, "\" must be in [", min, ", ", max,
+               "] (got ", parsed, ")"));
+    }
+    return parsed;
+  }
+
+  std::vector<std::string> get_string_array(
+      const std::string& key, std::vector<std::string> fallback) const {
+    const JsonValue* value = object_.find(key);
+    if (value == nullptr) {
+      return fallback;
+    }
+    if (!value->is_array()) {
+      fail(cat("field \"", key, "\" must be an array of strings, got ",
+               JsonValue::type_name(value->type())));
+    }
+    std::vector<std::string> out;
+    out.reserve(value->items().size());
+    for (const JsonValue& item : value->items()) {
+      if (!item.is_string()) {
+        fail(cat("field \"", key, "\" must contain only strings, got ",
+                 JsonValue::type_name(item.type())));
+      }
+      out.push_back(item.as_string());
+    }
+    if (out.empty()) {
+      fail(cat("field \"", key, "\" must not be empty"));
+    }
+    return out;
+  }
+
+  /// Reject any member outside `allowed` (a space-separated list of
+  /// the op's keys plus the envelope keys) so client typos -- "nett",
+  /// "mapperr" -- fail loudly instead of silently running defaults.
+  void reject_unknown(const std::string& op,
+                      const std::string& allowed) const {
+    for (const JsonValue::Member& member : object_.members()) {
+      const std::string padded = cat(" ", allowed, " ");
+      if (padded.find(cat(" ", member.first, " ")) == std::string::npos) {
+        fail(cat("unknown field \"", member.first, "\" for op \"", op,
+                 "\" (known: ", join(split(allowed, ' '), ", "), ")"));
+      }
+    }
+  }
+
+ private:
+  const JsonValue& object_;
+  std::string id_;
+};
+
+constexpr const char* kEnvelopeKeys = "v id op";
+
+ServeOp op_by_name(const std::string& name, const std::string& id) {
+  if (name == "map") return ServeOp::kMap;
+  if (name == "compare") return ServeOp::kCompare;
+  if (name == "chip") return ServeOp::kChip;
+  if (name == "verify") return ServeOp::kVerify;
+  if (name == "mappers") return ServeOp::kMappers;
+  if (name == "stats") return ServeOp::kStats;
+  if (name == "ping") return ServeOp::kPing;
+  if (name == "shutdown") return ServeOp::kShutdown;
+  throw ProtocolError(
+      ErrorCode::kUnknownOp,
+      cat("unknown op \"", name,
+          "\" (known: map, compare, chip, verify, mappers, stats, ping, "
+          "shutdown)"),
+      id);
+}
+
+/// Best-effort id recovery from a parsed document, for echoing in error
+/// responses before the id field itself has been validated.
+std::string recover_id(const JsonValue& document) {
+  if (!document.is_object()) {
+    return "";
+  }
+  const JsonValue* id = document.find("id");
+  if (id == nullptr || !id->is_string() || id->as_string().empty() ||
+      id->as_string().size() > kMaxIdBytes) {
+    return "";
+  }
+  return id->as_string();
+}
+
+}  // namespace
+
+const char* op_name(ServeOp op) {
+  switch (op) {
+    case ServeOp::kMap: return "map";
+    case ServeOp::kCompare: return "compare";
+    case ServeOp::kChip: return "chip";
+    case ServeOp::kVerify: return "verify";
+    case ServeOp::kMappers: return "mappers";
+    case ServeOp::kStats: return "stats";
+    case ServeOp::kPing: return "ping";
+    case ServeOp::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+ProtocolError::ProtocolError(ErrorCode code, const std::string& message,
+                             std::string id)
+    : Error(message), code_(code), id_(std::move(id)) {}
+
+ServeRequest parse_request(std::string_view line) {
+  if (line.size() > kMaxRequestBytes) {
+    throw ProtocolError(ErrorCode::kTooLarge,
+                        cat("request of ", line.size(),
+                            " bytes exceeds the ", kMaxRequestBytes,
+                            "-byte limit"));
+  }
+  JsonValue document;
+  try {
+    document = JsonValue::parse(line);
+  } catch (const std::exception& e) {
+    throw ProtocolError(ErrorCode::kBadRequest, e.what());
+  }
+  if (!document.is_object()) {
+    throw ProtocolError(
+        ErrorCode::kBadRequest,
+        cat("request must be a JSON object, got ",
+            JsonValue::type_name(document.type())));
+  }
+  const std::string recovered = recover_id(document);
+  FieldReader reader(document, recovered);
+
+  const JsonValue* version = document.find("v");
+  if (version == nullptr) {
+    reader.fail("missing required field \"v\"");
+  }
+  if (!version->is_number() || version->as_int() != kProtocolVersion) {
+    reader.fail(cat("unsupported protocol version (this daemon speaks v=",
+                    kProtocolVersion, ")"));
+  }
+
+  const JsonValue* id = document.find("id");
+  if (id == nullptr) {
+    reader.fail("missing required field \"id\"");
+  }
+  if (!id->is_string() || id->as_string().empty()) {
+    reader.fail("field \"id\" must be a non-empty string");
+  }
+  if (id->as_string().size() > kMaxIdBytes) {
+    reader.fail(cat("field \"id\" exceeds ", kMaxIdBytes, " bytes"));
+  }
+
+  ServeRequest request;
+  request.id = id->as_string();
+  request.op = op_by_name(reader.require_string("op"), request.id);
+
+  switch (request.op) {
+    case ServeOp::kMap: {
+      reader.reject_unknown("map", cat(kEnvelopeKeys,
+                                       " net mapper array objective"));
+      request.map.net = reader.require_string("net");
+      request.map.mapper = reader.get_string("mapper", request.map.mapper);
+      request.map.array = reader.get_string("array", "");
+      request.map.objective =
+          reader.get_string("objective", request.map.objective);
+      break;
+    }
+    case ServeOp::kCompare: {
+      reader.reject_unknown("compare", cat(kEnvelopeKeys,
+                                           " net mappers array objective"));
+      request.compare.net = reader.require_string("net");
+      request.compare.mappers =
+          reader.get_string_array("mappers", request.compare.mappers);
+      request.compare.array = reader.get_string("array", "");
+      request.compare.objective =
+          reader.get_string("objective", request.compare.objective);
+      break;
+    }
+    case ServeOp::kChip: {
+      reader.reject_unknown(
+          "chip",
+          cat(kEnvelopeKeys, " net mapper array objective arrays chips "
+                             "batch"));
+      request.chip.net = reader.require_string("net");
+      request.chip.mapper = reader.get_string("mapper", request.chip.mapper);
+      request.chip.array = reader.get_string("array", "");
+      request.chip.objective =
+          reader.get_string("objective", request.chip.objective);
+      if (document.find("arrays") == nullptr) {
+        reader.fail("missing required field \"arrays\"");
+      }
+      constexpr long long kDimMax = std::numeric_limits<Dim>::max();
+      request.chip.arrays_per_chip =
+          static_cast<Dim>(reader.get_int("arrays", 0, 1, kDimMax));
+      request.chip.max_chips =
+          static_cast<Dim>(reader.get_int("chips", 0, 0, kDimMax));
+      request.chip.batch = reader.get_int("batch", 1, 1, 1000000000);
+      break;
+    }
+    case ServeOp::kVerify: {
+      reader.reject_unknown("verify", cat(kEnvelopeKeys,
+                                          " net mapper array backend seed"));
+      request.verify.net = reader.require_string("net");
+      request.verify.mapper =
+          reader.get_string("mapper", request.verify.mapper);
+      request.verify.array = reader.get_string("array", "");
+      request.verify.ref_backend = reader.get_string("backend", "");
+      request.verify.seed = static_cast<std::uint64_t>(
+          reader.get_int("seed", 42, 0, (1LL << 53)));
+      break;
+    }
+    case ServeOp::kPing: {
+      reader.reject_unknown("ping", cat(kEnvelopeKeys, " delay_ms"));
+      request.delay_ms = reader.get_int("delay_ms", 0, 0, kMaxPingDelayMs);
+      break;
+    }
+    case ServeOp::kMappers:
+    case ServeOp::kStats:
+    case ServeOp::kShutdown: {
+      reader.reject_unknown(op_name(request.op), kEnvelopeKeys);
+      break;
+    }
+  }
+  return request;
+}
+
+std::string ok_response(const std::string& id, ServeOp op,
+                        const std::string& result_json) {
+  return cat("{\"v\":", kProtocolVersion, ",\"id\":", json_quote(id),
+             ",\"op\":\"", op_name(op), "\",\"ok\":true,\"result\":",
+             result_json, "}");
+}
+
+std::string error_response(const std::string& id, ErrorCode code,
+                           const std::string& message) {
+  return cat("{\"v\":", kProtocolVersion, ",\"id\":",
+             id.empty() ? std::string("null") : json_quote(id),
+             ",\"ok\":false,\"error\":{\"code\":\"", error_code_name(code),
+             "\",\"message\":", json_quote(message), "}}");
+}
+
+std::string to_json(const ServiceStats& stats) {
+  return cat("{\"cache\":{\"hits\":", stats.cache_hits, ",\"misses\":",
+             stats.cache_misses, ",\"entries\":", stats.cache_entries,
+             "},\"threads\":", stats.threads, "}");
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,111 @@
+#pragma once
+
+/// @file protocol.h
+/// The wire protocol of `vwsdk serve`: newline-delimited JSON, one
+/// request per line in, one response per line out (docs/SERVE.md).
+///
+/// Requests are flat, versioned objects:
+///   {"v":1,"id":"42","op":"map","net":"vgg16","array":"512x512"}
+/// Responses echo the id and embed the one-shot CLI's `--format json`
+/// payload verbatim, so a serve result is byte-identical to the
+/// equivalent one-shot invocation:
+///   {"v":1,"id":"42","op":"map","ok":true,"result":{...}}
+///   {"v":1,"id":"42","ok":false,"error":{"code":"not_found",
+///    "message":"..."}}
+///
+/// Parsing is total: any malformed line becomes a ProtocolError -- an
+/// error *response*, never process death.  The parser echoes the
+/// request id whenever it can be recovered so clients can correlate
+/// failures; when it cannot (unparseable JSON), the response carries
+/// `"id":null`.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+#include "serve/service.h"
+
+namespace vwsdk {
+
+/// Wire protocol version; requests must send `"v":1`.  Bumped only on
+/// incompatible envelope changes (new ops and new optional fields are
+/// compatible).
+constexpr int kProtocolVersion = 1;
+
+/// Hard cap on one request line.  A line that reaches this many bytes
+/// without a newline is answered with `too_large` and discarded.
+constexpr std::size_t kMaxRequestBytes = 1 << 20;
+
+/// Hard cap on a request id, so hostile ids cannot balloon responses.
+constexpr std::size_t kMaxIdBytes = 256;
+
+/// Upper bound on `ping`'s artificial `delay_ms` (one minute).
+constexpr long long kMaxPingDelayMs = 60000;
+
+/// The operations a request may name.
+enum class ServeOp {
+  kMap,       ///< map one network with one algorithm
+  kCompare,   ///< several algorithms side by side
+  kChip,      ///< map + pipelined chip allocation
+  kVerify,    ///< functional verification on the simulator
+  kMappers,   ///< list the registered mapping algorithms
+  kStats,     ///< cache / pool counters of this daemon
+  kPing,      ///< health check; optional bounded busy-delay for tests
+  kShutdown,  ///< answer, then drain and exit
+};
+
+/// The wire name of an op ("map", "compare", ...).
+const char* op_name(ServeOp op);
+
+/// A request that failed protocol validation.  Carries the stable error
+/// code for the response envelope and the request id when it could be
+/// recovered from the malformed input ("" when it could not).
+class ProtocolError : public Error {
+ public:
+  ProtocolError(ErrorCode code, const std::string& message,
+                std::string id = "");
+
+  ErrorCode code() const { return code_; }
+  const std::string& id() const { return id_; }
+
+ private:
+  ErrorCode code_;
+  std::string id_;
+};
+
+/// One validated request: the op, the echoed id, and the query of that
+/// op (the others stay default-constructed).
+struct ServeRequest {
+  std::string id;
+  ServeOp op = ServeOp::kPing;
+  MapQuery map;          ///< op == kMap
+  CompareQuery compare;  ///< op == kCompare
+  ChipQuery chip;        ///< op == kChip
+  VerifyQuery verify;    ///< op == kVerify
+  long long delay_ms = 0;  ///< op == kPing: busy-wait before answering
+};
+
+/// Parse and validate one request line.  Throws ProtocolError
+/// (`bad_request`, `unknown_op`, or `too_large`) on any malformed
+/// input: non-object documents, a missing/wrong `v`, a missing,
+/// non-string, empty, or oversized `id`, an unknown op, an unknown or
+/// mistyped field, or an out-of-range value.  Unknown fields are
+/// rejected -- not ignored -- so client typos fail loudly.
+ServeRequest parse_request(std::string_view line);
+
+/// The success envelope: `result_json` is embedded verbatim (it is the
+/// exact payload the one-shot CLI prints).  No trailing newline.
+std::string ok_response(const std::string& id, ServeOp op,
+                        const std::string& result_json);
+
+/// The failure envelope; an empty `id` serializes as `"id":null`.  No
+/// trailing newline.
+std::string error_response(const std::string& id, ErrorCode code,
+                           const std::string& message);
+
+/// The `stats` op's result payload:
+/// {"cache":{"hits":H,"misses":M,"entries":E},"threads":T}.
+std::string to_json(const ServiceStats& stats);
+
+}  // namespace vwsdk

@@ -1,0 +1,144 @@
+#include "serve/service.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "mapping/objective.h"
+#include "nn/network_spec.h"
+#include "pim/array_geometry.h"
+
+namespace vwsdk {
+
+namespace {
+
+constexpr const char* kDefaultArray = "512x512";
+
+/// The geometry a query runs on: its own `array`, then the spec's hint,
+/// then the library default -- the same resolution order as the CLI's
+/// --array flag (docs/CLI.md).
+ArrayGeometry resolve_query_geometry(const std::string& requested,
+                                     const NetworkSpec& spec) {
+  std::string text = requested;
+  if (text.empty()) {
+    text = spec.has_array() ? spec.array : kDefaultArray;
+  }
+  return parse_geometry(text);
+}
+
+NetworkSpec resolve_query_net(const std::string& net) {
+  VWSDK_REQUIRE(!net.empty(),
+                "query names no net (model-zoo name or spec file)");
+  return resolve_network_spec(net);
+}
+
+}  // namespace
+
+std::string cache_stats_fragment(const ServiceStats& stats) {
+  return cat("cache ", stats.cache_hits, " hit(s) / ", stats.cache_misses,
+             " miss(es), ", stats.cache_entries, " distinct search(es)");
+}
+
+std::string stats_line(const ServiceStats& stats) {
+  return cat("stats: ", cache_stats_fragment(stats), "; ", stats.threads,
+             " thread(s)");
+}
+
+ServiceApi::ServiceApi(int threads)
+    : pool_(ThreadPool::resolve_thread_count(threads)) {}
+
+NetworkMappingResult ServiceApi::map(const MapQuery& query) {
+  const NetworkSpec spec = resolve_query_net(query.net);
+  const ArrayGeometry geometry = resolve_query_geometry(query.array, spec);
+  const auto mapper = make_mapper(query.mapper);
+  OptimizerOptions options;
+  options.pool = &pool_;
+  options.cache = &cache_;
+  options.objective = &objective_by_name(query.objective);
+  return optimize_network(*mapper, spec.network, geometry, options);
+}
+
+NetworkComparison ServiceApi::compare(const CompareQuery& query) {
+  const NetworkSpec spec = resolve_query_net(query.net);
+  const ArrayGeometry geometry = resolve_query_geometry(query.array, spec);
+  const MapperRegistry& registry = MapperRegistry::instance();
+  std::vector<std::string> names;
+  names.reserve(query.mappers.size());
+  for (const std::string& requested : query.mappers) {
+    // Canonicalize through the registry (validates now, fails with the
+    // bad name) so an alias duplicate like "vw-sdk,vwsdk" is caught.
+    const std::string canonical = registry.info(requested).name;
+    VWSDK_REQUIRE(std::find(names.begin(), names.end(), canonical) ==
+                      names.end(),
+                  cat("mappers list \"", canonical, "\" twice"));
+    names.push_back(canonical);
+  }
+  VWSDK_REQUIRE(!names.empty(), "query names no mapper");
+  OptimizerOptions options;
+  options.pool = &pool_;
+  options.cache = &cache_;
+  options.objective = &objective_by_name(query.objective);
+  return compare_mappers(names, spec.network, geometry, options);
+}
+
+ChipResult ServiceApi::chip(const ChipQuery& query) {
+  VWSDK_REQUIRE(query.arrays_per_chip >= 1,
+                cat("chip needs arrays >= 1 (got ", query.arrays_per_chip,
+                    ")"));
+  VWSDK_REQUIRE(query.max_chips >= 0,
+                cat("chips must be >= 0 (got ", query.max_chips, ")"));
+  // A billion streamed inferences is far beyond any plausible run and
+  // keeps (batch-1) * interval clear of Cycles overflow.
+  VWSDK_REQUIRE(query.batch >= 1 && query.batch <= 1000000000,
+                cat("batch must be in [1, 1000000000] (got ", query.batch,
+                    ")"));
+  MapQuery map_query;
+  map_query.net = query.net;
+  map_query.mapper = query.mapper;
+  map_query.array = query.array;
+  map_query.objective = query.objective;
+  ChipResult result;
+  result.mapping = map(map_query);
+
+  ChipPlanOptions plan_options;
+  plan_options.arrays_per_chip = query.arrays_per_chip;
+  plan_options.max_chips = query.max_chips;
+  plan_options.objective = &objective_by_name(query.objective);
+  result.plan = plan_chips(result.mapping, plan_options);
+  if (!result.plan.feasible) {
+    // An explicit planning failure, not a zeroed report: the CLI turns
+    // this into its exit-1 contract, serve into a `runtime` error
+    // response (JSON consumers wanting the infeasible plan object call
+    // the library's plan_chips + to_json directly).
+    throw Error(result.plan.infeasible_reason);
+  }
+  return result;
+}
+
+NetworkVerifyResult ServiceApi::verify(const VerifyQuery& query) {
+  const NetworkSpec spec = resolve_query_net(query.net);
+  const ArrayGeometry geometry = resolve_query_geometry(query.array, spec);
+  const auto mapper = make_mapper(query.mapper);
+  ExecutionOptions options;
+  // Resolve now: an unknown backend is a usage error before any layer
+  // runs (throws NotFound listing the registered names).
+  options.ref_backend = resolve_ref_backend(query.ref_backend);
+  return verify_network(spec.network, *mapper, geometry, query.seed,
+                        options);
+}
+
+const MapperRegistry& ServiceApi::mappers() const {
+  return MapperRegistry::instance();
+}
+
+ServiceStats ServiceApi::stats() const {
+  const MappingCacheStats cache_stats = cache_.stats();
+  ServiceStats stats;
+  stats.cache_hits = cache_stats.hits;
+  stats.cache_misses = cache_stats.misses;
+  stats.cache_entries = cache_.size();
+  stats.threads = pool_.size();
+  return stats;
+}
+
+}  // namespace vwsdk

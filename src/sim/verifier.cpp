@@ -1,6 +1,8 @@
 #include "sim/verifier.h"
 
 #include "common/string_util.h"
+#include "core/grouped_conv.h"
+#include "mapping/plan_builder.h"
 #include "tensor/tensor_ops.h"
 
 namespace vwsdk {
@@ -59,6 +61,52 @@ VerificationReport verify_mapping_random(const MappingPlan& plan,
   fill_random_int(ifm, rng, magnitude);
   fill_random_int(weights, rng, magnitude);
   return verify_mapping(plan, ifm, weights, options);
+}
+
+bool NetworkVerifyResult::all_verified() const {
+  for (const LayerVerification& layer : layers) {
+    if (!layer.report.exact_match || !layer.report.cycles_match) {
+      return false;
+    }
+  }
+  return true;
+}
+
+NetworkVerifyResult verify_network(const Network& network,
+                                   const Mapper& mapper,
+                                   const ArrayGeometry& geometry,
+                                   std::uint64_t seed,
+                                   const ExecutionOptions& options) {
+  NetworkVerifyResult result;
+  result.network_name = network.name();
+  result.algorithm = mapper.name();
+  // Resolve once: an unknown backend fails before any layer runs, and
+  // the report names the canonical backend whatever selected it.
+  result.backend = resolve_ref_backend(options.ref_backend);
+  result.geometry = geometry;
+  result.seed = seed;
+  ExecutionOptions resolved = options;
+  resolved.ref_backend = result.backend;
+
+  const std::vector<ConvLayerDesc>& layers = network.layers();
+  result.layers.reserve(layers.size());
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const ConvLayerDesc& layer = layers[i];
+    layer.validate();
+    GroupedConvShape grouped;
+    grouped.base = ConvShape::from_layer(layer);
+    grouped.groups = layer.groups;
+    grouped.validate();
+    const ConvShape shape = grouped.group_shape();
+    LayerVerification lv;
+    lv.layer = layer;
+    lv.decision = mapper.map(shape, geometry);
+    const MappingPlan plan =
+        build_plan_for_cost(shape, geometry, lv.decision.cost);
+    lv.report = verify_mapping_random(plan, seed + i, 4, resolved);
+    result.layers.push_back(std::move(lv));
+  }
+  return result;
 }
 
 }  // namespace vwsdk

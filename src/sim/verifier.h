@@ -6,13 +6,19 @@
 /// by the execution backend ExecutionOptions::ref_backend selects
 /// (tensor/exec_backend.h; default "gemm", with "scalar" as the oracle).
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "core/mapping_decision.h"
 #include "mapping/mapping_plan.h"
+#include "nn/network.h"
 #include "sim/executor.h"
 #include "tensor/exec_backend.h"
 
 namespace vwsdk {
+
+class Mapper;
 
 /// Outcome of one verification run.
 struct VerificationReport {
@@ -56,5 +62,39 @@ VerificationReport verify_mapping_random(const MappingPlan& plan,
                                          std::uint64_t seed,
                                          int magnitude = 4,
                                          const ExecutionOptions& options = {});
+
+/// One layer's slice of a network-level verification.
+struct LayerVerification {
+  ConvLayerDesc layer{};        ///< the layer as specified
+  MappingDecision decision{};   ///< the mapping that was executed
+  VerificationReport report{};  ///< simulator-vs-reference outcome
+};
+
+/// A whole network verified layer by layer on the crossbar simulator
+/// (the computation behind `vwsdk verify` and the serve `verify` op).
+struct NetworkVerifyResult {
+  std::string network_name;
+  std::string algorithm;       ///< mapper the layers were mapped with
+  std::string backend;         ///< resolved reference-backend name
+  ArrayGeometry geometry{};
+  std::uint64_t seed = 0;      ///< base seed of the integer test tensors
+  std::vector<LayerVerification> layers;
+
+  /// True when every layer matched the reference exactly, cycle counts
+  /// included.
+  bool all_verified() const;
+};
+
+/// Map each layer of `network` with `mapper` on `geometry`, build its
+/// plan, execute it on the crossbar simulator with deterministic integer
+/// tensors (layer i uses seed + i), and compare against the reference
+/// backend `options.ref_backend` resolves to.  Grouped layers verify one
+/// group's sub-convolution (all groups are identical).  A mismatch is
+/// reported per layer, never thrown.
+NetworkVerifyResult verify_network(const Network& network,
+                                   const Mapper& mapper,
+                                   const ArrayGeometry& geometry,
+                                   std::uint64_t seed = 42,
+                                   const ExecutionOptions& options = {});
 
 }  // namespace vwsdk

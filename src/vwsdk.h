@@ -11,6 +11,7 @@
 ///   mapping/  cost model (Eqs. 1-8), utilization (Eq. 9), mapping plans
 ///   core/     the mapping algorithms (im2col, SMD, SDK, VW-SDK)
 ///   sim/      functional execution, verification, pipelines
+///   serve/    the resident ServiceApi and the NDJSON serving daemon
 
 #include "common/cli.h"
 #include "common/csv.h"
@@ -82,3 +83,8 @@
 #include "sim/reuse.h"
 #include "sim/schedule.h"
 #include "sim/verifier.h"
+
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"

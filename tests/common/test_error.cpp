@@ -33,5 +33,42 @@ TEST(Error, HierarchyIsCatchableAsError) {
   EXPECT_THROW(throw NotFound("x"), std::runtime_error);
 }
 
+// The wire names are a compatibility contract shared by the CLI's exit
+// paths and the serve daemon's JSON error responses (docs/SERVE.md).
+TEST(Error, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNotFound), "not_found");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+  EXPECT_STREQ(error_code_name(ErrorCode::kRuntime), "runtime");
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadRequest), "bad_request");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnknownOp), "unknown_op");
+  EXPECT_STREQ(error_code_name(ErrorCode::kTooLarge), "too_large");
+  EXPECT_STREQ(error_code_name(ErrorCode::kOverloaded), "overloaded");
+  EXPECT_STREQ(error_code_name(ErrorCode::kShuttingDown), "shutting_down");
+}
+
+TEST(Error, ClassifyExceptionMapsTheHierarchy) {
+  EXPECT_EQ(classify_exception(InvalidArgument("x")),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(classify_exception(NotFound("x")), ErrorCode::kNotFound);
+  EXPECT_EQ(classify_exception(InternalError("x")), ErrorCode::kInternal);
+  EXPECT_EQ(classify_exception(Error("x")), ErrorCode::kRuntime);
+  EXPECT_EQ(classify_exception(std::runtime_error("x")),
+            ErrorCode::kRuntime);
+}
+
+TEST(Error, UsageErrorsAreTheCallerShapedCodes) {
+  EXPECT_TRUE(is_usage_error(ErrorCode::kInvalidArgument));
+  EXPECT_TRUE(is_usage_error(ErrorCode::kNotFound));
+  EXPECT_TRUE(is_usage_error(ErrorCode::kBadRequest));
+  EXPECT_TRUE(is_usage_error(ErrorCode::kUnknownOp));
+  EXPECT_TRUE(is_usage_error(ErrorCode::kTooLarge));
+  EXPECT_FALSE(is_usage_error(ErrorCode::kInternal));
+  EXPECT_FALSE(is_usage_error(ErrorCode::kRuntime));
+  EXPECT_FALSE(is_usage_error(ErrorCode::kOverloaded));
+  EXPECT_FALSE(is_usage_error(ErrorCode::kShuttingDown));
+}
+
 }  // namespace
 }  // namespace vwsdk

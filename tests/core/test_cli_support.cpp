@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/string_util.h"
 
 namespace vwsdk {
 namespace {
@@ -107,6 +108,88 @@ TEST(CliSupport, RunCliMainCatchesForeignExceptions) {
   EXPECT_EQ(run_cli_main([]() -> int { throw std::bad_alloc(); }),
             kExitError);
   EXPECT_EQ(run_cli_main([]() -> int { throw 42; }), kExitError);
+}
+
+TEST(CliSupport, ExitCodeForFollowsTheUsageSplit) {
+  EXPECT_EQ(exit_code_for(ErrorCode::kInvalidArgument), kExitUsageError);
+  EXPECT_EQ(exit_code_for(ErrorCode::kNotFound), kExitUsageError);
+  EXPECT_EQ(exit_code_for(ErrorCode::kBadRequest), kExitUsageError);
+  EXPECT_EQ(exit_code_for(ErrorCode::kRuntime), kExitError);
+  EXPECT_EQ(exit_code_for(ErrorCode::kInternal), kExitError);
+  EXPECT_EQ(exit_code_for(ErrorCode::kOverloaded), kExitError);
+}
+
+/// A SubcommandSet with `names` registered, each recording its calls.
+SubcommandSet command_set(const std::vector<std::string>& names,
+                          std::vector<std::string>* calls) {
+  SubcommandSet commands;
+  for (const std::string& name : names) {
+    commands.add({name, cat("summary of ", name),
+                  [name, calls](int argc, const char* const* argv) {
+                    calls->push_back(
+                        cat(name, "/", argc, "/", argv[0]));
+                    return 5;
+                  }});
+  }
+  return commands;
+}
+
+TEST(CliSupport, SubcommandSetRegistersAndFinds) {
+  std::vector<std::string> calls;
+  const SubcommandSet commands = command_set({"map", "serve"}, &calls);
+  EXPECT_EQ(commands.commands().size(), 2u);
+  ASSERT_NE(commands.find("serve"), nullptr);
+  EXPECT_EQ(commands.find("serve")->summary, "summary of serve");
+  EXPECT_EQ(commands.find("frob"), nullptr);
+}
+
+TEST(CliSupport, SubcommandSetRejectsBadRegistrations) {
+  std::vector<std::string> calls;
+  SubcommandSet commands = command_set({"map"}, &calls);
+  EXPECT_THROW(commands.add({"", "x", [](int, const char* const*) {
+                               return 0;
+                             }}),
+               InvalidArgument);
+  EXPECT_THROW(commands.add({"map", "again", [](int, const char* const*) {
+                               return 0;
+                             }}),
+               InvalidArgument);
+  EXPECT_THROW(commands.add({"new", "no handler", nullptr}),
+               InvalidArgument);
+}
+
+TEST(CliSupport, SubcommandSetCommandListAligns) {
+  std::vector<std::string> calls;
+  const SubcommandSet commands = command_set({"map", "compare"}, &calls);
+  EXPECT_EQ(commands.command_list(),
+            "  map      summary of map\n"
+            "  compare  summary of compare\n");
+}
+
+TEST(CliSupport, SubcommandSetDispatchRebasesArgv) {
+  std::vector<std::string> calls;
+  const SubcommandSet commands = command_set({"map"}, &calls);
+  const char* argv[] = {"vwsdk", "map", "--net", "lenet5"};
+  EXPECT_EQ(commands.dispatch(4, argv, [] { return "help\n"; }, "v"), 5);
+  // The handler sees argv rebased so argv[0] is the subcommand itself.
+  EXPECT_EQ(calls, (std::vector<std::string>{"map/3/map"}));
+}
+
+TEST(CliSupport, SubcommandSetDispatchRejectsUnknownCommands) {
+  std::vector<std::string> calls;
+  const SubcommandSet commands = command_set({"map", "serve"}, &calls);
+  const char* argv[] = {"vwsdk", "frob"};
+  try {
+    commands.dispatch(2, argv, [] { return "help\n"; }, "v");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    // The error names the known commands (the cli smoke test greps for
+    // this shape too).
+    EXPECT_NE(what.find("unknown command \"frob\""), std::string::npos);
+    EXPECT_NE(what.find("known: map, serve"), std::string::npos);
+  }
+  EXPECT_TRUE(calls.empty());
 }
 
 }  // namespace

@@ -1,0 +1,108 @@
+#include "serve/admission.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+/// A latch the tests use to hold workers busy deterministically --
+/// no sleeps, so the bounds are exact regardless of scheduling.
+class Gate {
+ public:
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    opened_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    opened_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable opened_;
+  bool open_ = false;
+};
+
+TEST(Admission, RunsEverythingWithinBounds) {
+  AdmissionQueue queue(2, 2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(queue.try_submit([&ran] { ++ran; }));
+  }
+  queue.drain();
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_EQ(queue.stats().accepted, 4);
+  EXPECT_EQ(queue.stats().rejected, 0);
+}
+
+TEST(Admission, RejectsBeyondInflightPlusQueue) {
+  AdmissionQueue queue(1, 1);
+  Gate gate;
+  Gate busy;
+  std::atomic<int> ran{0};
+  // Occupy the single worker...
+  ASSERT_TRUE(queue.try_submit([&] {
+    busy.open();
+    gate.wait();
+    ++ran;
+  }));
+  busy.wait();  // the worker is now inside the task, not queued
+  // ...fill the single queue slot...
+  ASSERT_TRUE(queue.try_submit([&ran] { ++ran; }));
+  // ...and the third request must be refused, not blocked.
+  EXPECT_FALSE(queue.try_submit([&ran] { ++ran; }));
+  EXPECT_EQ(queue.stats().rejected, 1);
+  EXPECT_EQ(queue.stats().busy, 1);
+  EXPECT_EQ(queue.stats().queued, 1);
+
+  gate.open();
+  queue.drain();
+  // The refused task never ran; the accepted ones all did.
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(queue.stats().accepted, 2);
+}
+
+TEST(Admission, DrainFinishesAcceptedWorkThenRefusesSubmits) {
+  AdmissionQueue queue(2, 8);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.try_submit([&ran] { ++ran; }));
+  }
+  queue.drain();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_FALSE(queue.try_submit([&ran] { ++ran; }));
+  EXPECT_EQ(ran.load(), 8);
+  queue.drain();  // idempotent
+}
+
+TEST(Admission, RejectsInvalidBounds) {
+  EXPECT_THROW(AdmissionQueue(0, 1), InvalidArgument);
+  EXPECT_THROW(AdmissionQueue(1, -1), InvalidArgument);
+}
+
+TEST(Admission, StatsSettleAfterDrain) {
+  AdmissionQueue queue(4, 4);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(queue.try_submit([] {}));
+  }
+  queue.drain();
+  const AdmissionStats stats = queue.stats();
+  EXPECT_EQ(stats.busy, 0);
+  EXPECT_EQ(stats.queued, 0);
+  EXPECT_EQ(stats.accepted, 6);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -1,0 +1,214 @@
+#include "serve/protocol.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+namespace {
+
+/// The code a hostile line fails with, for EXPECT_EQ against the enum.
+ErrorCode code_of(const std::string& line) {
+  try {
+    (void)parse_request(line);
+  } catch (const ProtocolError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected ProtocolError for: " << line;
+  return ErrorCode::kInternal;
+}
+
+TEST(Protocol, ParsesMapRequestWithDefaults) {
+  const ServeRequest request =
+      parse_request(R"({"v":1,"id":"7","op":"map","net":"lenet5"})");
+  EXPECT_EQ(request.id, "7");
+  EXPECT_EQ(request.op, ServeOp::kMap);
+  EXPECT_EQ(request.map.net, "lenet5");
+  EXPECT_EQ(request.map.mapper, "vw-sdk");
+  EXPECT_EQ(request.map.array, "");
+  EXPECT_EQ(request.map.objective, "cycles");
+}
+
+TEST(Protocol, ParsesEveryOpAndFieldSpelling) {
+  const ServeRequest compare = parse_request(
+      R"({"v":1,"id":"c","op":"compare","net":"vgg13",)"
+      R"("mappers":["im2col","vw-sdk"],"array":"256x256",)"
+      R"("objective":"energy"})");
+  EXPECT_EQ(compare.op, ServeOp::kCompare);
+  EXPECT_EQ(compare.compare.mappers,
+            (std::vector<std::string>{"im2col", "vw-sdk"}));
+  EXPECT_EQ(compare.compare.array, "256x256");
+  EXPECT_EQ(compare.compare.objective, "energy");
+
+  const ServeRequest chip = parse_request(
+      R"({"v":1,"id":"h","op":"chip","net":"lenet5","arrays":8,)"
+      R"("chips":2,"batch":100})");
+  EXPECT_EQ(chip.op, ServeOp::kChip);
+  EXPECT_EQ(chip.chip.arrays_per_chip, 8);
+  EXPECT_EQ(chip.chip.max_chips, 2);
+  EXPECT_EQ(chip.chip.batch, 100);
+
+  const ServeRequest verify = parse_request(
+      R"({"v":1,"id":"x","op":"verify","net":"lenet5",)"
+      R"("backend":"gemm","seed":7})");
+  EXPECT_EQ(verify.op, ServeOp::kVerify);
+  EXPECT_EQ(verify.verify.ref_backend, "gemm");
+  EXPECT_EQ(verify.verify.seed, 7u);
+
+  EXPECT_EQ(parse_request(R"({"v":1,"id":"m","op":"mappers"})").op,
+            ServeOp::kMappers);
+  EXPECT_EQ(parse_request(R"({"v":1,"id":"s","op":"stats"})").op,
+            ServeOp::kStats);
+  EXPECT_EQ(parse_request(R"({"v":1,"id":"d","op":"shutdown"})").op,
+            ServeOp::kShutdown);
+
+  const ServeRequest ping =
+      parse_request(R"({"v":1,"id":"p","op":"ping","delay_ms":25})");
+  EXPECT_EQ(ping.op, ServeOp::kPing);
+  EXPECT_EQ(ping.delay_ms, 25);
+}
+
+TEST(Protocol, RejectsMalformedJson) {
+  EXPECT_EQ(code_of("garbage"), ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"map")"),  // truncated
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of("[1,2,3]"), ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of("\"just a string\""), ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(""), ErrorCode::kBadRequest);
+}
+
+TEST(Protocol, RejectsEnvelopeViolations) {
+  // Version: missing or wrong.
+  EXPECT_EQ(code_of(R"({"id":"1","op":"ping"})"), ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":2,"id":"1","op":"ping"})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":"1","id":"1","op":"ping"})"),
+            ErrorCode::kBadRequest);
+  // Id: missing, non-string, empty, duplicate, oversized.
+  EXPECT_EQ(code_of(R"({"v":1,"op":"ping"})"), ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":5,"op":"ping"})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"","op":"ping"})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"a","id":"b","op":"ping"})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(cat(R"({"v":1,"id":")",
+                        std::string(kMaxIdBytes + 1, 'x'),
+                        R"(","op":"ping"})")),
+            ErrorCode::kBadRequest);
+  // Op: missing or unregistered.
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1"})"), ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"frob"})"),
+            ErrorCode::kUnknownOp);
+}
+
+TEST(Protocol, RejectsUnknownAndMistypedFields) {
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"map","net":"x","nett":"y"})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"ping","net":"x"})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"map","net":5})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"map"})"),  // missing net
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"compare","net":"x",)"
+                    R"("mappers":"im2col"})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"compare","net":"x",)"
+                    R"("mappers":[]})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"chip","net":"x"})"),
+            ErrorCode::kBadRequest);  // missing arrays
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"chip","net":"x",)"
+                    R"("arrays":0})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"ping","delay_ms":60001})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"ping","delay_ms":-1})"),
+            ErrorCode::kBadRequest);
+}
+
+TEST(Protocol, OversizedLineFailsAsTooLarge) {
+  const std::string line =
+      cat(R"({"v":1,"id":"1","op":"map","net":")",
+          std::string(kMaxRequestBytes, 'x'), R"("})");
+  EXPECT_EQ(code_of(line), ErrorCode::kTooLarge);
+}
+
+TEST(Protocol, RecoversIdForFieldLevelErrors) {
+  try {
+    (void)parse_request(R"({"v":1,"id":"echo-me","op":"map"})");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.id(), "echo-me");
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+  // Unparseable input has no recoverable id.
+  try {
+    (void)parse_request("not json");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.id(), "");
+  }
+}
+
+TEST(Protocol, ResponsesRoundTripThroughTheJsonParser) {
+  const std::string ok =
+      ok_response("42", ServeOp::kMap, R"({"total_cycles":14})");
+  const JsonValue ok_doc = JsonValue::parse(ok);
+  EXPECT_EQ(ok_doc.at("v").as_int(), kProtocolVersion);
+  EXPECT_EQ(ok_doc.at("id").as_string(), "42");
+  EXPECT_EQ(ok_doc.at("op").as_string(), "map");
+  EXPECT_TRUE(ok_doc.at("ok").as_bool());
+  EXPECT_EQ(ok_doc.at("result").at("total_cycles").as_int(), 14);
+
+  const std::string error = error_response(
+      "weird \"id\"\n", ErrorCode::kOverloaded, "queue full \\ retry");
+  const JsonValue error_doc = JsonValue::parse(error);
+  EXPECT_EQ(error_doc.at("id").as_string(), "weird \"id\"\n");
+  EXPECT_FALSE(error_doc.at("ok").as_bool());
+  EXPECT_EQ(error_doc.at("error").at("code").as_string(), "overloaded");
+  EXPECT_EQ(error_doc.at("error").at("message").as_string(),
+            "queue full \\ retry");
+
+  // An unrecoverable id serializes as null, still valid JSON.
+  const JsonValue anon = JsonValue::parse(
+      error_response("", ErrorCode::kBadRequest, "bad"));
+  EXPECT_TRUE(anon.at("id").is_null());
+}
+
+TEST(Protocol, ResultPayloadIsEmbeddedVerbatim) {
+  // Byte-identity with the one-shot CLI depends on the payload passing
+  // through unmodified.
+  const std::string payload = R"({"a":[1,2],"b":"x"})";
+  const std::string response = ok_response("1", ServeOp::kStats, payload);
+  EXPECT_NE(response.find(cat("\"result\":", payload, "}")),
+            std::string::npos);
+}
+
+TEST(Protocol, StatsPayloadSerializesCounters) {
+  ServiceStats stats;
+  stats.cache_hits = 3;
+  stats.cache_misses = 2;
+  stats.cache_entries = 2;
+  stats.threads = 4;
+  EXPECT_EQ(to_json(stats),
+            R"({"cache":{"hits":3,"misses":2,"entries":2},"threads":4})");
+}
+
+TEST(Protocol, OpNamesAreStable) {
+  EXPECT_STREQ(op_name(ServeOp::kMap), "map");
+  EXPECT_STREQ(op_name(ServeOp::kCompare), "compare");
+  EXPECT_STREQ(op_name(ServeOp::kChip), "chip");
+  EXPECT_STREQ(op_name(ServeOp::kVerify), "verify");
+  EXPECT_STREQ(op_name(ServeOp::kMappers), "mappers");
+  EXPECT_STREQ(op_name(ServeOp::kStats), "stats");
+  EXPECT_STREQ(op_name(ServeOp::kPing), "ping");
+  EXPECT_STREQ(op_name(ServeOp::kShutdown), "shutdown");
+}
+
+}  // namespace
+}  // namespace vwsdk

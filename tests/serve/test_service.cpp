@@ -1,0 +1,163 @@
+#include "serve/service.h"
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/serialize.h"
+#include "nn/network_spec.h"
+#include "pim/array_geometry.h"
+
+namespace vwsdk {
+namespace {
+
+MapQuery lenet_map() {
+  MapQuery query;
+  query.net = "lenet5";
+  return query;
+}
+
+TEST(Service, MapMatchesDirectOptimizerRun) {
+  ServiceApi api(1);
+  const NetworkMappingResult via_service = api.map(lenet_map());
+
+  const NetworkSpec spec = resolve_network_spec("lenet5");
+  const auto mapper = make_mapper("vw-sdk");
+  const NetworkMappingResult direct = optimize_network(
+      *mapper, spec.network, parse_geometry("512x512"), OptimizerOptions{});
+
+  // The service is a routing layer, not a different algorithm: the
+  // serialized results (the serve payloads) must be byte-identical.
+  EXPECT_EQ(to_json(via_service), to_json(direct));
+}
+
+TEST(Service, GeometryResolutionPrefersQueryThenSpecThenDefault) {
+  ServiceApi api(1);
+  MapQuery query = lenet_map();
+  EXPECT_EQ(api.map(query).geometry, parse_geometry("512x512"));
+  query.array = "128x128";
+  EXPECT_EQ(api.map(query).geometry, parse_geometry("128x128"));
+}
+
+TEST(Service, InvalidQueriesThrowTheDocumentedCategories) {
+  ServiceApi api(1);
+  EXPECT_THROW(api.map(MapQuery{}), InvalidArgument);  // no net
+  {
+    MapQuery query = lenet_map();
+    query.mapper = "frob";
+    EXPECT_THROW(api.map(query), NotFound);
+  }
+  {
+    MapQuery query = lenet_map();
+    query.objective = "frob";
+    EXPECT_THROW(api.map(query), NotFound);
+  }
+  {
+    CompareQuery query;
+    query.net = "lenet5";
+    query.mappers = {"vw-sdk", "vwsdk"};  // alias duplicate
+    EXPECT_THROW(api.compare(query), InvalidArgument);
+  }
+  {
+    ChipQuery query;
+    query.net = "lenet5";
+    query.arrays_per_chip = 0;
+    EXPECT_THROW(api.chip(query), InvalidArgument);
+  }
+}
+
+TEST(Service, CompareCanonicalizesAliases) {
+  ServiceApi api(1);
+  CompareQuery query;
+  query.net = "lenet5";
+  query.mappers = {"im2col", "vwsdk"};  // alias of vw-sdk
+  const NetworkComparison cmp = api.compare(query);
+  ASSERT_EQ(cmp.results.size(), 2u);
+  EXPECT_EQ(cmp.results[1].algorithm, "vw-sdk");
+}
+
+TEST(Service, ChipPlansAndReportsInfeasibility) {
+  ServiceApi api(1);
+  ChipQuery query;
+  query.net = "lenet5";
+  query.arrays_per_chip = 4;
+  const ChipResult result = api.chip(query);
+  EXPECT_TRUE(result.plan.feasible);
+  EXPECT_EQ(result.mapping.network_name, result.plan.network_name);
+
+  query.max_chips = 1;
+  query.arrays_per_chip = 1;  // lenet5 needs more than one array total
+  EXPECT_THROW(api.chip(query), Error);
+}
+
+TEST(Service, VerifyReportsEveryLayer) {
+  ServiceApi api(1);
+  VerifyQuery query;
+  query.net = "lenet5";
+  const NetworkVerifyResult result = api.verify(query);
+  EXPECT_EQ(result.layers.size(), 2u);
+  EXPECT_TRUE(result.all_verified());
+  EXPECT_EQ(result.backend, "gemm");
+}
+
+TEST(Service, StatsCountCacheTraffic) {
+  ServiceApi api(1);
+  EXPECT_EQ(api.stats().cache_hits, 0);
+  EXPECT_EQ(api.stats().cache_misses, 0);
+  const Count layers =
+      static_cast<Count>(api.map(lenet_map()).layers.size());
+  EXPECT_EQ(api.stats().cache_misses, layers);
+  (void)api.map(lenet_map());
+  EXPECT_EQ(api.stats().cache_hits, layers);
+  EXPECT_EQ(api.stats().cache_misses, layers);
+  EXPECT_EQ(api.stats().cache_entries, layers);
+  EXPECT_GE(api.stats().threads, 1);
+}
+
+// The single-flight contract under concurrency: N parallel identical
+// map requests must produce byte-identical payloads from exactly one
+// search per layer (misses == layers, hits == (N-1) * layers).
+TEST(Service, ParallelIdenticalRequestsSingleFlightTheCache) {
+  constexpr int kRequests = 8;
+  ServiceApi api(2);
+  std::vector<std::future<std::string>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(std::async(std::launch::async, [&api] {
+      return to_json(api.map(lenet_map()));
+    }));
+  }
+  std::vector<std::string> payloads;
+  payloads.reserve(kRequests);
+  for (std::future<std::string>& future : futures) {
+    payloads.push_back(future.get());
+  }
+  for (int i = 1; i < kRequests; ++i) {
+    EXPECT_EQ(payloads[static_cast<std::size_t>(i)], payloads[0])
+        << "response " << i << " differs";
+  }
+  const ServiceStats stats = api.stats();
+  const Count layers = 2;  // lenet5
+  EXPECT_EQ(stats.cache_misses, layers);
+  EXPECT_EQ(stats.cache_hits, (kRequests - 1) * layers);
+  EXPECT_EQ(stats.cache_entries, layers);
+}
+
+TEST(Service, StatsLinesFormatTheFragment) {
+  ServiceStats stats;
+  stats.cache_hits = 5;
+  stats.cache_misses = 3;
+  stats.cache_entries = 3;
+  stats.threads = 2;
+  EXPECT_EQ(cache_stats_fragment(stats),
+            "cache 5 hit(s) / 3 miss(es), 3 distinct search(es)");
+  EXPECT_EQ(stats_line(stats),
+            "stats: cache 5 hit(s) / 3 miss(es), 3 distinct search(es); "
+            "2 thread(s)");
+}
+
+}  // namespace
+}  // namespace vwsdk

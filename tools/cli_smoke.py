@@ -20,6 +20,14 @@
   execution backends and usage errors for unknown `--ref-backend`s;
 * `mappers` lists the registry, and unknown mappers/objectives are
   usage errors naming the known sets.
+
+With `--serve` the script instead drives the `vwsdk serve` daemon
+(ctest `cli.serve_smoke`): a scripted NDJSON session covering every op
+whose `result` payloads must be byte-identical to the one-shot CLI's
+`--format json` output, cache hits accumulating across requests,
+admission-control rejections under `--max-inflight 1 --max-queue 1`
+that leave the daemon alive, a graceful SIGTERM drain exiting 0, and
+the same session over a `--socket` Unix domain socket.
 """
 
 import argparse
@@ -27,9 +35,12 @@ import csv
 import io
 import json
 import os
+import signal
+import socket
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 FAILURES: list[str] = []
@@ -41,29 +52,222 @@ def check(condition: bool, label: str) -> None:
         FAILURES.append(label)
 
 
+def hermetic_env() -> dict:
+    # Hermetic: the sanitizer CI job exports VWSDK_REF_BACKEND to
+    # matrix the whole suite over backends, but this smoke asserts
+    # the CLI's own documented defaults, so the inherited selection
+    # must not leak in (the flag is exercised explicitly below).
+    return {k: v for k, v in os.environ.items()
+            if k != "VWSDK_REF_BACKEND"}
+
+
 class Cli:
     def __init__(self, binary: str):
         self.binary = binary
 
     def run(self, *args: str) -> subprocess.CompletedProcess:
-        # Hermetic: the sanitizer CI job exports VWSDK_REF_BACKEND to
-        # matrix the whole suite over backends, but this smoke asserts
-        # the CLI's own documented defaults, so the inherited selection
-        # must not leak in (the flag is exercised explicitly below).
-        env = {k: v for k, v in os.environ.items()
-               if k != "VWSDK_REF_BACKEND"}
         return subprocess.run(
             [self.binary, *args], capture_output=True, text=True,
-            timeout=300, env=env,
+            timeout=300, env=hermetic_env(),
         )
+
+    def spawn_serve(self, *args: str) -> subprocess.Popen:
+        return subprocess.Popen(
+            [self.binary, "serve", *args], stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=hermetic_env(),
+        )
+
+
+def by_id(ndjson: str) -> dict:
+    """Parse daemon output into {id: (doc, raw_line)}.  Responses are
+    asynchronous (workers finish in any order), so every assertion
+    matches by the echoed id, never by line order."""
+    responses = {}
+    for line in ndjson.splitlines():
+        if line.strip():
+            doc = json.loads(line)
+            responses[doc["id"]] = (doc, line)
+    return responses
+
+
+def ok_envelope(request_id: str, op: str, payload: str) -> str:
+    """The exact response line serve must emit for a one-shot payload."""
+    return (f'{{"v":1,"id":"{request_id}","op":"{op}","ok":true,'
+            f'"result":{payload}}}')
+
+
+def serve_smoke(cli: Cli, tmp: Path) -> None:
+    # --- serve usage errors ---------------------------------------------
+    check(cli.run("serve", "--help").returncode == 0, "serve --help exits 0")
+    check(cli.run("serve", "--bogus").returncode == 2,
+          "serve with an unknown flag exits 2")
+    check(cli.run("serve", "--max-inflight", "0").returncode == 2,
+          "serve --max-inflight 0 exits 2")
+    check(cli.run("serve", "--max-queue", "-1").returncode == 2,
+          "serve --max-queue -1 exits 2")
+
+    # --- the scripted session: every op + hostile lines -----------------
+    # --max-inflight 1 makes execution order deterministic (FIFO through
+    # one worker), so the stats snapshot sees both maps' cache traffic.
+    session = [
+        '{"v":1,"id":"p1","op":"ping"}',
+        '{"v":1,"id":"m1","op":"map","net":"lenet5"}',
+        '{"v":1,"id":"m2","op":"map","net":"lenet5"}',
+        '{"v":1,"id":"c1","op":"compare","net":"lenet5"}',
+        '{"v":1,"id":"h1","op":"chip","net":"lenet5","arrays":4}',
+        '{"v":1,"id":"v1","op":"verify","net":"lenet5"}',
+        '{"v":1,"id":"r1","op":"mappers"}',
+        '{"v":1,"id":"s1","op":"stats"}',
+        "this is not json",
+        '{"v":1,"id":"u1","op":"frob"}',
+        '{"v":1,"id":"e1","op":"map","net":"no-such-model"}',
+        '{"v":1,"id":"d1","op":"shutdown"}',
+    ]
+    daemon = cli.spawn_serve("--max-inflight", "1")
+    out, err = daemon.communicate("\n".join(session) + "\n", timeout=300)
+    check(daemon.returncode == 0, "serve session drains and exits 0")
+    responses = by_id(out)
+    check(len(responses) == len(session),
+          f"one response per request line (got {len(responses)})")
+
+    # Result payloads are the one-shot CLI's --format json output,
+    # byte for byte -- the two front ends share one ServiceApi.
+    oneshot = {
+        "m1": ("map", cli.run("map", "--net", "lenet5", "--format", "json")),
+        "c1": ("compare",
+               cli.run("compare", "--net", "lenet5", "--format", "json")),
+        "h1": ("chip", cli.run("chip", "--net", "lenet5", "--arrays", "4",
+                               "--format", "json")),
+        "v1": ("verify",
+               cli.run("verify", "--net", "lenet5", "--format", "json")),
+        "r1": ("mappers", cli.run("mappers", "--format", "json")),
+    }
+    for request_id, (op, run) in oneshot.items():
+        expected = ok_envelope(request_id, op, run.stdout.strip())
+        got = responses.get(request_id, (None, ""))[1]
+        check(
+            run.returncode == 0 and got == expected,
+            f"serve {op} response is byte-identical to the one-shot CLI",
+        )
+    check(
+        responses["p1"][1]
+        == ok_envelope("p1", "ping", '{"pong":true,"delay_ms":0}'),
+        "ping answers pong",
+    )
+    check(
+        responses["d1"][1]
+        == ok_envelope("d1", "shutdown", '{"stopping":true}'),
+        "shutdown acknowledges before draining",
+    )
+
+    # The shared cache: m2 repeats m1, so by the time the (serialized)
+    # stats request runs the daemon has recorded hits.
+    stats = responses["s1"][0]
+    check(
+        stats["ok"] and stats["result"]["cache"]["hits"] >= 2
+        and stats["result"]["cache"]["misses"] >= 2
+        and stats["result"]["threads"] >= 1,
+        "stats reports cache hits accumulated across requests",
+    )
+
+    # Hostile lines get per-request error responses, never process
+    # death: unparseable input (id null), an unknown op, and a clean
+    # request whose execution fails.
+    for request_id, code in ((None, "bad_request"), ("u1", "unknown_op"),
+                             ("e1", "not_found")):
+        doc = responses.get(request_id, ({}, ""))[0]
+        check(
+            doc and not doc["ok"] and doc["error"]["code"] == code
+            and doc["error"]["message"],
+            f"hostile line answers a structured {code} error",
+        )
+
+    # --- admission control: bounded, rejecting, and recoverable ---------
+    daemon = cli.spawn_serve("--max-inflight", "1", "--max-queue", "1")
+    # A slow ping occupies the only worker, the second fills the only
+    # queue slot, so the third must be refused immediately.
+    for line in ('{"v":1,"id":"a","op":"ping","delay_ms":1500}',
+                 '{"v":1,"id":"b","op":"ping"}',
+                 '{"v":1,"id":"c","op":"ping"}'):
+        daemon.stdin.write(line + "\n")
+    daemon.stdin.flush()
+    rejected = json.loads(daemon.stdout.readline())
+    check(
+        rejected["id"] == "c" and not rejected["ok"]
+        and rejected["error"]["code"] == "overloaded",
+        "request beyond --max-queue is rejected as overloaded",
+    )
+    # The daemon stays alive: both admitted pings still answer, and once
+    # capacity frees a new request is admitted again.
+    settled = by_id(daemon.stdout.readline() + daemon.stdout.readline())
+    check(
+        settled["a"][0]["ok"] and settled["b"][0]["ok"],
+        "admitted requests complete despite the rejection",
+    )
+    daemon.stdin.write('{"v":1,"id":"d","op":"ping"}\n'
+                       '{"v":1,"id":"z","op":"shutdown"}\n')
+    out, err = daemon.communicate(timeout=300)
+    responses = by_id(out)
+    check(
+        daemon.returncode == 0 and responses["d"][0]["ok"],
+        "the daemon recovers and admits again after overload",
+    )
+
+    # --- graceful drain on SIGTERM --------------------------------------
+    daemon = cli.spawn_serve()
+    daemon.stdin.write('{"v":1,"id":"t1","op":"ping","delay_ms":400}\n')
+    daemon.stdin.flush()
+    time.sleep(0.25)  # let the reader admit the ping before the signal
+    daemon.send_signal(signal.SIGTERM)
+    out, err = daemon.communicate(timeout=300)
+    responses = by_id(out)
+    check(
+        daemon.returncode == 0 and responses["t1"][0]["result"]["pong"],
+        "SIGTERM drains the in-flight request and exits 0",
+    )
+
+    # --- the same protocol over a Unix domain socket --------------------
+    sock_path = tmp / "serve.sock"
+    daemon = cli.spawn_serve("--socket", str(sock_path))
+    deadline = time.monotonic() + 60
+    while not sock_path.exists() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.connect(str(sock_path))
+    client.sendall(b'{"v":1,"id":"s-map","op":"map","net":"lenet5"}\n'
+                   b'{"v":1,"id":"s-end","op":"shutdown"}\n')
+    received = b""
+    while chunk := client.recv(65536):
+        received += chunk
+    client.close()
+    out, err = daemon.communicate(timeout=300)
+    responses = by_id(received.decode())
+    check(
+        daemon.returncode == 0
+        and responses["s-map"][1]
+        == ok_envelope("s-map", "map",
+                       oneshot["m1"][1].stdout.strip())
+        and responses["s-end"][0]["result"]["stopping"],
+        "the socket session matches stdin byte for byte and drains",
+    )
+    check(not sock_path.exists(), "the socket file is unlinked on exit")
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cli", required=True, help="path to the vwsdk binary")
+    parser.add_argument("--serve", action="store_true",
+                        help="drive the serve daemon instead of the "
+                             "one-shot subcommands")
     args = parser.parse_args()
     cli = Cli(args.cli)
     tmp = Path(tempfile.mkdtemp(prefix="vwsdk_cli_smoke_"))
+
+    if args.serve:
+        serve_smoke(cli, tmp)
+        print(f"\ncli_smoke --serve: {len(FAILURES)} failure(s)")
+        return 1 if FAILURES else 0
 
     # --- exit codes -----------------------------------------------------
     check(cli.run("--help").returncode == 0, "--help exits 0")
@@ -84,7 +288,7 @@ def main() -> int:
         "unresolvable --net exits 2",
     )
     for sub in ("map", "compare", "sweep", "chip", "verify", "mappers",
-                "zoo"):
+                "zoo", "serve"):
         check(cli.run(sub, "--help").returncode == 0, f"{sub} --help exits 0")
 
     # --- mapper registry listing ----------------------------------------
@@ -122,6 +326,13 @@ def main() -> int:
             out.returncode == 0 and total == expected,
             f"map {net}/{mapper} total {total} == paper {expected}",
         )
+
+    with_stats = cli.run("map", "--net", "lenet5", "--stats")
+    check(
+        with_stats.returncode == 0 and "cache" in with_stats.stderr
+        and "cache" not in with_stats.stdout,
+        "map --stats reports the cache on stderr only",
+    )
 
     # --- search objectives ----------------------------------------------
     by_cycles = cli.run("map", "--net", "vgg13", "--format", "json")
