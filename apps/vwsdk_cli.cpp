@@ -18,6 +18,7 @@
 /// The global --help text below is diffed verbatim against that page by
 /// the `cli.help_matches_doc` ctest, so edit both together.
 
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -477,6 +478,170 @@ int run_chip(int argc, const char* const* argv) {
   return kExitOk;
 }
 
+/// Per-chip table of one network's traffic (the `traffic` view).
+TextTable traffic_table(const NetworkTraffic& net) {
+  TextTable table({"replica", "chip", "busy", "utilization", "queue peak",
+                   "batches"});
+  for (const ChipTraffic& chip : net.chips) {
+    table.add_row({std::to_string(chip.replica), std::to_string(chip.chip),
+                   with_thousands(chip.busy),
+                   format_fixed(chip.utilization, 4),
+                   std::to_string(chip.queue_peak),
+                   std::to_string(chip.batches)});
+  }
+  return table;
+}
+
+void print_traffic_report(std::ostream& os, const TrafficReport& report) {
+  os << "traffic: " << report.source << " arrivals";
+  if (report.source == "poisson") {
+    os << ", rate " << format_fixed(report.rate, 4) << "/Mcycle, seed "
+       << report.seed;
+  }
+  os << ", " << with_thousands(report.duration)
+     << " cycles simulated\nbatching: window " << report.batch_window
+     << " cycles, max batch " << report.max_batch << ", queue ";
+  if (report.max_queue > 0) {
+    os << "bound " << report.max_queue << "\n";
+  } else {
+    os << "unbounded\n";
+  }
+  for (const NetworkTraffic& net : report.networks) {
+    os << "\nnetwork: " << net.network << "   " << net.replicas
+       << " replica(s) x " << net.chips_per_replica << " chip(s) x "
+       << net.arrays_per_chip << " arrays (" << net.array << ", "
+       << net.algorithm << ")\ninterval: " << net.interval
+       << " cycles   fill latency: " << net.fill_latency
+       << " cycles\noffered: " << format_fixed(net.offered, 2)
+       << "/Mcycle   sustained: " << format_fixed(net.sustained, 2)
+       << "/Mcycle   capacity: " << format_fixed(net.capacity, 2)
+       << "/Mcycle\narrivals: " << net.arrivals << "   completions: "
+       << net.completions << "   in flight: " << net.in_flight
+       << "   rejected: " << net.rejected << "\nlatency: p50 "
+       << with_thousands(net.p50) << "   p95 " << with_thousands(net.p95)
+       << "   p99 " << with_thousands(net.p99) << "   p99.9 "
+       << with_thousands(net.p999) << "   (min "
+       << with_thousands(net.latency_min) << ", max "
+       << with_thousands(net.latency_max) << ")\nmean: latency "
+       << format_fixed(net.mean_latency, 1) << "   wait "
+       << format_fixed(net.mean_wait, 1) << "   batch "
+       << format_fixed(net.mean_batch, 2) << "\n\n" << traffic_table(net);
+  }
+}
+
+void print_capacity(std::ostream& os, const CapacityResult& capacity) {
+  os << "capacity: smallest farm with p99 <= "
+     << with_thousands(capacity.slo_p99) << " cycles at rate "
+     << format_fixed(capacity.rate, 4) << "/Mcycle\nanswer: "
+     << capacity.replicas << " replica(s) = " << capacity.chips
+     << " chip(s), simulated p99 " << with_thousands(capacity.p99)
+     << " cycles\n";
+  if (capacity.lower_replicas > 0) {
+    os << "proof: " << capacity.lower_replicas
+       << " replica(s) fail the SLO (p99 "
+       << with_thousands(capacity.lower_p99) << " cycles)\n\n";
+  } else {
+    os << "proof: a farm needs at least one replica\n\n";
+  }
+  print_traffic_report(os, capacity.report);
+}
+
+/// --rate is the CLI's one floating-point flag; ArgParser stores
+/// strings, so parse and validate here (full consumption, finite, >= 0).
+double parse_rate(const std::string& text) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (text.empty() || consumed != text.size() || !std::isfinite(value) ||
+      value < 0.0) {
+    throw InvalidArgument(cat("--rate must be a finite number >= 0 (got \"",
+                              text, "\")"));
+  }
+  return value;
+}
+
+int run_traffic(int argc, const char* const* argv) {
+  ArgParser args("vwsdk traffic",
+                 "simulate request traffic against pipelined chip farms");
+  args.add_option("net", "",
+                  "comma-separated model-zoo names or spec files (required)");
+  args.add_option("mapper", "vw-sdk",
+                  cat("mapping algorithm (",
+                      MapperRegistry::instance().known_names(), ")"));
+  args.add_int_option("arrays", 0,
+                      "crossbar arrays per chip (required, >= 1)");
+  args.add_int_option("chips", 0,
+                      "chip budget per network (0 = as many as the demand "
+                      "needs)");
+  args.add_int_option("replicas", 1, "pipeline replicas per network");
+  args.add_option("rate", "0",
+                  "Poisson arrivals per network per 1e6 cycles");
+  args.add_int_option("duration", 10000000,
+                      "simulated horizon in cycles (Poisson mode)");
+  args.add_int_option("seed", 42, "arrival-stream seed");
+  args.add_int_option("window", 0, "cycles a replica holds a batch open");
+  args.add_int_option("max-batch", 1,
+                      "largest batch a replica serves at once");
+  args.add_int_option("max-queue", 0,
+                      "per-replica queue bound (0 = unbounded)");
+  args.add_option("trace", "",
+                  "arrival-trace file, CSV or JSON (replaces --rate)");
+  args.add_int_option("slo-p99", 0,
+                      "capacity mode: smallest chip count with p99 <= this");
+  args.add_option("format", "table", "output format: table, csv, or json");
+  add_net_options(args);
+  if (!args.parse(argc, argv)) {
+    return kExitOk;
+  }
+  require_no_positional(args);
+  VWSDK_REQUIRE(!args.get("net").empty(), "--net is required");
+  const std::string format =
+      format_from_args(args, {"table", "csv", "json"});
+  constexpr long long kDimMax = std::numeric_limits<Dim>::max();
+
+  TrafficQuery query;
+  query.net = args.get("net");
+  query.mapper = args.get("mapper");
+  query.array = args.get("array");
+  query.objective = args.get("objective");
+  query.arrays_per_chip =
+      static_cast<Dim>(int_in_range(args, "arrays", 1, kDimMax));
+  query.max_chips =
+      static_cast<Dim>(int_in_range(args, "chips", 0, kDimMax));
+  query.replicas = int_in_range(args, "replicas", 1, 100000);
+  query.rate = parse_rate(args.get("rate"));
+  query.duration = int_in_range(args, "duration", 1, 1000000000000LL);
+  query.seed = static_cast<std::uint64_t>(int_in_range(args, "seed", 0));
+  query.batch_window = int_in_range(args, "window", 0, 1000000000000LL);
+  query.max_batch = int_in_range(args, "max-batch", 1, 1000000000);
+  query.max_queue = int_in_range(args, "max-queue", 0, 1000000000);
+  query.trace = args.get("trace");
+  query.slo_p99 = int_in_range(args, "slo-p99", 0, 1000000000000LL);
+
+  ServiceApi api = service_from_args(args);
+  const TrafficResult traffic = api.traffic(query);
+
+  with_output(args.get("out"), [&](std::ostream& os) {
+    if (format == "csv") {
+      write_traffic_csv(os, traffic.report);
+    } else if (format == "json") {
+      os << (traffic.capacity_mode ? to_json(traffic.capacity)
+                                   : to_json(traffic.report))
+         << "\n";
+    } else if (traffic.capacity_mode) {
+      print_capacity(os, traffic.capacity);
+    } else {
+      print_traffic_report(os, traffic.report);
+    }
+  });
+  maybe_print_stats(args, api);
+  return kExitOk;
+}
+
 /// The per-layer table of a verification result (the `verify` view).
 TextTable verify_table(const NetworkVerifyResult& result) {
   TextTable table({"#", "layer", "groups", "mapping (PWxICtxOCt)", "exact",
@@ -717,6 +882,9 @@ int main(int argc, char** argv) {
     commands.add({"chip",
                   "pipeline one network across one or more PIM chips",
                   run_chip});
+    commands.add({"traffic",
+                  "simulate request traffic against pipelined chip farms",
+                  run_traffic});
     commands.add({"verify",
                   "functionally verify mapped layers on the crossbar "
                   "simulator",

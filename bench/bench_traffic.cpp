@@ -1,0 +1,147 @@
+/// Extension bench: request-traffic simulation on the pipelined chip
+/// farm (sim/traffic.h).  The static planner says a VGG-13 chip of 64
+/// arrays turns over an inference every 2465 cycles (interval) after a
+/// 13530-cycle fill; this bench asks what those numbers buy under load.
+///
+/// Expected shape: with batch-of-1 service every request pays the full
+/// fill, so one replica saturates near 1e6/fill ~ 74 req/Mcycle and the
+/// p99 explodes once the offered rate crosses it.  Batching (the whole
+/// point of the pipeline: fill + (B-1) x interval) pushes the same
+/// replica toward the interval-bound capacity of ~406 req/Mcycle.  At
+/// low utilization the simulator must agree with M/D/1 queueing theory,
+/// and the capacity planner must find the provably minimal replica
+/// count for a p99 SLO.  Every number here is deterministic (seed 42),
+/// so the pins are exact.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "nn/model_zoo.h"
+#include "sim/chip_allocator.h"
+#include "sim/traffic.h"
+
+int main() {
+  using namespace vwsdk;
+  bench::JsonReporter reporter("bench_traffic");
+
+  const NetworkMappingResult vgg =
+      optimize_network(*make_mapper("vw-sdk"), vgg13_paper(), {512, 512});
+  ChipPlanOptions plan_options;
+  plan_options.arrays_per_chip = 64;
+  const ChipPlan plan = plan_chips(vgg, plan_options);
+  const auto fill = static_cast<double>(plan.fill_latency());
+
+  reporter.section("Poisson sweep -- VGG-13, 64 arrays/chip, 1 replica");
+  reporter.expect_eq("pipeline interval (cycles)", 2465, plan.interval());
+  reporter.expect_eq("fill latency (cycles)", 13530, plan.fill_latency());
+
+  struct Pin {
+    double rate;
+    Count serial_p99;
+    Count serial_completions;
+    double serial_util;
+    Count batched_p99;
+    Count batched_completions;
+  };
+  // Exact values pinned from the seeded simulation: serial = batch-of-1
+  // service, batched = max_batch 32 with a one-interval window.
+  const std::vector<Pin> pins = {
+      {20.0, 34'593, 183, 0.2476, 31'195, 183},
+      {100.0, 2'796'705, 737, 0.9977, 47'763, 1'028},
+      {200.0, 6'345'787, 738, 0.9989, 92'511, 1'986},
+      {300.0, 7'527'325, 738, 0.9992, 165'311, 2'929},
+      {380.0, 8'024'827, 738, 0.9994, 557'746, 3'501},
+  };
+  TextTable table({"rate/Mcycle", "arrivals", "serial done", "serial p99",
+                   "batched done", "batched p99", "batched util"});
+  for (const Pin& pin : pins) {
+    TrafficOptions serial;
+    serial.rate = pin.rate;
+    const TrafficReport plain = simulate_traffic({plan}, serial);
+    TrafficOptions windowed = serial;
+    windowed.max_batch = 32;
+    windowed.batch_window = plan.interval();
+    const TrafficReport batched = simulate_traffic({plan}, windowed);
+    const NetworkTraffic& s = plain.networks.front();
+    const NetworkTraffic& b = batched.networks.front();
+    table.add_row({format_fixed(pin.rate, 0),
+                   std::to_string(s.arrivals), std::to_string(s.completions),
+                   std::to_string(s.p99), std::to_string(b.completions),
+                   std::to_string(b.p99),
+                   format_fixed(b.chips.front().utilization, 4)});
+    const std::string at = cat(" at rate ", format_fixed(pin.rate, 0));
+    reporter.expect_eq(cat("serial p99", at), pin.serial_p99, s.p99);
+    reporter.expect_eq(cat("serial completions", at),
+                       pin.serial_completions, s.completions);
+    reporter.expect_near(cat("serial chip utilization", at), pin.serial_util,
+                         s.chips.front().utilization, 0.0001);
+    reporter.expect_eq(cat("batched p99", at), pin.batched_p99, b.p99);
+    reporter.expect_eq(cat("batched completions", at),
+                       pin.batched_completions, b.completions);
+    reporter.expect_true(
+        cat("conservation holds", at),
+        s.arrivals == s.completions + s.in_flight + s.rejected &&
+            b.arrivals == b.completions + b.in_flight + b.rejected);
+  }
+  std::cout << table;
+  const double serial_capacity = 1.0e6 / fill;
+  const double pipe_capacity =
+      1.0e6 / static_cast<double>(plan.interval());
+  std::cout << "\nserial capacity 1e6/fill = "
+            << format_fixed(serial_capacity, 1)
+            << " req/Mcycle; pipelined capacity 1e6/interval = "
+            << format_fixed(pipe_capacity, 1) << " req/Mcycle\n";
+  reporter.expect_true(
+      "batch-of-1 service saturates near 1e6/fill regardless of load",
+      pins[2].serial_completions < Count(1.05 * 10.0 * serial_capacity) &&
+          pins[4].serial_completions == pins[2].serial_completions);
+  reporter.expect_true(
+      "batching sustains ~5x the serial ceiling at rate 380",
+      pins[4].batched_completions > 4 * pins[4].serial_completions);
+
+  reporter.section("M/D/1 cross-check -- rho = 0.3, deterministic service");
+  // One replica, batch of 1: an M/D/1 queue with service D = fill.
+  // Pollaczek-Khinchine mean wait: Wq = lambda D^2 / (2 (1 - rho)).
+  const double rho = 0.3;
+  const double lambda = rho / fill;  // per cycle
+  TrafficOptions md1;
+  md1.rate = lambda * 1.0e6;
+  md1.duration = static_cast<Cycles>(30'000.0 / lambda);
+  const TrafficReport low = simulate_traffic({plan}, md1);
+  const double analytic = lambda * fill * fill / (2.0 * (1.0 - rho));
+  std::cout << "analytic Wq " << format_fixed(analytic, 1)
+            << " cycles, simulated "
+            << format_fixed(low.networks.front().mean_wait, 1)
+            << " over " << low.networks.front().completions
+            << " completions\n";
+  reporter.expect_near("simulated mean wait matches M/D/1 (cycles)",
+                       analytic, low.networks.front().mean_wait,
+                       0.05 * analytic);
+  reporter.expect_true("simulated mean latency = wait + service",
+                       low.networks.front().mean_latency >
+                               low.networks.front().mean_wait + fill - 1 &&
+                           low.networks.front().mean_latency <
+                               low.networks.front().mean_wait + fill + 1);
+
+  reporter.section("Capacity planning -- p99 SLO 20000 cycles at rate 900");
+  TrafficOptions heavy;
+  heavy.rate = 900.0;
+  const CapacityResult capacity = plan_capacity(plan, 20'000, heavy);
+  std::cout << "answer: " << capacity.replicas << " replicas ("
+            << capacity.chips << " chips), p99 " << capacity.p99
+            << "; " << capacity.lower_replicas << " replicas fail at p99 "
+            << capacity.lower_p99 << "\n";
+  reporter.expect_eq("minimal replica count", 20, capacity.replicas);
+  reporter.expect_eq("p99 at the answer (cycles)", 14'350, capacity.p99);
+  reporter.expect_eq("p99 one replica short (cycles)", 20'845,
+                     capacity.lower_p99);
+  reporter.expect_true("the answer meets the SLO and the proof fails it",
+                       capacity.p99 <= 20'000 &&
+                           capacity.lower_p99 > 20'000 &&
+                           capacity.lower_replicas == capacity.replicas - 1);
+
+  return reporter.finish();
+}

@@ -7,7 +7,9 @@
 /// and floor divisions of positive integers (Eqs. (3)-(8)); centralizing
 /// them here keeps every call site overflow-checked and self-documenting.
 
+#include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/error.h"
 #include "common/types.h"
@@ -80,6 +82,24 @@ constexpr Count clamp_count(Count value, Count lo, Count hi) {
     throw InvalidArgument("clamp_count requires lo <= hi");
   }
   return value < lo ? lo : (value > hi ? hi : value);
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element whose rank r (1-based) satisfies r >= ⌈p/100 · N⌉, clamped so
+/// p = 0 yields the minimum.  Total on degenerate inputs: an empty sample
+/// yields 0 and a single element is every percentile of itself.  Requires
+/// p in [0, 100]; the caller is responsible for sorting.
+inline Count percentile(const std::vector<Count>& sorted_values, double p) {
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw InvalidArgument("percentile requires p in [0, 100]");
+  }
+  if (sorted_values.empty()) {
+    return 0;
+  }
+  const auto size = static_cast<Count>(sorted_values.size());
+  const double exact = p / 100.0 * static_cast<double>(size);
+  const auto rank = clamp_count(static_cast<Count>(std::ceil(exact)), 1, size);
+  return sorted_values[static_cast<std::size_t>(rank - 1)];
 }
 
 }  // namespace vwsdk

@@ -21,4 +21,42 @@ double Rng::normal(double mean, double stddev) {
   return mean + stddev * radius * std::cos(angle);
 }
 
+double Rng::exponential(double rate) {
+  if (!(rate > 0.0)) {
+    throw InvalidArgument("Rng::exponential requires rate > 0");
+  }
+  double u = uniform_double();
+  while (u <= 0.0) {  // avoid log(0)
+    u = uniform_double();
+  }
+  return -std::log(u) / rate;
+}
+
+std::int64_t Rng::poisson(double mean) {
+  if (!(mean >= 0.0)) {
+    throw InvalidArgument("Rng::poisson requires mean >= 0");
+  }
+  // Knuth's method draws uniforms until their product falls below
+  // exp(-mean); split large means into chunks so the threshold never
+  // underflows to zero.  Poisson(a + b) = Poisson(a) + Poisson(b) for
+  // independent draws, so chunking preserves the distribution.
+  constexpr double kChunk = 500.0;
+  std::int64_t count = 0;
+  double remaining = mean;
+  while (remaining > 0.0) {
+    const double step = remaining > kChunk ? kChunk : remaining;
+    remaining -= step;
+    const double threshold = std::exp(-step);
+    double product = 1.0;
+    for (;;) {
+      product *= uniform_double();
+      if (product <= threshold) {
+        break;
+      }
+      ++count;
+    }
+  }
+  return count;
+}
+
 }  // namespace vwsdk

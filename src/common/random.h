@@ -98,6 +98,17 @@ class Rng {
   /// Standard normal via Box-Muller (deterministic, no cached spare).
   double normal(double mean = 0.0, double stddev = 1.0);
 
+  /// Exponential interarrival time with the given rate (events per unit
+  /// time); mean 1/rate.  Inverse-CDF transform, so exactly one
+  /// `next_u64()` is consumed per draw (modulo the log(0) guard).
+  double exponential(double rate);
+
+  /// Poisson-distributed event count with the given mean.  Knuth's
+  /// product-of-uniforms method, chunked so that means far beyond the
+  /// range where exp(-mean) underflows (about 700) stay exact via the
+  /// additivity of independent Poisson draws.
+  std::int64_t poisson(double mean);
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -243,6 +243,110 @@ std::string to_json(const ChipPlan& plan, Count batch) {
   return os.str();
 }
 
+void write_traffic_csv(std::ostream& os, const TrafficReport& report) {
+  CsvWriter csv(os, {"network", "algorithm", "objective", "array",
+                     "arrays_per_chip", "replica", "chip", "busy",
+                     "utilization", "queue_peak", "batches", "interval",
+                     "fill_latency", "replicas", "arrivals", "completions",
+                     "rejected", "in_flight", "offered", "sustained", "p50",
+                     "p95", "p99", "p999"});
+  for (const NetworkTraffic& net : report.networks) {
+    for (const ChipTraffic& chip : net.chips) {
+      csv.write_row({net.network, net.algorithm, net.objective, net.array,
+                     std::to_string(net.arrays_per_chip),
+                     std::to_string(chip.replica), std::to_string(chip.chip),
+                     std::to_string(chip.busy),
+                     format_fixed(chip.utilization, 4),
+                     std::to_string(chip.queue_peak),
+                     std::to_string(chip.batches),
+                     std::to_string(net.interval),
+                     std::to_string(net.fill_latency),
+                     std::to_string(net.replicas),
+                     std::to_string(net.arrivals),
+                     std::to_string(net.completions),
+                     std::to_string(net.rejected),
+                     std::to_string(net.in_flight),
+                     format_fixed(net.offered, 4),
+                     format_fixed(net.sustained, 4), std::to_string(net.p50),
+                     std::to_string(net.p95), std::to_string(net.p99),
+                     std::to_string(net.p999)});
+    }
+  }
+}
+
+std::string to_json(const TrafficReport& report) {
+  std::ostringstream os;
+  os << "{\"seed\":" << report.seed
+     << ",\"source\":" << json_quote(report.source)
+     << ",\"rate\":" << format_fixed(report.rate, 4)
+     << ",\"duration\":" << report.duration
+     << ",\"batch_window\":" << report.batch_window
+     << ",\"max_batch\":" << report.max_batch
+     << ",\"max_queue\":" << report.max_queue << ",\"networks\":[";
+  for (std::size_t i = 0; i < report.networks.size(); ++i) {
+    const NetworkTraffic& net = report.networks[i];
+    if (i != 0) {
+      os << ',';
+    }
+    os << "{\"network\":" << json_quote(net.network)
+       << ",\"algorithm\":" << json_quote(net.algorithm)
+       << ",\"objective\":" << json_quote(net.objective)
+       << ",\"array\":" << json_quote(net.array)
+       << ",\"arrays_per_chip\":" << net.arrays_per_chip
+       << ",\"replicas\":" << net.replicas
+       << ",\"chips_per_replica\":" << net.chips_per_replica
+       << ",\"interval\":" << net.interval
+       << ",\"fill_latency\":" << net.fill_latency
+       << ",\"arrivals\":" << net.arrivals
+       << ",\"completions\":" << net.completions
+       << ",\"rejected\":" << net.rejected
+       << ",\"in_flight\":" << net.in_flight
+       << ",\"offered_per_mcycle\":" << format_fixed(net.offered, 4)
+       << ",\"sustained_per_mcycle\":" << format_fixed(net.sustained, 4)
+       << ",\"capacity_per_mcycle\":" << format_fixed(net.capacity, 4)
+       << ",\"mean_batch\":" << format_fixed(net.mean_batch, 4)
+       << ",\"mean_wait\":" << format_fixed(net.mean_wait, 4)
+       << ",\"latency\":{\"min\":" << net.latency_min
+       << ",\"mean\":" << format_fixed(net.mean_latency, 4)
+       << ",\"p50\":" << net.p50 << ",\"p95\":" << net.p95
+       << ",\"p99\":" << net.p99 << ",\"p999\":" << net.p999
+       << ",\"max\":" << net.latency_max << "},\"chips\":[";
+    for (std::size_t j = 0; j < net.chips.size(); ++j) {
+      const ChipTraffic& chip = net.chips[j];
+      if (j != 0) {
+        os << ',';
+      }
+      os << "{\"replica\":" << chip.replica << ",\"chip\":" << chip.chip
+         << ",\"busy\":" << chip.busy
+         << ",\"utilization\":" << format_fixed(chip.utilization, 4)
+         << ",\"queue_peak\":" << chip.queue_peak
+         << ",\"batches\":" << chip.batches << "}";
+    }
+    os << "]}";
+  }
+  os << "],\"arrivals\":" << report.total_arrivals()
+     << ",\"completions\":" << report.total_completions()
+     << ",\"rejected\":" << report.total_rejected()
+     << ",\"in_flight\":" << report.total_in_flight() << "}";
+  return os.str();
+}
+
+std::string to_json(const CapacityResult& result) {
+  std::ostringstream os;
+  os << "{\"slo_p99\":" << result.slo_p99
+     << ",\"rate\":" << format_fixed(result.rate, 4)
+     << ",\"replicas\":" << result.replicas << ",\"chips\":" << result.chips
+     << ",\"p99\":" << result.p99 << ",\"meets_slo\":true,\"lower\":";
+  if (result.lower_replicas > 0) {
+    os << "{\"replicas\":" << result.lower_replicas
+       << ",\"p99\":" << result.lower_p99 << ",\"meets_slo\":false}";
+  } else {
+    os << "null";
+  }
+  os << ",\"report\":" << to_json(result.report) << "}";
+  return os.str();
+}
+
 namespace {
 
 /// "N" when square, "[w,h]" otherwise (the JSON spec extent grammar).

@@ -13,6 +13,7 @@
 #include "core/mapper_registry.h"
 #include "core/network_optimizer.h"
 #include "sim/chip_allocator.h"
+#include "sim/traffic.h"
 #include "sim/verifier.h"
 
 namespace vwsdk {
@@ -61,6 +62,27 @@ void write_chip_csv(std::ostream& os, const ChipPlan& plan);
 /// {"feasible":false,"reason":...} with the identity fields -- explicit,
 /// never zeroed metrics.
 std::string to_json(const ChipPlan& plan, Count batch = 1);
+
+/// One CSV row per (network, replica, chip) of a traffic report:
+/// network,algorithm,objective,array,arrays_per_chip,replica,chip,busy,
+/// utilization,queue_peak,batches plus the network-level tallies
+/// (interval, fill_latency, arrivals, completions, rejected, in_flight,
+/// offered, sustained, p50, p95, p99, p999), repeated on every row of
+/// that network.
+void write_traffic_csv(std::ostream& os, const TrafficReport& report);
+
+/// JSON object for a traffic report: simulation identity (seed, source,
+/// rate, duration, batching knobs), one entry per network with its
+/// throughput/latency spectrum and per-chip utilization, and the
+/// farm-wide conservation tallies.  The payload `vwsdk traffic --format
+/// json` prints and the serve `traffic` op returns.
+std::string to_json(const TrafficReport& report);
+
+/// JSON object for a capacity-planning answer: the SLO, the smallest
+/// replica/chip count meeting it, the failing count-1 proof, and the
+/// full traffic report at the chosen count under "report".  The payload
+/// `vwsdk traffic --slo-p99 --format json` prints.
+std::string to_json(const CapacityResult& result);
 
 /// JSON object for a network verification: identity (network,
 /// algorithm, backend, array, seed), one entry per layer with its

@@ -65,6 +65,24 @@ class FieldReader {
     return parsed;
   }
 
+  double get_number(const std::string& key, double fallback, double min,
+                    double max) const {
+    const JsonValue* value = object_.find(key);
+    if (value == nullptr) {
+      return fallback;
+    }
+    if (!value->is_number()) {
+      fail(cat("field \"", key, "\" must be a number, got ",
+               JsonValue::type_name(value->type())));
+    }
+    const double parsed = value->as_number();
+    if (!(parsed >= min && parsed <= max)) {
+      fail(cat("field \"", key, "\" must be in [", min, ", ", max,
+               "] (got ", parsed, ")"));
+    }
+    return parsed;
+  }
+
   std::vector<std::string> get_string_array(
       const std::string& key, std::vector<std::string> fallback) const {
     const JsonValue* value = object_.find(key);
@@ -115,6 +133,7 @@ ServeOp op_by_name(const std::string& name, const std::string& id) {
   if (name == "map") return ServeOp::kMap;
   if (name == "compare") return ServeOp::kCompare;
   if (name == "chip") return ServeOp::kChip;
+  if (name == "traffic") return ServeOp::kTraffic;
   if (name == "verify") return ServeOp::kVerify;
   if (name == "mappers") return ServeOp::kMappers;
   if (name == "stats") return ServeOp::kStats;
@@ -123,8 +142,8 @@ ServeOp op_by_name(const std::string& name, const std::string& id) {
   throw ProtocolError(
       ErrorCode::kUnknownOp,
       cat("unknown op \"", name,
-          "\" (known: map, compare, chip, verify, mappers, stats, ping, "
-          "shutdown)"),
+          "\" (known: map, compare, chip, traffic, verify, mappers, stats, "
+          "ping, shutdown)"),
       id);
 }
 
@@ -149,6 +168,7 @@ const char* op_name(ServeOp op) {
     case ServeOp::kMap: return "map";
     case ServeOp::kCompare: return "compare";
     case ServeOp::kChip: return "chip";
+    case ServeOp::kTraffic: return "traffic";
     case ServeOp::kVerify: return "verify";
     case ServeOp::kMappers: return "mappers";
     case ServeOp::kStats: return "stats";
@@ -249,6 +269,43 @@ ServeRequest parse_request(std::string_view line) {
       request.chip.max_chips =
           static_cast<Dim>(reader.get_int("chips", 0, 0, kDimMax));
       request.chip.batch = reader.get_int("batch", 1, 1, 1000000000);
+      break;
+    }
+    case ServeOp::kTraffic: {
+      reader.reject_unknown(
+          "traffic",
+          cat(kEnvelopeKeys, " net mapper array objective arrays chips "
+                             "replicas rate duration seed window max_batch "
+                             "max_queue trace slo_p99"));
+      request.traffic.net = reader.require_string("net");
+      request.traffic.mapper =
+          reader.get_string("mapper", request.traffic.mapper);
+      request.traffic.array = reader.get_string("array", "");
+      request.traffic.objective =
+          reader.get_string("objective", request.traffic.objective);
+      if (document.find("arrays") == nullptr) {
+        reader.fail("missing required field \"arrays\"");
+      }
+      constexpr long long kDimMax = std::numeric_limits<Dim>::max();
+      request.traffic.arrays_per_chip =
+          static_cast<Dim>(reader.get_int("arrays", 0, 1, kDimMax));
+      request.traffic.max_chips =
+          static_cast<Dim>(reader.get_int("chips", 0, 0, kDimMax));
+      request.traffic.replicas = reader.get_int("replicas", 1, 1, 100000);
+      request.traffic.rate = reader.get_number("rate", 0.0, 0.0, 1.0e9);
+      request.traffic.duration =
+          reader.get_int("duration", 10000000, 1, 1000000000000LL);
+      request.traffic.seed = static_cast<std::uint64_t>(
+          reader.get_int("seed", 42, 0, (1LL << 53)));
+      request.traffic.batch_window =
+          reader.get_int("window", 0, 0, 1000000000000LL);
+      request.traffic.max_batch =
+          reader.get_int("max_batch", 1, 1, 1000000000);
+      request.traffic.max_queue =
+          reader.get_int("max_queue", 0, 0, 1000000000);
+      request.traffic.trace = reader.get_string("trace", "");
+      request.traffic.slo_p99 =
+          reader.get_int("slo_p99", 0, 0, 1000000000000LL);
       break;
     }
     case ServeOp::kVerify: {

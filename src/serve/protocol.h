@@ -48,6 +48,7 @@ enum class ServeOp {
   kMap,       ///< map one network with one algorithm
   kCompare,   ///< several algorithms side by side
   kChip,      ///< map + pipelined chip allocation
+  kTraffic,   ///< traffic simulation / SLO capacity planning on chip plans
   kVerify,    ///< functional verification on the simulator
   kMappers,   ///< list the registered mapping algorithms
   kStats,     ///< cache / pool counters of this daemon
@@ -82,6 +83,7 @@ struct ServeRequest {
   MapQuery map;          ///< op == kMap
   CompareQuery compare;  ///< op == kCompare
   ChipQuery chip;        ///< op == kChip
+  TrafficQuery traffic;  ///< op == kTraffic
   VerifyQuery verify;    ///< op == kVerify
   long long delay_ms = 0;  ///< op == kPing: busy-wait before answering
 };

@@ -139,6 +139,12 @@ void execute_request(ServiceApi& api, const ServeRequest& request,
       case ServeOp::kChip:
         payload = to_json(api.chip(request.chip).plan, request.chip.batch);
         break;
+      case ServeOp::kTraffic: {
+        const TrafficResult traffic = api.traffic(request.traffic);
+        payload = traffic.capacity_mode ? to_json(traffic.capacity)
+                                        : to_json(traffic.report);
+        break;
+      }
       case ServeOp::kVerify:
         payload = to_json(api.verify(request.verify));
         break;

@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 #include "common/string_util.h"
@@ -112,6 +113,105 @@ ChipResult ServiceApi::chip(const ChipQuery& query) {
     // the library's plan_chips + to_json directly).
     throw Error(result.plan.infeasible_reason);
   }
+  return result;
+}
+
+TrafficResult ServiceApi::traffic(const TrafficQuery& query) {
+  VWSDK_REQUIRE(query.arrays_per_chip >= 1,
+                cat("traffic needs arrays >= 1 (got ", query.arrays_per_chip,
+                    ")"));
+  VWSDK_REQUIRE(query.max_chips >= 0,
+                cat("chips must be >= 0 (got ", query.max_chips, ")"));
+  VWSDK_REQUIRE(query.replicas >= 1 && query.replicas <= 100000,
+                cat("replicas must be in [1, 100000] (got ", query.replicas,
+                    ")"));
+  VWSDK_REQUIRE(std::isfinite(query.rate) && query.rate >= 0.0 &&
+                    query.rate <= 1.0e9,
+                "rate must be in [0, 1e9] requests per 1e6 cycles");
+  VWSDK_REQUIRE(query.duration >= 1 && query.duration <= 1000000000000,
+                cat("duration must be in [1, 1e12] cycles (got ",
+                    query.duration, ")"));
+  VWSDK_REQUIRE(query.batch_window >= 0 &&
+                    query.batch_window <= 1000000000000,
+                cat("window must be in [0, 1e12] cycles (got ",
+                    query.batch_window, ")"));
+  VWSDK_REQUIRE(query.max_batch >= 1 && query.max_batch <= 1000000000,
+                cat("max_batch must be in [1, 1000000000] (got ",
+                    query.max_batch, ")"));
+  VWSDK_REQUIRE(query.max_queue >= 0 && query.max_queue <= 1000000000,
+                cat("max_queue must be in [0, 1000000000] (got ",
+                    query.max_queue, ")"));
+  VWSDK_REQUIRE(query.slo_p99 >= 0 && query.slo_p99 <= 1000000000000,
+                cat("slo_p99 must be in [0, 1e12] cycles (got ",
+                    query.slo_p99, ")"));
+  if (query.trace.empty()) {
+    VWSDK_REQUIRE(query.rate > 0.0,
+                  "traffic needs an arrival source: a rate > 0 or a trace");
+  } else {
+    VWSDK_REQUIRE(query.rate == 0.0,
+                  "rate and trace are exclusive arrival sources; pick one");
+    VWSDK_REQUIRE(query.slo_p99 == 0,
+                  "slo_p99 capacity planning needs a rate, not a trace");
+  }
+
+  // One mapped + chip-planned pipeline per comma-separated network, all
+  // through the shared cache; any infeasible plan throws like chip().
+  std::vector<std::string> requested;
+  for (const std::string& token : split(query.net, ',')) {
+    const std::string name = trim(token);
+    VWSDK_REQUIRE(!name.empty(),
+                  "net lists an empty name (check the comma-separated list)");
+    requested.push_back(name);
+  }
+  VWSDK_REQUIRE(!requested.empty(),
+                "query names no net (model-zoo name or spec file)");
+  VWSDK_REQUIRE(query.slo_p99 == 0 || requested.size() == 1,
+                "slo_p99 capacity planning takes exactly one network");
+
+  TrafficResult result;
+  for (const std::string& name : requested) {
+    ChipQuery chip_query;
+    chip_query.net = name;
+    chip_query.mapper = query.mapper;
+    chip_query.array = query.array;
+    chip_query.objective = query.objective;
+    chip_query.arrays_per_chip = query.arrays_per_chip;
+    chip_query.max_chips = query.max_chips;
+    result.plans.push_back(chip(chip_query).plan);
+  }
+
+  TrafficOptions options;
+  options.seed = query.seed;
+  options.rate = query.rate;
+  options.duration = query.duration;
+  options.replicas = query.replicas;
+  options.batch_window = query.batch_window;
+  options.max_batch = query.max_batch;
+  options.max_queue = query.max_queue;
+
+  if (query.slo_p99 > 0) {
+    result.capacity_mode = true;
+    result.capacity = plan_capacity(result.plans.front(), query.slo_p99,
+                                    options);
+    result.report = result.capacity.report;
+    return result;
+  }
+  if (!query.trace.empty()) {
+    ArrivalTrace trace = load_arrival_trace(query.trace);
+    // Accept either the name the query used (zoo alias or spec path) or
+    // the plan's own display name in the trace's `net` column.
+    for (Arrival& arrival : trace.arrivals) {
+      for (std::size_t n = 0; n < requested.size(); ++n) {
+        if (arrival.net == requested[n]) {
+          arrival.net = result.plans[n].network_name;
+          break;
+        }
+      }
+    }
+    result.report = simulate_trace(result.plans, trace, options);
+    return result;
+  }
+  result.report = simulate_traffic(result.plans, options);
   return result;
 }
 

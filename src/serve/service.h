@@ -29,6 +29,7 @@
 #include "core/mapping_cache.h"
 #include "core/network_optimizer.h"
 #include "sim/chip_allocator.h"
+#include "sim/traffic.h"
 #include "sim/verifier.h"
 
 namespace vwsdk {
@@ -61,6 +62,27 @@ struct ChipQuery {
   Count batch = 1;                   ///< inferences streamed through
 };
 
+/// `traffic`: stream request arrivals at one or more co-resident
+/// networks pipelined across chips, or (slo_p99 > 0) search the
+/// smallest chip count meeting a p99 SLO at the given rate.
+struct TrafficQuery {
+  std::string net;                   ///< comma-separated zoo names or spec files
+  std::string mapper = "vw-sdk";     ///< mapping algorithm name or alias
+  std::string array;                 ///< "RxC"; "" = spec hint, then 512x512
+  std::string objective = "cycles";  ///< search + stage-scoring objective
+  Dim arrays_per_chip = 0;           ///< crossbar arrays per chip (>= 1)
+  Dim max_chips = 0;                 ///< chip budget per network; 0 = as needed
+  Count replicas = 1;                ///< pipeline replicas per network
+  double rate = 0.0;                 ///< Poisson arrivals per 1e6 cycles
+  Cycles duration = 10'000'000;      ///< Poisson-mode horizon in cycles
+  std::uint64_t seed = 42;           ///< arrival-stream root seed
+  Cycles batch_window = 0;           ///< max cycles a batch is held open
+  Count max_batch = 1;               ///< largest batch served at once
+  Count max_queue = 0;               ///< per-replica queue bound; 0 = unbounded
+  std::string trace;                 ///< arrival-trace file; "" = Poisson
+  Cycles slo_p99 = 0;                ///< > 0 = capacity-planning mode
+};
+
 /// `verify`: functionally verify mapped layers on the simulator.
 struct VerifyQuery {
   std::string net;                ///< zoo name or spec file (required)
@@ -76,6 +98,16 @@ struct VerifyQuery {
 struct ChipResult {
   NetworkMappingResult mapping;
   ChipPlan plan;
+};
+
+/// `traffic`'s answer: the per-network plans the simulation ran on,
+/// the report, and -- in capacity-planning mode -- the SLO search
+/// result (whose `report` field is the one to serialize).
+struct TrafficResult {
+  std::vector<ChipPlan> plans;
+  TrafficReport report;
+  bool capacity_mode = false;
+  CapacityResult capacity;  ///< meaningful when capacity_mode
 };
 
 /// A snapshot of the service's shared state.
@@ -120,6 +152,13 @@ class ServiceApi {
   /// below the demand) throws Error naming the reason -- the same
   /// contract as the CLI's exit-1 path.
   ChipResult chip(const ChipQuery& query);
+
+  /// Map and chip-plan every network of the comma-separated query, then
+  /// simulate its request traffic (Poisson or trace-driven), or -- when
+  /// `slo_p99` is set -- search the smallest replica count meeting the
+  /// SLO.  Infeasible plans throw Error like chip(); an unmeetable SLO
+  /// throws Error (the exit-1 contract).
+  TrafficResult traffic(const TrafficQuery& query);
 
   /// Functionally verify every mapped layer on the crossbar simulator
   /// against the query's reference backend.  Mismatches are reported in

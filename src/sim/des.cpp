@@ -1,0 +1,57 @@
+#include "sim/des.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+
+namespace vwsdk {
+
+void EventQueue::at(Cycles time, Action action) {
+  if (time < now_) {
+    throw InvalidArgument("EventQueue::at cannot schedule in the past");
+  }
+  if (!action) {
+    throw InvalidArgument("EventQueue::at requires a callable action");
+  }
+  heap_.push_back(Event{time, next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+void EventQueue::after(Cycles delay, Action action) {
+  if (delay < 0) {
+    throw InvalidArgument("EventQueue::after requires delay >= 0");
+  }
+  at(now_ + delay, std::move(action));
+}
+
+void EventQueue::step() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = event.time;
+  ++processed_;
+  event.action();
+}
+
+Count EventQueue::run_until(Cycles horizon) {
+  if (horizon < now_) {
+    throw InvalidArgument("EventQueue::run_until requires horizon >= now");
+  }
+  const Count before = processed_;
+  while (!heap_.empty() && heap_.front().time <= horizon) {
+    step();
+  }
+  now_ = horizon;
+  return processed_ - before;
+}
+
+Count EventQueue::run_all() {
+  const Count before = processed_;
+  while (!heap_.empty()) {
+    step();
+  }
+  return processed_ - before;
+}
+
+}  // namespace vwsdk

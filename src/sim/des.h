@@ -1,0 +1,74 @@
+#pragma once
+
+/// @file des.h
+/// Deterministic discrete-event scheduling core for the traffic simulator.
+///
+/// A single-threaded event queue keyed by (time, insertion sequence): two
+/// events at the same cycle run in the order they were scheduled, so a
+/// seeded simulation replays bit-identically regardless of platform, STL
+/// heap implementation details, or `VWSDK_THREADS`.  Actions are arbitrary
+/// callables and may schedule further events at or after the current time
+/// (cascades), which is how arrival streams self-perpetuate in
+/// `sim/traffic.cpp`.
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vwsdk {
+
+/// Min-heap of timestamped actions with FIFO tie-breaking.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time: the timestamp of the event being processed,
+  /// or the horizon passed to the last `run_until()` once it returns.
+  Cycles now() const { return now_; }
+
+  /// Schedule `action` at absolute `time`; requires time >= now().
+  void at(Cycles time, Action action);
+
+  /// Schedule `action` `delay` cycles from now; requires delay >= 0.
+  void after(Cycles delay, Action action);
+
+  /// Process every event with time <= horizon (including events those
+  /// events schedule), then advance now() to `horizon`.  Returns the
+  /// number of events processed by this call.
+  Count run_until(Cycles horizon);
+
+  /// Process events until the queue is empty; now() ends at the last
+  /// event's timestamp.  Returns the number of events processed.
+  Count run_all();
+
+  bool empty() const { return heap_.empty(); }
+
+  /// Events scheduled but not yet processed.
+  Count pending() const { return static_cast<Count>(heap_.size()); }
+
+  /// Events processed over the queue's lifetime.
+  Count processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Cycles time = 0;
+    Count seq = 0;
+    Action action;
+  };
+
+  /// std::push_heap builds a max-heap, so "later" must compare greater.
+  static bool later(const Event& a, const Event& b) {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+
+  /// Pop and run the earliest event, advancing now() to its time.
+  void step();
+
+  std::vector<Event> heap_;
+  Cycles now_ = 0;
+  Count next_seq_ = 0;
+  Count processed_ = 0;
+};
+
+}  // namespace vwsdk

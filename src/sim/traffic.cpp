@@ -1,0 +1,620 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "sim/des.h"
+
+namespace vwsdk {
+
+namespace {
+
+constexpr double kMegacycle = 1.0e6;
+
+void check_options(const TrafficOptions& options) {
+  if (options.replicas < 1) {
+    throw InvalidArgument("traffic simulation requires replicas >= 1");
+  }
+  if (options.max_batch < 1) {
+    throw InvalidArgument("traffic simulation requires max_batch >= 1");
+  }
+  if (options.max_queue < 0) {
+    throw InvalidArgument("traffic simulation requires max_queue >= 0");
+  }
+  if (options.batch_window < 0) {
+    throw InvalidArgument("traffic simulation requires batch_window >= 0");
+  }
+}
+
+void check_plans(const std::vector<ChipPlan>& plans) {
+  if (plans.empty()) {
+    throw InvalidArgument("traffic simulation requires at least one plan");
+  }
+  for (const ChipPlan& plan : plans) {
+    if (!plan.feasible) {
+      throw InvalidArgument(cat("traffic simulation requires a feasible plan; \"",
+                                plan.network_name,
+                                "\" is not: ", plan.infeasible_reason));
+    }
+    for (const ChipPlan& other : plans) {
+      if (&other != &plan && other.network_name == plan.network_name) {
+        throw InvalidArgument(cat("traffic simulation requires distinct network names; \"",
+                                  plan.network_name, "\" appears twice"));
+      }
+    }
+  }
+}
+
+/// One batching server: a full copy of its network's chip pipeline.
+struct Replica {
+  std::deque<Cycles> waiting;     ///< arrival times, FIFO
+  bool busy = false;
+  Count window_epoch = 0;         ///< bumped per batch; stale closes no-op
+  bool window_armed = false;
+  Count queue_peak = 0;
+  Count batches = 0;
+  std::vector<Cycles> chip_busy;  ///< per chip of the plan
+};
+
+/// Per-network simulation state and tallies.
+struct NetState {
+  const ChipPlan* plan = nullptr;
+  std::vector<Replica> replicas;
+  Count arrivals = 0;
+  Count completions = 0;
+  Count rejected = 0;
+  Count started = 0;              ///< requests whose batch began service
+  Cycles wait_sum = 0;            ///< Σ (batch start - arrival) over started
+  std::vector<Cycles> latencies;  ///< completion - arrival, per completion
+  Rng rng{0};                     ///< Poisson interarrival stream
+};
+
+/// The event-driven chip farm.  Single-threaded on EventQueue, so a
+/// seeded run is deterministic regardless of VWSDK_THREADS.
+class Farm {
+ public:
+  Farm(const std::vector<ChipPlan>& plans, const TrafficOptions& options,
+       Cycles horizon)
+      : options_(options), horizon_(horizon) {
+    nets_.resize(plans.size());
+    for (std::size_t n = 0; n < plans.size(); ++n) {
+      NetState& state = nets_[n];
+      state.plan = &plans[n];
+      state.replicas.resize(static_cast<std::size_t>(options.replicas));
+      for (Replica& replica : state.replicas) {
+        replica.chip_busy.assign(plans[n].chips.size(), 0);
+      }
+    }
+  }
+
+  EventQueue& queue() { return queue_; }
+  NetState& net(std::size_t index) { return nets_[index]; }
+  std::size_t net_count() const { return nets_.size(); }
+
+  /// Seed per-network arrival streams and schedule the first arrivals.
+  /// Stream n takes draw n of SplitMix64(seed), so a co-resident network
+  /// never perturbs the streams of the networks listed before it.
+  void start_poisson() {
+    SplitMix64 seeder(options_.seed);
+    for (std::size_t n = 0; n < nets_.size(); ++n) {
+      nets_[n].rng = Rng(seeder.next());
+      schedule_next_arrival(n);
+    }
+  }
+
+  /// One request for network `n` arrives at the current simulation time.
+  void arrive(std::size_t n) {
+    NetState& state = nets_[n];
+    ++state.arrivals;
+    // Shortest queue wins, counting the batch in service as one unit of
+    // load so an idle replica always beats a busy one; ties go to the
+    // lowest replica index so dispatch is deterministic.
+    const auto load = [](const Replica& replica) {
+      return static_cast<Count>(replica.waiting.size()) +
+             (replica.busy ? 1 : 0);
+    };
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < state.replicas.size(); ++r) {
+      if (load(state.replicas[r]) < load(state.replicas[best])) {
+        best = r;
+      }
+    }
+    Replica& replica = state.replicas[best];
+    if (options_.max_queue > 0 &&
+        static_cast<Count>(replica.waiting.size()) >= options_.max_queue) {
+      ++state.rejected;
+      return;
+    }
+    replica.waiting.push_back(queue_.now());
+    replica.queue_peak = std::max(replica.queue_peak,
+                                  static_cast<Count>(replica.waiting.size()));
+    maybe_start(n, best);
+  }
+
+ private:
+  void schedule_next_arrival(std::size_t n) {
+    const double per_cycle = options_.rate / kMegacycle;
+    if (!(per_cycle > 0.0)) {
+      return;  // rate 0: an empty stream
+    }
+    const auto gap =
+        static_cast<Cycles>(std::llround(nets_[n].rng.exponential(per_cycle)));
+    const Cycles time = queue_.now() + std::max<Cycles>(gap, 0);
+    if (time > horizon_) {
+      return;  // the stream ends at the horizon
+    }
+    queue_.at(time, [this, n] {
+      arrive(n);
+      schedule_next_arrival(n);
+    });
+  }
+
+  /// Start service on replica `r` if it is idle and its batching rule
+  /// says go: a full batch waiting, or no batching window configured, or
+  /// the window for the oldest waiting request has closed.
+  void maybe_start(std::size_t n, std::size_t r) {
+    NetState& state = nets_[n];
+    Replica& replica = state.replicas[r];
+    if (replica.busy || replica.waiting.empty()) {
+      return;
+    }
+    if (static_cast<Count>(replica.waiting.size()) >= options_.max_batch ||
+        options_.batch_window == 0) {
+      start_batch(n, r);
+      return;
+    }
+    if (!replica.window_armed) {
+      replica.window_armed = true;
+      const Count epoch = replica.window_epoch;
+      queue_.after(options_.batch_window,
+                   [this, n, r, epoch] { close_window(n, r, epoch); });
+    }
+  }
+
+  void close_window(std::size_t n, std::size_t r, Count epoch) {
+    Replica& replica = nets_[n].replicas[r];
+    if (replica.window_epoch != epoch) {
+      return;  // a batch already started; this close is stale
+    }
+    replica.window_armed = false;
+    if (!replica.busy && !replica.waiting.empty()) {
+      start_batch(n, r);
+    }
+  }
+
+  void start_batch(std::size_t n, std::size_t r) {
+    NetState& state = nets_[n];
+    Replica& replica = state.replicas[r];
+    const Cycles now = queue_.now();
+    const auto batch = std::min<Count>(
+        static_cast<Count>(replica.waiting.size()), options_.max_batch);
+    ++replica.window_epoch;  // invalidate any armed window close
+    replica.window_armed = false;
+    replica.busy = true;
+    ++replica.batches;
+    std::vector<Cycles> members;
+    members.reserve(static_cast<std::size_t>(batch));
+    for (Count i = 0; i < batch; ++i) {
+      const Cycles arrived = replica.waiting.front();
+      replica.waiting.pop_front();
+      state.wait_sum += now - arrived;
+      ++state.started;
+      members.push_back(arrived);
+    }
+    // The batch streams through the replica's pipeline; chip c works for
+    // its own fill plus (B-1) of its own bottleneck, clipped to the
+    // horizon so utilization never exceeds the simulated duration.
+    const Cycles service = state.plan->batch_cycles(batch);
+    for (std::size_t c = 0; c < state.plan->chips.size(); ++c) {
+      const ChipAllocation& chip = state.plan->chips[c];
+      Cycles busy = chip.fill_latency() + (batch - 1) * chip.bottleneck();
+      if (horizon_ >= 0) {
+        busy = std::min(busy, horizon_ - now);
+      }
+      replica.chip_busy[c] += busy;
+    }
+    queue_.after(service, [this, n, r, members = std::move(members)] {
+      complete(n, r, members);
+    });
+  }
+
+  /// A batch finishes: every member completes at the batch end (the
+  /// pipeline drains in arrival order, but the tail stage bounds them
+  /// all within one interval -- the batch end is the honest, and
+  /// deterministic, completion stamp).
+  void complete(std::size_t n, std::size_t r, const std::vector<Cycles>& members) {
+    NetState& state = nets_[n];
+    const Cycles now = queue_.now();
+    for (const Cycles arrived : members) {
+      ++state.completions;
+      state.latencies.push_back(now - arrived);
+    }
+    state.replicas[r].busy = false;
+    maybe_start(n, r);
+  }
+
+  EventQueue queue_;
+  const TrafficOptions options_;
+  const Cycles horizon_;  ///< -1 = none (trace mode runs to drain)
+  std::vector<NetState> nets_;
+};
+
+TrafficReport build_report(Farm& farm, const TrafficOptions& options,
+                           const std::string& source, Cycles duration) {
+  TrafficReport report;
+  report.seed = options.seed;
+  report.source = source;
+  report.rate = source == "poisson" ? options.rate : 0.0;
+  report.duration = duration;
+  report.batch_window = options.batch_window;
+  report.max_batch = options.max_batch;
+  report.max_queue = options.max_queue;
+  const auto span = static_cast<double>(std::max<Cycles>(duration, 1));
+  for (std::size_t n = 0; n < farm.net_count(); ++n) {
+    NetState& state = farm.net(n);
+    const ChipPlan& plan = *state.plan;
+    NetworkTraffic net;
+    net.network = plan.network_name;
+    net.algorithm = plan.algorithm;
+    net.objective = plan.objective;
+    net.array = plan.geometry.to_string();
+    net.arrays_per_chip = plan.arrays_per_chip;
+    net.replicas = options.replicas;
+    net.chips_per_replica = static_cast<Count>(plan.chips.size());
+    net.interval = plan.interval();
+    net.fill_latency = plan.fill_latency();
+    net.arrivals = state.arrivals;
+    net.completions = state.completions;
+    net.rejected = state.rejected;
+    net.in_flight = state.arrivals - state.completions - state.rejected;
+    net.offered = static_cast<double>(state.arrivals) * kMegacycle / span;
+    net.sustained = static_cast<double>(state.completions) * kMegacycle / span;
+    net.capacity = net.interval > 0
+                       ? static_cast<double>(options.replicas) * kMegacycle /
+                             static_cast<double>(net.interval)
+                       : 0.0;
+    Count batches = 0;
+    for (const Replica& replica : state.replicas) {
+      batches += replica.batches;
+    }
+    net.mean_batch = batches > 0 ? static_cast<double>(state.started) /
+                                       static_cast<double>(batches)
+                                 : 0.0;
+    net.mean_wait = state.started > 0
+                        ? static_cast<double>(state.wait_sum) /
+                              static_cast<double>(state.started)
+                        : 0.0;
+    std::sort(state.latencies.begin(), state.latencies.end());
+    if (!state.latencies.empty()) {
+      Cycles total = 0;
+      for (const Cycles latency : state.latencies) {
+        total += latency;
+      }
+      net.mean_latency = static_cast<double>(total) /
+                         static_cast<double>(state.latencies.size());
+      net.latency_min = state.latencies.front();
+      net.latency_max = state.latencies.back();
+    }
+    net.p50 = percentile(state.latencies, 50.0);
+    net.p95 = percentile(state.latencies, 95.0);
+    net.p99 = percentile(state.latencies, 99.0);
+    net.p999 = percentile(state.latencies, 99.9);
+    for (std::size_t r = 0; r < state.replicas.size(); ++r) {
+      const Replica& replica = state.replicas[r];
+      for (std::size_t c = 0; c < replica.chip_busy.size(); ++c) {
+        ChipTraffic chip;
+        chip.replica = static_cast<Count>(r) + 1;
+        chip.chip = static_cast<Count>(c) + 1;
+        chip.busy = replica.chip_busy[c];
+        chip.utilization = static_cast<double>(replica.chip_busy[c]) / span;
+        chip.queue_peak = replica.queue_peak;
+        chip.batches = replica.batches;
+        net.chips.push_back(chip);
+      }
+    }
+    report.networks.push_back(std::move(net));
+  }
+  return report;
+}
+
+}  // namespace
+
+Count TrafficReport::total_arrivals() const {
+  Count total = 0;
+  for (const NetworkTraffic& net : networks) {
+    total += net.arrivals;
+  }
+  return total;
+}
+
+Count TrafficReport::total_completions() const {
+  Count total = 0;
+  for (const NetworkTraffic& net : networks) {
+    total += net.completions;
+  }
+  return total;
+}
+
+Count TrafficReport::total_rejected() const {
+  Count total = 0;
+  for (const NetworkTraffic& net : networks) {
+    total += net.rejected;
+  }
+  return total;
+}
+
+Count TrafficReport::total_in_flight() const {
+  Count total = 0;
+  for (const NetworkTraffic& net : networks) {
+    total += net.in_flight;
+  }
+  return total;
+}
+
+TrafficReport simulate_traffic(const std::vector<ChipPlan>& plans,
+                               const TrafficOptions& options) {
+  check_options(options);
+  check_plans(plans);
+  if (options.duration < 1) {
+    throw InvalidArgument("traffic simulation requires duration >= 1");
+  }
+  if (!(options.rate >= 0.0) || !std::isfinite(options.rate)) {
+    throw InvalidArgument("traffic simulation requires a finite rate >= 0");
+  }
+  Farm farm(plans, options, options.duration);
+  farm.start_poisson();
+  farm.queue().run_until(options.duration);
+  return build_report(farm, options, "poisson", options.duration);
+}
+
+TrafficReport simulate_trace(const std::vector<ChipPlan>& plans,
+                             const ArrivalTrace& trace,
+                             const TrafficOptions& options) {
+  check_options(options);
+  check_plans(plans);
+  Farm farm(plans, options, -1);
+  for (const Arrival& arrival : trace.arrivals) {
+    if (arrival.time < 0) {
+      throw InvalidArgument("arrival trace: times must be >= 0");
+    }
+    std::size_t index = plans.size();
+    if (arrival.net.empty()) {
+      index = 0;
+    } else {
+      for (std::size_t n = 0; n < plans.size(); ++n) {
+        if (plans[n].network_name == arrival.net) {
+          index = n;
+          break;
+        }
+      }
+    }
+    if (index == plans.size()) {
+      throw InvalidArgument(cat("arrival trace names unknown network \"",
+                                arrival.net, "\""));
+    }
+    farm.queue().at(arrival.time, [&farm, index] { farm.arrive(index); });
+  }
+  farm.queue().run_all();
+  return build_report(farm, options, "trace", farm.queue().now());
+}
+
+ArrivalTrace parse_arrival_trace_csv(std::istream& in) {
+  ArrivalTrace trace;
+  std::string line;
+  bool saw_header = false;
+  int time_col = -1;
+  int net_col = -1;
+  std::size_t columns = 0;
+  Count line_no = 0;
+  Cycles previous = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      continue;
+    }
+    const std::vector<std::string> fields = csv_parse_line(trimmed);
+    if (!saw_header) {
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        const std::string name = to_lower(trim(fields[i]));
+        if (name == "time") {
+          time_col = static_cast<int>(i);
+        } else if (name == "net") {
+          net_col = static_cast<int>(i);
+        } else {
+          throw InvalidArgument(cat("arrival trace line ", line_no,
+                                    ": unknown column \"", fields[i],
+                                    "\" (expected time[,net])"));
+        }
+      }
+      if (time_col < 0) {
+        throw InvalidArgument("arrival trace: missing required column \"time\"");
+      }
+      columns = fields.size();
+      saw_header = true;
+      continue;
+    }
+    if (fields.size() != columns) {
+      throw InvalidArgument(cat("arrival trace line ", line_no, ": expected ",
+                                columns, " fields, got ", fields.size()));
+    }
+    Arrival arrival;
+    arrival.time =
+        parse_count(trim(fields[static_cast<std::size_t>(time_col)]));
+    if (net_col >= 0) {
+      arrival.net = trim(fields[static_cast<std::size_t>(net_col)]);
+    }
+    if (arrival.time < previous) {
+      throw InvalidArgument(cat("arrival trace line ", line_no,
+                                ": times must be non-decreasing"));
+    }
+    previous = arrival.time;
+    trace.arrivals.push_back(std::move(arrival));
+  }
+  if (!saw_header) {
+    throw InvalidArgument("arrival trace: empty CSV (need a time[,net] header)");
+  }
+  return trace;
+}
+
+ArrivalTrace parse_arrival_trace_json(std::string_view text) {
+  const JsonValue root = JsonValue::parse(text);
+  if (!root.is_object()) {
+    throw InvalidArgument("arrival trace: JSON root must be an object");
+  }
+  for (const JsonValue::Member& member : root.members()) {
+    if (member.first != "arrivals") {
+      throw InvalidArgument(cat("arrival trace: unknown key \"", member.first,
+                                "\" (expected only \"arrivals\")"));
+    }
+  }
+  const JsonValue* arrivals = root.find("arrivals");
+  if (arrivals == nullptr) {
+    throw InvalidArgument("arrival trace: missing required key \"arrivals\"");
+  }
+  if (!arrivals->is_array()) {
+    throw InvalidArgument("arrival trace: \"arrivals\" must be an array");
+  }
+  ArrivalTrace trace;
+  Cycles previous = 0;
+  Count index = 0;
+  for (const JsonValue& entry : arrivals->items()) {
+    ++index;
+    if (!entry.is_object()) {
+      throw InvalidArgument(cat("arrival trace entry ", index,
+                                ": must be an object"));
+    }
+    for (const JsonValue::Member& member : entry.members()) {
+      if (member.first != "time" && member.first != "net") {
+        throw InvalidArgument(cat("arrival trace entry ", index,
+                                  ": unknown key \"", member.first, "\""));
+      }
+    }
+    const JsonValue* time = entry.find("time");
+    if (time == nullptr) {
+      throw InvalidArgument(cat("arrival trace entry ", index,
+                                ": missing required key \"time\""));
+    }
+    Arrival arrival;
+    arrival.time = time->as_int();
+    if (arrival.time < 0) {
+      throw InvalidArgument(cat("arrival trace entry ", index,
+                                ": time must be >= 0"));
+    }
+    if (const JsonValue* net = entry.find("net")) {
+      arrival.net = net->as_string();
+    }
+    if (arrival.time < previous) {
+      throw InvalidArgument(cat("arrival trace entry ", index,
+                                ": times must be non-decreasing"));
+    }
+    previous = arrival.time;
+    trace.arrivals.push_back(std::move(arrival));
+  }
+  return trace;
+}
+
+ArrivalTrace load_arrival_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw NotFound(cat("cannot open arrival trace: ", path));
+  }
+  if (std::string_view(path).ends_with(".json")) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_arrival_trace_json(buffer.str());
+  }
+  return parse_arrival_trace_csv(in);
+}
+
+CapacityResult plan_capacity(const ChipPlan& plan, Cycles slo_p99,
+                             const TrafficOptions& options) {
+  check_options(options);
+  check_plans({plan});
+  if (slo_p99 < 1) {
+    throw InvalidArgument("plan_capacity requires slo_p99 >= 1");
+  }
+  if (!(options.rate > 0.0) || !std::isfinite(options.rate)) {
+    throw InvalidArgument("plan_capacity requires a finite rate > 0");
+  }
+  const Cycles unloaded = plan.batch_cycles(1);
+  if (unloaded > slo_p99) {
+    throw Error(cat("SLO p99 of ", slo_p99,
+                    " cycles is below the unloaded batch-of-1 latency of ",
+                    unloaded, " cycles -- no chip count can meet it"));
+  }
+
+  constexpr Count kMaxReplicas = 65536;
+  std::map<Count, TrafficReport> cache;
+  TrafficOptions probe = options;
+  const auto report_at = [&](Count replicas) -> const TrafficReport& {
+    auto it = cache.find(replicas);
+    if (it == cache.end()) {
+      probe.replicas = replicas;
+      it = cache.emplace(replicas, simulate_traffic({plan}, probe)).first;
+    }
+    return it->second;
+  };
+  const auto meets = [&](Count replicas) {
+    const NetworkTraffic& net = report_at(replicas).networks.front();
+    return net.completions > 0 && net.rejected == 0 && net.p99 <= slo_p99;
+  };
+
+  // Seed at the stability bound (offered rate below steady-state
+  // capacity), double until the SLO is met, tighten by bisection, then
+  // walk down: the final loop PROVES replicas-1 fails even if the
+  // simulated p99 is not monotone in the replica count.
+  const double per_cycle = options.rate / kMegacycle;
+  const auto stability = static_cast<Count>(
+      std::floor(per_cycle * static_cast<double>(plan.interval()))) + 1;
+  Count upper = clamp_count(stability, 1, kMaxReplicas);
+  Count known_fail = 0;
+  while (!meets(upper)) {
+    if (upper >= kMaxReplicas) {
+      throw Error(cat("no replica count up to ", kMaxReplicas,
+                      " meets the SLO p99 of ", slo_p99, " cycles at rate ",
+                      format_fixed(options.rate, 4),
+                      "/Mcycle within the simulated horizon"));
+    }
+    known_fail = upper;
+    upper = std::min<Count>(upper * 2, kMaxReplicas);
+  }
+  while (known_fail > 0 && known_fail + 1 < upper) {
+    const Count mid = known_fail + (upper - known_fail) / 2;
+    if (meets(mid)) {
+      upper = mid;
+    } else {
+      known_fail = mid;
+    }
+  }
+  while (upper > 1 && meets(upper - 1)) {
+    --upper;
+  }
+
+  CapacityResult result;
+  result.slo_p99 = slo_p99;
+  result.rate = options.rate;
+  result.replicas = upper;
+  result.chips = upper * static_cast<Count>(plan.chips.size());
+  result.p99 = report_at(upper).networks.front().p99;
+  if (upper > 1) {
+    result.lower_replicas = upper - 1;
+    result.lower_p99 = report_at(upper - 1).networks.front().p99;
+  }
+  result.report = report_at(upper);
+  return result;
+}
+
+}  // namespace vwsdk

@@ -1,0 +1,175 @@
+#pragma once
+
+/// @file traffic.h
+/// Discrete-event traffic simulation on the chip farm (extension; gives
+/// the ROADMAP's "heavy traffic" claim numbers).
+///
+/// `vwsdk chip` answers the static question -- how fast is one
+/// inference, or one batch, on a pipelined chip allocation.  This module
+/// answers the dynamic one: what happens when requests *arrive*.  One or
+/// more co-resident networks, each pipelined across chips per an
+/// existing `ChipPlan` and replicated `replicas` times, are offered a
+/// seeded Poisson request stream (or a trace file replayed verbatim) and
+/// simulated event by event on `sim/des.h`:
+///
+///  * every replica of a plan is an independent batching server: it
+///    collects up to `max_batch` queued requests (waiting at most
+///    `batch_window` cycles after the first one) and serves the batch of
+///    B in `ChipPlan::batch_cycles(B)` = fill + (B-1) x interval cycles;
+///  * arrivals are dispatched to the replica with the shortest queue
+///    (ties to the lowest index), and bounce with a rejection when
+///    `max_queue` is set and every queue is full;
+///  * the report carries offered vs. sustained throughput, per-chip busy
+///    cycles and utilization, per-replica queue-depth peaks, and the
+///    p50/p95/p99/p99.9 completion-latency spectrum.
+///
+/// Everything is deterministic by construction: the DES core is
+/// single-threaded with FIFO tie-breaking, and the arrival streams come
+/// from per-network `Rng` instances seeded from one root seed -- the
+/// same seed yields a byte-identical JSON report at any `VWSDK_THREADS`.
+///
+/// `plan_capacity` turns the simulator into a capacity planner: given a
+/// p99 SLO and a rate, it searches (doubling, then binary, then a final
+/// walk-down so minimality is *proved*, not assumed monotone) for the
+/// smallest replica count whose simulated p99 meets the SLO while one
+/// replica fewer does not.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/chip_allocator.h"
+
+namespace vwsdk {
+
+/// One request arrival of a replayable trace.
+struct Arrival {
+  Cycles time = 0;   ///< arrival time, cycles from simulation start
+  std::string net;   ///< target network name; "" = the first workload
+};
+
+/// A replayable arrival schedule (times non-decreasing).
+struct ArrivalTrace {
+  std::vector<Arrival> arrivals;
+};
+
+/// Parse the CSV arrival-trace schema (docs/FORMATS.md): a `time` column
+/// and an optional `net` column, times non-decreasing.
+ArrivalTrace parse_arrival_trace_csv(std::istream& in);
+
+/// Parse the JSON arrival-trace schema: `{"arrivals":[{"time":N,"net":S?},...]}`.
+ArrivalTrace parse_arrival_trace_json(std::string_view text);
+
+/// Load a trace file, dispatching on the `.json` extension and falling
+/// back to CSV.
+ArrivalTrace load_arrival_trace(const std::string& path);
+
+/// Knobs shared by the Poisson and trace simulations.
+struct TrafficOptions {
+  std::uint64_t seed = 42;        ///< root seed for the arrival streams
+  double rate = 0.0;              ///< Poisson arrivals per 1e6 cycles, per network
+  Cycles duration = 10'000'000;   ///< Poisson-mode horizon in cycles
+  Count replicas = 1;             ///< pipeline replicas per network (>= 1)
+  Cycles batch_window = 0;        ///< max cycles a replica holds a batch open
+  Count max_batch = 1;            ///< largest batch a replica serves at once
+  Count max_queue = 0;            ///< per-replica queue bound; 0 = unbounded
+};
+
+/// One chip of one replica, as simulated.
+struct ChipTraffic {
+  Count replica = 0;        ///< 1-based replica index
+  Count chip = 0;           ///< 1-based chip index within the replica
+  Cycles busy = 0;          ///< cycles spent streaming batches
+  double utilization = 0.0; ///< busy / simulated duration
+  Count queue_peak = 0;     ///< peak depth of the replica's queue
+  Count batches = 0;        ///< batches the replica served
+};
+
+/// One network's simulated traffic.
+struct NetworkTraffic {
+  std::string network;
+  std::string algorithm;
+  std::string objective;
+  std::string array;             ///< "RxC" geometry echo
+  Dim arrays_per_chip = 0;
+  Count replicas = 0;
+  Count chips_per_replica = 0;
+  Cycles interval = 0;           ///< ChipPlan::interval()
+  Cycles fill_latency = 0;       ///< ChipPlan::fill_latency()
+  Count arrivals = 0;
+  Count completions = 0;
+  Count rejected = 0;            ///< bounced on a full queue
+  Count in_flight = 0;           ///< queued or in service at the horizon
+  double offered = 0.0;          ///< arrivals per 1e6 cycles
+  double sustained = 0.0;        ///< completions per 1e6 cycles
+  double capacity = 0.0;         ///< replicas * 1e6 / interval (steady-state)
+  double mean_batch = 0.0;       ///< mean served batch size
+  double mean_wait = 0.0;        ///< mean cycles from arrival to batch start
+  double mean_latency = 0.0;     ///< mean cycles from arrival to completion
+  Cycles latency_min = 0;
+  Cycles p50 = 0;
+  Cycles p95 = 0;
+  Cycles p99 = 0;
+  Cycles p999 = 0;
+  Cycles latency_max = 0;
+  std::vector<ChipTraffic> chips;
+};
+
+/// The full simulation report.
+struct TrafficReport {
+  std::uint64_t seed = 0;
+  std::string source;        ///< "poisson" or "trace"
+  double rate = 0.0;         ///< 0 in trace mode
+  Cycles duration = 0;       ///< horizon (Poisson) or last event time (trace)
+  Cycles batch_window = 0;
+  Count max_batch = 1;
+  Count max_queue = 0;
+  std::vector<NetworkTraffic> networks;
+
+  Count total_arrivals() const;
+  Count total_completions() const;
+  Count total_rejected() const;
+  Count total_in_flight() const;
+};
+
+/// Simulate seeded Poisson arrivals at rate `options.rate` per network
+/// for `options.duration` cycles.  Every plan must be feasible and
+/// distinctly named; network i's stream is seeded from
+/// SplitMix64(options.seed) draw i, so adding a network never perturbs
+/// the streams before it.
+TrafficReport simulate_traffic(const std::vector<ChipPlan>& plans,
+                               const TrafficOptions& options);
+
+/// Replay `trace` against the plans (options.rate/duration ignored;
+/// the simulation runs to drain and `duration` reports the last event
+/// time).  Arrival `net` names must match a plan's `network_name`.
+TrafficReport simulate_trace(const std::vector<ChipPlan>& plans,
+                             const ArrivalTrace& trace,
+                             const TrafficOptions& options);
+
+/// The capacity-planning answer: the smallest replica count of `plan`
+/// meeting a p99 SLO at a Poisson rate, with the failing count-1 result
+/// kept as proof of minimality.
+struct CapacityResult {
+  Cycles slo_p99 = 0;
+  double rate = 0.0;
+  Count replicas = 0;      ///< smallest count meeting the SLO
+  Count chips = 0;         ///< replicas * plan chips per replica
+  Cycles p99 = 0;          ///< simulated p99 at `replicas`
+  Count lower_replicas = 0;///< replicas - 1, or 0 when replicas == 1
+  Cycles lower_p99 = 0;    ///< simulated p99 at `lower_replicas` (> slo)
+  TrafficReport report;    ///< the full simulation at `replicas`
+};
+
+/// Find the smallest replica count of `plan` whose simulated p99 latency
+/// meets `slo_p99` at Poisson rate `options.rate` (> 0 required;
+/// `options.replicas` is ignored -- it is the searched variable).
+/// Throws Error when no count can meet the SLO: the unloaded fill
+/// latency already exceeds it, or the search cap (65536 replicas) is hit
+/// within the simulated horizon.
+CapacityResult plan_capacity(const ChipPlan& plan, Cycles slo_p99,
+                             const TrafficOptions& options);
+
+}  // namespace vwsdk

@@ -76,12 +76,14 @@
 #include "core/vwsdk_mapper.h"
 
 #include "sim/chip_allocator.h"
+#include "sim/des.h"
 #include "sim/dispatch.h"
 #include "sim/executor.h"
 #include "sim/latency_model.h"
 #include "sim/pipeline.h"
 #include "sim/reuse.h"
 #include "sim/schedule.h"
+#include "sim/traffic.h"
 #include "sim/verifier.h"
 
 #include "serve/admission.h"

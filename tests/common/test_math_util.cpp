@@ -66,6 +66,51 @@ TEST(MathUtil, ClampCount) {
   EXPECT_THROW(clamp_count(1, 10, 0), InvalidArgument);
 }
 
+TEST(Percentile, NearestRankKnownValues) {
+  const std::vector<Count> ten{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  // rank = ceil(p/100 * 10): p25 -> rank 3, p50 -> rank 5, p95 -> rank 10.
+  EXPECT_EQ(percentile(ten, 25.0), 3);
+  EXPECT_EQ(percentile(ten, 50.0), 5);
+  EXPECT_EQ(percentile(ten, 90.0), 9);
+  EXPECT_EQ(percentile(ten, 95.0), 10);
+  EXPECT_EQ(percentile(ten, 99.9), 10);
+  EXPECT_EQ(percentile(ten, 100.0), 10);
+}
+
+TEST(Percentile, ZeroPercentIsTheMinimum) {
+  // rank clamps up to 1, so p = 0 is total, not an out-of-bounds read.
+  EXPECT_EQ(percentile({7, 8, 9}, 0.0), 7);
+}
+
+TEST(Percentile, TotalOnEmptyInput) {
+  EXPECT_EQ(percentile({}, 50.0), 0);
+  EXPECT_EQ(percentile({}, 0.0), 0);
+  EXPECT_EQ(percentile({}, 100.0), 0);
+}
+
+TEST(Percentile, SingleElementIsEveryPercentile) {
+  const std::vector<Count> one{42};
+  EXPECT_EQ(percentile(one, 0.0), 42);
+  EXPECT_EQ(percentile(one, 50.0), 42);
+  EXPECT_EQ(percentile(one, 99.9), 42);
+  EXPECT_EQ(percentile(one, 100.0), 42);
+}
+
+TEST(Percentile, RejectsOutOfRangeP) {
+  const std::vector<Count> values{1, 2, 3};
+  EXPECT_THROW(percentile(values, -0.1), InvalidArgument);
+  EXPECT_THROW(percentile(values, 100.1), InvalidArgument);
+}
+
+TEST(Percentile, DuplicatesAndTailRanks) {
+  // Nearest-rank never interpolates: every answer is a sample element.
+  const std::vector<Count> values{5, 5, 5, 100};
+  EXPECT_EQ(percentile(values, 50.0), 5);
+  EXPECT_EQ(percentile(values, 75.0), 5);
+  EXPECT_EQ(percentile(values, 76.0), 100);
+  EXPECT_EQ(percentile(values, 99.0), 100);
+}
+
 // Property sweep: ceil_div(a, b) == floor((a + b - 1) / b) and bounds.
 class CeilDivProperty : public ::testing::TestWithParam<int> {};
 

@@ -101,6 +101,92 @@ TEST(Rng, NormalRejectsNegativeSigma) {
   EXPECT_THROW(rng.normal(0.0, -1.0), InvalidArgument);
 }
 
+TEST(Rng, ExponentialMomentsRoughlyCorrect) {
+  // Exponential(rate): mean 1/rate, variance 1/rate^2.
+  Rng rng(29);
+  const int n = 50'000;
+  const double rate = 0.25;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exponential(rate);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 4.0, 0.1);
+  EXPECT_NEAR(var, 16.0, 0.8);
+}
+
+TEST(Rng, ExponentialBitwiseReproducible) {
+  Rng a(31);
+  Rng b(31);
+  for (int i = 0; i < 1'000; ++i) {
+    // Bitwise, not approximate: the traffic simulator's determinism
+    // contract hangs on this.
+    EXPECT_EQ(a.exponential(0.5), b.exponential(0.5));
+  }
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(37);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+  EXPECT_THROW(rng.exponential(-1.0), InvalidArgument);
+}
+
+TEST(Rng, PoissonMomentsRoughlyCorrect) {
+  // Poisson(mean): mean == variance.
+  Rng rng(41);
+  const int n = 50'000;
+  const double mean_in = 6.5;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto v = static_cast<double>(rng.poisson(mean_in));
+    EXPECT_GE(v, 0.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, mean_in, 0.1);
+  EXPECT_NEAR(var, mean_in, 0.3);
+}
+
+TEST(Rng, PoissonLargeMeanSurvivesChunking) {
+  // 2000 is far past where exp(-mean) underflows; the chunked Knuth
+  // implementation must stay exact (Poisson additivity), not degenerate.
+  Rng rng(43);
+  const int n = 2'000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto v = static_cast<double>(rng.poisson(2000.0));
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2000.0, 5.0);
+  EXPECT_NEAR(var, 2000.0, 200.0);
+}
+
+TEST(Rng, PoissonBitwiseReproducible) {
+  Rng a(47);
+  Rng b(47);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(a.poisson(3.0), b.poisson(3.0));
+  }
+}
+
+TEST(Rng, PoissonEdgeCases) {
+  Rng rng(53);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_THROW(rng.poisson(-0.5), InvalidArgument);
+}
+
 TEST(SplitMix, KnownGoodSequenceIsStable) {
   // Regression pin: the generator must never silently change, or every
   // "deterministic" test fixture in the repo changes with it.

@@ -71,6 +71,85 @@ TEST(Protocol, ParsesEveryOpAndFieldSpelling) {
   EXPECT_EQ(ping.delay_ms, 25);
 }
 
+TEST(Protocol, ParsesTrafficRequestDefaultsAndFullSpelling) {
+  const ServeRequest minimal = parse_request(
+      R"({"v":1,"id":"t","op":"traffic","net":"vgg13","arrays":64})");
+  EXPECT_EQ(minimal.op, ServeOp::kTraffic);
+  EXPECT_EQ(minimal.traffic.net, "vgg13");
+  EXPECT_EQ(minimal.traffic.mapper, "vw-sdk");
+  EXPECT_EQ(minimal.traffic.arrays_per_chip, 64);
+  EXPECT_EQ(minimal.traffic.replicas, 1);
+  EXPECT_DOUBLE_EQ(minimal.traffic.rate, 0.0);
+  EXPECT_EQ(minimal.traffic.duration, 10'000'000);
+  EXPECT_EQ(minimal.traffic.seed, 42u);
+  EXPECT_EQ(minimal.traffic.batch_window, 0);
+  EXPECT_EQ(minimal.traffic.max_batch, 1);
+  EXPECT_EQ(minimal.traffic.max_queue, 0);
+  EXPECT_EQ(minimal.traffic.trace, "");
+  EXPECT_EQ(minimal.traffic.slo_p99, 0);
+
+  const ServeRequest full = parse_request(
+      R"({"v":1,"id":"t2","op":"traffic","net":"vgg13,resnet18",)"
+      R"("mapper":"im2col","array":"256x256","objective":"energy",)"
+      R"("arrays":32,"chips":4,"replicas":3,"rate":12.5,)"
+      R"("duration":500000,"seed":9,"window":1000,"max_batch":8,)"
+      R"("max_queue":16,"slo_p99":20000})");
+  EXPECT_EQ(full.traffic.net, "vgg13,resnet18");
+  EXPECT_EQ(full.traffic.mapper, "im2col");
+  EXPECT_EQ(full.traffic.array, "256x256");
+  EXPECT_EQ(full.traffic.objective, "energy");
+  EXPECT_EQ(full.traffic.max_chips, 4);
+  EXPECT_EQ(full.traffic.replicas, 3);
+  EXPECT_DOUBLE_EQ(full.traffic.rate, 12.5);
+  EXPECT_EQ(full.traffic.duration, 500'000);
+  EXPECT_EQ(full.traffic.seed, 9u);
+  EXPECT_EQ(full.traffic.batch_window, 1000);
+  EXPECT_EQ(full.traffic.max_batch, 8);
+  EXPECT_EQ(full.traffic.max_queue, 16);
+  EXPECT_EQ(full.traffic.slo_p99, 20'000);
+
+  const ServeRequest traced = parse_request(
+      R"({"v":1,"id":"t3","op":"traffic","net":"lenet5","arrays":8,)"
+      R"("trace":"/tmp/arrivals.csv"})");
+  EXPECT_EQ(traced.traffic.trace, "/tmp/arrivals.csv");
+}
+
+TEST(Protocol, RejectsHostileTrafficFields) {
+  // Unknown field.
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"traffic","net":"x",)"
+                    R"("arrays":8,"lambda":5})"),
+            ErrorCode::kBadRequest);
+  // Missing net / missing arrays.
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"traffic","arrays":8})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"traffic","net":"x"})"),
+            ErrorCode::kBadRequest);
+  // Mistyped rate (string where a number belongs) and negative rate.
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"traffic","net":"x",)"
+                    R"("arrays":8,"rate":"fast"})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"traffic","net":"x",)"
+                    R"("arrays":8,"rate":-1})"),
+            ErrorCode::kBadRequest);
+  // Out-of-range knobs.
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"traffic","net":"x",)"
+                    R"("arrays":8,"replicas":0})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"traffic","net":"x",)"
+                    R"("arrays":8,"duration":0})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"traffic","net":"x",)"
+                    R"("arrays":8,"max_batch":0})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"traffic","net":"x",)"
+                    R"("arrays":8,"slo_p99":-5})"),
+            ErrorCode::kBadRequest);
+  // Mistyped trace path.
+  EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"traffic","net":"x",)"
+                    R"("arrays":8,"trace":7})"),
+            ErrorCode::kBadRequest);
+}
+
 TEST(Protocol, RejectsMalformedJson) {
   EXPECT_EQ(code_of("garbage"), ErrorCode::kBadRequest);
   EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"map")"),  // truncated
@@ -203,6 +282,7 @@ TEST(Protocol, OpNamesAreStable) {
   EXPECT_STREQ(op_name(ServeOp::kMap), "map");
   EXPECT_STREQ(op_name(ServeOp::kCompare), "compare");
   EXPECT_STREQ(op_name(ServeOp::kChip), "chip");
+  EXPECT_STREQ(op_name(ServeOp::kTraffic), "traffic");
   EXPECT_STREQ(op_name(ServeOp::kVerify), "verify");
   EXPECT_STREQ(op_name(ServeOp::kMappers), "mappers");
   EXPECT_STREQ(op_name(ServeOp::kStats), "stats");

@@ -103,6 +103,50 @@ TEST(Service, VerifyReportsEveryLayer) {
   EXPECT_EQ(result.backend, "gemm");
 }
 
+TEST(Service, TrafficSimulatesThroughTheChipPlanner) {
+  ServiceApi api(1);
+  TrafficQuery query;
+  query.net = "lenet5";
+  query.arrays_per_chip = 8;
+  query.rate = 50.0;
+  query.duration = 1'000'000;
+  const TrafficResult result = api.traffic(query);
+  EXPECT_FALSE(result.capacity_mode);
+  ASSERT_EQ(result.plans.size(), 1u);
+  ASSERT_EQ(result.report.networks.size(), 1u);
+  const NetworkTraffic& net = result.report.networks.front();
+  EXPECT_EQ(net.network, result.plans.front().network_name);
+  EXPECT_GT(net.arrivals, 0);
+  EXPECT_EQ(net.arrivals, net.completions + net.in_flight + net.rejected);
+}
+
+TEST(Service, TrafficValidationCatchesContradictoryQueries) {
+  ServiceApi api(1);
+  TrafficQuery query;
+  query.net = "lenet5";
+  query.arrays_per_chip = 8;
+  // No source: neither a rate nor a trace.
+  EXPECT_THROW(api.traffic(query), InvalidArgument);
+  // Both sources at once.
+  query.rate = 10.0;
+  query.trace = "/tmp/whatever.csv";
+  EXPECT_THROW(api.traffic(query), InvalidArgument);
+  // SLO mode on a multi-network farm.
+  query.trace.clear();
+  query.net = "lenet5,alexnet";
+  query.slo_p99 = 50'000;
+  EXPECT_THROW(api.traffic(query), InvalidArgument);
+  // Duplicate network after alias trimming.
+  query.slo_p99 = 0;
+  query.net = "lenet5, lenet5";
+  EXPECT_THROW(api.traffic(query), InvalidArgument);
+  // A missing trace file surfaces as NotFound.
+  query.net = "lenet5";
+  query.rate = 0.0;
+  query.trace = "/nonexistent/arrivals.csv";
+  EXPECT_THROW(api.traffic(query), NotFound);
+}
+
 TEST(Service, StatsCountCacheTraffic) {
   ServiceApi api(1);
   EXPECT_EQ(api.stats().cache_hits, 0);

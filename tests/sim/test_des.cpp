@@ -1,0 +1,91 @@
+#include "sim/des.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.at(30, [&] { order.push_back(3); });
+  queue.at(10, [&] { order.push_back(1); });
+  queue.at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run_all(), 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 30);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, TiesRunInSchedulingOrder) {
+  // FIFO tie-breaking is the determinism keystone: a heap alone leaves
+  // equal-time order unspecified.
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    queue.at(5, [&order, i] { order.push_back(i); });
+  }
+  queue.run_all();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, AfterSchedulesRelativeToNow) {
+  EventQueue queue;
+  Cycles seen = -1;
+  queue.at(100, [&] { queue.after(25, [&] { seen = queue.now(); }); });
+  queue.run_all();
+  EXPECT_EQ(seen, 125);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizonAndAdvancesNow) {
+  EventQueue queue;
+  std::vector<Cycles> seen;
+  queue.at(10, [&] { seen.push_back(queue.now()); });
+  queue.at(50, [&] { seen.push_back(queue.now()); });
+  queue.at(90, [&] { seen.push_back(queue.now()); });
+  EXPECT_EQ(queue.run_until(50), 2);  // 10 and 50 run, 90 stays pending
+  EXPECT_EQ(seen, (std::vector<Cycles>{10, 50}));
+  EXPECT_EQ(queue.now(), 50);
+  EXPECT_EQ(queue.pending(), 1);
+  EXPECT_EQ(queue.run_until(200), 1);
+  EXPECT_EQ(queue.now(), 200);  // advances to the horizon, not the event
+  EXPECT_EQ(queue.processed(), 3);
+}
+
+TEST(EventQueue, CascadesWithinTheHorizonRun) {
+  // An event at t <= horizon scheduling another at t' <= horizon must
+  // see it run in the same run_until call.
+  EventQueue queue;
+  int depth = 0;
+  queue.at(10, [&] {
+    ++depth;
+    queue.after(10, [&] { ++depth; });
+  });
+  EXPECT_EQ(queue.run_until(20), 2);
+  EXPECT_EQ(depth, 2);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue queue;
+  queue.at(50, [] {});
+  queue.run_all();
+  EXPECT_EQ(queue.now(), 50);
+  EXPECT_THROW(queue.at(49, [] {}), InvalidArgument);
+  EXPECT_THROW(queue.after(-1, [] {}), InvalidArgument);
+  EXPECT_THROW(queue.at(60, nullptr), InvalidArgument);
+}
+
+TEST(EventQueue, RunUntilRejectsPastHorizon) {
+  EventQueue queue;
+  queue.run_until(100);
+  EXPECT_THROW(queue.run_until(99), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vwsdk

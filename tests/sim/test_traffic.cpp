@@ -1,0 +1,286 @@
+#include "sim/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.h"
+#include "core/serialize.h"
+#include "nn/model_zoo.h"
+
+namespace vwsdk {
+namespace {
+
+const ArrayGeometry k512x512{512, 512};
+
+/// A one-chip VGG-13 pipeline: the fixture every simulation test runs on.
+ChipPlan vgg_plan(Dim arrays_per_chip = 64) {
+  const NetworkMappingResult mapping = optimize_network(
+      *make_mapper("vw-sdk"), vgg13_paper(), k512x512);
+  ChipPlanOptions options;
+  options.arrays_per_chip = arrays_per_chip;
+  return plan_chips(mapping, options);
+}
+
+ChipPlan resnet_plan() {
+  const NetworkMappingResult mapping = optimize_network(
+      *make_mapper("vw-sdk"), resnet18_paper(), k512x512);
+  ChipPlanOptions options;
+  options.arrays_per_chip = 64;
+  return plan_chips(mapping, options);
+}
+
+TEST(Traffic, SameSeedIsByteIdenticalAtAnyThreadCount) {
+  // The simulator is single-threaded on the event queue by design, so
+  // VWSDK_THREADS must be irrelevant; assert byte identity of the full
+  // JSON payload across runs bracketing a thread-count change.
+  const ChipPlan plan = vgg_plan();
+  TrafficOptions options;
+  options.rate = 50.0;
+  options.duration = 2'000'000;
+  const std::string first = to_json(simulate_traffic({plan}, options));
+  ASSERT_EQ(setenv("VWSDK_THREADS", "7", 1), 0);
+  const std::string second = to_json(simulate_traffic({plan}, options));
+  ASSERT_EQ(unsetenv("VWSDK_THREADS"), 0);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, to_json(simulate_traffic({plan}, options)));
+}
+
+TEST(Traffic, DifferentSeedsDiverge) {
+  const ChipPlan plan = vgg_plan();
+  TrafficOptions options;
+  options.rate = 50.0;
+  options.duration = 2'000'000;
+  options.seed = 1;
+  const TrafficReport a = simulate_traffic({plan}, options);
+  options.seed = 2;
+  const TrafficReport b = simulate_traffic({plan}, options);
+  EXPECT_NE(to_json(a), to_json(b));
+}
+
+TEST(Traffic, ConservationUnderOverloadWithBoundedQueue) {
+  // Offer ~3x a single replica's serial capacity with a tight queue:
+  // every arrival must be accounted for as completed, still in flight,
+  // or rejected -- nothing created, nothing lost.
+  const ChipPlan plan = vgg_plan();
+  TrafficOptions options;
+  options.rate = 250.0;
+  options.duration = 2'000'000;
+  options.max_queue = 4;
+  const TrafficReport report = simulate_traffic({plan}, options);
+  const NetworkTraffic& net = report.networks.front();
+  EXPECT_GT(net.arrivals, 0);
+  EXPECT_GT(net.rejected, 0);
+  EXPECT_GT(net.in_flight, 0);
+  EXPECT_EQ(net.arrivals, net.completions + net.in_flight + net.rejected);
+  EXPECT_EQ(report.total_arrivals(), report.total_completions() +
+                                         report.total_in_flight() +
+                                         report.total_rejected());
+}
+
+TEST(Traffic, LatencyNeverBelowServiceTime) {
+  // Queueing can only add: the fastest possible completion is an
+  // arrival that starts instantly in a batch of one, paying the fill.
+  const ChipPlan plan = vgg_plan();
+  TrafficOptions options;
+  options.rate = 100.0;
+  options.duration = 2'000'000;
+  const TrafficReport report = simulate_traffic({plan}, options);
+  const NetworkTraffic& net = report.networks.front();
+  ASSERT_GT(net.completions, 0);
+  EXPECT_GE(net.latency_min, plan.batch_cycles(1));
+  EXPECT_LE(net.p50, net.p95);
+  EXPECT_LE(net.p95, net.p99);
+  EXPECT_LE(net.p99, net.p999);
+  EXPECT_LE(net.p999, net.latency_max);
+}
+
+TEST(Traffic, MeanWaitMatchesMD1AtLowUtilization) {
+  // With max_batch 1, no window, and one replica, each replica is an
+  // M/D/1 queue with deterministic service D = batch_cycles(1).
+  // Pollaczek-Khinchine: Wq = lambda * D^2 / (2 * (1 - rho)).
+  const ChipPlan plan = vgg_plan();
+  const auto service = static_cast<double>(plan.batch_cycles(1));
+  const double rho = 0.30;
+  const double lambda = rho / service;  // arrivals per cycle
+  TrafficOptions options;
+  options.rate = lambda * 1.0e6;
+  // ~30k arrivals: enough to beat the sampling noise at a 10% band.
+  options.duration = static_cast<Cycles>(30'000.0 / lambda);
+  const TrafficReport report = simulate_traffic({plan}, options);
+  const NetworkTraffic& net = report.networks.front();
+  ASSERT_GT(net.completions, 10'000);
+  const double expected = lambda * service * service / (2.0 * (1.0 - rho));
+  EXPECT_NEAR(net.mean_wait, expected, 0.10 * expected)
+      << "service=" << service << " arrivals=" << net.arrivals;
+  // And the latency mean is wait + service within the same tolerance.
+  EXPECT_NEAR(net.mean_latency, expected + service, 0.10 * expected)
+      << "mean_latency=" << net.mean_latency;
+}
+
+TEST(Traffic, BatchingWindowAmortizesOverload) {
+  // At ~4x serial capacity, a batch-of-8 window must serve strictly
+  // more requests than one-at-a-time service: fill + (B-1) x interval
+  // beats B x fill whenever interval < fill.
+  const ChipPlan plan = vgg_plan();
+  TrafficOptions options;
+  options.rate = 300.0;
+  options.duration = 4'000'000;
+  const TrafficReport serial = simulate_traffic({plan}, options);
+  options.max_batch = 8;
+  options.batch_window = plan.interval();
+  const TrafficReport batched = simulate_traffic({plan}, options);
+  EXPECT_EQ(serial.networks.front().arrivals,
+            batched.networks.front().arrivals);  // same seeded stream
+  EXPECT_GT(batched.networks.front().completions,
+            serial.networks.front().completions);
+  EXPECT_GT(batched.networks.front().mean_batch, 1.5);
+  EXPECT_DOUBLE_EQ(serial.networks.front().mean_batch, 1.0);
+}
+
+TEST(Traffic, CoResidentNetworksSimulateIndependentStreams) {
+  const ChipPlan vgg = vgg_plan();
+  const ChipPlan resnet = resnet_plan();
+  TrafficOptions options;
+  options.rate = 40.0;
+  options.duration = 2'000'000;
+  const TrafficReport both = simulate_traffic({vgg, resnet}, options);
+  ASSERT_EQ(both.networks.size(), 2u);
+  EXPECT_EQ(both.networks[0].network, "VGG-13");
+  EXPECT_EQ(both.networks[1].network, "ResNet-18");
+  EXPECT_GT(both.networks[0].arrivals, 0);
+  EXPECT_GT(both.networks[1].arrivals, 0);
+  // Stream 0 is seeded from draw 0 of the root seed, so VGG-13 alone
+  // sees the identical arrival process it sees co-resident.
+  const TrafficReport alone = simulate_traffic({vgg}, options);
+  EXPECT_EQ(alone.networks[0].arrivals, both.networks[0].arrivals);
+  EXPECT_EQ(alone.networks[0].p99, both.networks[0].p99);
+}
+
+TEST(Traffic, RejectsInvalidInputs) {
+  const ChipPlan plan = vgg_plan();
+  TrafficOptions options;
+  options.rate = 10.0;
+  options.replicas = 0;
+  EXPECT_THROW(simulate_traffic({plan}, options), InvalidArgument);
+  options.replicas = 1;
+  options.max_batch = 0;
+  EXPECT_THROW(simulate_traffic({plan}, options), InvalidArgument);
+  options.max_batch = 1;
+  options.duration = 0;
+  EXPECT_THROW(simulate_traffic({plan}, options), InvalidArgument);
+  options.duration = 1000;
+  EXPECT_THROW(simulate_traffic({}, options), InvalidArgument);
+  EXPECT_THROW(simulate_traffic({plan, plan}, options), InvalidArgument);
+
+  ChipPlan infeasible = plan;
+  infeasible.feasible = false;
+  infeasible.infeasible_reason = "forced";
+  EXPECT_THROW(simulate_traffic({infeasible}, options), InvalidArgument);
+}
+
+TEST(TrafficTrace, ReplaysArrivalsVerbatim) {
+  const ChipPlan plan = vgg_plan();
+  ArrivalTrace trace;
+  trace.arrivals.push_back({0, ""});
+  trace.arrivals.push_back({1'000, "VGG-13"});
+  trace.arrivals.push_back({500'000, ""});
+  const TrafficReport report = simulate_trace({plan}, trace, {});
+  const NetworkTraffic& net = report.networks.front();
+  EXPECT_EQ(report.source, "trace");
+  EXPECT_EQ(net.arrivals, 3);
+  EXPECT_EQ(net.completions, 3);  // trace mode drains fully
+  EXPECT_EQ(net.in_flight, 0);
+  // Drain time: the last arrival lands on an idle replica and pays
+  // exactly one fill.
+  EXPECT_EQ(report.duration, 500'000 + plan.batch_cycles(1));
+}
+
+TEST(TrafficTrace, UnknownNetworkNameThrows) {
+  const ChipPlan plan = vgg_plan();
+  ArrivalTrace trace;
+  trace.arrivals.push_back({0, "no-such-net"});
+  EXPECT_THROW(simulate_trace({plan}, trace, {}), InvalidArgument);
+}
+
+TEST(TrafficTrace, CsvParserAcceptsSchemaAndRejectsGarbage) {
+  std::istringstream good("# comment\ntime,net\n0,a\n10,b\n10,\n");
+  const ArrivalTrace trace = parse_arrival_trace_csv(good);
+  ASSERT_EQ(trace.arrivals.size(), 3u);
+  EXPECT_EQ(trace.arrivals[0].time, 0);
+  EXPECT_EQ(trace.arrivals[0].net, "a");
+  EXPECT_EQ(trace.arrivals[2].time, 10);
+  EXPECT_TRUE(trace.arrivals[2].net.empty());
+
+  std::istringstream time_only("time\n5\n7\n");
+  EXPECT_EQ(parse_arrival_trace_csv(time_only).arrivals.size(), 2u);
+
+  std::istringstream empty("");
+  EXPECT_THROW(parse_arrival_trace_csv(empty), InvalidArgument);
+  std::istringstream no_time("net\na\n");
+  EXPECT_THROW(parse_arrival_trace_csv(no_time), InvalidArgument);
+  std::istringstream unknown_col("time,weight\n1,2\n");
+  EXPECT_THROW(parse_arrival_trace_csv(unknown_col), InvalidArgument);
+  std::istringstream decreasing("time\n10\n9\n");
+  EXPECT_THROW(parse_arrival_trace_csv(decreasing), InvalidArgument);
+  std::istringstream negative("time\n-1\n");
+  EXPECT_THROW(parse_arrival_trace_csv(negative), InvalidArgument);
+  std::istringstream ragged("time,net\n1\n");
+  EXPECT_THROW(parse_arrival_trace_csv(ragged), InvalidArgument);
+}
+
+TEST(TrafficTrace, JsonParserAcceptsSchemaAndRejectsGarbage) {
+  const ArrivalTrace trace = parse_arrival_trace_json(
+      R"({"arrivals":[{"time":0},{"time":3,"net":"x"}]})");
+  ASSERT_EQ(trace.arrivals.size(), 2u);
+  EXPECT_EQ(trace.arrivals[1].time, 3);
+  EXPECT_EQ(trace.arrivals[1].net, "x");
+
+  EXPECT_THROW(parse_arrival_trace_json("[]"), InvalidArgument);
+  EXPECT_THROW(parse_arrival_trace_json("{}"), InvalidArgument);
+  EXPECT_THROW(parse_arrival_trace_json(R"({"arrivals":1})"),
+               InvalidArgument);
+  EXPECT_THROW(parse_arrival_trace_json(R"({"arrivals":[],"x":1})"),
+               InvalidArgument);
+  EXPECT_THROW(parse_arrival_trace_json(R"({"arrivals":[{"t":1}]})"),
+               InvalidArgument);
+  EXPECT_THROW(parse_arrival_trace_json(R"({"arrivals":[{"time":-1}]})"),
+               InvalidArgument);
+  EXPECT_THROW(
+      parse_arrival_trace_json(R"({"arrivals":[{"time":5},{"time":4}]})"),
+      InvalidArgument);
+}
+
+TEST(Capacity, FindsSmallestReplicaCountWithFailingProof) {
+  const ChipPlan plan = vgg_plan();
+  TrafficOptions options;
+  options.rate = 300.0;
+  options.duration = 2'000'000;
+  const Cycles slo = 2 * plan.batch_cycles(1);
+  const CapacityResult capacity = plan_capacity(plan, slo, options);
+  EXPECT_GT(capacity.replicas, 1);
+  EXPECT_EQ(capacity.chips,
+            capacity.replicas * static_cast<Count>(plan.chips.size()));
+  EXPECT_LE(capacity.p99, slo);
+  // Proof of minimality: one replica fewer was simulated and fails.
+  EXPECT_EQ(capacity.lower_replicas, capacity.replicas - 1);
+  EXPECT_GT(capacity.lower_p99, slo);
+  // The embedded report is the winning count's simulation.
+  EXPECT_EQ(capacity.report.networks.front().replicas, capacity.replicas);
+  EXPECT_EQ(capacity.report.networks.front().p99, capacity.p99);
+}
+
+TEST(Capacity, UnmeetableSloThrows) {
+  const ChipPlan plan = vgg_plan();
+  TrafficOptions options;
+  options.rate = 10.0;
+  // Below the unloaded fill: impossible at any scale, and said so.
+  EXPECT_THROW(plan_capacity(plan, plan.batch_cycles(1) - 1, options),
+               Error);
+  options.rate = 0.0;
+  EXPECT_THROW(plan_capacity(plan, 100'000, options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vwsdk

@@ -28,6 +28,13 @@ whose `result` payloads must be byte-identical to the one-shot CLI's
 admission-control rejections under `--max-inflight 1 --max-queue 1`
 that leave the daemon alive, a graceful SIGTERM drain exiting 0, and
 the same session over a `--socket` Unix domain socket.
+
+With `--traffic` the script drives the traffic simulator (ctest
+`cli.traffic_smoke`): seeded runs are byte-identical and conservative
+(arrivals == completions + in-flight + rejected), a CSV trace and its
+JSON equivalent replay to byte-identical reports, and the `--slo-p99`
+capacity planner honours the exit-code contract (0 with a minimality
+proof, 1 for an unmeetable SLO, 2 for usage errors).
 """
 
 import argparse
@@ -116,6 +123,8 @@ def serve_smoke(cli: Cli, tmp: Path) -> None:
         '{"v":1,"id":"m2","op":"map","net":"lenet5"}',
         '{"v":1,"id":"c1","op":"compare","net":"lenet5"}',
         '{"v":1,"id":"h1","op":"chip","net":"lenet5","arrays":4}',
+        '{"v":1,"id":"f1","op":"traffic","net":"lenet5","arrays":4,'
+        '"rate":50,"duration":1000000}',
         '{"v":1,"id":"v1","op":"verify","net":"lenet5"}',
         '{"v":1,"id":"r1","op":"mappers"}',
         '{"v":1,"id":"s1","op":"stats"}',
@@ -139,6 +148,10 @@ def serve_smoke(cli: Cli, tmp: Path) -> None:
                cli.run("compare", "--net", "lenet5", "--format", "json")),
         "h1": ("chip", cli.run("chip", "--net", "lenet5", "--arrays", "4",
                                "--format", "json")),
+        "f1": ("traffic",
+               cli.run("traffic", "--net", "lenet5", "--arrays", "4",
+                       "--rate", "50", "--duration", "1000000",
+                       "--format", "json")),
         "v1": ("verify",
                cli.run("verify", "--net", "lenet5", "--format", "json")),
         "r1": ("mappers", cli.run("mappers", "--format", "json")),
@@ -254,11 +267,137 @@ def serve_smoke(cli: Cli, tmp: Path) -> None:
     check(not sock_path.exists(), "the socket file is unlinked on exit")
 
 
+def traffic_smoke(cli: Cli, tmp: Path) -> None:
+    check(cli.run("traffic", "--help").returncode == 0,
+          "traffic --help exits 0")
+
+    # --- seeded Poisson: deterministic and conservative -----------------
+    poisson_args = ("traffic", "--net", "vgg13", "--arrays", "64",
+                    "--rate", "20", "--duration", "10000000",
+                    "--format", "json")
+    first = cli.run(*poisson_args)
+    check(first.returncode == 0, "traffic (poisson, json) exits 0")
+    doc = json.loads(first.stdout)
+    check(
+        doc["source"] == "poisson" and doc["seed"] == 42
+        and doc["arrivals"] > 0,
+        "traffic json carries the source, default seed, and arrivals",
+    )
+    net = doc["networks"][0]
+    check(
+        net["arrivals"]
+        == net["completions"] + net["in_flight"] + net["rejected"],
+        "every arrival is completed, in flight, or rejected",
+    )
+    check(
+        net["latency"]["min"] >= net["fill_latency"]
+        and net["latency"]["p50"] <= net["latency"]["p99"]
+        <= net["latency"]["max"],
+        "latency spectrum is ordered and bounded below by the fill",
+    )
+    second = cli.run(*poisson_args)
+    check(second.stdout == first.stdout,
+          "the same seed replays a byte-identical report")
+    reseeded = cli.run(*poisson_args, "--seed", "7")
+    check(
+        reseeded.returncode == 0 and reseeded.stdout != first.stdout,
+        "a different --seed yields a different report",
+    )
+    table = cli.run("traffic", "--net", "vgg13", "--arrays", "64",
+                    "--rate", "20")
+    check(
+        table.returncode == 0 and "sustained" in table.stdout
+        and "p99" in table.stdout,
+        "traffic table reports throughput and tail latency",
+    )
+    csv_run = cli.run(*poisson_args[:-1], "csv")
+    csv_rows = list(csv.DictReader(io.StringIO(csv_run.stdout)))
+    check(
+        csv_run.returncode == 0 and len(csv_rows) >= 1
+        and csv_rows[0]["network"] == "VGG-13"
+        and int(csv_rows[0]["arrivals"]) == net["arrivals"],
+        "traffic csv carries one row per chip matching the json totals",
+    )
+
+    # --- trace round trip: CSV and JSON replay identically --------------
+    arrivals = [(0, ""), (5000, "VGG-13"), (40000, ""), (40000, "")]
+    trace_csv = tmp / "arrivals.csv"
+    trace_csv.write_text("time,net\n" + "".join(
+        f"{t},{n}\n" for t, n in arrivals))
+    trace_json = tmp / "arrivals.json"
+    trace_json.write_text(json.dumps({"arrivals": [
+        {"time": t, **({"net": n} if n else {})} for t, n in arrivals]}))
+    via_csv = cli.run("traffic", "--net", "vgg13", "--arrays", "64",
+                      "--trace", str(trace_csv), "--format", "json")
+    via_json = cli.run("traffic", "--net", "vgg13", "--arrays", "64",
+                       "--trace", str(trace_json), "--format", "json")
+    check(
+        via_csv.returncode == 0 and via_csv.stdout == via_json.stdout,
+        "CSV and JSON traces replay to byte-identical reports",
+    )
+    traced = json.loads(via_csv.stdout)
+    check(
+        traced["source"] == "trace"
+        and traced["networks"][0]["arrivals"] == len(arrivals)
+        and traced["networks"][0]["completions"] == len(arrivals),
+        "the trace replays every arrival to completion",
+    )
+
+    # --- capacity planning: the --slo-p99 exit-code contract ------------
+    capacity = cli.run("traffic", "--net", "vgg13", "--arrays", "64",
+                       "--rate", "900", "--slo-p99", "20000",
+                       "--format", "json")
+    check(capacity.returncode == 0, "a meetable --slo-p99 exits 0")
+    answer = json.loads(capacity.stdout)
+    check(
+        answer["meets_slo"] and answer["p99"] <= 20000
+        and answer["replicas"] >= 1
+        and answer["lower"]["replicas"] == answer["replicas"] - 1
+        and answer["lower"]["p99"] > 20000,
+        "the capacity answer is minimal, with the failing count as proof",
+    )
+    impossible = cli.run("traffic", "--net", "vgg13", "--arrays", "64",
+                         "--rate", "20", "--slo-p99", "1000")
+    check(
+        impossible.returncode == 1 and "SLO" in impossible.stderr,
+        "an SLO below the fill latency exits 1 naming the reason",
+    )
+
+    # --- usage errors ---------------------------------------------------
+    check(
+        cli.run("traffic", "--net", "vgg13", "--arrays", "64").returncode
+        == 2,
+        "traffic without a rate or trace exits 2",
+    )
+    check(
+        cli.run("traffic", "--net", "vgg13", "--arrays", "64",
+                "--rate", "fast").returncode == 2,
+        "a non-numeric --rate exits 2",
+    )
+    check(
+        cli.run("traffic", "--net", "vgg13", "--arrays", "64", "--rate",
+                "10", "--trace", str(trace_csv)).returncode == 2,
+        "--rate and --trace together exit 2",
+    )
+    check(
+        cli.run("traffic", "--net", "vgg13", "--arrays", "64",
+                "--trace", str(tmp / "missing.csv")).returncode == 2,
+        "a missing trace file exits 2",
+    )
+    check(
+        cli.run("traffic", "--net", "vgg13").returncode == 2,
+        "traffic without --arrays exits 2",
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cli", required=True, help="path to the vwsdk binary")
     parser.add_argument("--serve", action="store_true",
                         help="drive the serve daemon instead of the "
+                             "one-shot subcommands")
+    parser.add_argument("--traffic", action="store_true",
+                        help="drive the traffic simulator instead of the "
                              "one-shot subcommands")
     args = parser.parse_args()
     cli = Cli(args.cli)
@@ -267,6 +406,11 @@ def main() -> int:
     if args.serve:
         serve_smoke(cli, tmp)
         print(f"\ncli_smoke --serve: {len(FAILURES)} failure(s)")
+        return 1 if FAILURES else 0
+
+    if args.traffic:
+        traffic_smoke(cli, tmp)
+        print(f"\ncli_smoke --traffic: {len(FAILURES)} failure(s)")
         return 1 if FAILURES else 0
 
     # --- exit codes -----------------------------------------------------
@@ -287,8 +431,8 @@ def main() -> int:
         cli.run("map", "--net", "no-such-model").returncode == 2,
         "unresolvable --net exits 2",
     )
-    for sub in ("map", "compare", "sweep", "chip", "verify", "mappers",
-                "zoo", "serve"):
+    for sub in ("map", "compare", "sweep", "chip", "traffic", "verify",
+                "mappers", "zoo", "serve"):
         check(cli.run(sub, "--help").returncode == 0, f"{sub} --help exits 0")
 
     # --- mapper registry listing ----------------------------------------
