@@ -22,24 +22,24 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_level(LogLevel level) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   level_ = level;
 }
 
 LogLevel Logger::level() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return level_;
 }
 
 void Logger::set_sink(Sink sink) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   sink_ = std::move(sink);
 }
 
 void Logger::log(LogLevel level, const std::string& message) {
   Sink sink;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (level < level_) {
       return;
     }

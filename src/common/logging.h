@@ -9,9 +9,10 @@
 
 #include <functional>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/mutex.h"
 
 namespace vwsdk {
 
@@ -31,22 +32,25 @@ class Logger {
   static Logger& instance();
 
   /// Drop messages below `level`.
-  void set_level(LogLevel level);
-  LogLevel level() const;
+  void set_level(LogLevel level) VWSDK_EXCLUDES(mutex_);
+  LogLevel level() const VWSDK_EXCLUDES(mutex_);
 
   /// Replace the output sink (pass nullptr to restore the default
   /// std::clog sink).
-  void set_sink(Sink sink);
+  void set_sink(Sink sink) VWSDK_EXCLUDES(mutex_);
 
-  /// Emit a message (already formatted) at `level`.
-  void log(LogLevel level, const std::string& message);
+  /// Emit a message (already formatted) at `level`.  The sink runs
+  /// *outside* the logger mutex (a sink that logs again, or blocks,
+  /// must not deadlock the process), so set_sink during a concurrent
+  /// log() may let one in-flight message reach the previous sink.
+  void log(LogLevel level, const std::string& message) VWSDK_EXCLUDES(mutex_);
 
  private:
   Logger() = default;
 
-  mutable std::mutex mutex_;
-  LogLevel level_ = LogLevel::kInfo;
-  Sink sink_;  // empty -> default sink
+  mutable Mutex mutex_;
+  LogLevel level_ VWSDK_GUARDED_BY(mutex_) = LogLevel::kInfo;
+  Sink sink_ VWSDK_GUARDED_BY(mutex_);  // empty -> default sink
 };
 
 namespace detail {

@@ -1,0 +1,98 @@
+#pragma once
+
+/// @file mutex.h
+/// Annotated locking primitives: `Mutex`, `MutexLock`, and `CondVar`.
+///
+/// Thin zero-overhead wrappers over `std::mutex` /
+/// `std::condition_variable_any` that carry the clang
+/// `-Wthread-safety` capability attributes (common/thread_annotations.h).
+/// The standard types cannot be annotated retroactively, so the repo's
+/// rule -- enforced by tools/vwsdk_lint.py -- is that concurrent code
+/// holds locks only through these types:
+///
+///   * declare the lock as a `Mutex` member (mutable when const
+///     methods take a snapshot under it);
+///   * declare everything it protects `VWSDK_GUARDED_BY(mutex_)`;
+///   * lock with a scoped `MutexLock lock(mutex_);`, never a bare
+///     `lock()`/`unlock()` pair;
+///   * wait with an explicit predicate loop around `CondVar::wait`
+///     (a predicate lambda would hide the guarded reads from the
+///     analysis; the loop keeps them visible in the locked scope).
+///
+/// Lock hierarchy note: every mutex in this codebase is a *leaf* --
+/// no code path acquires a second Mutex while holding one.  That
+/// invariant is what makes per-mutex annotation sufficient; see
+/// docs/CONCURRENCY.md for the inventory.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace vwsdk {
+
+/// A `std::mutex` the thread-safety analysis can track.
+class VWSDK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Acquire exclusively; prefer a scoped MutexLock.
+  void lock() VWSDK_ACQUIRE() { mutex_.lock(); }
+
+  /// Release; prefer a scoped MutexLock.
+  void unlock() VWSDK_RELEASE() { mutex_.unlock(); }
+
+  /// Acquire if free; true when the capability is now held.
+  bool try_lock() VWSDK_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock over a `Mutex` (the annotated `std::lock_guard`).
+class VWSDK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) VWSDK_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+
+  ~MutexLock() VWSDK_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// A condition variable waiting on a `Mutex`.
+///
+/// `wait` takes the mutex itself (not a lock object) and must be
+/// called with it held; the wrapped `std::condition_variable_any`
+/// unlocks around the block and relocks before returning, so the
+/// capability is held again on return -- which is exactly what
+/// `VWSDK_REQUIRES` asserts at both edges.  Callers loop on their
+/// predicate around `wait` (spurious wakeups included by contract).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Block until notified; `mutex` is held on entry and on return.
+  void wait(Mutex& mutex) VWSDK_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  /// Wake one waiter.  Callers notify after releasing the mutex where
+  /// possible (cheaper), but holding it is also correct.
+  void notify_one() { cv_.notify_one(); }
+
+  /// Wake every waiter.
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace vwsdk

@@ -1,0 +1,74 @@
+#pragma once
+
+/// @file thread_annotations.h
+/// Clang `-Wthread-safety` annotation macros (no-ops elsewhere).
+///
+/// These macros let a type document its own locking discipline in a
+/// form the compiler checks: a member guarded by a mutex is declared
+/// `VWSDK_GUARDED_BY(mutex_)`, a function that must be called with the
+/// lock held is `VWSDK_REQUIRES(mutex_)`, and clang's
+/// `-Wthread-safety` analysis (enabled with `-Werror` on every clang
+/// CI lane) rejects any access that cannot prove the capability is
+/// held.  GCC and MSVC do not implement the analysis; there the macros
+/// expand to nothing and remain pure documentation.
+///
+/// The standard library's `std::mutex` carries no capability
+/// attribute, so the analysis cannot track it directly -- lock with
+/// the annotated `vwsdk::Mutex` / `vwsdk::MutexLock` wrappers
+/// (common/mutex.h) instead of `std::mutex` / `std::lock_guard`.  The
+/// repo-invariant lint (tools/vwsdk_lint.py, ctest `lint.invariants`)
+/// enforces both halves: no raw `std::mutex` members outside
+/// common/mutex.h, and every `Mutex` member referenced by at least one
+/// `VWSDK_GUARDED_BY` / `VWSDK_REQUIRES` annotation.
+///
+/// How to read a failure, and the lock hierarchy these annotations
+/// encode: docs/CONCURRENCY.md.
+
+#if defined(__clang__) && !defined(SWIG)
+#define VWSDK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VWSDK_THREAD_ANNOTATION(x)  // no-op: gcc/msvc skip the analysis
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define VWSDK_CAPABILITY(x) VWSDK_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (e.g. vwsdk::MutexLock).
+#define VWSDK_SCOPED_CAPABILITY VWSDK_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define VWSDK_GUARDED_BY(x) VWSDK_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the *pointee* of a pointer member is protected.
+#define VWSDK_PT_GUARDED_BY(x) VWSDK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function must be called with the capability held (and does not
+/// release it).
+#define VWSDK_REQUIRES(...) \
+  VWSDK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function must be called *without* the capability held (it
+/// acquires it itself, or would deadlock).
+#define VWSDK_EXCLUDES(...) VWSDK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define VWSDK_ACQUIRE(...) \
+  VWSDK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability.
+#define VWSDK_RELEASE(...) \
+  VWSDK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define VWSDK_TRY_ACQUIRE(result, ...) \
+  VWSDK_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// The function returns a reference to the given capability (lets
+/// accessors expose an internal lock without losing tracking).
+#define VWSDK_RETURN_CAPABILITY(x) VWSDK_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's body is exempt from the analysis.
+/// Reserve for code the analysis cannot express; say why at the use.
+#define VWSDK_NO_THREAD_SAFETY_ANALYSIS \
+  VWSDK_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -21,18 +21,27 @@ int clamp_threads(long long value) {
       std::clamp<long long>(value, 1, kMaxThreads));
 }
 
+// The warn-once cache lives at namespace scope (not function-local
+// statics) so the guarded_by relation between the mutex and the set is
+// expressible to the thread-safety analysis.
+Mutex g_bad_threads_mutex;
+std::set<std::string> g_bad_threads_warned
+    VWSDK_GUARDED_BY(g_bad_threads_mutex);
+
 // A mis-typed VWSDK_THREADS should degrade, not abort a mapping run --
 // but it must not degrade *silently* either, or a fat-fingered value
 // quietly changes every wall time.  Warn once per distinct bad value
 // (default_thread_count is called per pool construction; repeating the
 // warning every time would drown the log).
 void warn_bad_threads_env(const char* value, int fallback) {
-  static std::mutex mutex;
-  static std::set<std::string> warned;
-  const std::lock_guard<std::mutex> lock(mutex);
-  if (!warned.insert(value).second) {
-    return;
+  {
+    const MutexLock lock(g_bad_threads_mutex);
+    if (!g_bad_threads_warned.insert(value).second) {
+      return;
+    }
   }
+  // Log outside the lock: the sink is user code and must not run under
+  // this cache's mutex (leaf-lock discipline, docs/CONCURRENCY.md).
   log_warn("VWSDK_THREADS=\"", value,
            "\" is not a positive integer; using ", fallback,
            " worker thread(s) instead");
@@ -75,7 +84,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   ready_.notify_all();
@@ -86,7 +95,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> job) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     VWSDK_ASSERT(!stopping_, "submit() on a stopping ThreadPool");
     queue_.push(std::move(job));
   }
@@ -97,8 +106,12 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ready_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      // Explicit predicate loop (not a wait-with-lambda): the guarded
+      // reads stay in this locked scope where the analysis sees them.
+      while (!stopping_ && queue_.empty()) {
+        ready_.wait(mutex_);
+      }
       if (queue_.empty()) {
         return;  // stopping_ and drained
       }

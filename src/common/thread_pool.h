@@ -23,17 +23,16 @@
 /// hardware default and logs a one-time warning (per distinct bad
 /// value) naming the value and the fallback.
 
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/types.h"
 
 namespace vwsdk {
@@ -74,14 +73,14 @@ class ThreadPool {
   static int resolve_thread_count(int requested);
 
  private:
-  void enqueue(std::function<void()> job);
-  void worker_loop();
+  void enqueue(std::function<void()> job) VWSDK_EXCLUDES(mutex_);
+  void worker_loop() VWSDK_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable ready_;
-  bool stopping_ = false;
+  std::queue<std::function<void()>> queue_ VWSDK_GUARDED_BY(mutex_);
+  Mutex mutex_;
+  CondVar ready_;
+  bool stopping_ VWSDK_GUARDED_BY(mutex_) = false;
 };
 
 /// Run `fn(begin, end)` over [0, n) split into contiguous chunks spread

@@ -55,7 +55,7 @@ void MapperRegistry::add(MapperInfo info) {
   VWSDK_REQUIRE(!trim(info.name).empty(), "mapper registration needs a name");
   VWSDK_REQUIRE(info.factory != nullptr,
                 cat("mapper \"", info.name, "\" registered without a factory"));
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<std::string> keys{lookup_key(info.name)};
   for (const std::string& alias : info.aliases) {
     keys.push_back(lookup_key(alias));
@@ -82,12 +82,12 @@ void MapperRegistry::add(MapperInfo info) {
 }
 
 bool MapperRegistry::contains(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return lookup_.find(lookup_key(name)) != lookup_.end();
 }
 
 const MapperInfo& MapperRegistry::info(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = lookup_.find(lookup_key(name));
   if (it == lookup_.end()) {
     throw NotFound(cat("unknown mapper '", name,
@@ -101,7 +101,7 @@ std::unique_ptr<Mapper> MapperRegistry::create(const std::string& name) const {
 }
 
 std::vector<std::string> MapperRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return names_locked();
 }
 
@@ -110,7 +110,7 @@ std::string MapperRegistry::known_names() const {
 }
 
 Count MapperRegistry::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return static_cast<Count>(infos_.size());
 }
 

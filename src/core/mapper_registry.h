@@ -24,11 +24,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/mapping_decision.h"
 
 namespace vwsdk {
@@ -81,38 +81,41 @@ class MapperRegistry {
 
   /// Register a mapper.  Throws InvalidArgument on a missing name or
   /// factory, or when the name or an alias (case-insensitive) is taken.
-  void add(MapperInfo info);
+  void add(MapperInfo info) VWSDK_EXCLUDES(mutex_);
 
   /// True when `name` resolves to a registered mapper (canonical name
   /// or alias, case-insensitive, surrounding whitespace ignored).
-  bool contains(const std::string& name) const;
+  bool contains(const std::string& name) const VWSDK_EXCLUDES(mutex_);
 
   /// Metadata of the mapper `name` resolves to; throws NotFound listing
   /// the known names.  The reference stays valid for the registry's
   /// lifetime (registrations never move or remove entries' storage).
-  const MapperInfo& info(const std::string& name) const;
+  const MapperInfo& info(const std::string& name) const
+      VWSDK_EXCLUDES(mutex_);
 
   /// A fresh instance of the mapper `name` resolves to; throws NotFound
   /// listing the known names.
-  std::unique_ptr<Mapper> create(const std::string& name) const;
+  std::unique_ptr<Mapper> create(const std::string& name) const
+      VWSDK_EXCLUDES(mutex_);
 
   /// Canonical names, sorted by (sort_key, name).
-  std::vector<std::string> names() const;
+  std::vector<std::string> names() const VWSDK_EXCLUDES(mutex_);
 
   /// The names joined as "a, b, c" -- the list error messages and help
   /// text embed.
   std::string known_names() const;
 
   /// Number of registered mappers.
-  Count size() const;
+  Count size() const VWSDK_EXCLUDES(mutex_);
 
  private:
-  std::vector<std::string> names_locked() const;
+  std::vector<std::string> names_locked() const VWSDK_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// unique_ptr so info() references survive vector growth.
-  std::vector<std::unique_ptr<MapperInfo>> infos_;
-  std::unordered_map<std::string, const MapperInfo*> lookup_;
+  std::vector<std::unique_ptr<MapperInfo>> infos_ VWSDK_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, const MapperInfo*> lookup_
+      VWSDK_GUARDED_BY(mutex_);
 };
 
 /// Registers `info` into MapperRegistry::instance() at construction.

@@ -36,7 +36,7 @@ MappingDecision MappingCache::get_or_compute(
   std::optional<std::promise<MappingDecision>> promise;
   std::uint64_t owner_id = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
@@ -58,7 +58,7 @@ MappingDecision MappingCache::get_or_compute(
       // evict our *own* entry: after a concurrent clear() the key may
       // already map to someone else's healthy in-flight compute.
       promise->set_exception(std::current_exception());
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       const auto it = entries_.find(key);
       if (it != entries_.end() && it->second.id == owner_id) {
         entries_.erase(it);
@@ -85,17 +85,19 @@ MappingDecision MappingCache::map(const Mapper& mapper,
 }
 
 MappingCacheStats MappingCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  const MutexLock lock(mutex_);
+  MappingCacheStats stats = stats_;
+  stats.entries = static_cast<Count>(entries_.size());
+  return stats;
 }
 
 Count MappingCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return static_cast<Count>(entries_.size());
 }
 
 void MappingCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   entries_.clear();
 }
 

@@ -20,10 +20,10 @@
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "core/mapping_decision.h"
 
 namespace vwsdk {
@@ -44,10 +44,15 @@ struct MappingCacheKey {
   bool operator==(const MappingCacheKey&) const = default;
 };
 
-/// Counters of one cache's lifetime (monotonic).
+/// One consistent snapshot of a cache's counters, taken under a single
+/// lock acquisition -- `hits`/`misses` are lifetime-monotonic,
+/// `entries` is instantaneous, and the three are mutually consistent
+/// (reading them through separate calls could interleave a concurrent
+/// insert between the reads).
 struct MappingCacheStats {
   Count hits = 0;    ///< requests served from a present or in-flight entry
   Count misses = 0;  ///< requests that triggered a compute
+  Count entries = 0; ///< cached (completed or in-flight) entries right now
 };
 
 /// Thread-safe single-flight memoization of Mapper::map results.
@@ -58,10 +63,14 @@ class MappingCache {
   MappingCache& operator=(const MappingCache&) = delete;
 
   /// The decision for `key`, computing it with `compute` on a miss.
-  /// Concurrent callers with the same key share one compute.
+  /// Concurrent callers with the same key share one compute.  The
+  /// compute itself runs *outside* the cache mutex (only the entry
+  /// bookkeeping is locked), so a slow search never blocks lookups of
+  /// other keys.
   MappingDecision get_or_compute(
       const MappingCacheKey& key,
-      const std::function<MappingDecision()>& compute);
+      const std::function<MappingDecision()>& compute)
+      VWSDK_EXCLUDES(mutex_);
 
   /// Convenience: memoized `mapper.map(shape, geometry)` under the
   /// default context (cycles objective).
@@ -73,14 +82,15 @@ class MappingCache {
   /// `cache` field is ignored (this cache serves the request).
   MappingDecision map(const Mapper& mapper, const MappingContext& context);
 
-  /// Lifetime counters; hits + misses equals requests served.
-  MappingCacheStats stats() const;
+  /// One consistent counter snapshot; hits + misses equals requests
+  /// served.
+  MappingCacheStats stats() const VWSDK_EXCLUDES(mutex_);
 
   /// Number of cached (completed or in-flight) entries.
-  Count size() const;
+  Count size() const VWSDK_EXCLUDES(mutex_);
 
   /// Drop every entry; statistics keep accumulating.
-  void clear();
+  void clear() VWSDK_EXCLUDES(mutex_);
 
  private:
   struct KeyHash {
@@ -95,10 +105,11 @@ class MappingCache {
     std::uint64_t id = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<MappingCacheKey, Entry, KeyHash> entries_;
-  MappingCacheStats stats_;
-  std::uint64_t next_id_ = 0;
+  mutable Mutex mutex_;
+  std::unordered_map<MappingCacheKey, Entry, KeyHash> entries_
+      VWSDK_GUARDED_BY(mutex_);
+  MappingCacheStats stats_ VWSDK_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ VWSDK_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace vwsdk

@@ -23,7 +23,7 @@ AdmissionQueue::~AdmissionQueue() { drain(); }
 
 bool AdmissionQueue::try_submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const int outstanding = static_cast<int>(queue_.size()) + busy_;
     if (draining_ || outstanding >= max_inflight_ + max_queue_) {
       ++rejected_;
@@ -38,9 +38,13 @@ bool AdmissionQueue::try_submit(std::function<void()> task) {
 
 void AdmissionQueue::drain() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     draining_ = true;
-    idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+    // Explicit predicate loop (not a wait-with-lambda) so the guarded
+    // reads stay visible to the thread-safety analysis.
+    while (!queue_.empty() || busy_ != 0) {
+      idle_.wait(mutex_);
+    }
   }
   ready_.notify_all();
   for (std::thread& worker : workers_) {
@@ -51,7 +55,7 @@ void AdmissionQueue::drain() {
 }
 
 AdmissionStats AdmissionQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   AdmissionStats stats;
   stats.busy = busy_;
   stats.queued = static_cast<int>(queue_.size());
@@ -64,8 +68,10 @@ void AdmissionQueue::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ready_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!draining_ && queue_.empty()) {
+        ready_.wait(mutex_);
+      }
       if (queue_.empty()) {
         return;  // draining and nothing left to run
       }
@@ -76,7 +82,7 @@ void AdmissionQueue::worker_loop() {
     task();  // task() catches its own exceptions (server.cpp); a throw
              // here would terminate, which the dispatch wrapper prevents
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       --busy_;
     }
     idle_.notify_all();

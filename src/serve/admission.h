@@ -13,13 +13,12 @@
 /// contract (common/thread_pool.h): a request worker may block on pool
 /// futures, a pool task never blocks on another.
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/types.h"
 
 namespace vwsdk {
@@ -50,31 +49,31 @@ class AdmissionQueue {
   /// Admit `task` if capacity allows: true and the task will run; false
   /// and the task was refused (never partially started).  After drain()
   /// every submit is refused.
-  bool try_submit(std::function<void()> task);
+  bool try_submit(std::function<void()> task) VWSDK_EXCLUDES(mutex_);
 
   /// Stop admitting, run every already-accepted task to completion, and
   /// join the workers.  Idempotent; safe to call concurrently with
   /// submits (they are refused once draining begins).
-  void drain();
+  void drain() VWSDK_EXCLUDES(mutex_);
 
   /// Current counters (busy/queued are instantaneous, the totals
-  /// monotonic).
-  AdmissionStats stats() const;
+  /// monotonic); one consistent snapshot under a single lock hold.
+  AdmissionStats stats() const VWSDK_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() VWSDK_EXCLUDES(mutex_);
 
   const int max_inflight_;
   const int max_queue_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::condition_variable idle_;
-  int busy_ = 0;
-  Count accepted_ = 0;
-  Count rejected_ = 0;
-  bool draining_ = false;
+  std::queue<std::function<void()>> queue_ VWSDK_GUARDED_BY(mutex_);
+  mutable Mutex mutex_;
+  CondVar ready_;
+  CondVar idle_;
+  int busy_ VWSDK_GUARDED_BY(mutex_) = 0;
+  Count accepted_ VWSDK_GUARDED_BY(mutex_) = 0;
+  Count rejected_ VWSDK_GUARDED_BY(mutex_) = 0;
+  bool draining_ VWSDK_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace vwsdk

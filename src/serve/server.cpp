@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -12,13 +13,13 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/string_util.h"
 #include "core/serialize.h"
 #include "serve/admission.h"
@@ -29,11 +30,40 @@ namespace vwsdk {
 
 namespace {
 
-/// Set from the signal handler; polled by the read loop (the only
-/// async-signal-safe shutdown channel).
+/// Signal-to-loop channel, self-pipe style.  The handler body is
+/// restricted to the async-signal-safe vocabulary -- a store to a
+/// lock-free atomic flag and a `write(2)` to the pipe -- and the repo
+/// lint (tools/vwsdk_lint.py, rule `signal-safety`) rejects anything
+/// else creeping in.  Lock-free atomics (not `volatile sig_atomic_t`)
+/// because the handler runs on whichever thread receives the signal
+/// while the daemon loop reads the flag from another: sig_atomic_t is
+/// signal-safe but NOT thread-safe, and TSan rightly flags it.  The
+/// pipe write is what makes shutdown prompt: every event loop polls
+/// the read end, so a signal arriving *during* poll() wakes it
+/// immediately instead of racing the flag-check-then-block window.
+static_assert(std::atomic<int>::is_always_lock_free,
+              "lock-free atomics are required for async-signal-safety");
 std::atomic<int> g_signal{0};
+std::atomic<int> g_wake_fd{-1};  ///< self-pipe write end
 
-extern "C" void handle_signal(int signum) { g_signal.store(signum); }
+/// Every blocking wait goes through poll with this timeout.  Infinite
+/// is deliberate: the self-pipe converts signals into poll events, so
+/// a periodic timeout would only mask a missing wakeup path.  Should
+/// the pipe ever fail to construct (fd exhaustion), WakePipe keeps
+/// read_fd() == -1, poll ignores the entry, and the fallback timeout
+/// below restores the old 100 ms signal-check cadence.
+constexpr int kPollForever = -1;
+constexpr int kPollFallbackMs = 100;
+
+extern "C" void handle_signal(int signum) {
+  g_signal = signum;
+  const int fd = g_wake_fd;
+  if (fd >= 0) {
+    const char byte = 1;
+    const ssize_t ignored = ::write(fd, &byte, 1);  // async-signal-safe
+    (void)ignored;  // a full pipe still means a pending wakeup
+  }
+}
 
 /// One response sink: a file descriptor plus the write lock that keeps
 /// concurrent worker responses line-atomic.  Closes the descriptor when
@@ -55,8 +85,8 @@ class ResponseSink {
   /// Write `line` plus a newline, restarting on EINTR and short writes.
   /// A vanished peer (EPIPE with SIGPIPE ignored) is silently dropped;
   /// the request was still executed.
-  void write_line(const std::string& line) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void write_line(const std::string& line) VWSDK_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     std::string out = line;
     out += '\n';
     const char* data = out.data();
@@ -75,9 +105,12 @@ class ResponseSink {
   }
 
  private:
-  int fd_;
-  bool owns_fd_;
-  std::mutex mutex_;
+  const int fd_;       ///< set at construction, closed at destruction
+  const bool owns_fd_;
+  /// Serializes writes so concurrent worker responses stay
+  /// line-atomic; the guarded state is the fd's stream position, not a
+  /// member, hence no VWSDK_GUARDED_BY -- write_line is the only door.
+  Mutex mutex_;
 };
 
 /// Accumulates raw reads and yields complete lines.  A line that grows
@@ -239,24 +272,76 @@ class Server {
   std::atomic<bool> stopping_{false};
 };
 
+/// The self-pipe: created before the handlers are installed, polled by
+/// every event loop.  Publishes its write end through `g_wake_fd` for
+/// the signal handler; the read end is drained (non-blocking) whenever
+/// poll reports it, turning any number of pending signals into one
+/// wakeup.
+class WakePipe {
+ public:
+  WakePipe() {
+    if (::pipe(fds_) != 0) {
+      fds_[0] = fds_[1] = -1;
+      return;
+    }
+    for (const int fd : fds_) {
+      const int flags = ::fcntl(fd, F_GETFL);
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+    g_wake_fd = fds_[1];
+  }
+
+  ~WakePipe() {
+    g_wake_fd = -1;
+    for (const int fd : fds_) {
+      if (fd >= 0) {
+        ::close(fd);
+      }
+    }
+  }
+
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  /// The read end every event loop polls (-1 when construction
+  /// failed; poll ignores negative fds by contract).
+  int read_fd() const { return fds_[0]; }
+
+  /// Infinite when the pipe works (signals become poll events),
+  /// 100 ms polling as a degraded fallback when it does not.
+  int poll_timeout() const {
+    return fds_[0] >= 0 ? kPollForever : kPollFallbackMs;
+  }
+
+  /// Consume every pending wakeup byte (non-blocking).
+  void drain() const {
+    char buffer[64];
+    while (fds_[0] >= 0 && ::read(fds_[0], buffer, sizeof(buffer)) > 0) {
+    }
+  }
+
+ private:
+  int fds_[2];
+};
+
 /// Read fd until EOF/shutdown/signal, feeding `buffer` and dispatching
-/// lines to `server`; 100 ms poll timeouts keep signal response prompt.
-/// Returns false only on a fatal read error.
-bool pump_fd(Server& server, int fd, LineBuffer& buffer,
-             const std::shared_ptr<ResponseSink>& sink) {
+/// lines to `server`; the wake pipe makes signal response prompt even
+/// while blocked in poll.  Returns false only on a fatal read error.
+bool pump_fd(Server& server, int fd, const WakePipe& wake,
+             LineBuffer& buffer, const std::shared_ptr<ResponseSink>& sink) {
   while (true) {
-    if (g_signal.load() != 0) {
+    if (g_signal != 0) {
       server.request_stop();
       return true;
     }
     if (server.stopping()) {
       return true;
     }
-    struct pollfd pfd;
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int ready = ::poll(&pfd, 1, 100);
+    struct pollfd pfds[2];
+    pfds[0] = {wake.read_fd(), POLLIN, 0};
+    pfds[1] = {fd, POLLIN, 0};
+    const int ready = ::poll(pfds, 2, wake.poll_timeout());
     if (ready < 0) {
       if (errno == EINTR) {
         continue;
@@ -266,6 +351,10 @@ bool pump_fd(Server& server, int fd, LineBuffer& buffer,
     }
     if (ready == 0) {
       continue;
+    }
+    if ((pfds[0].revents & POLLIN) != 0) {
+      wake.drain();
+      continue;  // loop top re-checks g_signal
     }
     char chunk[4096];
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
@@ -294,10 +383,10 @@ bool pump_fd(Server& server, int fd, LineBuffer& buffer,
   }
 }
 
-int run_stdio(Server& server) {
+int run_stdio(Server& server, const WakePipe& wake) {
   auto sink = std::make_shared<ResponseSink>(STDOUT_FILENO, false);
   LineBuffer buffer;
-  const bool ok = pump_fd(server, STDIN_FILENO, buffer, sink);
+  const bool ok = pump_fd(server, STDIN_FILENO, wake, buffer, sink);
   server.drain();
   return ok ? 0 : 1;
 }
@@ -309,7 +398,8 @@ struct Client {
   std::shared_ptr<ResponseSink> sink;
 };
 
-int run_socket(Server& server, const std::string& path) {
+int run_socket(Server& server, const WakePipe& wake,
+               const std::string& path) {
   const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     log_warn(cat("serve: socket failed: ", std::strerror(errno)));
@@ -339,16 +429,17 @@ int run_socket(Server& server, const std::string& path) {
   std::map<int, Client> clients;
   bool ok = true;
   while (!server.stopping()) {
-    if (g_signal.load() != 0) {
+    if (g_signal != 0) {
       server.request_stop();
       break;
     }
     std::vector<struct pollfd> pfds;
+    pfds.push_back({wake.read_fd(), POLLIN, 0});
     pfds.push_back({listen_fd, POLLIN, 0});
     for (const auto& [fd, client] : clients) {
       pfds.push_back({fd, POLLIN, 0});
     }
-    const int ready = ::poll(pfds.data(), pfds.size(), 100);
+    const int ready = ::poll(pfds.data(), pfds.size(), wake.poll_timeout());
     if (ready < 0) {
       if (errno == EINTR) {
         continue;
@@ -361,12 +452,16 @@ int run_socket(Server& server, const std::string& path) {
       continue;
     }
     if ((pfds[0].revents & POLLIN) != 0) {
+      wake.drain();
+      continue;  // loop top re-checks g_signal
+    }
+    if ((pfds[1].revents & POLLIN) != 0) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd >= 0) {
         clients[fd].sink = std::make_shared<ResponseSink>(fd, true);
       }
     }
-    for (std::size_t i = 1; i < pfds.size(); ++i) {
+    for (std::size_t i = 2; i < pfds.size(); ++i) {
       if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
         continue;
       }
@@ -417,7 +512,10 @@ int run_server(const ServeOptions& options) {
                 cat("--max-queue must be >= 0 (got ", options.max_queue,
                     ")"));
 
-  g_signal.store(0);
+  // Order matters: the pipe must exist (g_wake_fd published) before a
+  // handler that writes to it can fire.
+  const WakePipe wake;
+  g_signal = 0;
   struct sigaction action;
   std::memset(&action, 0, sizeof(action));
   action.sa_handler = handle_signal;
@@ -427,9 +525,9 @@ int run_server(const ServeOptions& options) {
 
   Server server(options);
   if (options.socket_path.empty()) {
-    return run_stdio(server);
+    return run_stdio(server, wake);
   }
-  return run_socket(server, options.socket_path);
+  return run_socket(server, wake, options.socket_path);
 }
 
 }  // namespace vwsdk

@@ -232,11 +232,15 @@ const MapperRegistry& ServiceApi::mappers() const {
 }
 
 ServiceStats ServiceApi::stats() const {
+  // One MappingCache::stats() call: hits/misses/entries come from a
+  // single lock acquisition, so the snapshot is internally consistent
+  // even while requests are landing (a separate size() call could see
+  // an entry the counter read did not).
   const MappingCacheStats cache_stats = cache_.stats();
   ServiceStats stats;
   stats.cache_hits = cache_stats.hits;
   stats.cache_misses = cache_stats.misses;
-  stats.cache_entries = cache_.size();
+  stats.cache_entries = cache_stats.entries;
   stats.threads = pool_.size();
   return stats;
 }

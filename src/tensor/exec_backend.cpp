@@ -74,7 +74,7 @@ void BackendRegistry::add(RefBackendInfo info) {
   VWSDK_REQUIRE(info.instance != nullptr,
                 cat("backend \"", info.name,
                     "\" registered without an instance function"));
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<std::string> keys{lookup_key(info.name)};
   for (const std::string& alias : info.aliases) {
     keys.push_back(lookup_key(alias));
@@ -101,12 +101,12 @@ void BackendRegistry::add(RefBackendInfo info) {
 }
 
 bool BackendRegistry::contains(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return lookup_.find(lookup_key(name)) != lookup_.end();
 }
 
 const RefBackendInfo& BackendRegistry::info(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = lookup_.find(lookup_key(name));
   if (it == lookup_.end()) {
     throw NotFound(cat("unknown execution backend '", name,
@@ -120,7 +120,7 @@ const RefBackend& BackendRegistry::get(const std::string& name) const {
 }
 
 std::vector<std::string> BackendRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return names_locked();
 }
 
@@ -129,7 +129,7 @@ std::string BackendRegistry::known_names() const {
 }
 
 Count BackendRegistry::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return static_cast<Count>(infos_.size());
 }
 

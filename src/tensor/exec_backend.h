@@ -31,11 +31,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "tensor/conv_ref.h"
 #include "tensor/tensor.h"
 
@@ -109,37 +109,41 @@ class BackendRegistry {
   /// Register a backend.  Throws InvalidArgument on a missing name or
   /// instance function, or when the name or an alias (case-insensitive)
   /// is taken.
-  void add(RefBackendInfo info);
+  void add(RefBackendInfo info) VWSDK_EXCLUDES(mutex_);
 
   /// True when `name` resolves to a registered backend (canonical name
   /// or alias, case-insensitive, surrounding whitespace ignored).
-  bool contains(const std::string& name) const;
+  bool contains(const std::string& name) const VWSDK_EXCLUDES(mutex_);
 
   /// Metadata of the backend `name` resolves to; throws NotFound
   /// listing the known names.  The reference stays valid for the
   /// registry's lifetime.
-  const RefBackendInfo& info(const std::string& name) const;
+  const RefBackendInfo& info(const std::string& name) const
+      VWSDK_EXCLUDES(mutex_);
 
   /// The shared instance of the backend `name` resolves to; throws
   /// NotFound listing the known names.
-  const RefBackend& get(const std::string& name) const;
+  const RefBackend& get(const std::string& name) const
+      VWSDK_EXCLUDES(mutex_);
 
   /// Canonical names, sorted by (sort_key, name).
-  std::vector<std::string> names() const;
+  std::vector<std::string> names() const VWSDK_EXCLUDES(mutex_);
 
   /// The names joined as "a, b" -- what error messages and help embed.
   std::string known_names() const;
 
   /// Number of registered backends.
-  Count size() const;
+  Count size() const VWSDK_EXCLUDES(mutex_);
 
  private:
-  std::vector<std::string> names_locked() const;
+  std::vector<std::string> names_locked() const VWSDK_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// unique_ptr so info() references survive vector growth.
-  std::vector<std::unique_ptr<RefBackendInfo>> infos_;
-  std::unordered_map<std::string, const RefBackendInfo*> lookup_;
+  std::vector<std::unique_ptr<RefBackendInfo>> infos_
+      VWSDK_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, const RefBackendInfo*> lookup_
+      VWSDK_GUARDED_BY(mutex_);
 };
 
 /// Registers `info` into BackendRegistry::instance() at construction.

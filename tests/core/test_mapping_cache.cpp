@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -98,6 +99,80 @@ TEST(MappingCache, ClearDropsEntriesKeepsStats) {
   (void)cache.map(mapper, shape, k512x512);  // recomputes after clear
   EXPECT_EQ(cache.stats().misses, 2);
   EXPECT_EQ(cache.stats().hits, 0);
+}
+
+// Pinning test for the one-lock stats snapshot: `entries` is part of
+// MappingCacheStats precisely so hits/misses/entries come from a single
+// lock acquisition.  Reading size() separately (the old shape) could
+// interleave a concurrent insert and report entries > misses, which is
+// impossible in a consistent snapshot (every entry was created by a
+// miss).
+TEST(MappingCache, StatsSnapshotStaysInternallyConsistent) {
+  const VwSdkMapper mapper;
+  MappingCache cache;
+  std::atomic<bool> done{false};
+  std::thread inserter([&] {
+    for (int i = 0; i < 24; ++i) {
+      const ConvShape shape = ConvShape::square(8 + i, 3, 8, 8);
+      (void)cache.map(mapper, shape, k512x512);
+    }
+    done.store(true);
+  });
+  while (!done.load()) {
+    const MappingCacheStats snapshot = cache.stats();
+    ASSERT_LE(snapshot.entries, snapshot.misses)
+        << "torn snapshot: an entry exists that no recorded miss created";
+  }
+  inserter.join();
+  const MappingCacheStats final_stats = cache.stats();
+  EXPECT_EQ(final_stats.entries, 24);
+  EXPECT_EQ(final_stats.misses, 24);
+  EXPECT_EQ(final_stats.entries, cache.size());
+}
+
+/// Many threads racing many keys (ctest label `stress`): single-flight
+/// must hold per key, with the counters landing exactly on
+/// (distinct keys) misses no matter how the requests interleave.
+TEST(MappingCacheStress, ManyKeysManyThreadsComputeOncePerKey) {
+  constexpr int kKeys = 12;
+  constexpr int kThreads = 8;
+  const VwSdkMapper mapper;
+  MappingCache cache;
+  std::vector<ConvShape> shapes;
+  shapes.reserve(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    shapes.push_back(ConvShape::square(6 + k, 3, 8, 8));
+  }
+  std::vector<std::atomic<int>> computes(kKeys);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &shapes, &cache, &mapper, &computes] {
+      for (int k = 0; k < kKeys; ++k) {
+        // Each thread walks the keys from a different start so every
+        // key sees first-requester races from several threads.
+        const int key = (k + t) % kKeys;
+        const ConvShape& shape = shapes[static_cast<std::size_t>(key)];
+        const MappingDecision decision = cache.get_or_compute(
+            MappingCacheKey{mapper.name(), shape, k512x512}, [&] {
+              ++computes[static_cast<std::size_t>(key)];
+              return mapper.map(shape, k512x512);
+            });
+        EXPECT_EQ(decision, mapper.map(shape, k512x512));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(computes[static_cast<std::size_t>(k)].load(), 1)
+        << "key " << k << " computed more than once";
+  }
+  const MappingCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, kKeys);
+  EXPECT_EQ(stats.hits, kKeys * kThreads - kKeys);
+  EXPECT_EQ(stats.entries, kKeys);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -102,6 +104,107 @@ TEST(Admission, StatsSettleAfterDrain) {
   EXPECT_EQ(stats.busy, 0);
   EXPECT_EQ(stats.queued, 0);
   EXPECT_EQ(stats.accepted, 6);
+}
+
+// ---------------------------------------------------------------------
+// Contention cases (ctest label `stress`).
+// ---------------------------------------------------------------------
+
+/// A reject storm: both workers pinned, eight threads hammering
+/// try_submit far past the bounds.  Accounting must stay exact under
+/// the race -- accepted + rejected equals offered, every accepted task
+/// runs exactly once, nothing rejected ever runs.
+TEST(AdmissionStress, RejectStormAccountingStaysExact) {
+  constexpr int kSubmitters = 8;
+  constexpr int kPerSubmitter = 200;
+  AdmissionQueue queue(2, 2);
+  Gate gate;
+  Gate busy_a;
+  Gate busy_b;
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(queue.try_submit([&] {
+    busy_a.open();
+    gate.wait();
+    ++ran;
+  }));
+  ASSERT_TRUE(queue.try_submit([&] {
+    busy_b.open();
+    gate.wait();
+    ++ran;
+  }));
+  busy_a.wait();
+  busy_b.wait();  // both workers are now inside tasks; only the queue
+                  // slots (2) remain for the storm
+
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        if (queue.try_submit([&ran] { ++ran; })) {
+          ++accepted;
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) {
+    submitter.join();
+  }
+  // Workers were pinned throughout, so the storm could land at most the
+  // two queue slots.
+  EXPECT_LE(accepted.load(), 2);
+
+  gate.open();
+  queue.drain();
+  const AdmissionStats stats = queue.stats();
+  EXPECT_EQ(ran.load(), 2 + accepted.load());
+  EXPECT_EQ(stats.accepted, 2 + accepted.load());
+  EXPECT_EQ(stats.rejected,
+            kSubmitters * kPerSubmitter - accepted.load());
+  EXPECT_EQ(stats.busy, 0);
+  EXPECT_EQ(stats.queued, 0);
+}
+
+/// drain() racing live submitters: whatever try_submit accepted before
+/// the drain began must run to completion; everything after is refused;
+/// the counters agree with the submitters' own tally.
+TEST(AdmissionStress, DrainRacingSubmittersLosesNoAcceptedWork) {
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 500;
+  AdmissionQueue queue(4, 8);
+  std::atomic<int> ran{0};
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        if (queue.try_submit([&ran] { ++ran; })) {
+          ++accepted;
+        }
+      }
+    });
+  }
+  // Drain mid-storm: no synchronization on purpose -- the race with
+  // in-flight try_submit calls is the test.
+  queue.drain();
+  const Count accepted_at_drain = queue.stats().accepted;
+  for (std::thread& submitter : submitters) {
+    submitter.join();
+  }
+
+  const AdmissionStats stats = queue.stats();
+  EXPECT_EQ(ran.load(), accepted.load());
+  EXPECT_EQ(stats.accepted, accepted.load());
+  // drain() set draining_ under the mutex, so nothing was accepted
+  // after it began.
+  EXPECT_EQ(stats.accepted, accepted_at_drain);
+  EXPECT_EQ(stats.accepted + stats.rejected,
+            kSubmitters * kPerSubmitter);
+  EXPECT_EQ(stats.busy, 0);
+  EXPECT_EQ(stats.queued, 0);
+  EXPECT_FALSE(queue.try_submit([&ran] { ++ran; }));
 }
 
 }  // namespace

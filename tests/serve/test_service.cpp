@@ -1,7 +1,10 @@
 #include "serve/service.h"
 
+#include <atomic>
 #include <future>
+#include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -188,6 +191,36 @@ TEST(Service, ParallelIdenticalRequestsSingleFlightTheCache) {
   EXPECT_EQ(stats.cache_misses, layers);
   EXPECT_EQ(stats.cache_hits, (kRequests - 1) * layers);
   EXPECT_EQ(stats.cache_entries, layers);
+}
+
+// Pinning test: ServiceApi::stats() takes ONE MappingCacheStats
+// snapshot (hits/misses/entries under a single lock).  The old shape --
+// stats() then a separate size() call -- could interleave a concurrent
+// layer insert between the two reads and report more entries than
+// misses, which a consistent snapshot can never do.
+TEST(Service, StatsSnapshotStaysConsistentUnderParallelMaps) {
+  ServiceApi api(2);
+  const char* arrays[] = {"128x128", "256x256", "512x512", "64x64"};
+  std::atomic<int> remaining{static_cast<int>(std::size(arrays))};
+  std::vector<std::thread> mappers;
+  for (const char* array : arrays) {
+    mappers.emplace_back([&api, &remaining, array] {
+      MapQuery query = lenet_map();
+      query.array = array;
+      (void)api.map(query);
+      --remaining;
+    });
+  }
+  while (remaining.load() > 0) {
+    const ServiceStats snapshot = api.stats();
+    ASSERT_LE(snapshot.cache_entries, snapshot.cache_misses)
+        << "torn snapshot: an entry exists that no recorded miss created";
+  }
+  for (std::thread& thread : mappers) {
+    thread.join();
+  }
+  const ServiceStats stats = api.stats();
+  EXPECT_EQ(stats.cache_entries, stats.cache_misses);  // no repeats above
 }
 
 TEST(Service, StatsLinesFormatTheFragment) {

@@ -1,0 +1,627 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint: the static checks the compiler cannot express.
+
+Registered as the ctest ``lint.invariants`` (label "lint"), mirroring
+tools/check_doc_comments.py.  Five rules, each enforcing a contract the
+codebase documents elsewhere:
+
+  determinism      no nondeterminism sources (std::rand, time(),
+                   std::random_device, high_resolution_clock) anywhere
+                   in src/ outside common/random.* -- the engine's
+                   byte-identical-results contract depends on it.
+  signal-safety    every function installed as a signal handler in
+                   src/serve/server.cpp touches only async-signal-safe
+                   operations: stores to lock-free atomic (or
+                   `volatile sig_atomic_t`) globals and `write(2)`.
+                   Lock-free atomics are preferred -- the handler runs
+                   on whichever thread receives the signal while the
+                   daemon loop reads the flag from another, and
+                   sig_atomic_t is signal-safe but not thread-safe.
+  mutex-annotations  concurrent code locks through the annotated
+                   vwsdk::Mutex wrappers (common/mutex.h): no raw
+                   std::mutex / std::lock_guard / std::condition_variable
+                   outside that header, and every Mutex member is named
+                   by at least one VWSDK_GUARDED_BY / VWSDK_REQUIRES /
+                   VWSDK_EXCLUDES annotation in its file.
+  error-codes      the wire names returned by error_code_name() in
+                   src/common/error.cpp match the error-code table in
+                   docs/SERVE.md exactly (both directions).
+  registry-hygiene every mapper/backend .cpp registers itself exactly
+                   once, and the linker-anchor bootstrap in the registry
+                   .cpp declares and calls each anchor exactly once --
+                   a silently dropped registration is invisible at
+                   compile time and only fails at a distant call site.
+  doc-links        every docs/*.md page is linked from README.md or
+                   another docs page -- an orphaned page silently rots.
+
+``--self-test`` first runs every rule against embedded known-bad
+snippets and fails if any rule has gone blind; then the real tree is
+linted.  Rules operate on an in-memory {path: text} tree so the
+self-tests need no temporary files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Infrastructure: rules see a Tree = dict[str, str] of repo-relative
+# posix paths to file text, pre-filtered to the files lint cares about.
+# --------------------------------------------------------------------------
+
+Failure = str  # "path:line: message"
+
+
+def strip_comments(text: str) -> str:
+    """C++ text with // and /* */ comments blanked (newlines kept, so
+    line numbers survive).  String literals are not parsed; the banned
+    tokens do not legitimately appear inside strings in this repo."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:end]))
+            i = end
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def find_all(pattern: str, text: str) -> list[re.Match]:
+    return list(re.finditer(pattern, text, re.MULTILINE))
+
+
+# --------------------------------------------------------------------------
+# Rule: determinism
+# --------------------------------------------------------------------------
+
+DETERMINISM_ALLOWED = ("src/common/random.h", "src/common/random.cpp")
+
+# Token -> human name.  `time(` is matched as a call (optionally
+# ::-qualified) not preceded by an identifier character or member
+# access, so wall_time(...) and obj.time(...) stay legal.
+DETERMINISM_BANNED = [
+    (r"\bstd::rand\b", "std::rand"),
+    (r"(?:::|(?<![\w.:]))s?rand\s*\(", "rand()/srand()"),
+    (r"\brandom_device\b", "std::random_device"),
+    (r"\bhigh_resolution_clock\b", "high_resolution_clock"),
+    (r"(?:::|(?<![\w.:]))time\s*\(", "time()"),
+]
+
+
+def rule_determinism(tree: dict[str, str]) -> list[Failure]:
+    """Nondeterminism sources are confined to common/random -- every
+    other src/ file must produce byte-identical output run to run."""
+    failures = []
+    for path, text in sorted(tree.items()):
+        if not path.startswith("src/") or path in DETERMINISM_ALLOWED:
+            continue
+        if not path.endswith((".h", ".cpp")):
+            continue
+        code = strip_comments(text)
+        for pattern, name in DETERMINISM_BANNED:
+            for match in find_all(pattern, code):
+                failures.append(
+                    f"{path}:{line_of(code, match.start())}: nondeterminism "
+                    f"source {name} outside common/random (determinism "
+                    "contract, docs/CONCURRENCY.md)")
+    return failures
+
+
+# --------------------------------------------------------------------------
+# Rule: signal-safety
+# --------------------------------------------------------------------------
+
+SERVER_CPP = "src/serve/server.cpp"
+
+
+def function_body(code: str, name: str) -> tuple[str, int] | None:
+    """The brace-balanced body of `name(...) {...}` and its offset."""
+    match = re.search(rf"\b{re.escape(name)}\s*\([^)]*\)\s*{{", code)
+    if not match:
+        return None
+    start = match.end() - 1
+    depth = 0
+    for i in range(start, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return code[start + 1:i], start + 1
+    return None
+
+
+def rule_signal_safety(tree: dict[str, str]) -> list[Failure]:
+    """Signal handlers may only store to lock-free atomic / volatile
+    sig_atomic_t globals and call write(2) -- the async-signal-safe
+    vocabulary."""
+    text = tree.get(SERVER_CPP)
+    if text is None:
+        return [f"{SERVER_CPP}:1: file missing (signal-safety rule has "
+                "nothing to check; update vwsdk_lint.py if it moved)"]
+    code = strip_comments(text)
+
+    handlers = set()
+    for match in find_all(r"\bsa_handler\s*=\s*(\w+)", code):
+        handlers.add(match.group(1))
+    for match in find_all(r"\bsignal\s*\(\s*\w+\s*,\s*(\w+)\s*\)", code):
+        handlers.add(match.group(1))
+    handlers -= {"SIG_IGN", "SIG_DFL"}
+    if not handlers:
+        return [f"{SERVER_CPP}:1: no signal handler found (the daemon "
+                "must install SIGINT/SIGTERM handlers; update "
+                "vwsdk_lint.py if installation moved)"]
+
+    sig_atomic_globals = {
+        m.group(1)
+        for m in find_all(
+            r"volatile\s+(?:std::)?sig_atomic_t\s+(\w+)", code)
+    }
+    sig_atomic_globals |= {
+        m.group(1)
+        for m in find_all(
+            r"std::atomic<\s*(?:int|(?:std::)?sig_atomic_t)\s*>\s+(\w+)",
+            code)
+    }
+
+    failures = []
+    for handler in sorted(handlers):
+        body_at = function_body(code, handler)
+        if body_at is None:
+            failures.append(f"{SERVER_CPP}:1: signal handler '{handler}' "
+                            "has no body in this file")
+            continue
+        body, offset = body_at
+        # Every call in the body must be write(); everything else on
+        # the async-signal-safe list this repo needs is an operator.
+        for match in find_all(r"(?<![\w.:])(\w+)\s*\(", body):
+            callee = match.group(1)
+            if callee in ("write", "if", "while", "for", "switch",
+                          "return", "sizeof"):
+                continue
+            failures.append(
+                f"{SERVER_CPP}:{line_of(code, offset + match.start())}: "
+                f"signal handler '{handler}' calls '{callee}' -- only "
+                "write(2) is async-signal-safe here")
+        # Every assignment target that is not a body-local variable
+        # must be a volatile sig_atomic_t global.
+        locals_ = {
+            m.group(1)
+            for m in find_all(
+                r"(?:const\s+)?(?:int|char|ssize_t|long)\s+(\w+)\s*=", body)
+        }
+        for match in find_all(r"(?<![\w.:=!<>])(\w+)\s*=[^=]", body):
+            target = match.group(1)
+            if target in locals_ or target in ("const", "int", "char",
+                                               "ssize_t", "long"):
+                continue
+            if target not in sig_atomic_globals:
+                failures.append(
+                    f"{SERVER_CPP}:{line_of(code, offset + match.start())}: "
+                    f"signal handler '{handler}' writes '{target}', which "
+                    "is not a volatile sig_atomic_t global")
+    return failures
+
+
+# --------------------------------------------------------------------------
+# Rule: mutex-annotations
+# --------------------------------------------------------------------------
+
+MUTEX_HOME = "src/common/mutex.h"
+RAW_LOCK_TOKENS = [
+    r"\bstd::mutex\b", r"\bstd::recursive_mutex\b", r"\bstd::shared_mutex\b",
+    r"\bstd::condition_variable\b", r"\bstd::condition_variable_any\b",
+    r"\bstd::lock_guard\b", r"\bstd::unique_lock\b", r"\bstd::scoped_lock\b",
+]
+
+
+def rule_mutex_annotations(tree: dict[str, str]) -> list[Failure]:
+    """Raw standard locking types are confined to common/mutex.h; every
+    vwsdk::Mutex member is named by at least one thread-safety
+    annotation in its file (an unannotated mutex guards nothing the
+    compiler can check)."""
+    failures = []
+    for path, text in sorted(tree.items()):
+        if not path.startswith("src/") or path == MUTEX_HOME:
+            continue
+        if not path.endswith((".h", ".cpp")):
+            continue
+        code = strip_comments(text)
+        for token in RAW_LOCK_TOKENS:
+            for match in find_all(token, code):
+                failures.append(
+                    f"{path}:{line_of(code, match.start())}: raw "
+                    f"{match.group(0)} -- use the annotated vwsdk::Mutex / "
+                    "MutexLock / CondVar (common/mutex.h) so clang "
+                    "-Wthread-safety can check the locking")
+        for match in find_all(
+                r"(?:^|\s)(?:mutable\s+)?Mutex\s+(\w+)\s*;", code):
+            name = match.group(1)
+            used = re.search(
+                r"VWSDK_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|EXCLUDES|"
+                r"ACQUIRE|RELEASE)\s*\(\s*" + re.escape(name), code)
+            if not used:
+                failures.append(
+                    f"{path}:{line_of(code, match.start(1))}: Mutex "
+                    f"'{name}' has no VWSDK_GUARDED_BY/REQUIRES/EXCLUDES "
+                    "user in this file -- annotate what it protects")
+    return failures
+
+
+# --------------------------------------------------------------------------
+# Rule: error-codes
+# --------------------------------------------------------------------------
+
+ERROR_CPP = "src/common/error.cpp"
+SERVE_MD = "docs/SERVE.md"
+
+
+def rule_error_codes(tree: dict[str, str]) -> list[Failure]:
+    """error_code_name()'s wire names and the docs/SERVE.md error table
+    must agree exactly -- the table is the protocol's normative list."""
+    code_text = tree.get(ERROR_CPP)
+    doc_text = tree.get(SERVE_MD)
+    failures = []
+    if code_text is None:
+        return [f"{ERROR_CPP}:1: file missing (error-codes rule)"]
+    if doc_text is None:
+        return [f"{SERVE_MD}:1: file missing (error-codes rule)"]
+
+    body_at = function_body(strip_comments(code_text), "error_code_name")
+    if body_at is None:
+        return [f"{ERROR_CPP}:1: error_code_name() not found"]
+    in_code = {m.group(1)
+               for m in find_all(r'return\s+"([a-z_]+)"', body_at[0])}
+
+    # Error-table rows are the only SERVE.md rows whose last cell is a
+    # bare exit-code integer: | `name` | meaning | 2 |
+    in_docs = {m.group(1)
+               for m in find_all(r"^\|\s*`([a-z_]+)`\s*\|[^|]*\|\s*\d+\s*\|",
+                                 doc_text)}
+    if not in_docs:
+        return [f"{SERVE_MD}:1: no error-code table rows found (the "
+                "`| `code` | meaning | exit |` table moved or changed "
+                "shape; update vwsdk_lint.py)"]
+    for name in sorted(in_code - in_docs):
+        failures.append(f"{SERVE_MD}:1: wire name '{name}' returned by "
+                        f"error_code_name() is missing from the error table")
+    for name in sorted(in_docs - in_code):
+        failures.append(f"{SERVE_MD}:1: documented error code '{name}' is "
+                        f"not a wire name error_code_name() returns")
+    return failures
+
+
+# --------------------------------------------------------------------------
+# Rule: registry-hygiene
+# --------------------------------------------------------------------------
+
+REGISTRIES = [
+    # (bootstrap file, registrar-fn pattern, files that must self-register)
+    ("src/core/mapper_registry.cpp", r"register_\w+_mapper",
+     r"src/core/\w+_mapper\.cpp"),
+    ("src/tensor/exec_backend.cpp", r"register_\w+_backend",
+     r"src/tensor/\w+_backend\.cpp"),
+]
+
+
+def rule_registry_hygiene(tree: dict[str, str]) -> list[Failure]:
+    """Each mapper/backend translation unit calls registry.add exactly
+    once inside exactly one register_* anchor, and the bootstrap
+    declares + calls every anchor exactly once (the linker anchor is
+    what keeps a static-library registration from being dropped)."""
+    failures = []
+    for bootstrap_path, anchor_pat, unit_pat in REGISTRIES:
+        bootstrap = tree.get(bootstrap_path)
+        if bootstrap is None:
+            failures.append(f"{bootstrap_path}:1: file missing "
+                            "(registry-hygiene rule)")
+            continue
+        bcode = strip_comments(bootstrap)
+
+        declared = [m.group(1) for m in find_all(
+            rf"void\s+({anchor_pat})\s*\([^)]*\)\s*;", bcode)]
+        called = [m.group(1) for m in find_all(
+            rf"(?:detail::)?({anchor_pat})\s*\(\s*(?:built|registry)\s*\)",
+            bcode)]
+        for anchor in declared:
+            if called.count(anchor) != 1:
+                failures.append(
+                    f"{bootstrap_path}:1: anchor '{anchor}' is declared but "
+                    f"called {called.count(anchor)} times in the bootstrap "
+                    "(must be exactly once)")
+        for anchor in called:
+            if anchor not in declared:
+                failures.append(
+                    f"{bootstrap_path}:1: bootstrap calls '{anchor}' "
+                    "without a forward declaration anchor")
+
+        defined: dict[str, str] = {}
+        for path, text in sorted(tree.items()):
+            if not re.fullmatch(unit_pat, path) and path != bootstrap_path:
+                continue
+            code = strip_comments(text)
+            definitions = [m.group(1) for m in find_all(
+                rf"void\s+({anchor_pat})\s*\([^)]*\)\s*{{", code)]
+            adds = len(find_all(r"\bregistry\s*\.\s*add\s*\(", code))
+            if path != bootstrap_path and not definitions:
+                failures.append(
+                    f"{path}:1: defines no register_* anchor -- the "
+                    "registry bootstrap cannot pull this unit from the "
+                    "static library")
+                continue
+            if adds != len(definitions):
+                failures.append(
+                    f"{path}:1: {adds} registry.add call(s) across "
+                    f"{len(definitions)} register_* definition(s) -- each "
+                    "anchor must register exactly once")
+            for name in definitions:
+                if name in defined:
+                    failures.append(
+                        f"{path}:1: anchor '{name}' is defined here and in "
+                        f"{defined[name]} -- duplicate registration")
+                defined[name] = path
+
+        for anchor in declared:
+            if anchor not in defined:
+                failures.append(
+                    f"{bootstrap_path}:1: anchor '{anchor}' has no "
+                    "definition in any registered translation unit")
+        for anchor, path in sorted(defined.items()):
+            if path != bootstrap_path and anchor not in declared:
+                failures.append(
+                    f"{path}:1: anchor '{anchor}' is defined but the "
+                    "bootstrap never declares/calls it -- the linker may "
+                    "silently drop this registration")
+    return failures
+
+
+# --------------------------------------------------------------------------
+# Rule: doc-links
+# --------------------------------------------------------------------------
+
+
+def rule_doc_links(tree: dict[str, str]) -> list[Failure]:
+    """Every docs/*.md page is referenced by name from README.md or
+    from another docs page -- no orphaned documentation."""
+    failures = []
+    doc_pages = [p for p in tree if p.startswith("docs/")
+                 and p.endswith(".md")]
+    for page in sorted(doc_pages):
+        name = page.split("/", 1)[1]
+        referenced = False
+        for other, text in tree.items():
+            if other == page:
+                continue
+            if (other == "README.md" or
+                    (other.startswith("docs/") and other.endswith(".md"))):
+                if name in text:
+                    referenced = True
+                    break
+        if not referenced:
+            failures.append(f"{page}:1: not linked from README.md or any "
+                            "other docs page (orphaned documentation)")
+    return failures
+
+
+# --------------------------------------------------------------------------
+# Self-tests: one known-bad snippet per rule; a rule that stays silent
+# on its bad snippet has gone blind and the lint run fails.
+# --------------------------------------------------------------------------
+
+GOOD_SERVER = """
+volatile std::sig_atomic_t g_signal = 0;
+extern "C" void handle_signal(int signum) { g_signal = signum; }
+int run() {
+  struct sigaction action;
+  action.sa_handler = handle_signal;
+  return 0;
+}
+"""
+
+GOOD_SERVER_ATOMIC = """
+std::atomic<int> g_signal{0};
+std::atomic<int> g_wake_fd{-1};
+extern "C" void handle_signal(int signum) {
+  g_signal = signum;
+  const int fd = g_wake_fd;
+  if (fd >= 0) {
+    const char byte = 1;
+    const ssize_t ignored = ::write(fd, &byte, 1);
+    (void)ignored;
+  }
+}
+int run() {
+  struct sigaction action;
+  action.sa_handler = handle_signal;
+  return 0;
+}
+"""
+
+SELF_TESTS = [
+    ("determinism", rule_determinism, {
+        "src/core/foo.cpp": "int f() { return std::rand(); }",
+    }),
+    ("determinism", rule_determinism, {
+        "src/sim/t.cpp": "long n = ::time(nullptr);",
+    }),
+    ("signal-safety", rule_signal_safety, {
+        SERVER_CPP: """
+volatile std::sig_atomic_t g_signal = 0;
+extern "C" void handle_signal(int signum) {
+  g_signal = signum;
+  printf("caught\\n");
+}
+int run() { struct sigaction a; a.sa_handler = handle_signal; return 0; }
+""",
+    }),
+    ("signal-safety", rule_signal_safety, {
+        SERVER_CPP: """
+int g_plain = 0;
+extern "C" void handle_signal(int signum) { g_plain = signum; }
+int run() { struct sigaction a; a.sa_handler = handle_signal; return 0; }
+""",
+    }),
+    ("mutex-annotations", rule_mutex_annotations, {
+        "src/core/bad.h": "class C { std::mutex mutex_; };",
+    }),
+    ("mutex-annotations", rule_mutex_annotations, {
+        "src/core/bad.h":
+            "class C { Mutex mutex_; int x; };",  # no GUARDED_BY user
+    }),
+    ("error-codes", rule_error_codes, {
+        ERROR_CPP: 'const char* error_code_name(ErrorCode c) {'
+                   ' return "zombie_code"; }',
+        SERVE_MD: "| `runtime` | boom | 1 |",
+    }),
+    ("registry-hygiene", rule_registry_hygiene, {
+        "src/core/mapper_registry.cpp": """
+void register_good_mapper(MapperRegistry& registry);
+void bootstrap() { register_good_mapper(built); }
+""",
+        # registers twice inside one anchor
+        "src/core/good_mapper.cpp": """
+void register_good_mapper(MapperRegistry& registry) {
+  registry.add(a);
+  registry.add(b);
+}
+""",
+        "src/tensor/exec_backend.cpp": "",
+    }),
+    ("registry-hygiene", rule_registry_hygiene, {
+        "src/core/mapper_registry.cpp": """
+void register_good_mapper(MapperRegistry& registry);
+void bootstrap() { register_good_mapper(built); }
+""",
+        "src/core/good_mapper.cpp": """
+void register_good_mapper(MapperRegistry& registry) { registry.add(a); }
+""",
+        # orphan: defined, never anchored -> linker may drop it
+        "src/core/orphan_mapper.cpp": """
+void register_orphan_mapper(MapperRegistry& registry) { registry.add(a); }
+""",
+        "src/tensor/exec_backend.cpp": "",
+    }),
+    ("doc-links", rule_doc_links, {
+        "README.md": "see docs/CLI.md",
+        "docs/CLI.md": "the CLI",
+        "docs/ORPHAN.md": "nobody links here",
+    }),
+]
+
+# Clean fixtures: every rule must also stay *silent* on a minimal good
+# tree, or it would fail the real run with false positives.
+CLEAN_TREES = [
+    (rule_determinism, {
+        "src/common/random.cpp": "int x = std::random_device{}();",
+        "src/core/ok.cpp": "Cycles wall_time(int t);  // time() in comment",
+    }),
+    (rule_signal_safety, {SERVER_CPP: GOOD_SERVER}),
+    (rule_signal_safety, {SERVER_CPP: GOOD_SERVER_ATOMIC}),
+    (rule_mutex_annotations, {
+        "src/common/mutex.h": "class Mutex { std::mutex m_; };",
+        "src/core/ok.h":
+            "class C { Mutex mutex_; int x VWSDK_GUARDED_BY(mutex_); };",
+    }),
+    (rule_error_codes, {
+        ERROR_CPP: 'const char* error_code_name(ErrorCode c) {'
+                   ' return "runtime"; }',
+        SERVE_MD: "| `runtime` | boom | 1 |",
+    }),
+    (rule_doc_links, {
+        "README.md": "see docs/CLI.md",
+        "docs/CLI.md": "the CLI",
+    }),
+]
+
+
+def run_self_tests() -> list[str]:
+    problems = []
+    for name, rule, tree in SELF_TESTS:
+        if not rule(tree):
+            problems.append(
+                f"self-test: rule '{name}' did not fire on its known-bad "
+                "snippet -- the rule has gone blind")
+    for rule, tree in CLEAN_TREES:
+        failures = rule(tree)
+        if failures:
+            problems.append(
+                f"self-test: rule '{rule.__name__}' false-positives on a "
+                f"clean tree: {failures[0]}")
+    return problems
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+RULES = [
+    ("determinism", rule_determinism),
+    ("signal-safety", rule_signal_safety),
+    ("mutex-annotations", rule_mutex_annotations),
+    ("error-codes", rule_error_codes),
+    ("registry-hygiene", rule_registry_hygiene),
+    ("doc-links", rule_doc_links),
+]
+
+
+def load_tree(root: Path) -> dict[str, str]:
+    tree: dict[str, str] = {}
+    patterns = ["src/**/*.h", "src/**/*.cpp", "docs/*.md", "README.md"]
+    for pattern in patterns:
+        for path in root.glob(pattern):
+            tree[path.relative_to(root).as_posix()] = path.read_text(
+                encoding="utf-8")
+    return tree
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=Path("."),
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on known-bad input "
+                             "before linting the real tree")
+    parser.add_argument("--rule", action="append", default=None,
+                        help="run only the named rule(s)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        problems = run_self_tests()
+        for problem in problems:
+            print(problem)
+        if problems:
+            return 1
+        print(f"vwsdk_lint self-test: {len(SELF_TESTS)} bad-snippet + "
+              f"{len(CLEAN_TREES)} clean-tree checks passed")
+
+    tree = load_tree(args.root)
+    if not any(p.startswith("src/") for p in tree):
+        sys.exit(f"no src/ files found under {args.root} -- wrong --root?")
+
+    failures: list[Failure] = []
+    for name, rule in RULES:
+        if args.rule and name not in args.rule:
+            continue
+        failures.extend(rule(tree))
+    for failure in failures:
+        print(failure)
+    print(f"vwsdk_lint: {len(tree)} file(s), {len(failures)} problem(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
