@@ -60,7 +60,10 @@ void add_net_options(ArgParser& args) {
 
 /// The one ServiceApi behind a one-shot subcommand run.
 ServiceApi service_from_args(const ArgParser& args) {
-  return ServiceApi(static_cast<int>(args.get_int("threads")));
+  // Bounded so --threads 4294967296 fails instead of wrapping to 0
+  // (which silently means "auto-detect").
+  return ServiceApi(static_cast<int>(
+      int_in_range(args, "threads", 0, std::numeric_limits<int>::max())));
 }
 
 /// The `--stats` stderr line, printed after the subcommand's output so
@@ -828,7 +831,8 @@ int run_serve(int argc, const char* const* argv) {
       static_cast<int>(int_in_range(args, "max-inflight", 1, 1024));
   options.max_queue =
       static_cast<int>(int_in_range(args, "max-queue", 0, 1 << 20));
-  options.threads = static_cast<int>(args.get_int("threads"));
+  options.threads = static_cast<int>(
+      int_in_range(args, "threads", 0, std::numeric_limits<int>::max()));
   return run_server(options);
 }
 

@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
 
     const ConvShape shape = shape_from_args(args);
     const ArrayGeometry geometry = array_from_args(args);
-    const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const auto seed =
+        static_cast<std::uint64_t>(int_in_range(args, "seed", 0));
 
     bool all_exact = true;
     for (const char* name : {"im2col", "smd", "sdk", "vw-sdk"}) {
@@ -49,7 +50,10 @@ int main(int argc, char** argv) {
 
     // Non-ideal execution, if requested.
     const double noise_sigma = std::stod(args.get("noise"));
-    const auto adc_bits = static_cast<int>(args.get_int("adc-bits"));
+    // Bounded to ConverterModel's [1, 30] (0 = ideal): an out-of-range
+    // value must fail, not truncate to 0 and silently skip quantization.
+    const auto adc_bits =
+        static_cast<int>(int_in_range(args, "adc-bits", 0, 30));
     if (adc_bits > 0 || noise_sigma > 0.0) {
       ExecutionOptions options;
       if (adc_bits > 0) {

@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
     }
 
     const ArrayGeometry geometry = array_from_args(args);
-    const Dim image = static_cast<Dim>(args.get_int("image"));
-    const Dim channels = static_cast<Dim>(args.get_int("channels"));
+    const Dim image = dim_in_range(args, "image", 3);
+    const Dim channels = dim_in_range(args, "channels", 1);
 
     // Depthwise 3x3 (G = channels) followed by pointwise 1x1 (dense).
     const GroupedConvShape depthwise{

@@ -1,0 +1,201 @@
+#pragma once
+
+/// @file checked_math.h
+/// Overflow-checked 64-bit integer arithmetic for the accounting paths.
+///
+/// Every headline number in this reproduction is a product chain:
+/// cycles = N_pw x AR x AC (Eq. (8)), grouped layers scale by G, chip
+/// plans by batch, and the traffic planner doubles replica counts.  A
+/// silent int64 wrap in any of those turns a Pareto frontier into quiet
+/// garbage without failing a test, so the house rule (see
+/// docs/STATIC_ANALYSIS.md) is that accounting arithmetic goes through
+/// these helpers:
+///
+///  * `try_mul` / `try_add`    -- bool-returning, full signed domain, for
+///                                callers that handle overflow inline;
+///  * `checked_mul` / `checked_add` / `checked_ceil_div`
+///                             -- throwing: non-negative operands
+///                                (InvalidArgument otherwise), `Overflow`
+///                                when the result exceeds INT64_MAX;
+///  * `saturating_mul` / `saturating_add`
+///                             -- clamp to the int64 range, for diagnostic
+///                                quantities where a pegged value is more
+///                                useful than an exception;
+///  * `checked_cast<To>`       -- narrowing conversion that throws
+///                                `Overflow` instead of truncating.
+///
+/// Detection uses `__builtin_*_overflow` on GCC/Clang (single instruction
+/// plus a flag test) with a portable divide-based fallback elsewhere.
+/// Everything is constexpr: an overflowing constant expression fails to
+/// compile instead of wrapping.
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace vwsdk {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define VWSDK_HAS_BUILTIN_OVERFLOW 1
+#else
+#define VWSDK_HAS_BUILTIN_OVERFLOW 0
+#endif
+
+namespace detail {
+
+/// True iff a * b is not representable in int64.  Portable formulation
+/// used where the compiler builtins are unavailable; division-based, so
+/// it never executes an overflowing operation itself.
+constexpr bool mul_overflows_portable(std::int64_t a, std::int64_t b) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  if (a == 0 || b == 0) {
+    return false;
+  }
+  if (a > 0) {
+    if (b > 0) {
+      return a > kMax / b;
+    }
+    return b < kMin / a;
+  }
+  if (b > 0) {
+    return a < kMin / b;
+  }
+  // a < 0 and b < 0: the product is positive; truncating division by a
+  // negative divisor rounds toward zero, so a < kMax / b iff a*b > kMax.
+  return a < kMax / b;
+}
+
+}  // namespace detail
+
+/// a * b with overflow detection over the full signed domain.  Returns
+/// false (leaving `out` untouched) iff the product is unrepresentable.
+constexpr bool try_mul(std::int64_t a, std::int64_t b, std::int64_t& out) {
+#if VWSDK_HAS_BUILTIN_OVERFLOW
+  std::int64_t result = 0;
+  if (__builtin_mul_overflow(a, b, &result)) {
+    return false;
+  }
+  out = result;
+  return true;
+#else
+  if (detail::mul_overflows_portable(a, b)) {
+    return false;
+  }
+  out = a * b;
+  return true;
+#endif
+}
+
+/// a + b with overflow detection over the full signed domain.  Returns
+/// false (leaving `out` untouched) iff the sum is unrepresentable.
+constexpr bool try_add(std::int64_t a, std::int64_t b, std::int64_t& out) {
+#if VWSDK_HAS_BUILTIN_OVERFLOW
+  std::int64_t result = 0;
+  if (__builtin_add_overflow(a, b, &result)) {
+    return false;
+  }
+  out = result;
+  return true;
+#else
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  if ((b > 0 && a > kMax - b) || (b < 0 && a < kMin - b)) {
+    return false;
+  }
+  out = a + b;
+  return true;
+#endif
+}
+
+/// Overflow-checked multiplication of non-negative counts.  Negative
+/// operands violate the accounting domain and throw `InvalidArgument`;
+/// an unrepresentable product throws `Overflow` (ErrorCode::kOverflow).
+constexpr std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  if (a < 0 || b < 0) {
+    throw InvalidArgument(
+        cat("checked_mul requires non-negative operands, got ", a, " * ", b));
+  }
+  std::int64_t result = 0;
+  if (!try_mul(a, b, result)) {
+    throw Overflow(cat("checked_mul overflow: ", a, " * ", b,
+                       " exceeds INT64_MAX"));
+  }
+  return result;
+}
+
+/// Overflow-checked addition of non-negative counts.  Negative operands
+/// throw `InvalidArgument`; an unrepresentable sum throws `Overflow`.
+constexpr std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  if (a < 0 || b < 0) {
+    throw InvalidArgument(
+        cat("checked_add requires non-negative operands, got ", a, " + ", b));
+  }
+  std::int64_t result = 0;
+  if (!try_add(a, b, result)) {
+    throw Overflow(cat("checked_add overflow: ", a, " + ", b,
+                       " exceeds INT64_MAX"));
+  }
+  return result;
+}
+
+/// ceil(a / b) for a >= 0, b > 0, formulated as `a/b + (a%b != 0)` so no
+/// intermediate (the classic `a + b - 1`) can overflow anywhere in the
+/// valid domain.  b <= 0 -- including divide-by-zero -- throws
+/// `InvalidArgument`, as does a < 0.
+constexpr std::int64_t checked_ceil_div(std::int64_t a, std::int64_t b) {
+  if (a < 0 || b <= 0) {
+    throw InvalidArgument(
+        cat("checked_ceil_div requires a >= 0 and b > 0, got ", a, " / ", b));
+  }
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+/// a * b clamped into the int64 range instead of throwing.  For
+/// diagnostic quantities (progress totals, report denominators) where a
+/// pegged INT64_MAX reads better than an exception.
+constexpr std::int64_t saturating_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t result = 0;
+  if (try_mul(a, b, result)) {
+    return result;
+  }
+  const bool negative = (a < 0) != (b < 0);
+  return negative ? std::numeric_limits<std::int64_t>::min()
+                  : std::numeric_limits<std::int64_t>::max();
+}
+
+/// a + b clamped into the int64 range instead of throwing.
+constexpr std::int64_t saturating_add(std::int64_t a, std::int64_t b) {
+  std::int64_t result = 0;
+  if (try_add(a, b, result)) {
+    return result;
+  }
+  return b > 0 ? std::numeric_limits<std::int64_t>::max()
+               : std::numeric_limits<std::int64_t>::min();
+}
+
+/// Narrowing integer conversion that throws `Overflow` when `value` does
+/// not fit `To`, instead of truncating bits like `static_cast` does.
+/// The guard rail for int64 -> Dim (int32) and int64 -> int conversions
+/// at API boundaries (CLI flags, protocol fields, report counters).
+template <typename To, typename From>
+constexpr To checked_cast(From value) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "checked_cast is for integer types");
+  static_assert(std::is_signed_v<To> && std::is_signed_v<From>,
+                "checked_cast is defined for signed integers (Count, Dim)");
+  // Compare in int64 (the widest type in play) so neither bound is
+  // itself truncated by the comparison.
+  const auto wide = static_cast<std::int64_t>(value);
+  if (wide < static_cast<std::int64_t>(std::numeric_limits<To>::min()) ||
+      wide > static_cast<std::int64_t>(std::numeric_limits<To>::max())) {
+    throw Overflow(cat("checked_cast: value ", value,
+                       " does not fit the destination type"));
+  }
+  return static_cast<To>(value);
+}
+
+}  // namespace vwsdk

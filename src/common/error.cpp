@@ -53,6 +53,8 @@ const char* error_code_name(ErrorCode code) {
       return "overloaded";
     case ErrorCode::kShuttingDown:
       return "shutting_down";
+    case ErrorCode::kOverflow:
+      return "overflow";
   }
   return "runtime";  // unreachable for valid enumerators
 }
@@ -69,6 +71,9 @@ ErrorCode classify_exception(const std::exception& e) {
   if (dynamic_cast<const InternalError*>(&e) != nullptr) {
     return ErrorCode::kInternal;
   }
+  if (dynamic_cast<const Overflow*>(&e) != nullptr) {
+    return ErrorCode::kOverflow;
+  }
   return ErrorCode::kRuntime;
 }
 
@@ -79,6 +84,7 @@ bool is_usage_error(ErrorCode code) {
     case ErrorCode::kBadRequest:
     case ErrorCode::kUnknownOp:
     case ErrorCode::kTooLarge:
+    case ErrorCode::kOverflow:
       return true;
     case ErrorCode::kInternal:
     case ErrorCode::kRuntime:

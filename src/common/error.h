@@ -40,6 +40,16 @@ class NotFound : public Error {
   explicit NotFound(const std::string& what_arg) : Error(what_arg) {}
 };
 
+/// An arithmetic result is not representable in its type.  Thrown by the
+/// checked_* helpers in common/checked_math.h when a cycle/energy/capacity
+/// product or sum would exceed INT64_MAX: the configuration is structurally
+/// valid but its accounting does not fit, so the caller gets a structured
+/// error instead of a wrapped (negative) total.
+class Overflow : public Error {
+ public:
+  explicit Overflow(const std::string& what_arg) : Error(what_arg) {}
+};
+
 /// Stable machine-readable error categories, shared by every error
 /// surface: the CLI maps them to process exit codes (0/1/2, see
 /// core/cli_support.h) and `vwsdk serve` embeds their names in JSON
@@ -59,20 +69,23 @@ enum class ErrorCode {
   kUnknownOp,    ///< a well-formed request naming an unregistered op
   kTooLarge,     ///< request line beyond the protocol size limit
   kOverloaded,   ///< rejected by admission control, retry later
-  kShuttingDown  ///< arrived after drain began; the daemon is exiting
+  kShuttingDown,  ///< arrived after drain began; the daemon is exiting
+  // Appended after the serve codes (the enum is append-only).
+  kOverflow  ///< Overflow: an accounting result exceeds INT64_MAX
 };
 
 /// The stable wire name of `code` ("invalid_argument", "overloaded", ...).
 const char* error_code_name(ErrorCode code);
 
 /// Classify a caught exception into its ErrorCode category:
-/// InvalidArgument / NotFound / InternalError map to their own codes and
-/// everything else (vwsdk::Error or any std::exception) to kRuntime.
+/// InvalidArgument / NotFound / InternalError / Overflow map to their own
+/// codes and everything else (vwsdk::Error or any std::exception) to
+/// kRuntime.
 ErrorCode classify_exception(const std::exception& e);
 
 /// True for the codes that mean "the caller asked for something wrong"
-/// (kInvalidArgument, kNotFound, and the serve request-level codes
-/// except kOverloaded/kShuttingDown); the CLI turns these into exit
+/// (kInvalidArgument, kNotFound, kOverflow, and the serve request-level
+/// codes except kOverloaded/kShuttingDown); the CLI turns these into exit
 /// code 2 and everything else into exit code 1.
 bool is_usage_error(ErrorCode code);
 

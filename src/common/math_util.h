@@ -11,17 +11,24 @@
 #include <limits>
 #include <vector>
 
+#include "common/checked_math.h"
 #include "common/error.h"
 #include "common/types.h"
 
 namespace vwsdk {
 
+// The overflow-checked primitives -- checked_mul, checked_add,
+// checked_ceil_div, try_mul/try_add, the saturating variants, and
+// checked_cast -- live in common/checked_math.h and are re-exported
+// through this header so the ~50 existing cost-model call sites keep
+// compiling unchanged.
+
 /// ⌈a / b⌉ for a ≥ 0, b > 0.  Matches the ⌈·⌉ of Eqs. (1), (5), (7).
+/// An alias for `checked_ceil_div`: the `a/b + (a%b != 0)` form, whose
+/// intermediates cannot overflow (the textbook `(a + b - 1) / b` wraps
+/// for a near INT64_MAX, and the repo lint bans that pattern).
 constexpr Count ceil_div(Count a, Count b) {
-  if (a < 0 || b <= 0) {
-    throw InvalidArgument("ceil_div requires a >= 0 and b > 0");
-  }
-  return (a + b - 1) / b;
+  return checked_ceil_div(a, b);
 }
 
 /// ⌊a / b⌋ for a ≥ 0, b > 0.  Matches the ⌊·⌋ of Eqs. (4), (6).
@@ -30,31 +37,6 @@ constexpr Count floor_div(Count a, Count b) {
     throw InvalidArgument("floor_div requires a >= 0 and b > 0");
   }
   return a / b;
-}
-
-/// Overflow-checked multiplication of non-negative counts.  Cycle totals
-/// for full networks are products of window counts (up to ~5·10^4) and tile
-/// counts; they fit int64 comfortably, but a sweep with absurd parameters
-/// should fail loudly rather than wrap.
-constexpr Count checked_mul(Count a, Count b) {
-  if (a < 0 || b < 0) {
-    throw InvalidArgument("checked_mul requires non-negative operands");
-  }
-  if (a != 0 && b > std::numeric_limits<Count>::max() / a) {
-    throw InvalidArgument("checked_mul overflow");
-  }
-  return a * b;
-}
-
-/// Overflow-checked addition of non-negative counts.
-constexpr Count checked_add(Count a, Count b) {
-  if (a < 0 || b < 0) {
-    throw InvalidArgument("checked_add requires non-negative operands");
-  }
-  if (a > std::numeric_limits<Count>::max() - b) {
-    throw InvalidArgument("checked_add overflow");
-  }
-  return a + b;
 }
 
 /// True if `value` is a power of two (used for array-geometry sanity

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/math_util.h"
 #include "common/string_util.h"
 
 namespace vwsdk {
@@ -131,7 +132,7 @@ void parallel_chunks(ThreadPool& pool, Count n,
   // Several chunks per worker keeps uneven chunk costs from leaving
   // workers idle at the tail of the range.
   const Count target_chunks = std::min<Count>(n, workers * 4);
-  const Count chunk = (n + target_chunks - 1) / target_chunks;
+  const Count chunk = ceil_div(n, target_chunks);
   std::vector<std::future<void>> futures;
   futures.reserve(static_cast<std::size_t>(target_chunks));
   try {

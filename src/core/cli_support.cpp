@@ -20,10 +20,10 @@ void add_shape_options(ArgParser& args, Dim image, Dim kernel,
 }
 
 ConvShape shape_from_args(const ArgParser& args) {
-  return ConvShape::square(static_cast<Dim>(args.get_int("image")),
-                           static_cast<Dim>(args.get_int("kernel")),
-                           static_cast<Dim>(args.get_int("ic")),
-                           static_cast<Dim>(args.get_int("oc")));
+  return ConvShape::square(dim_in_range(args, "image", 1),
+                           dim_in_range(args, "kernel", 1),
+                           dim_in_range(args, "ic", 1),
+                           dim_in_range(args, "oc", 1));
 }
 
 void add_array_option(ArgParser& args,
@@ -93,6 +93,13 @@ long long int_in_range(const ArgParser& args, const std::string& name,
                 cat("--", name, " must be <= ", maximum, " (got ", value,
                     ")"));
   return value;
+}
+
+Dim dim_in_range(const ArgParser& args, const std::string& name,
+                 long long minimum, long long maximum) {
+  VWSDK_REQUIRE(maximum <= std::numeric_limits<Dim>::max(),
+                cat("--", name, ": dim_in_range maximum exceeds Dim"));
+  return static_cast<Dim>(int_in_range(args, name, minimum, maximum));
 }
 
 int exit_code_for(ErrorCode code) {

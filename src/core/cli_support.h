@@ -81,6 +81,13 @@ long long int_in_range(
     const ArgParser& args, const std::string& name, long long minimum,
     long long maximum = std::numeric_limits<long long>::max());
 
+/// int_in_range narrowed to Dim: the guard for every shape/geometry
+/// flag, so `--image 4294967297` is a usage error instead of silently
+/// wrapping to 1 through a `static_cast<Dim>`.
+Dim dim_in_range(const ArgParser& args, const std::string& name,
+                 long long minimum,
+                 long long maximum = std::numeric_limits<Dim>::max());
+
 /// The exit code of an error category: kExitUsageError for the
 /// usage-shaped codes (is_usage_error, common/error.h), kExitError for
 /// everything else -- the single mapping both run_cli_main and the

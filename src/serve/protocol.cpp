@@ -208,7 +208,19 @@ ServeRequest parse_request(std::string_view line) {
   if (version == nullptr) {
     reader.fail("missing required field \"v\"");
   }
-  if (!version->is_number() || version->as_int() != kProtocolVersion) {
+  // as_int() throws for non-integer and out-of-range numbers (v=1.5,
+  // v=1e300); convert that into the same bad_request -- with the
+  // recovered id -- instead of letting InvalidArgument escape the
+  // protocol layer and lose the correlation id.
+  long long parsed_version = -1;
+  if (version->is_number()) {
+    try {
+      parsed_version = version->as_int();
+    } catch (const std::exception&) {
+      parsed_version = -1;
+    }
+  }
+  if (parsed_version != kProtocolVersion) {
     reader.fail(cat("unsupported protocol version (this daemon speaks v=",
                     kProtocolVersion, ")"));
   }

@@ -69,11 +69,13 @@ Cycles ChipAllocation::fill_latency() const {
 }
 
 Dim ChipAllocation::arrays_used() const {
-  Dim used = 0;
+  Count used = 0;
   for (const LayerAllocation& layer : layers) {
-    used += layer.arrays;
+    used = checked_add(used, layer.arrays);
   }
-  return used;
+  // Bounded by total_arrays (a Dim) for any allocation this module
+  // builds; checked_cast keeps a hand-constructed one honest.
+  return checked_cast<Dim>(used);
 }
 
 double ChipAllocation::balance() const {
@@ -137,7 +139,7 @@ ChipAllocation allocate_chip(const NetworkMappingResult& result,
     layer.groups = lm.layer.groups;
     layer.tiles = layer_tiles(lm);
     layer.serial_cycles = lm.cycles();
-    price_stage(scoring, lm, static_cast<Dim>(layer.tiles), layer);
+    price_stage(scoring, lm, checked_cast<Dim>(layer.tiles), layer);
     allocation.layers.push_back(std::move(layer));
   }
 
@@ -183,7 +185,7 @@ ChipAllocation allocate_chip(const NetworkMappingResult& result,
       continue;
     }
     LayerAllocation candidate = stage;
-    price_stage(scoring, result.layers[worst], static_cast<Dim>(needed),
+    price_stage(scoring, result.layers[worst], checked_cast<Dim>(needed),
                 candidate);
     if (!(candidate.score < stage.score)) {
       saturated[worst] = 1;  // allocation-invariant objective here
@@ -222,11 +224,14 @@ Cycles ChipPlan::serial_cycles() const {
 }
 
 Dim ChipPlan::arrays_used() const {
-  Dim used = 0;
+  // Accumulate in Count: chips.size() x arrays_per_chip can exceed Dim
+  // for a sharded-every-layer plan on huge chips, and a wrapped negative
+  // "arrays used" would poison every downstream utilization figure.
+  Count used = 0;
   for (const ChipAllocation& chip : chips) {
-    used += chip.arrays_used();
+    used = checked_add(used, chip.arrays_used());
   }
-  return used;
+  return checked_cast<Dim>(used);
 }
 
 double ChipPlan::speedup() const {

@@ -209,7 +209,7 @@ class Farm {
     for (Count i = 0; i < batch; ++i) {
       const Cycles arrived = replica.waiting.front();
       replica.waiting.pop_front();
-      state.wait_sum += now - arrived;
+      state.wait_sum = saturating_add(state.wait_sum, now - arrived);
       ++state.started;
       members.push_back(arrived);
     }
@@ -219,7 +219,12 @@ class Farm {
     const Cycles service = state.plan->batch_cycles(batch);
     for (std::size_t c = 0; c < state.plan->chips.size(); ++c) {
       const ChipAllocation& chip = state.plan->chips[c];
-      Cycles busy = chip.fill_latency() + (batch - 1) * chip.bottleneck();
+      // Checked even though batch_cycles(batch) above bounds it: the
+      // per-chip fill/bottleneck never exceed the plan-wide ones, but the
+      // accounting house rule is that cycle products go through
+      // checked_* (docs/STATIC_ANALYSIS.md).
+      Cycles busy = checked_add(chip.fill_latency(),
+                                checked_mul(batch - 1, chip.bottleneck()));
       if (horizon_ >= 0) {
         busy = std::min(busy, horizon_ - now);
       }
@@ -298,9 +303,11 @@ TrafficReport build_report(Farm& farm, const TrafficOptions& options,
                         : 0.0;
     std::sort(state.latencies.begin(), state.latencies.end());
     if (!state.latencies.empty()) {
+      // Saturating: the mean is a diagnostic double; a pegged value on a
+      // pathological horizon beats aborting the whole report.
       Cycles total = 0;
       for (const Cycles latency : state.latencies) {
-        total += latency;
+        total = saturating_add(total, latency);
       }
       net.mean_latency = static_cast<double>(total) /
                          static_cast<double>(state.latencies.size());
@@ -607,7 +614,7 @@ CapacityResult plan_capacity(const ChipPlan& plan, Cycles slo_p99,
   result.slo_p99 = slo_p99;
   result.rate = options.rate;
   result.replicas = upper;
-  result.chips = upper * static_cast<Count>(plan.chips.size());
+  result.chips = checked_mul(upper, static_cast<Count>(plan.chips.size()));
   result.p99 = report_at(upper).networks.front().p99;
   if (upper > 1) {
     result.lower_replicas = upper - 1;

@@ -1,0 +1,233 @@
+#include "common/checked_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/error.h"
+
+namespace vwsdk {
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+// ---------------------------------------------------------------------------
+// try_mul / try_add: full signed domain, exact boundary behavior
+// ---------------------------------------------------------------------------
+
+TEST(TryMul, ExactBoundaryProducts) {
+  std::int64_t out = 0;
+  // INT64_MAX = 9223372036854775807 = 7 * 7 * 73 * 127 * 337 * 92737 * 649657
+  // is odd, so kMax/2 * 2 = kMax - 1: the largest even product.
+  EXPECT_TRUE(try_mul(kMax / 2, 2, out));
+  EXPECT_EQ(out, kMax - 1);
+  // One step past the boundary overflows.
+  EXPECT_FALSE(try_mul(kMax / 2 + 1, 2, out));
+  EXPECT_EQ(out, kMax - 1);  // a failed try_mul leaves `out` untouched
+  // An exact factorization hits INT64_MAX itself.
+  EXPECT_TRUE(try_mul(kMax / 7, 7, out));
+  EXPECT_EQ(out, kMax);
+  EXPECT_FALSE(try_mul(kMax / 7 + 1, 7, out));
+}
+
+TEST(TryMul, NegativeOperands) {
+  std::int64_t out = 0;
+  EXPECT_TRUE(try_mul(-3, 4, out));
+  EXPECT_EQ(out, -12);
+  EXPECT_TRUE(try_mul(3, -4, out));
+  EXPECT_EQ(out, -12);
+  EXPECT_TRUE(try_mul(-3, -4, out));
+  EXPECT_EQ(out, 12);
+  // kMin = -(kMax + 1): kMin * 1 and kMin / 2 * 2 are representable,
+  // kMin * -1 is the classic asymmetric-two's-complement overflow.
+  EXPECT_TRUE(try_mul(kMin, 1, out));
+  EXPECT_EQ(out, kMin);
+  EXPECT_TRUE(try_mul(kMin / 2, 2, out));
+  EXPECT_EQ(out, kMin);
+  EXPECT_FALSE(try_mul(kMin, -1, out));
+  EXPECT_FALSE(try_mul(-1, kMin, out));
+  EXPECT_FALSE(try_mul(kMin / 2 - 1, 2, out));
+  // Negative x negative overflowing positive.
+  EXPECT_FALSE(try_mul(kMin, kMin, out));
+  EXPECT_FALSE(try_mul(kMin / 3, -4, out));
+}
+
+TEST(TryMul, ZeroAnnihilates) {
+  std::int64_t out = 99;
+  EXPECT_TRUE(try_mul(0, kMax, out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(try_mul(kMin, 0, out));
+  EXPECT_EQ(out, 0);
+}
+
+// The portable fallback must agree with the builtin on every boundary
+// case -- it is what non-GCC/Clang builds run.
+TEST(TryMul, PortableFallbackMatchesBuiltin) {
+  const std::int64_t probes[] = {0,        1,         -1,       2,
+                                 -2,       7,         kMax / 2, kMax / 2 + 1,
+                                 kMax / 7, kMax,      kMin / 2, kMin / 2 - 1,
+                                 kMin,     kMax / 3,  -kMax,    kMin / 7};
+  for (const std::int64_t a : probes) {
+    for (const std::int64_t b : probes) {
+      std::int64_t out = 0;
+      const bool fits = try_mul(a, b, out);
+      EXPECT_EQ(detail::mul_overflows_portable(a, b), !fits)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(TryAdd, ExactBoundarySums) {
+  std::int64_t out = 0;
+  EXPECT_TRUE(try_add(kMax - 1, 1, out));
+  EXPECT_EQ(out, kMax);
+  EXPECT_FALSE(try_add(kMax, 1, out));
+  EXPECT_EQ(out, kMax);  // untouched on failure
+  EXPECT_TRUE(try_add(kMin + 1, -1, out));
+  EXPECT_EQ(out, kMin);
+  EXPECT_FALSE(try_add(kMin, -1, out));
+  // Mixed signs can never overflow.
+  EXPECT_TRUE(try_add(kMax, kMin, out));
+  EXPECT_EQ(out, -1);
+}
+
+// ---------------------------------------------------------------------------
+// checked_mul / checked_add / checked_ceil_div: domain vs overflow errors
+// ---------------------------------------------------------------------------
+
+TEST(CheckedMul, BoundaryAndOverflow) {
+  EXPECT_EQ(checked_mul(kMax, 1), kMax);
+  EXPECT_EQ(checked_mul(kMax / 7, 7), kMax);
+  EXPECT_THROW(checked_mul(kMax / 7 + 1, 7), Overflow);
+  EXPECT_THROW(checked_mul(kMax, 2), Overflow);
+  EXPECT_THROW(checked_mul(kMax, kMax), Overflow);
+}
+
+TEST(CheckedMul, NegativeOperandsAreDomainErrors) {
+  // Negative counts are a caller bug (InvalidArgument), not an
+  // unrepresentable result (Overflow) -- distinct exit codes downstream.
+  EXPECT_THROW(checked_mul(-1, 1), InvalidArgument);
+  EXPECT_THROW(checked_mul(1, -1), InvalidArgument);
+  EXPECT_THROW(checked_mul(kMin, kMin), InvalidArgument);
+}
+
+TEST(CheckedAdd, BoundaryAndOverflow) {
+  EXPECT_EQ(checked_add(kMax - 1, 1), kMax);
+  EXPECT_EQ(checked_add(0, kMax), kMax);
+  EXPECT_THROW(checked_add(kMax, 1), Overflow);
+  EXPECT_THROW(checked_add(kMax, kMax), Overflow);
+  EXPECT_THROW(checked_add(-1, 0), InvalidArgument);
+  EXPECT_THROW(checked_add(0, -1), InvalidArgument);
+}
+
+TEST(CheckedCeilDiv, RoundsUpWithoutOverflowingIntermediates) {
+  EXPECT_EQ(checked_ceil_div(0, 5), 0);
+  EXPECT_EQ(checked_ceil_div(10, 5), 2);
+  EXPECT_EQ(checked_ceil_div(11, 5), 3);
+  // The banned `(a + b - 1) / b` form would overflow here; the
+  // `a/b + (a%b != 0)` form must not.
+  EXPECT_EQ(checked_ceil_div(kMax, 2), kMax / 2 + 1);
+  EXPECT_EQ(checked_ceil_div(kMax, 1), kMax);
+  EXPECT_EQ(checked_ceil_div(kMax, kMax), 1);
+  EXPECT_EQ(checked_ceil_div(kMax - 1, kMax), 1);
+}
+
+TEST(CheckedCeilDiv, RejectsBadDomain) {
+  EXPECT_THROW(checked_ceil_div(5, 0), InvalidArgument);  // divide by zero
+  EXPECT_THROW(checked_ceil_div(5, -1), InvalidArgument);
+  EXPECT_THROW(checked_ceil_div(-5, 2), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// saturating_mul / saturating_add: clamp, never throw
+// ---------------------------------------------------------------------------
+
+TEST(SaturatingMul, ClampsBySign) {
+  EXPECT_EQ(saturating_mul(3, 4), 12);
+  EXPECT_EQ(saturating_mul(kMax, 2), kMax);
+  EXPECT_EQ(saturating_mul(kMax, kMax), kMax);
+  EXPECT_EQ(saturating_mul(kMax, -2), kMin);
+  EXPECT_EQ(saturating_mul(-2, kMax), kMin);
+  EXPECT_EQ(saturating_mul(kMin, kMin), kMax);  // negative x negative
+  EXPECT_EQ(saturating_mul(kMin, -1), kMax);
+}
+
+TEST(SaturatingAdd, ClampsBySign) {
+  EXPECT_EQ(saturating_add(40, 2), 42);
+  EXPECT_EQ(saturating_add(kMax, 1), kMax);
+  EXPECT_EQ(saturating_add(kMax, kMax), kMax);
+  EXPECT_EQ(saturating_add(kMin, -1), kMin);
+  EXPECT_EQ(saturating_add(kMin, kMin), kMin);
+}
+
+// ---------------------------------------------------------------------------
+// checked_cast: narrowing that refuses to truncate
+// ---------------------------------------------------------------------------
+
+TEST(CheckedCast, FitsPassThrough) {
+  EXPECT_EQ((checked_cast<std::int32_t>(std::int64_t{42})), 42);
+  EXPECT_EQ((checked_cast<std::int32_t>(std::int64_t{-42})), -42);
+  EXPECT_EQ((checked_cast<std::int32_t>(
+                std::int64_t{std::numeric_limits<std::int32_t>::max()})),
+            std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ((checked_cast<std::int32_t>(
+                std::int64_t{std::numeric_limits<std::int32_t>::min()})),
+            std::numeric_limits<std::int32_t>::min());
+  // Widening through the same spelling also works.
+  EXPECT_EQ((checked_cast<std::int64_t>(std::int32_t{-7})), -7);
+}
+
+TEST(CheckedCast, OutOfRangeThrowsOverflowNotTruncates) {
+  // 4294967297 = 2^32 + 1 truncates to 1 under static_cast<int32_t> --
+  // the CLI bug class this guard exists for.
+  const std::int64_t wraps_to_one = (std::int64_t{1} << 32) + 1;
+  EXPECT_THROW((checked_cast<std::int32_t>(wraps_to_one)), Overflow);
+  EXPECT_THROW((checked_cast<std::int32_t>(
+                   std::int64_t{std::numeric_limits<std::int32_t>::max()} + 1)),
+               Overflow);
+  EXPECT_THROW((checked_cast<std::int32_t>(
+                   std::int64_t{std::numeric_limits<std::int32_t>::min()} - 1)),
+               Overflow);
+  EXPECT_THROW((checked_cast<std::int32_t>(kMax)), Overflow);
+  EXPECT_THROW((checked_cast<std::int32_t>(kMin)), Overflow);
+}
+
+// ---------------------------------------------------------------------------
+// constexpr usability: an overflow in a constant expression must fail to
+// compile, and the happy path must be evaluable at compile time.
+// ---------------------------------------------------------------------------
+
+TEST(CheckedMath, ConstexprEvaluation) {
+  static_assert(checked_mul(6, 7) == 42);
+  static_assert(checked_add(40, 2) == 42);
+  static_assert(checked_ceil_div(43, 7) == 7);
+  static_assert(saturating_mul(kMax, 2) == kMax);
+  static_assert(saturating_add(kMin, -1) == kMin);
+  static_assert(checked_cast<std::int32_t>(std::int64_t{1 << 20}) == 1 << 20);
+  constexpr std::int64_t product = [] {
+    std::int64_t out = 0;
+    return try_mul(kMax / 2, 2, out) ? out : -1;
+  }();
+  static_assert(product == kMax - 1);
+  SUCCEED();
+}
+
+// Overflow classifies as its own stable wire code, distinct from
+// InvalidArgument, and counts as a usage error (exit 2).
+TEST(CheckedMath, OverflowIsAStructuredErrorCode) {
+  try {
+    checked_mul(kMax, 2);
+    FAIL() << "expected Overflow";
+  } catch (const Overflow& e) {
+    EXPECT_EQ(classify_exception(e), ErrorCode::kOverflow);
+    EXPECT_STREQ(error_code_name(ErrorCode::kOverflow), "overflow");
+    EXPECT_TRUE(is_usage_error(ErrorCode::kOverflow));
+    const std::string what = e.what();
+    EXPECT_NE(what.find("overflow"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace vwsdk

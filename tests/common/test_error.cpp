@@ -30,6 +30,7 @@ TEST(Error, HierarchyIsCatchableAsError) {
   EXPECT_THROW(throw InvalidArgument("x"), Error);
   EXPECT_THROW(throw InternalError("x"), Error);
   EXPECT_THROW(throw NotFound("x"), Error);
+  EXPECT_THROW(throw Overflow("x"), Error);
   EXPECT_THROW(throw NotFound("x"), std::runtime_error);
 }
 
@@ -46,6 +47,7 @@ TEST(Error, ErrorCodeNamesAreStable) {
   EXPECT_STREQ(error_code_name(ErrorCode::kTooLarge), "too_large");
   EXPECT_STREQ(error_code_name(ErrorCode::kOverloaded), "overloaded");
   EXPECT_STREQ(error_code_name(ErrorCode::kShuttingDown), "shutting_down");
+  EXPECT_STREQ(error_code_name(ErrorCode::kOverflow), "overflow");
 }
 
 TEST(Error, ClassifyExceptionMapsTheHierarchy) {
@@ -53,6 +55,7 @@ TEST(Error, ClassifyExceptionMapsTheHierarchy) {
             ErrorCode::kInvalidArgument);
   EXPECT_EQ(classify_exception(NotFound("x")), ErrorCode::kNotFound);
   EXPECT_EQ(classify_exception(InternalError("x")), ErrorCode::kInternal);
+  EXPECT_EQ(classify_exception(Overflow("x")), ErrorCode::kOverflow);
   EXPECT_EQ(classify_exception(Error("x")), ErrorCode::kRuntime);
   EXPECT_EQ(classify_exception(std::runtime_error("x")),
             ErrorCode::kRuntime);
@@ -64,6 +67,7 @@ TEST(Error, UsageErrorsAreTheCallerShapedCodes) {
   EXPECT_TRUE(is_usage_error(ErrorCode::kBadRequest));
   EXPECT_TRUE(is_usage_error(ErrorCode::kUnknownOp));
   EXPECT_TRUE(is_usage_error(ErrorCode::kTooLarge));
+  EXPECT_TRUE(is_usage_error(ErrorCode::kOverflow));
   EXPECT_FALSE(is_usage_error(ErrorCode::kInternal));
   EXPECT_FALSE(is_usage_error(ErrorCode::kRuntime));
   EXPECT_FALSE(is_usage_error(ErrorCode::kOverloaded));

@@ -38,14 +38,15 @@ TEST(MathUtil, CheckedMulHappyPath) {
 
 TEST(MathUtil, CheckedMulOverflowThrows) {
   const Count big = std::numeric_limits<Count>::max() / 2 + 1;
-  EXPECT_THROW(checked_mul(big, 2), InvalidArgument);
+  // Unrepresentable results are Overflow (kOverflow on the wire); only
+  // negative operands are a caller error (InvalidArgument).
+  EXPECT_THROW(checked_mul(big, 2), Overflow);
   EXPECT_THROW(checked_mul(-1, 2), InvalidArgument);
 }
 
 TEST(MathUtil, CheckedAdd) {
   EXPECT_EQ(checked_add(114697, 77102), 191799);
-  EXPECT_THROW(checked_add(std::numeric_limits<Count>::max(), 1),
-               InvalidArgument);
+  EXPECT_THROW(checked_add(std::numeric_limits<Count>::max(), 1), Overflow);
   EXPECT_THROW(checked_add(-3, 1), InvalidArgument);
 }
 

@@ -1,5 +1,6 @@
 #include "core/cli_support.h"
 
+#include <limits>
 #include <new>
 #include <stdexcept>
 
@@ -31,6 +32,38 @@ TEST(CliSupport, ShapeOptionsDefaultAndParse) {
   const ConvShape custom = shape_from_args(
       parsed({"--image", "10", "--kernel", "5", "--ic", "2", "--oc", "7"}));
   EXPECT_EQ(custom, ConvShape::square(10, 5, 2, 7));
+}
+
+TEST(CliSupport, ShapeOptionsRejectDimOverflowInsteadOfWrapping) {
+  // Regression: 4294967297 = 2^32 + 1 wraps to 1 under a bare
+  // static_cast<Dim>, silently mapping a "1x1 image" the user never
+  // asked for.  dim_in_range makes it a usage error naming the flag.
+  try {
+    (void)shape_from_args(parsed({"--image", "4294967297"}));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--image"), std::string::npos) << what;
+    EXPECT_NE(what.find("4294967297"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)shape_from_args(parsed({"--oc", "2147483648"})),
+               InvalidArgument);  // INT32_MAX + 1
+  EXPECT_THROW((void)shape_from_args(parsed({"--kernel", "0"})),
+               InvalidArgument);
+  EXPECT_THROW((void)shape_from_args(parsed({"--ic", "-5"})),
+               InvalidArgument);
+  // The full 31-bit range itself stays accepted (ConvShape may still
+  // reject geometric nonsense downstream, but no wrap happens here).
+  EXPECT_EQ(dim_in_range(parsed({"--image", "2147483647"}), "image", 1),
+            std::numeric_limits<Dim>::max());
+}
+
+TEST(CliSupport, IntInRangeEnforcesBothBounds) {
+  EXPECT_EQ(int_in_range(parsed({"--image", "17"}), "image", 1), 17);
+  EXPECT_THROW((void)int_in_range(parsed({"--image", "17"}), "image", 18),
+               InvalidArgument);
+  EXPECT_THROW((void)int_in_range(parsed({"--image", "17"}), "image", 1, 16),
+               InvalidArgument);
 }
 
 TEST(CliSupport, ArrayOptionParsesGeometry) {
@@ -114,6 +147,7 @@ TEST(CliSupport, ExitCodeForFollowsTheUsageSplit) {
   EXPECT_EQ(exit_code_for(ErrorCode::kInvalidArgument), kExitUsageError);
   EXPECT_EQ(exit_code_for(ErrorCode::kNotFound), kExitUsageError);
   EXPECT_EQ(exit_code_for(ErrorCode::kBadRequest), kExitUsageError);
+  EXPECT_EQ(exit_code_for(ErrorCode::kOverflow), kExitUsageError);
   EXPECT_EQ(exit_code_for(ErrorCode::kRuntime), kExitError);
   EXPECT_EQ(exit_code_for(ErrorCode::kInternal), kExitError);
   EXPECT_EQ(exit_code_for(ErrorCode::kOverloaded), kExitError);

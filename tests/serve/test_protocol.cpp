@@ -184,6 +184,23 @@ TEST(Protocol, RejectsEnvelopeViolations) {
             ErrorCode::kUnknownOp);
 }
 
+TEST(Protocol, NonIntegerVersionIsBadRequestWithRecoveredId) {
+  // Regression: "v":1.5 / "v":1e300 make as_int() throw InvalidArgument;
+  // that must surface as the same bad_request as "v":2 -- with the
+  // correlation id intact -- not escape the protocol layer.
+  try {
+    (void)parse_request(R"({"v":1.5,"id":"echo-me","op":"ping"})");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+    EXPECT_EQ(e.id(), "echo-me");
+  }
+  EXPECT_EQ(code_of(R"({"v":1e300,"id":"1","op":"ping"})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"v":-1,"id":"1","op":"ping"})"),
+            ErrorCode::kBadRequest);
+}
+
 TEST(Protocol, RejectsUnknownAndMistypedFields) {
   EXPECT_EQ(code_of(R"({"v":1,"id":"1","op":"map","net":"x","nett":"y"})"),
             ErrorCode::kBadRequest);

@@ -1,6 +1,8 @@
 #include "serve/service.h"
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <iterator>
 #include <string>
@@ -10,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/string_util.h"
 #include "core/serialize.h"
 #include "nn/network_spec.h"
 #include "pim/array_geometry.h"
@@ -221,6 +224,42 @@ TEST(Service, StatsSnapshotStaysConsistentUnderParallelMaps) {
   }
   const ServiceStats stats = api.stats();
   EXPECT_EQ(stats.cache_entries, stats.cache_misses);  // no repeats above
+}
+
+// Regression for the arithmetic-safety contract (docs/STATIC_ANALYSIS.md):
+// an overflow-scale layer must surface as the structured `Overflow`
+// error (wire code "overflow", exit 2) through the service facade, never
+// as a silently wrapped negative cycle count.  The dims below pass every
+// per-field spec bound (each fits Dim), but the im2col product chain
+// N_pw x AR x AC is ~7e20 >> INT64_MAX.
+TEST(Service, OverflowScaleLayerYieldsStructuredErrorNotNegativeTotal) {
+  const std::string path =
+      cat(::testing::TempDir(), "overflow_scale_spec.json");
+  {
+    std::ofstream os(path);
+    os << R"({"layers": [{"name": "absurd", "image": 2000001,)"
+       << R"( "kernel": 7, "ic": 1000000, "oc": 1000000}]})";
+  }
+  ServiceApi api(1);
+  MapQuery query;
+  query.net = path;
+  query.mapper = "im2col";  // single analytic candidate: fast at any scale
+  try {
+    (void)api.map(query);
+    FAIL() << "expected Overflow";
+  } catch (const Overflow& e) {
+    EXPECT_EQ(classify_exception(e), ErrorCode::kOverflow);
+    EXPECT_STREQ(error_code_name(ErrorCode::kOverflow), "overflow");
+  }
+
+  // The chip planner front door maps first, so it hits the same wall --
+  // and reports it structurally rather than planning on garbage.
+  ChipQuery chip;
+  chip.net = path;
+  chip.mapper = "im2col";
+  chip.arrays_per_chip = 64;
+  EXPECT_THROW((void)api.chip(chip), Overflow);
+  std::remove(path.c_str());
 }
 
 TEST(Service, StatsLinesFormatTheFragment) {

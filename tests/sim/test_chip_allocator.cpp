@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.h"
 #include "common/math_util.h"
@@ -338,6 +339,26 @@ TEST(ChipPlan, SpeedupAndBalanceAreReported) {
   EXPECT_GT(plan.balance(), 0.0);
   EXPECT_LE(plan.balance(), 1.0);
   EXPECT_NE(plan.to_string().find("speedup"), std::string::npos);
+}
+
+TEST(ChipPlan, BatchCyclesOverflowIsStructuredNotNegative) {
+  // fill + (batch-1) * interval with a ~5e18-cycle stage and a large
+  // batch exceeds INT64_MAX; the contract is a thrown Overflow (wire
+  // code "overflow"), never a wrapped negative latency.
+  ChipPlan plan;
+  plan.feasible = true;
+  ChipAllocation chip;
+  chip.feasible = true;
+  LayerAllocation stage;
+  stage.makespan = Cycles{5'000'000'000'000'000'000};  // 5e18
+  chip.layers.push_back(stage);
+  plan.chips.push_back(chip);
+  EXPECT_EQ(plan.batch_cycles(1), stage.makespan);  // fill only
+  EXPECT_THROW(plan.batch_cycles(1'000'000'000), Overflow);
+  // The saturating diagnostic path stays available to callers that want
+  // a pegged value instead (traffic report totals).
+  EXPECT_EQ(saturating_add(stage.makespan, stage.makespan),
+            std::numeric_limits<Cycles>::max());
 }
 
 TEST(ChipPlan, Validation) {

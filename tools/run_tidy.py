@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the tree with the checked-in .clang-tidy.
+
+The wrapper behind both the `tidy` CI job and the `lint.tidy` ctest:
+
+  * finds compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS is always
+    ON, so any configured build dir has one) and runs clang-tidy over
+    every translation unit in src/ apps/ bench/ examples/ tests/;
+  * `--changed` restricts the run to translation units touched since the
+    merge base with the upstream branch (plus anything including a
+    touched header) -- the fast pre-push mode;
+  * exits EXIT_SKIP (77) when no clang-tidy binary is available, so the
+    ctest registration can declare SKIP_RETURN_CODE 77 and skip cleanly
+    where the tool is absent, like the Doxygen target does.
+
+Warnings are errors (`--warnings-as-errors='*'`, matching the
+WarningsAsErrors in .clang-tidy): any finding fails the run.  See
+docs/STATIC_ANALYSIS.md for the check set and the NOLINT policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+EXIT_SKIP = 77  # mirrored by SKIP_RETURN_CODE in the ctest registration
+
+SOURCE_ROOTS = ("src", "apps", "bench", "examples", "tests")
+
+
+def find_clang_tidy(explicit: str | None) -> str | None:
+    """The clang-tidy binary: --clang-tidy, $CLANG_TIDY, or the first
+    versioned/unversioned binary on PATH."""
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    if os.environ.get("CLANG_TIDY"):
+        candidates.append(os.environ["CLANG_TIDY"])
+    candidates.append("clang-tidy")
+    candidates.extend(f"clang-tidy-{v}" for v in range(21, 13, -1))
+    for candidate in candidates:
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(build_dir: Path) -> list[dict]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        sys.exit(f"run_tidy: {db_path} not found -- configure first "
+                 "(cmake -B build -S .); CMAKE_EXPORT_COMPILE_COMMANDS "
+                 "is on by default")
+    return json.loads(db_path.read_text(encoding="utf-8"))
+
+
+def repo_sources(db: list[dict], root: Path) -> list[Path]:
+    """The repo-owned translation units of the compile database (gtest
+    and other fetched third-party TUs are excluded)."""
+    sources = []
+    for entry in db:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = (Path(entry["directory"]) / path).resolve()
+        try:
+            relative = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            continue
+        if relative.parts and relative.parts[0] in SOURCE_ROOTS:
+            sources.append(path.resolve())
+    return sorted(set(sources))
+
+
+def changed_paths(root: Path) -> set[str]:
+    """Repo-relative paths touched vs the upstream merge base, plus any
+    staged/unstaged working-tree changes."""
+
+    def git_lines(*args: str) -> list[str]:
+        result = subprocess.run(
+            ["git", "-C", str(root), *args],
+            capture_output=True, text=True, check=False)
+        if result.returncode != 0:
+            return []
+        return [line for line in result.stdout.splitlines() if line]
+
+    base = ""
+    for upstream in ("@{upstream}", "origin/main", "origin/master"):
+        lines = git_lines("merge-base", "HEAD", upstream)
+        if lines:
+            base = lines[0]
+            break
+    changed: set[str] = set()
+    if base:
+        changed.update(git_lines("diff", "--name-only", base, "HEAD"))
+    changed.update(git_lines("diff", "--name-only"))
+    changed.update(git_lines("diff", "--name-only", "--cached"))
+    changed.update(git_lines("ls-files", "--others", "--exclude-standard"))
+    return changed
+
+
+def select_changed(sources: list[Path], root: Path) -> list[Path]:
+    """The TUs to re-lint for `--changed`: every changed .cpp, plus
+    every TU whose text names a changed header (a cheap include closure
+    -- header basenames are unique enough in this repo)."""
+    changed = changed_paths(root)
+    changed_cpp = {root / p for p in changed if p.endswith(".cpp")}
+    changed_headers = [Path(p).name for p in changed if p.endswith(".h")]
+    selected = []
+    for source in sources:
+        if source in changed_cpp:
+            selected.append(source)
+            continue
+        if changed_headers:
+            try:
+                text = source.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            if any(name in text for name in changed_headers):
+                selected.append(source)
+    return selected
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", type=Path, default=Path("build"),
+                        help="build dir holding compile_commands.json "
+                             "(default: build)")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repository root (default: this script's "
+                             "grandparent)")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: $CLANG_TIDY, "
+                             "then PATH)")
+    parser.add_argument("--changed", action="store_true",
+                        help="only lint TUs touched since the upstream "
+                             "merge base (fast pre-push mode)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="directory of clean-result markers; a TU "
+                             "whose key (tidy version, .clang-tidy, "
+                             "compile command, source, global header "
+                             "digest) is unchanged is skipped")
+    parser.add_argument("--jobs", "-j", type=int,
+                        default=os.cpu_count() or 2,
+                        help="parallel clang-tidy processes")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="restrict to these files/directories")
+    args = parser.parse_args()
+
+    root = args.root or Path(__file__).resolve().parent.parent
+    binary = find_clang_tidy(args.clang_tidy)
+    if binary is None:
+        print("run_tidy: no clang-tidy binary found -- skipping "
+              f"(exit {EXIT_SKIP}); install clang-tidy to run this lane "
+              "locally")
+        return EXIT_SKIP
+
+    db = load_compile_db(args.build_dir)
+    sources = repo_sources(db, root)
+    if args.paths:
+        wanted = [p.resolve() for p in args.paths]
+        sources = [s for s in sources
+                   if any(s == w or w in s.parents for w in wanted)]
+    if args.changed:
+        sources = select_changed(sources, root)
+    if not sources:
+        print("run_tidy: nothing to lint")
+        return 0
+
+    command_tail = [
+        "-p", str(args.build_dir),
+        "--quiet",
+        "--warnings-as-errors=*",
+    ]
+
+    # Clean-result cache: a TU is skipped when nothing that could change
+    # its findings changed.  The key folds in a digest of EVERY repo
+    # header, so any header edit re-lints the whole tree -- conservative
+    # (no per-TU include closure to get wrong) and still what makes the
+    # common source-only iteration fast.
+    cache_keys: dict[Path, str] = {}
+    if args.cache_dir:
+        args.cache_dir.mkdir(parents=True, exist_ok=True)
+        version = subprocess.run([binary, "--version"], capture_output=True,
+                                 text=True, check=False).stdout
+        config = (root / ".clang-tidy").read_bytes() \
+            if (root / ".clang-tidy").is_file() else b""
+        headers = hashlib.sha256()
+        for root_dir in SOURCE_ROOTS:
+            for header in sorted((root / root_dir).rglob("*.h")):
+                headers.update(header.read_bytes())
+        commands = {}
+        for entry in db:
+            path = Path(entry["file"])
+            if not path.is_absolute():
+                path = Path(entry["directory"]) / path
+            commands[path.resolve()] = \
+                entry.get("command") or " ".join(entry.get("arguments", []))
+        base = hashlib.sha256(version.encode() + config +
+                              headers.digest()).hexdigest()
+        for source in sources:
+            key = hashlib.sha256(
+                (base + commands.get(source, "")).encode() +
+                source.read_bytes()).hexdigest()
+            cache_keys[source] = key
+        cached = [s for s in sources
+                  if (args.cache_dir / cache_keys[s]).is_file()]
+        if cached:
+            print(f"run_tidy: {len(cached)} translation unit(s) clean in "
+                  "cache, skipping")
+        sources = [s for s in sources if s not in set(cached)]
+        if not sources:
+            print("run_tidy: everything cached clean")
+            return 0
+
+    def run_one(source: Path) -> tuple[Path, int, str]:
+        result = subprocess.run(
+            [binary, *command_tail, str(source)],
+            capture_output=True, text=True, check=False)
+        # clang-tidy writes "N warnings generated" chatter to stderr even
+        # on clean runs; stdout carries the findings.
+        output = result.stdout.strip()
+        if result.returncode != 0 and not output:
+            output = result.stderr.strip()
+        return source, result.returncode, output
+
+    print(f"run_tidy: {binary}, {len(sources)} translation unit(s), "
+          f"{args.jobs} job(s)")
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for source, returncode, output in pool.map(run_one, sources):
+            if returncode != 0:
+                failures += 1
+                print(f"FAIL {source.relative_to(root)}")
+                if output:
+                    print(output)
+            elif args.cache_dir:
+                (args.cache_dir / cache_keys[source]).touch()
+    print(f"run_tidy: {failures} of {len(sources)} translation unit(s) "
+          "failed" if failures else
+          f"run_tidy: all {len(sources)} translation unit(s) clean")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,15 @@ codebase documents elsewhere:
                    compile time and only fails at a distant call site.
   doc-links        every docs/*.md page is linked from README.md or
                    another docs page -- an orphaned page silently rots.
+  ceil-div         no hand-rolled `(a + b - 1) / b` ceiling divisions in
+                   src/ -- that form overflows for a near INT64_MAX; use
+                   ceil_div / checked_ceil_div (common/math_util.h,
+                   common/checked_math.h), whose `a/b + (a%b != 0)`
+                   formulation cannot.
+  nolint-discipline  every NOLINT / NOLINTNEXTLINE / NOLINTBEGIN in src/
+                   names a specific clang-tidy check (no bare or `(*)`
+                   blanket suppressions) and carries a justification
+                   after the check list (docs/STATIC_ANALYSIS.md).
 
 ``--self-test`` first runs every rule against embedded known-bad
 snippets and fails if any rule has gone blind; then the real tree is
@@ -418,6 +427,97 @@ def rule_doc_links(tree: dict[str, str]) -> list[Failure]:
 
 
 # --------------------------------------------------------------------------
+# Rule: ceil-div
+# --------------------------------------------------------------------------
+
+# The textbook ceiling division `(a + b - 1) / b` (divisor == second
+# addend, in either `(a + b - 1)` or `(b - 1 + a)` order).  `a + b - 1`
+# overflows for a near INT64_MAX, so the repo's only ceiling-division
+# spelling is ceil_div/checked_ceil_div, which use `a/b + (a%b != 0)`.
+_OPERAND = r"[A-Za-z_][\w]*(?:(?:\.|->)[A-Za-z_][\w]*)*(?:\(\s*\))?"
+CEIL_DIV_PATTERNS = [
+    re.compile(r"\(\s*(?:%s)\s*\+\s*(%s)\s*-\s*1\s*\)\s*/\s*(%s)"
+               % (_OPERAND, _OPERAND, _OPERAND)),
+    re.compile(r"\(\s*(%s)\s*-\s*1\s*\+\s*(?:%s)\s*\)\s*/\s*(%s)"
+               % (_OPERAND, _OPERAND, _OPERAND)),
+]
+
+
+def rule_ceil_div(tree: dict[str, str]) -> list[Failure]:
+    """Hand-rolled `(a + b - 1) / b` ceiling divisions are banned in
+    src/: the `a + b - 1` intermediate overflows near INT64_MAX.  Use
+    ceil_div / checked_ceil_div (common/math_util.h,
+    common/checked_math.h) instead."""
+    failures = []
+    for path, text in sorted(tree.items()):
+        if not path.startswith("src/") or not path.endswith((".h", ".cpp")):
+            continue
+        code = strip_comments(text)
+        for pattern in CEIL_DIV_PATTERNS:
+            for match in pattern.finditer(code):
+                if match.group(1) != match.group(2):
+                    continue  # (a + b - 1) / c is not a ceiling division
+                failures.append(
+                    f"{path}:{line_of(code, match.start())}: hand-rolled "
+                    f"ceiling division '{match.group(0)}' -- the a+b-1 "
+                    "intermediate overflows near INT64_MAX; use ceil_div/"
+                    "checked_ceil_div (common/math_util.h)")
+    return failures
+
+
+# --------------------------------------------------------------------------
+# Rule: nolint-discipline
+# --------------------------------------------------------------------------
+
+# `NOLINT`, optionally NEXTLINE/BEGIN/END, optionally a (check-list),
+# then the rest of the line (the justification slot).  Matched on RAW
+# text -- NOLINT markers live inside comments by construction.
+NOLINT_RE = re.compile(
+    r"NOLINT(NEXTLINE|BEGIN|END)?(\([^)\n]*\))?([^\n]*)")
+NOLINT_CHECKS_RE = re.compile(r"[a-z][a-z0-9]*(?:[-.][a-z0-9]+)+"
+                              r"(?:\s*,\s*[a-z][a-z0-9]*(?:[-.][a-z0-9]+)+)*")
+
+
+def rule_nolint_discipline(tree: dict[str, str]) -> list[Failure]:
+    """Every clang-tidy suppression in src/ must name the specific
+    check(s) it silences -- no bare `// NOLINT` and no `NOLINT(*)` -- and
+    carry a justification after the check list, so a suppression cannot
+    outlive the reason it was added (docs/STATIC_ANALYSIS.md)."""
+    failures = []
+    for path, text in sorted(tree.items()):
+        if not path.startswith("src/") or not path.endswith((".h", ".cpp")):
+            continue
+        for match in NOLINT_RE.finditer(text):
+            where = f"{path}:{line_of(text, match.start())}"
+            variant = match.group(1) or ""
+            checks = match.group(2)
+            rest = match.group(3) or ""
+            if checks is None:
+                failures.append(
+                    f"{where}: bare NOLINT{variant} -- name the specific "
+                    f"check(s): NOLINT{variant}(check-name): why")
+                continue
+            inner = checks[1:-1].strip()
+            if not inner or "*" in inner or \
+                    not NOLINT_CHECKS_RE.fullmatch(inner):
+                failures.append(
+                    f"{where}: NOLINT{variant}({inner}) is a blanket or "
+                    "malformed suppression -- name the specific clang-tidy "
+                    "check(s), e.g. NOLINT(bugprone-integer-division)")
+                continue
+            if variant == "END":
+                continue  # the justification lives on the matching BEGIN
+            justification = rest.strip().lstrip(":-").strip()
+            if len(justification) < 8:
+                failures.append(
+                    f"{where}: NOLINT{variant}({inner}) has no "
+                    "justification -- append why the finding is a false "
+                    "positive or intentional, e.g. "
+                    f"NOLINT{variant}({inner}): <reason>")
+    return failures
+
+
+# --------------------------------------------------------------------------
 # Self-tests: one known-bad snippet per rule; a rule that stays silent
 # on its bad snippet has gone blind and the lint run fails.
 # --------------------------------------------------------------------------
@@ -520,6 +620,32 @@ void register_orphan_mapper(MapperRegistry& registry) { registry.add(a); }
         "docs/CLI.md": "the CLI",
         "docs/ORPHAN.md": "nobody links here",
     }),
+    ("ceil-div", rule_ceil_div, {
+        "src/sim/bad.cpp": "const Count chunk = (n + k - 1) / k;",
+    }),
+    ("ceil-div", rule_ceil_div, {
+        "src/mapping/bad.cpp":
+            "Cycles t = (total.cycles() + width - 1) / width;",
+    }),
+    ("ceil-div", rule_ceil_div, {
+        "src/sim/bad2.cpp": "Count c = (k - 1 + n) / k;",
+    }),
+    ("nolint-discipline", rule_nolint_discipline, {
+        "src/core/bad.cpp": "int x = f();  // NOLINT\n",
+    }),
+    ("nolint-discipline", rule_nolint_discipline, {
+        "src/core/bad.cpp":
+            "// NOLINTNEXTLINE\nint x = f();\n",
+    }),
+    ("nolint-discipline", rule_nolint_discipline, {
+        "src/core/bad.cpp":
+            "int x = f();  // NOLINT(*): silence everything\n",
+    }),
+    ("nolint-discipline", rule_nolint_discipline, {
+        # specific check but no justification
+        "src/core/bad.cpp":
+            "// NOLINTNEXTLINE(bugprone-integer-division)\nint x = a / b;\n",
+    }),
 ]
 
 # Clean fixtures: every rule must also stay *silent* on a minimal good
@@ -544,6 +670,23 @@ CLEAN_TREES = [
     (rule_doc_links, {
         "README.md": "see docs/CLI.md",
         "docs/CLI.md": "the CLI",
+    }),
+    (rule_ceil_div, {
+        # ceil_div calls, a commented example, a /b-with-different-divisor
+        # expression, and a +1-1 that is not the banned shape.
+        "src/sim/ok.cpp": (
+            "Count a = ceil_div(n, k);\n"
+            "// the old form was (n + k - 1) / k\n"
+            "Count b = (n + m - 1) / 2;\n"
+            "Count c = checked_ceil_div(n, k);\n"),
+    }),
+    (rule_nolint_discipline, {
+        "src/core/ok.cpp": (
+            "// NOLINTNEXTLINE(bugprone-integer-division): intentional "
+            "truncation, the remainder is spread below\n"
+            "int x = a / b;\n"
+            "int y = f();  // NOLINT(performance-unnecessary-copy-"
+            "initialization): the copy pins lifetime across the callback\n"),
     }),
 ]
 
@@ -575,6 +718,8 @@ RULES = [
     ("error-codes", rule_error_codes),
     ("registry-hygiene", rule_registry_hygiene),
     ("doc-links", rule_doc_links),
+    ("ceil-div", rule_ceil_div),
+    ("nolint-discipline", rule_nolint_discipline),
 ]
 
 
